@@ -1,0 +1,40 @@
+"""Benchmark: Figure 1 regeneration.
+
+One bench per benchmark application: prices every Figure 1 model (all
+tuning variants) at paper scale through the analytical pipeline and
+prints the speedup series.  ``test_figure1_full`` regenerates the whole
+figure in one go (the series the paper plots).
+"""
+
+import pytest
+
+from repro.benchmarks.registry import BENCHMARK_ORDER, get_benchmark
+from repro.harness.report import render_figure1
+from repro.harness.runner import FIGURE1_MODELS, run_speedups
+
+
+@pytest.mark.parametrize("name", BENCHMARK_ORDER)
+def test_figure1_series(benchmark, name):
+    bench = get_benchmark(name)
+
+    def sweep():
+        rows = {}
+        for model in FIGURE1_MODELS:
+            for variant in bench.variants(model):
+                out = bench.run(model, variant, scale="paper",
+                                execute=False, validate=False)
+                rows[(model, variant)] = out.speedup.speedup
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    for (model, variant), speedup in sorted(rows.items()):
+        print(f"  {name} {model:>20s}[{variant}] = {speedup:8.2f}x")
+    assert all(s > 0 for s in rows.values())
+
+
+def test_figure1_full(benchmark):
+    speedups = benchmark.pedantic(run_speedups, rounds=1, iterations=1)
+    print()
+    print(render_figure1(speedups, log_bars=False))
+    assert set(speedups) == set(BENCHMARK_ORDER)

@@ -1,0 +1,87 @@
+"""Benchmarks of the simulator substrate itself: executor throughput,
+compile latency, and end-to-end functional runs at test scale."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.gpusim.executor import execute_kernel
+from repro.gpusim.kernel import Kernel
+from repro.ir.builder import accum, aref, assign, pfor, sfor, v
+from repro.models import get_compiler
+
+
+def test_executor_elementwise_throughput(benchmark):
+    n = 1 << 18
+    kern = Kernel("scale", pfor("i", 0, v("n"),
+                                assign(aref("b", v("i")),
+                                       aref("a", v("i")) * 2.0 + 1.0)),
+                  ["i"], arrays=["a", "b"], scalars=["n"])
+    a = np.random.default_rng(0).random(n)
+
+    def run():
+        data = {"a": a, "b": np.zeros(n)}
+        execute_kernel(kern, data, {"n": n})
+        return data["b"][0]
+
+    benchmark(run)
+
+
+def test_executor_reduction_throughput(benchmark):
+    n = 1 << 18
+    kern = Kernel("dot", pfor("i", 0, v("n"),
+                              accum(aref("s", 0),
+                                    aref("a", v("i")) * aref("a", v("i")))),
+                  ["i"], arrays=["a", "s"], scalars=["n"])
+    a = np.random.default_rng(1).random(n)
+
+    def run():
+        data = {"a": a, "s": np.zeros(1)}
+        execute_kernel(kern, data, {"n": n})
+        return data["s"][0]
+
+    assert benchmark(run) == pytest.approx((a * a).sum())
+
+
+def test_executor_irregular_inner_loops(benchmark):
+    n = 1 << 14
+    rng = np.random.default_rng(2)
+    lens = rng.integers(0, 24, size=n)
+    rowstr = np.zeros(n + 1, dtype=np.int64)
+    rowstr[1:] = np.cumsum(lens)
+    val = rng.random(int(rowstr[-1]))
+    kern = Kernel("rows", pfor("i", 0, v("n"),
+                               sfor("k", aref("rowstr", v("i")),
+                                    aref("rowstr", v("i") + 1),
+                                    accum(aref("y", v("i")),
+                                          aref("val", v("k"))))),
+                  ["i"], arrays=["rowstr", "val", "y"], scalars=["n"])
+
+    def run():
+        data = {"rowstr": rowstr, "val": val, "y": np.zeros(n)}
+        execute_kernel(kern, data, {"n": n})
+        return float(data["y"].sum())
+
+    assert benchmark(run) == pytest.approx(val.sum())
+
+
+@pytest.mark.parametrize("model", ["PGI Accelerator", "OpenMPC",
+                                   "R-Stream"])
+def test_compile_latency_cg(benchmark, model):
+    """CG is the largest program (12 regions): compiler pipeline cost."""
+    bench = get_benchmark("CG")
+    port = bench.port(model, "best")
+    compiler = get_compiler(model)
+    compiled = benchmark(compiler.compile_program, port)
+    assert compiled.regions_total == 12
+
+
+def test_end_to_end_jacobi_functional(benchmark):
+    bench = get_benchmark("JACOBI")
+
+    def run():
+        out = bench.run("OpenMPC", "best", scale="test")
+        out.require_valid()
+        return out.speedup.gpu_time_s
+
+    benchmark.pedantic(run, rounds=2, iterations=1)

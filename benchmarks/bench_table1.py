@@ -1,0 +1,21 @@
+"""Benchmark: Table I regeneration (feature matrix rendering + the
+capability cross-checks behind it)."""
+
+from repro.models import CAPABILITIES, DIRECTIVE_MODELS, get_compiler
+from repro.models.features import FEATURE_ROWS, FEATURE_TABLE, render_table1
+
+
+def test_render_table1(benchmark):
+    text = benchmark(render_table1)
+    for row in FEATURE_ROWS:
+        assert row in text
+
+
+def test_capability_verification(benchmark):
+    def verify():
+        for model in DIRECTIVE_MODELS:
+            compiler = get_compiler(model)
+            assert compiler.name == model
+        return len(CAPABILITIES)
+
+    assert benchmark(verify) == 5

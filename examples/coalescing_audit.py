@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""Audit the analytical coalescing model against traced execution.
+
+Every Figure 1 number rests on the static access classification; this
+example executes real benchmark kernels while recording the lanes'
+actual addresses, counts the true 128-byte transactions per warp, and
+prints them next to the static model's prediction — the evidence that
+the timing model isn't making its story up.
+
+Run:  python examples/coalescing_audit.py
+"""
+
+from repro.benchmarks.registry import get_benchmark
+from repro.gpusim.trace import audit_kernel, render_audit
+
+CASES = [
+    ("JACOBI", "PGI Accelerator", "naive", "stencil",
+     "outer-loop-only translation: every access strided"),
+    ("JACOBI", "OpenMPC", "best", "stencil",
+     "after automatic parallel loop-swap: coalesced"),
+    ("HOTSPOT", "OpenMPC", "best", "step_ab",
+     "collapse clause: 2-D grid, clamped stencil"),
+    ("SPMUL", "PGI Accelerator", "best", "spmv",
+     "CSR traversal: indirect gathers"),
+]
+
+for name, model, variant, region, story in CASES:
+    bench = get_benchmark(name)
+    compiled = bench.compile(model, variant)
+    kernel = compiled.results[region].kernels[0]
+    wl = bench.workload("test")
+    arrays = bench.arrays_for(model, variant, wl)
+    print(f"=== {name} / {model} [{variant}] region '{region}'")
+    print(f"    ({story})")
+    rows = audit_kernel(kernel, arrays, dict(wl.scalars))
+    for line in render_audit(rows).splitlines():
+        print(f"    {line}")
+    print()
+
+print("A ratio near 1.0 means the static model charged what the traced")
+print("warps actually paid (the regular kernels).  For the CSR case the")
+print("traced numbers are a lower bound: the lockstep-masked execution")
+print("of data-dependent inner loops records only the few lanes whose")
+print("local iteration coincides, while a real warp issues all 32 at")
+print("their own offsets — the static model charges the locality-blended")
+print("expectation instead (see repro/gpusim/trace.py).")

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""The EP private-array overflow story (Section V-A).
+
+"In the PGI Accelerator model, the private array is allocated in the GPU
+global memory for each thread.  However, if the number of threads are
+too big, the allocation of the private array causes a memory overflow...
+to prevent the memory overflow, programmers should manually strip-mine
+the parallel loop to reduce the size of the loop iteration space."
+
+This example reproduces the failure on a deliberately tiny device and
+then applies the strip-mining fix.
+
+Run:  python examples/ep_overflow.py
+"""
+
+import numpy as np
+
+from repro.errors import DeviceMemoryError
+from repro.gpusim.device import TINY_DEVICE
+from repro.gpusim.kernel import Kernel
+from repro.gpusim.runtime import CudaRuntime
+from repro.ir.builder import accum, aref, block, local, pfor, sfor, v
+from repro.ir.transforms.tiling import strip_mine_cyclic
+
+NQ = 16
+
+# A PGI-style kernel with a row-expanded private array: each of the
+# nk threads owns NQ doubles of device global memory.
+body = block(
+    local("qq", shape=(NQ,)),
+    sfor("l", 0, NQ, accum(aref("qq", v("l")), 1.0)),
+    sfor("l", 0, NQ, accum(aref("q", v("l")), aref("qq", v("l")))),
+)
+loop = pfor("i", 0, v("nk"), body, private=["l", "qq"])
+
+kernel = Kernel("ep_main", loop, ["i"], arrays=["q"], scalars=["nk"],
+                private_orientations={"qq": "row"})
+
+rt = CudaRuntime(spec=TINY_DEVICE)
+rt.bind_host("q", np.zeros(NQ))
+rt.malloc("q")
+rt.htod("q")
+
+nk = TINY_DEVICE.global_mem_bytes // (NQ * 8) + 4096
+print(f"device: {TINY_DEVICE.name} "
+      f"({TINY_DEVICE.global_mem_bytes >> 20} MiB global memory)")
+print(f"launching {nk} threads x {NQ} expanded doubles each ...")
+try:
+    rt.launch(kernel, {"nk": nk})
+    raise SystemExit("expected an overflow!")
+except DeviceMemoryError as exc:
+    print(f"  DeviceMemoryError: {exc}\n")
+
+# The fix: strip-mine the parallel loop so only `strips` threads exist,
+# each processing its share sequentially (exactly the paper's remedy;
+# cyclic distribution, as GPU compilers emit for grid-stride loops).
+strips = 1024
+stripped = strip_mine_cyclic(loop, strips)
+fixed = Kernel("ep_main_stripped", stripped, [stripped.var],
+               arrays=["q"], scalars=["nk"],
+               private_orientations={"qq": "row"})
+print(f"strip-mined to {strips} strips; relaunching ...")
+timing = rt.launch(fixed, {"nk": nk})
+rt.dtoh("q")
+host_q = rt.host("q")
+print(f"  ok: {timing.summary()}")
+assert np.allclose(host_q, nk)  # every iteration added 1 per slot
+print(f"  q[0] == nk == {host_q[0]:.0f}  (functionally verified)")

@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Quickstart: write an OpenMP-style program, compile it with two
+directive models, run it on the simulated GPU, and compare.
+
+The program is a tiny SAXPY-with-reduction: the kind of loop every model
+in the paper handles, so the interesting part is watching what each
+compiler *does* with it (transfer planning, reductions) and reading the
+simulated profile.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.ir.builder import accum, aref, assign, pfor, reduce_clause, v
+from repro.ir.program import ArrayDecl, ParallelRegion, Program, ScalarDecl
+from repro.models import ExecutableProgram, PortSpec, get_compiler
+
+# ----------------------------------------------------------------------
+# 1. The OpenMP input program: two parallel regions over arrays x, y.
+#
+#    #pragma omp parallel for
+#    for (i = 0; i < n; i++) y[i] = a*x[i] + y[i];
+#    #pragma omp parallel for reduction(+: nrm)
+#    for (i = 0; i < n; i++) nrm += y[i]*y[i];
+# ----------------------------------------------------------------------
+i = v("i")
+saxpy = ParallelRegion(
+    "saxpy",
+    pfor("i", 0, v("n"),
+         assign(aref("y", i), v("a") * aref("x", i) + aref("y", i))))
+norm = ParallelRegion(
+    "norm",
+    pfor("i", 0, v("n"), accum(aref("nrm", 0), aref("y", i) * aref("y", i)),
+         reductions=(reduce_clause("+", "nrm"),)))
+
+program = Program(
+    "quickstart",
+    arrays=[ArrayDecl("x", ("n",), intent="in"),
+            ArrayDecl("y", ("n",)),
+            ArrayDecl("nrm", (1,), intent="out")],
+    scalars=[ScalarDecl("n", "int"), ScalarDecl("a")],
+    regions=[saxpy, norm])
+
+# ----------------------------------------------------------------------
+# 2. Compile with two models and run each on the simulated Tesla M2090.
+# ----------------------------------------------------------------------
+n = 1 << 16
+rng = np.random.default_rng(0)
+x = rng.random(n)
+y0 = rng.random(n)
+
+for model in ("PGI Accelerator", "OpenMPC"):
+    compiler = get_compiler(model)
+    compiled = compiler.compile_program(PortSpec(model=model,
+                                                 program=program))
+    print(f"=== {model} ===")
+    for name, result in compiled.results.items():
+        status = "translated" if result.translated else "REJECTED"
+        print(f"  region {name}: {status}"
+              + (f" ({'; '.join(result.applied)})" if result.applied
+                 else ""))
+    if compiled.data_regions:
+        dr = compiled.data_regions[0]
+        print(f"  transfer plan: copyin={dr.copyin} copyout={dr.copyout}")
+    else:
+        print("  transfer plan: per-invocation copies (no data region)")
+
+    ex = ExecutableProgram(compiled)
+    arrays = {"x": x.copy(), "y": y0.copy(), "nrm": np.zeros(1)}
+    ex.bind_arrays(arrays)
+    scalars = {"n": n, "a": 2.5}
+    ex.run_region("saxpy", scalars)
+    ex.run_region("norm", scalars)
+    ex.close_data_regions()
+
+    expected_y = 2.5 * x + y0
+    assert np.allclose(arrays["y"], expected_y)
+    assert np.isclose(arrays["nrm"][0], (expected_y ** 2).sum())
+    print("  results verified against NumPy")
+    print("  simulated timeline:")
+    for line in ex.rt.profiler.report().splitlines():
+        print(f"    {line}")
+    print(f"  simulated end-to-end: {ex.gpu_time_s * 1e3:.3f} ms")
+    print()
+
+print("Note how OpenMPC's interprocedural analysis copies x/y in once,")
+print("while the PGI port (written here without a data region) pays")
+print("per-region transfers — the data-region story of Section III-A.")

@@ -1,0 +1,25 @@
+"""Reproduction of "Early Evaluation of Directive-Based GPU Programming
+Models for Productive Exascale Computing" (Lee & Vetter, SC 2012).
+
+The package builds the paper's whole evaluation stack as a simulation:
+
+* :mod:`repro.ir` — the loop-nest IR the 13 OpenMP input programs are
+  written in, with the static analyses and loop transformations the
+  directive compilers need;
+* :mod:`repro.gpusim` — a Fermi-class (Tesla M2090) GPU simulator:
+  functional kernel execution plus an analytical timing model built on
+  coalescing, occupancy, and special-memory effects;
+* :mod:`repro.cpu` — the serial host model (speedup denominator);
+* :mod:`repro.models` — the five directive-model compilers (PGI
+  Accelerator, OpenACC, HMPP, OpenMPC, R-Stream) and the hand-written
+  CUDA baseline, each implementing its paper-documented features and
+  limitations;
+* :mod:`repro.benchmarks` — JACOBI, SPMUL, NAS EP/CG/FT, and Rodinia
+  BACKPROP/BFS/CFD/SRAD/HOTSPOT/KMEANS/LUD/NW with per-model ports;
+* :mod:`repro.metrics` / :mod:`repro.harness` — coverage, code-size,
+  speedup accounting and the Table I/II + Figure 1 regeneration CLI.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

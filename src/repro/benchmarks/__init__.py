@@ -1,0 +1,11 @@
+"""The thirteen-benchmark evaluation suite."""
+
+from repro.benchmarks.base import (ALL_MODELS, Benchmark, RunOutcome,
+                                   Workload)
+from repro.benchmarks.registry import (BENCHMARK_ORDER, get_benchmark,
+                                       iter_suite, make_suite)
+
+__all__ = [
+    "Benchmark", "Workload", "RunOutcome", "ALL_MODELS",
+    "BENCHMARK_ORDER", "make_suite", "get_benchmark", "iter_suite",
+]

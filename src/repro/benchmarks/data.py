@@ -1,0 +1,155 @@
+"""Synthetic input generators for the benchmark suite.
+
+The paper used the benchmarks' own input generators (NAS classes, Rodinia
+data files); offline we synthesize statistically similar inputs — CSR
+sparse matrices with banded random sparsity (NAS CG style), random
+layered graphs for BFS, smooth random fields for the stencil codes — all
+deterministic under a caller-provided seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CsrMatrix:
+    """A square CSR sparse matrix (the SPMUL/CG substrate)."""
+
+    n: int
+    rowstr: np.ndarray  # int64[n+1]
+    colidx: np.ndarray  # int64[nnz]
+    values: np.ndarray  # float64[nnz]
+
+    @property
+    def nnz(self) -> int:
+        return int(self.rowstr[-1])
+
+    def to_dense(self) -> np.ndarray:
+        dense = np.zeros((self.n, self.n))
+        rows = np.repeat(np.arange(self.n), np.diff(self.rowstr))
+        np.add.at(dense, (rows, self.colidx), self.values)
+        return dense
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """NumPy reference SpMV."""
+        y = np.zeros(self.n)
+        np.add.at(y, np.repeat(np.arange(self.n),
+                               np.diff(self.rowstr)),
+                  self.values * x[self.colidx])
+        return y
+
+
+def make_csr(n: int, avg_nnz_per_row: int = 16, bandwidth_frac: float = 0.2,
+             spd: bool = True, seed: int = 0) -> CsrMatrix:
+    """Random banded CSR matrix, optionally diagonally dominant (CG).
+
+    Fully vectorized (the evaluation sizes reach n=150k): row lengths are
+    Poisson-distributed (the trip-count variance the SpMV divergence
+    story needs), columns are sampled within a band around the diagonal
+    (duplicate columns within a row are possible but rare and benign —
+    CSR semantics simply sum them), and the first entry of each row is
+    the dominant diagonal when ``spd``.
+    """
+    rng = np.random.default_rng(seed)
+    band = max(2, int(n * bandwidth_frac))
+    counts = rng.poisson(max(1, avg_nnz_per_row - 1), size=n) + 1
+    counts = np.minimum(counts, band).astype(np.int64)
+    kmax = int(counts.max())
+    rows = np.arange(n, dtype=np.int64)
+    offs = rng.integers(-(band // 2), band // 2 + 1, size=(n, kmax))
+    cols = np.clip(rows[:, None] + offs, 0, n - 1)
+    vals = rng.standard_normal((n, kmax)) * 0.1
+    if spd:
+        cols[:, 0] = rows
+        vals[:, 0] = avg_nnz_per_row + 1.0  # dominance
+    # keep each row's active prefix sorted by column for CSR hygiene
+    mask = np.arange(kmax)[None, :] < counts[:, None]
+    cols_sortable = np.where(mask, cols, n + 1)
+    order = np.argsort(cols_sortable, axis=1, kind="stable")
+    cols = np.take_along_axis(cols, order, axis=1)
+    vals = np.take_along_axis(vals, order, axis=1)
+    mask = np.take_along_axis(mask, order, axis=1)
+    rowstr = np.zeros(n + 1, dtype=np.int64)
+    rowstr[1:] = np.cumsum(counts)
+    return CsrMatrix(n=n, rowstr=rowstr,
+                     colidx=cols[mask].astype(np.int64),
+                     values=vals[mask])
+
+
+def make_grid(n: int, m: int | None = None, seed: int = 0,
+              smooth: bool = True) -> np.ndarray:
+    """A random 2-D field; smoothed once so stencil codes behave sanely."""
+    rng = np.random.default_rng(seed)
+    m = m or n
+    field = rng.random((n, m))
+    if smooth and n > 4 and m > 4:
+        field[1:-1, 1:-1] = 0.25 * (field[:-2, 1:-1] + field[2:, 1:-1]
+                                    + field[1:-1, :-2] + field[1:-1, 2:])
+    return field
+
+
+@dataclass(frozen=True)
+class Graph:
+    """A directed graph in CSR adjacency form (the BFS substrate)."""
+
+    n_nodes: int
+    node_start: np.ndarray  # int64[n_nodes+1]
+    edges: np.ndarray       # int64[n_edges]
+
+    @property
+    def n_edges(self) -> int:
+        return int(self.node_start[-1])
+
+
+def make_graph(n_nodes: int, avg_degree: int = 6, seed: int = 0) -> Graph:
+    """Random graph with mild locality (Rodinia BFS inputs are similar)."""
+    rng = np.random.default_rng(seed)
+    degrees = rng.poisson(avg_degree, size=n_nodes).clip(1, None)
+    starts = np.zeros(n_nodes + 1, dtype=np.int64)
+    starts[1:] = np.cumsum(degrees)
+    # half local edges, half uniform
+    n_edges = int(starts[-1])
+    src = np.repeat(np.arange(n_nodes), degrees)
+    local = (src + rng.integers(-16, 17, size=n_edges)) % n_nodes
+    uniform = rng.integers(0, n_nodes, size=n_edges)
+    pick = rng.random(n_edges) < 0.5
+    edges = np.where(pick, local, uniform).astype(np.int64)
+    return Graph(n_nodes=n_nodes, node_start=starts, edges=edges)
+
+
+def make_clusters(n_points: int, n_features: int, n_clusters: int,
+                  seed: int = 0) -> np.ndarray:
+    """Gaussian blobs for KMEANS."""
+    rng = np.random.default_rng(seed)
+    centers = rng.uniform(-5, 5, size=(n_clusters, n_features))
+    labels = rng.integers(0, n_clusters, size=n_points)
+    return (centers[labels]
+            + rng.standard_normal((n_points, n_features)) * 0.5)
+
+
+def make_sequences(n: int, alphabet: int = 4, seed: int = 0,
+                   ) -> tuple[np.ndarray, np.ndarray]:
+    """Two random DNA-like integer sequences for NW."""
+    rng = np.random.default_rng(seed)
+    return (rng.integers(0, alphabet, size=n).astype(np.int64),
+            rng.integers(0, alphabet, size=n).astype(np.int64))
+
+
+def make_blosum(alphabet: int = 4, seed: int = 0) -> np.ndarray:
+    """A small random symmetric substitution-score matrix for NW."""
+    rng = np.random.default_rng(seed)
+    m = rng.integers(-4, 5, size=(alphabet, alphabet)).astype(np.float64)
+    m = (m + m.T) / 2.0
+    np.fill_diagonal(m, rng.integers(3, 8, size=alphabet))
+    return m
+
+
+def make_spd_dense(n: int, seed: int = 0) -> np.ndarray:
+    """A dense LU-factorizable matrix (diagonally dominant) for LUD."""
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n)) * 0.1
+    a += np.eye(n) * (n * 0.05 + 1.0)
+    return a

@@ -1,0 +1,50 @@
+"""The benchmark suite registry — Figure 1's x-axis order."""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.benchmarks.backprop import Backprop
+from repro.benchmarks.base import Benchmark
+from repro.benchmarks.bfs import Bfs
+from repro.benchmarks.cfd import Cfd
+from repro.benchmarks.cg import Cg
+from repro.benchmarks.ep import Ep
+from repro.benchmarks.ft import Ft
+from repro.benchmarks.hotspot import Hotspot
+from repro.benchmarks.jacobi import Jacobi
+from repro.benchmarks.kmeans import Kmeans
+from repro.benchmarks.lud import Lud
+from repro.benchmarks.nw import Nw
+from repro.benchmarks.spmul import Spmul
+from repro.benchmarks.srad import Srad
+
+#: Figure 1 x-axis order.
+BENCHMARK_ORDER: tuple[str, ...] = (
+    "JACOBI", "EP", "SPMUL", "CG", "FT", "SRAD", "CFD", "BFS",
+    "HOTSPOT", "BACKPROP", "KMEANS", "NW", "LUD",
+)
+
+_CLASSES = (Jacobi, Ep, Spmul, Cg, Ft, Srad, Cfd, Bfs, Hotspot,
+            Backprop, Kmeans, Nw, Lud)
+
+
+def make_suite() -> dict[str, Benchmark]:
+    """Fresh instances of all thirteen benchmarks, keyed by name."""
+    suite = {cls().name: cls() for cls in _CLASSES}
+    assert set(suite) == set(BENCHMARK_ORDER)
+    return suite
+
+
+def get_benchmark(name: str) -> Benchmark:
+    """One benchmark by its Figure 1 name."""
+    for cls in _CLASSES:
+        inst = cls()
+        if inst.name == name.upper():
+            return inst
+    raise KeyError(f"unknown benchmark {name!r}; known: {BENCHMARK_ORDER}")
+
+
+def iter_suite() -> Iterator[Benchmark]:
+    for name in BENCHMARK_ORDER:
+        yield get_benchmark(name)

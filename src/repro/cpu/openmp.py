@@ -1,0 +1,98 @@
+"""Host-side functional execution of the OpenMP input programs.
+
+Validation of every model port needs a ground truth; rather than trusting
+each benchmark's hand-written NumPy reference alone, the suite can also
+*run the input IR itself* on the host.  :func:`run_region_host` executes a
+parallel region with OpenMP semantics (work-sharing loops over the whole
+iteration space, shared arrays in place) by reusing the vectorizing
+interpreter with the region's work-sharing nest as the "grid".
+
+This doubles as the single-source check the paper's methodology implies:
+the *same* program text produces the CPU baseline results and, through a
+model compiler, the GPU results.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping, Optional, Union
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.gpusim.kernel import Kernel
+from repro.gpusim.executor import execute_kernel
+from repro.ir.program import Function, ParallelRegion, Program
+from repro.ir.stmt import Block, For, LocalDecl, Stmt
+
+Value = Union[int, float]
+
+
+def _grid_vars(region: ParallelRegion) -> list[str]:
+    """The outermost work-sharing nest of the region (as the grid)."""
+    loops = region.worksharing_loops()
+    if len(loops) != 1:
+        # multiple sibling work-sharing loops: execute them one at a time
+        return []
+    nest = [loops[0].var]
+    node = loops[0]
+    while True:
+        inner = [s for s in node.body.stmts if isinstance(s, For) and s.parallel]
+        others = [s for s in node.body.stmts
+                  if not isinstance(s, (For, LocalDecl))]
+        if len(inner) == 1 and not others:
+            nest.append(inner[0].var)
+            node = inner[0]
+        else:
+            break
+    return nest
+
+
+def run_region_host(region: ParallelRegion,
+                    arrays: MutableMapping[str, np.ndarray],
+                    scalars: Mapping[str, Value],
+                    functions: Optional[Mapping[str, Function]] = None,
+                    ) -> None:
+    """Execute one parallel region in place with OpenMP semantics."""
+    body = region.body
+    # Split sibling work-sharing loops into successive "kernels".
+    if not isinstance(body, Block):
+        body = Block([body])
+    pending: list[Stmt] = []
+
+    def flush_serial(stmts: list[Stmt]) -> None:
+        if not stmts:
+            return
+        # serial (master) statements between work-sharing loops: run them
+        # as a 1-thread grid
+        wrapper = For("__serial", 0, 1, Block(stmts), parallel=True)
+        kern = Kernel(f"{region.name}__serial", wrapper, ["__serial"],
+                      arrays=sorted(arrays), scalars=sorted(scalars))
+        execute_kernel(kern, arrays, dict(scalars), functions)
+
+    for stmt in body.stmts:
+        if isinstance(stmt, For) and stmt.parallel:
+            flush_serial(pending)
+            pending = []
+            sub_region = ParallelRegion(f"{region.name}__ws", stmt,
+                                        private=region.private)
+            nest = _grid_vars(sub_region)
+            if not nest:
+                raise IRError(
+                    f"region {region.name!r}: cannot identify grid nest")
+            kern = Kernel(f"{region.name}__{stmt.var}", stmt, nest,
+                          arrays=sorted(arrays), scalars=sorted(scalars))
+            execute_kernel(kern, arrays, dict(scalars), functions)
+        else:
+            pending.append(stmt)
+    flush_serial(pending)
+
+
+def run_program_host(program: Program,
+                     arrays: MutableMapping[str, np.ndarray],
+                     scalars: Mapping[str, Value],
+                     region_order: Optional[list[str]] = None) -> None:
+    """Execute a program's regions (each once) in the given order."""
+    order = region_order or [r.name for r in program.regions]
+    for name in order:
+        run_region_host(program.region(name), arrays, scalars,
+                        program.functions)

@@ -1,0 +1,42 @@
+"""Fermi-class GPU simulator: device model, memory, execution, timing."""
+
+from repro.gpusim.coalescing import (CoalescingReport,
+                                     effective_bytes_per_warp,
+                                     transactions_per_warp)
+from repro.gpusim.device import (TESLA_C2050, TESLA_M2090, TINY_DEVICE,
+                                 DeviceSpec, get_device)
+from repro.gpusim.executor import KernelExecutor, execute_kernel
+from repro.gpusim.kernel import DEFAULT_BLOCK, Kernel, KernelDescriptor
+from repro.gpusim.memory import DeviceBuffer, MemoryManager, MemorySpace
+from repro.gpusim.occupancy import (Occupancy, compute_occupancy,
+                                    latency_hiding_factor)
+from repro.gpusim.profiler import LaunchRecord, Profiler, TransferRecord
+from repro.gpusim.reference import ScalarExecutor, execute_kernel_scalar
+from repro.gpusim.codegen import (compiled_program_to_cuda, expr_to_c,
+                                  kernel_to_cuda)
+from repro.gpusim.multigpu import (KEENELAND_IB, Interconnect,
+                                   ScalingPoint, ScalingSweep,
+                                   scaling_sweep)
+from repro.gpusim.runtime import CudaRuntime
+from repro.gpusim.trace import (AuditRow, MemoryTrace, TracingExecutor,
+                                audit_kernel, render_audit)
+from repro.gpusim.timing import (KernelTiming, TimingConfig, price_kernel,
+                                 price_transfer)
+
+__all__ = [
+    "DeviceSpec", "get_device", "TESLA_M2090", "TESLA_C2050", "TINY_DEVICE",
+    "MemorySpace", "DeviceBuffer", "MemoryManager",
+    "transactions_per_warp", "effective_bytes_per_warp", "CoalescingReport",
+    "Occupancy", "compute_occupancy", "latency_hiding_factor",
+    "Kernel", "KernelDescriptor", "DEFAULT_BLOCK",
+    "KernelExecutor", "execute_kernel",
+    "ScalarExecutor", "execute_kernel_scalar",
+    "KernelTiming", "TimingConfig", "price_kernel", "price_transfer",
+    "Profiler", "LaunchRecord", "TransferRecord",
+    "CudaRuntime",
+    "kernel_to_cuda", "compiled_program_to_cuda", "expr_to_c",
+    "Interconnect", "KEENELAND_IB", "ScalingPoint", "ScalingSweep",
+    "scaling_sweep",
+    "MemoryTrace", "TracingExecutor", "AuditRow", "audit_kernel",
+    "render_audit",
+]

@@ -1,0 +1,128 @@
+"""Simulated device specifications.
+
+The default device mirrors the paper's experimental platform: an NVIDIA
+Tesla M2090 (Fermi GF110) in a Keeneland node.  All timing constants are
+per-device data here, so the simulator itself is architecture-agnostic;
+alternative specs (a smaller C2050, a hypothetical exascale node slice)
+are provided for the scalability examples.
+
+Numbers come from the M2090 board specification and the CUDA C programming
+guide for compute capability 2.0; the effective-bandwidth and overhead
+derates reflect ECC-enabled operation as on Keeneland.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a CUDA-capable accelerator."""
+
+    name: str
+    #: streaming multiprocessors and SIMD lanes
+    num_sms: int
+    cores_per_sm: int
+    clock_ghz: float
+    warp_size: int = 32
+
+    #: memory sizes (bytes)
+    global_mem_bytes: int = 6 * 1024**3
+    shared_mem_per_sm: int = 48 * 1024
+    constant_mem_bytes: int = 64 * 1024
+    registers_per_sm: int = 32768
+
+    #: occupancy limits (compute capability 2.0)
+    max_threads_per_sm: int = 1536
+    max_blocks_per_sm: int = 8
+    max_threads_per_block: int = 1024
+    max_grid_dim: int = 65535
+
+    #: throughput (effective, ECC on)
+    mem_bandwidth_gbs: float = 155.0
+    peak_gflops_dp: float = 665.0
+    peak_gflops_sp: float = 1331.0
+
+    #: memory-transaction granularity (bytes) — Fermi L1 line
+    transaction_bytes: int = 128
+    #: global-memory latency (cycles), hidden by occupancy
+    mem_latency_cycles: int = 600
+
+    #: cache behaviour knobs for the analytical model
+    l2_bytes: int = 768 * 1024
+    constant_cache_hit_rate: float = 0.98
+    texture_cache_hit_rate: float = 0.85
+    #: fraction of indirect-access transactions that hit in L2/texture
+    indirect_locality: float = 0.25
+
+    #: host link (PCIe 2.0 x16, pinned)
+    pcie_bandwidth_gbs: float = 6.0
+    pcie_latency_us: float = 10.0
+
+    #: fixed kernel-launch cost (driver + dispatch)
+    kernel_launch_us: float = 5.0
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_sms * self.cores_per_sm
+
+    @property
+    def peak_bytes_per_s(self) -> float:
+        return self.mem_bandwidth_gbs * 1e9
+
+    @property
+    def pcie_bytes_per_s(self) -> float:
+        return self.pcie_bandwidth_gbs * 1e9
+
+    def peak_flops(self, dtype: str = "double") -> float:
+        """Peak arithmetic throughput in FLOP/s for a scalar dtype."""
+        if dtype == "float":
+            return self.peak_gflops_sp * 1e9
+        return self.peak_gflops_dp * 1e9
+
+
+TESLA_M2090 = DeviceSpec(
+    name="Tesla M2090",
+    num_sms=16,
+    cores_per_sm=32,
+    clock_ghz=1.3,
+)
+
+TESLA_C2050 = DeviceSpec(
+    name="Tesla C2050",
+    num_sms=14,
+    cores_per_sm=32,
+    clock_ghz=1.15,
+    global_mem_bytes=3 * 1024**3,
+    mem_bandwidth_gbs=115.0,
+    peak_gflops_dp=515.0,
+    peak_gflops_sp=1030.0,
+)
+
+#: a deliberately tiny device for memory-overflow tests (the EP
+#: private-array-expansion story needs allocations to be able to fail).
+TINY_DEVICE = DeviceSpec(
+    name="tiny-test-device",
+    num_sms=2,
+    cores_per_sm=32,
+    clock_ghz=1.0,
+    global_mem_bytes=16 * 1024**2,
+    mem_bandwidth_gbs=20.0,
+    peak_gflops_dp=50.0,
+    peak_gflops_sp=100.0,
+)
+
+_REGISTRY: Mapping[str, DeviceSpec] = {
+    spec.name: spec for spec in (TESLA_M2090, TESLA_C2050, TINY_DEVICE)
+}
+
+
+def get_device(name: str = "Tesla M2090") -> DeviceSpec:
+    """Look up a device spec by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; known: {sorted(_REGISTRY)}") from None

@@ -1,0 +1,236 @@
+"""Kernel objects: what a directive compiler emits.
+
+A :class:`Kernel` bundles the IR loop nest to execute, which loop indices
+are mapped to the GPU thread grid, the launch geometry, and the
+memory-space / tiling decisions the compiler made.  From those it derives
+a :class:`KernelDescriptor` — the static summary the timing model prices.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import IRError, LaunchError
+from repro.gpusim.device import DeviceSpec
+from repro.gpusim.memory import MemorySpace
+from repro.ir.analysis.access import (AccessSummary, _const_value,
+                                      summarize_accesses)
+from repro.ir.analysis.metrics import WorkEstimate, body_work
+from repro.ir.program import numpy_dtype
+from repro.ir.stmt import Block, For, Stmt, as_block
+from repro.ir.transforms.tiling import TilingDecision
+
+#: default threads per block for compiler-generated kernels
+DEFAULT_BLOCK = 256
+
+
+@dataclass
+class KernelDescriptor:
+    """Static launch summary consumed by :mod:`repro.gpusim.timing`."""
+
+    name: str
+    total_threads: int
+    block_threads: int
+    flops_per_thread: float
+    divergence: float
+    access: AccessSummary
+    smem_per_block: int = 0
+    regs_per_thread: int = 24
+    dtype: str = "double"
+    placements: Mapping[str, MemorySpace] = field(default_factory=dict)
+    tiling: Sequence[TilingDecision] = ()
+
+    @property
+    def grid_blocks(self) -> int:
+        return max(1, math.ceil(self.total_threads / self.block_threads))
+
+
+class Kernel:
+    """An executable GPU kernel produced by one of the model compilers.
+
+    Parameters
+    ----------
+    body:
+        The loop nest, *including* the parallel loops that become the
+        thread grid.
+    thread_vars:
+        The loop indices mapped to the grid, outermost first.  The last
+        one is ``threadIdx.x`` (fastest varying across a warp).  They must
+        name parallel ``For`` loops forming the outermost nest of
+        ``body``.
+    arrays / scalars:
+        Names of device arrays and scalar parameters the kernel uses.
+    block_threads:
+        Threads per block chosen by the compiler (or tuner).
+    placements:
+        Per-array memory-space decisions (constant/texture caching).
+    tiling:
+        Shared-memory tiling decisions (affect timing, not values).
+    indirect_carriers:
+        Arrays whose *contents* are thread-dependent indices (frontier
+        queues) for the access analysis.
+    """
+
+    def __init__(self, name: str, body: Stmt | Sequence[Stmt],
+                 thread_vars: Sequence[str],
+                 arrays: Sequence[str], scalars: Sequence[str] = (),
+                 block_threads: int = DEFAULT_BLOCK,
+                 dtype: str = "double",
+                 placements: Optional[Mapping[str, MemorySpace]] = None,
+                 tiling: Sequence[TilingDecision] = (),
+                 regs_per_thread: int = 24,
+                 indirect_carriers: Sequence[str] = (),
+                 monotone_carriers: Sequence[str] = (),
+                 pattern_overrides: Optional[Mapping[str, "AccessPattern"]] = None,
+                 private_orientations: Optional[Mapping[str, str]] = None) -> None:
+        if not thread_vars:
+            raise IRError(f"kernel {name!r} needs at least one thread index")
+        self.name = name
+        self.body = as_block(body)
+        self.thread_vars = tuple(thread_vars)
+        self.arrays = tuple(arrays)
+        self.scalars = tuple(scalars)
+        self.block_threads = int(block_threads)
+        self.dtype = dtype
+        self.placements = dict(placements or {})
+        self.tiling = tuple(tiling)
+        self.regs_per_thread = regs_per_thread
+        self.indirect_carriers = tuple(indirect_carriers)
+        #: 1-D index arrays with near-identity contents (clamping maps):
+        #: subscripts through them classify as if by the index itself
+        self.monotone_carriers = tuple(monotone_carriers)
+        #: per-array access-pattern overrides recording transformation
+        #: effects the compiler could not express structurally (e.g.
+        #: OpenMPC loop collapsing making CSR traffic coalesced)
+        self.pattern_overrides = dict(pattern_overrides or {})
+        #: private-array expansion orientation: "row" (strided), "column"
+        #: (coalesced, the matrix-transpose technique) — arrays absent
+        #: from the mapping are register-resident (no traffic)
+        self.private_orientations = dict(private_orientations or {})
+        for name, orient in self.private_orientations.items():
+            if orient not in ("row", "column", "register"):
+                raise IRError(
+                    f"kernel {name!r}: bad expansion orientation {orient!r}")
+        self._validate_thread_nest()
+
+    # ------------------------------------------------------------------
+    def _validate_thread_nest(self) -> None:
+        """The thread vars must name the outermost parallel loop nest."""
+        loops = self.grid_loops()
+        found = tuple(l.var for l in loops)
+        if found != self.thread_vars:
+            raise IRError(
+                f"kernel {self.name!r}: thread_vars {self.thread_vars} do "
+                f"not match the outermost parallel nest {found}")
+
+    def grid_loops(self) -> list[For]:
+        """The parallel loops mapped to the grid, outermost first."""
+        loops: list[For] = []
+        node: Stmt = self.body
+
+        def outer_parallel(b: Stmt) -> Optional[For]:
+            if isinstance(b, Block):
+                fors = [s for s in b.stmts if isinstance(s, For) and s.parallel]
+                non_decl = [s for s in b.stmts
+                            if not isinstance(s, For)]
+                if len(fors) == 1:
+                    return fors[0]
+                return None
+            if isinstance(b, For) and b.parallel:
+                return b
+            return None
+
+        current = outer_parallel(node)
+        while current is not None and len(loops) < len(self.thread_vars):
+            loops.append(current)
+            current = outer_parallel(current.body)
+        return loops
+
+    # ------------------------------------------------------------------
+    def grid_extents(self, bindings: Mapping[str, float]) -> list[int]:
+        """Numeric extent of each thread loop under ``bindings``."""
+        extents: list[int] = []
+        env = dict(bindings)
+        for loop in self.grid_loops():
+            lo = _const_value(loop.lower, env)
+            hi = _const_value(loop.upper, env)
+            step = _const_value(loop.step, env) or 1.0
+            if lo is None or hi is None:
+                raise LaunchError(
+                    f"kernel {self.name!r}: cannot resolve extent of loop "
+                    f"{loop.var!r} from bindings {sorted(bindings)}")
+            extents.append(max(0, math.ceil((hi - lo) / step)))
+        return extents
+
+    def total_threads(self, bindings: Mapping[str, float]) -> int:
+        total = 1
+        for e in self.grid_extents(bindings):
+            total *= e
+        return total
+
+    # ------------------------------------------------------------------
+    def describe(self, bindings: Mapping[str, float],
+                 array_extents: Mapping[str, Sequence[Optional[int]]],
+                 ) -> KernelDescriptor:
+        """Build the static descriptor the timing model prices."""
+        from repro.ir.analysis.access import AccessPattern
+
+        work: WorkEstimate = body_work(self.body, self.thread_vars, bindings)
+        orientation_patterns = {
+            name: (AccessPattern.STRIDED if orient == "row"
+                   else AccessPattern.COALESCED)
+            for name, orient in self.private_orientations.items()
+            if orient in ("row", "column")
+        }
+        access = summarize_accesses(
+            self.body, self.thread_vars, array_extents, bindings,
+            indirect_carriers=self.indirect_carriers,
+            monotone_carriers=self.monotone_carriers,
+            local_patterns=orientation_patterns,
+            pattern_overrides=self.pattern_overrides)
+        smem = sum(t.smem_bytes_per_block for t in self.tiling)
+        return KernelDescriptor(
+            name=self.name,
+            total_threads=max(1, self.total_threads(bindings)),
+            block_threads=self.block_threads,
+            flops_per_thread=work.flops,
+            divergence=work.divergence,
+            access=access,
+            smem_per_block=smem,
+            regs_per_thread=self.regs_per_thread,
+            dtype=self.dtype,
+            placements=self.placements,
+            tiling=self.tiling,
+        )
+
+    def elem_bytes(self) -> int:
+        return numpy_dtype(self.dtype).itemsize
+
+    def private_global_bytes_per_thread(self) -> int:
+        """Global-memory footprint of expanded private arrays, per thread.
+
+        Private arrays expanded row- or column-wise live in device global
+        memory (one slot per thread × extent); register-resident ones do
+        not.  Multiplied by the launch's total thread count this is the
+        allocation that overflows device memory in the EP story.
+        """
+        from repro.ir.stmt import LocalDecl
+
+        total = 0
+        for stmt in self.body.walk():
+            if isinstance(stmt, LocalDecl) and stmt.shape:
+                orient = self.private_orientations.get(stmt.name, "register")
+                if orient in ("row", "column"):
+                    n = 1
+                    for s in stmt.shape:
+                        n *= s
+                    total += n * numpy_dtype(stmt.dtype).itemsize
+        return total
+
+    def __repr__(self) -> str:
+        return (f"Kernel({self.name}, grid over {self.thread_vars}, "
+                f"block={self.block_threads})")

@@ -1,0 +1,125 @@
+"""Simulated device memory: spaces, buffers, and the allocator.
+
+Functional contents are NumPy arrays living host-side (the simulator has
+no real device), but allocation accounting is faithful: buffers belong to
+a :class:`MemorySpace`, global-memory capacity is enforced (the EP
+private-array-expansion overflow in Section V-A is a real, reproducible
+failure here), and constant memory rejects oversized placements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+import numpy as np
+
+from repro.errors import DeviceMemoryError, GpuSimError
+from repro.gpusim.device import DeviceSpec
+
+
+class MemorySpace(enum.Enum):
+    """CUDA memory spaces the models may place data in."""
+
+    GLOBAL = "global"
+    SHARED = "shared"
+    CONSTANT = "constant"
+    TEXTURE = "texture"  # global storage, texture-cache reads
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class DeviceBuffer:
+    """One device allocation.
+
+    ``data`` aliases the functional storage; the runtime owns the
+    host/device copy discipline (a device buffer's contents are *only*
+    valid after an explicit transfer or kernel write, which the profiler
+    checks in paranoid mode).
+    """
+
+    name: str
+    data: np.ndarray
+    space: MemorySpace = MemorySpace.GLOBAL
+    freed: bool = False
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.data.nbytes)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(self.data.shape)
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def check_alive(self) -> None:
+        if self.freed:
+            raise GpuSimError(f"use-after-free of device buffer {self.name!r}")
+
+
+class MemoryManager:
+    """Tracks allocations against device capacity."""
+
+    def __init__(self, spec: DeviceSpec) -> None:
+        self.spec = spec
+        self._buffers: dict[int, DeviceBuffer] = {}
+        self.global_used = 0
+        self.constant_used = 0
+        self.peak_global_used = 0
+        self.alloc_count = 0
+        self.free_count = 0
+
+    def alloc(self, name: str, shape: tuple[int, ...], dtype: np.dtype,
+              space: MemorySpace = MemorySpace.GLOBAL) -> DeviceBuffer:
+        """Allocate a device buffer (zero-initialized, like cudaMalloc+memset)."""
+        nbytes = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+        if space in (MemorySpace.GLOBAL, MemorySpace.TEXTURE):
+            if self.global_used + nbytes > self.spec.global_mem_bytes:
+                raise DeviceMemoryError(
+                    f"allocating {nbytes} B for {name!r} exceeds device "
+                    f"global memory ({self.global_used} B in use, "
+                    f"{self.spec.global_mem_bytes} B capacity)")
+            self.global_used += nbytes
+            self.peak_global_used = max(self.peak_global_used, self.global_used)
+        elif space is MemorySpace.CONSTANT:
+            if self.constant_used + nbytes > self.spec.constant_mem_bytes:
+                raise DeviceMemoryError(
+                    f"constant placement of {name!r} ({nbytes} B) exceeds "
+                    f"{self.spec.constant_mem_bytes} B of constant memory")
+            self.constant_used += nbytes
+        elif space is MemorySpace.SHARED:
+            raise GpuSimError(
+                "shared memory is per-block scratch, not allocatable; "
+                "use TilingDecision to model shared-memory use")
+        buf = DeviceBuffer(name=name, data=np.zeros(shape, dtype=dtype),
+                           space=space)
+        self._buffers[id(buf)] = buf
+        self.alloc_count += 1
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """Release a buffer (double-free raises)."""
+        buf.check_alive()
+        if id(buf) not in self._buffers:
+            raise GpuSimError(f"freeing unknown buffer {buf.name!r}")
+        if buf.space in (MemorySpace.GLOBAL, MemorySpace.TEXTURE):
+            self.global_used -= buf.nbytes
+        elif buf.space is MemorySpace.CONSTANT:
+            self.constant_used -= buf.nbytes
+        buf.freed = True
+        del self._buffers[id(buf)]
+        self.free_count += 1
+
+    def live_buffers(self) -> Iterator[DeviceBuffer]:
+        return iter(self._buffers.values())
+
+    def reset(self) -> None:
+        """Free everything (device reset)."""
+        for buf in list(self._buffers.values()):
+            self.free(buf)

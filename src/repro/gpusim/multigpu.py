@@ -1,0 +1,136 @@
+"""Multi-device scaling model (the Section VI-B scalability discussion).
+
+"All existing models assume host+accelerator systems where one or a
+small number of GPUs are attached to the host CPU... To program systems
+consisting of clusters of GPUs, hybrid approaches such as MPI + X will
+be needed."
+
+This module models exactly that MPI+X regime for 1-D domain-decomposed
+kernels: the domain is split across ``P`` simulated devices, each device
+prices its shrunken kernel with the normal timing model, and every step
+pays a halo exchange over an interconnect (device→host→network→host→
+device for PCIe-attached GPUs of the paper's era — the nonuniform-
+topology concern of reference [24]).  The output is the classic strong/
+weak-scaling sweep: where per-device work shrinks below the latency
+floor, efficiency collapses.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import GpuSimError
+from repro.gpusim.device import TESLA_M2090, DeviceSpec
+from repro.gpusim.kernel import Kernel
+from repro.gpusim.timing import TimingConfig, price_kernel, price_transfer
+
+
+@dataclass(frozen=True)
+class Interconnect:
+    """Node-to-node link for halo traffic (MPI over the fabric)."""
+
+    name: str = "QDR InfiniBand"
+    bandwidth_gbs: float = 4.0
+    latency_us: float = 4.0
+
+    def time(self, nbytes: int) -> float:
+        if nbytes <= 0:
+            return 0.0
+        return self.latency_us * 1e-6 + nbytes / (self.bandwidth_gbs * 1e9)
+
+
+KEENELAND_IB = Interconnect()
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One device count in a scaling sweep."""
+
+    devices: int
+    kernel_s: float
+    halo_s: float
+
+    @property
+    def step_s(self) -> float:
+        return self.kernel_s + self.halo_s
+
+    def summary(self) -> str:
+        return (f"P={self.devices:<3} step={self.step_s * 1e3:9.4f} ms "
+                f"(kernel {self.kernel_s * 1e3:9.4f} + halo "
+                f"{self.halo_s * 1e3:7.4f})")
+
+
+@dataclass
+class ScalingSweep:
+    """Strong- or weak-scaling results."""
+
+    mode: str
+    points: list[ScalingPoint]
+
+    def speedup(self, p: ScalingPoint) -> float:
+        base = self.points[0]
+        if self.mode == "strong":
+            return base.step_s / p.step_s
+        # weak scaling: perfect = constant step time
+        return base.step_s / p.step_s * p.devices / base.devices * \
+            base.devices  # normalized below
+
+    def efficiency(self, p: ScalingPoint) -> float:
+        base = self.points[0]
+        if self.mode == "strong":
+            ideal = base.step_s * base.devices / p.devices
+        else:
+            ideal = base.step_s
+        return ideal / p.step_s
+
+    def report(self) -> str:
+        lines = [f"{self.mode}-scaling sweep:"]
+        for p in self.points:
+            lines.append(f"  {p.summary()}  "
+                         f"efficiency={self.efficiency(p) * 100:5.1f}%")
+        return "\n".join(lines)
+
+
+def _halo_time(halo_bytes: int, spec: DeviceSpec,
+               link: Interconnect) -> float:
+    """One step's halo exchange per device: two boundaries, each
+    device→host (PCIe), host→host (fabric), host→device (PCIe)."""
+    one_side = (price_transfer(halo_bytes, spec)
+                + link.time(halo_bytes)
+                + price_transfer(halo_bytes, spec))
+    return 2.0 * one_side
+
+
+def scaling_sweep(kernel: Kernel, bindings: Mapping[str, float],
+                  array_extents: Mapping[str, Sequence[Optional[int]]],
+                  domain_symbol: str, halo_bytes: int,
+                  device_counts: Sequence[int] = (1, 2, 4, 8, 16),
+                  mode: str = "strong",
+                  spec: DeviceSpec = TESLA_M2090,
+                  link: Interconnect = KEENELAND_IB,
+                  timing: Optional[TimingConfig] = None) -> ScalingSweep:
+    """Price one kernel across device counts.
+
+    ``domain_symbol`` is the scalar binding that carries the decomposed
+    dimension (rows of the stencil); in strong scaling it is divided by
+    ``P``, in weak scaling it is held constant per device.  ``halo_bytes``
+    is the per-boundary ghost-layer size.
+    """
+    if mode not in ("strong", "weak"):
+        raise GpuSimError(f"unknown scaling mode {mode!r}")
+    if domain_symbol not in bindings:
+        raise GpuSimError(f"no binding for domain symbol {domain_symbol!r}")
+    points: list[ScalingPoint] = []
+    total = float(bindings[domain_symbol])
+    for p in device_counts:
+        local = dict(bindings)
+        if mode == "strong":
+            local[domain_symbol] = max(1.0, math.ceil(total / p))
+        desc = kernel.describe(local, array_extents)
+        kernel_s = price_kernel(desc, spec, timing).time_s
+        halo_s = _halo_time(halo_bytes, spec, link) if p > 1 else 0.0
+        points.append(ScalingPoint(devices=p, kernel_s=kernel_s,
+                                   halo_s=halo_s))
+    return ScalingSweep(mode=mode, points=points)

@@ -1,0 +1,132 @@
+"""Execution profiler: the simulated timeline of a run.
+
+Records every kernel launch and host<->device transfer with its simulated
+cost, exactly like a ``cudaprof`` trace.  The metrics layer reads these
+records to compute the speedups of Figure 1 and to explain them (time in
+kernels vs. time in PCIe transfers is the data-region story)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from repro.gpusim.timing import KernelTiming
+
+
+@dataclass(frozen=True)
+class LaunchRecord:
+    """One kernel launch on the simulated timeline."""
+
+    kernel: str
+    timing: KernelTiming
+    start_s: float
+
+    @property
+    def time_s(self) -> float:
+        return self.timing.time_s
+
+
+@dataclass(frozen=True)
+class TransferRecord:
+    """One host<->device copy."""
+
+    array: str
+    nbytes: int
+    direction: str  # "htod" | "dtoh"
+    time_s: float
+    start_s: float
+
+
+class Profiler:
+    """Accumulates the simulated timeline."""
+
+    def __init__(self) -> None:
+        self.launches: list[LaunchRecord] = []
+        self.transfers: list[TransferRecord] = []
+
+    def record_launch(self, record: LaunchRecord) -> None:
+        self.launches.append(record)
+
+    def record_transfer(self, record: TransferRecord) -> None:
+        self.transfers.append(record)
+
+    # -- aggregation ----------------------------------------------------
+    @property
+    def kernel_time_s(self) -> float:
+        return sum(r.time_s for r in self.launches)
+
+    @property
+    def transfer_time_s(self) -> float:
+        return sum(r.time_s for r in self.transfers)
+
+    @property
+    def total_time_s(self) -> float:
+        return self.kernel_time_s + self.transfer_time_s
+
+    @property
+    def bytes_htod(self) -> int:
+        return sum(r.nbytes for r in self.transfers if r.direction == "htod")
+
+    @property
+    def bytes_dtoh(self) -> int:
+        return sum(r.nbytes for r in self.transfers if r.direction == "dtoh")
+
+    def launches_of(self, kernel: str) -> Iterator[LaunchRecord]:
+        return (r for r in self.launches if r.kernel == kernel)
+
+    def per_kernel_time(self) -> dict[str, float]:
+        times: dict[str, float] = {}
+        for r in self.launches:
+            times[r.kernel] = times.get(r.kernel, 0.0) + r.time_s
+        return times
+
+    def reset(self) -> None:
+        self.launches.clear()
+        self.transfers.clear()
+
+    def to_chrome_trace(self) -> list[dict]:
+        """The timeline as Chrome-trace events (``chrome://tracing``).
+
+        Kernels go on the "GPU" row, transfers on "PCIe"; durations are
+        the simulated times in microseconds.
+        """
+        events: list[dict] = []
+        for r in self.launches:
+            events.append({
+                "name": r.kernel, "ph": "X", "cat": "kernel",
+                "ts": r.start_s * 1e6, "dur": r.time_s * 1e6,
+                "pid": 0, "tid": "GPU",
+                "args": {"bound": r.timing.bound,
+                         "occupancy": round(r.timing.occupancy, 3),
+                         "dram_mb": round(r.timing.dram_bytes / 1e6, 3)},
+            })
+        for t in self.transfers:
+            events.append({
+                "name": f"{t.direction} {t.array}", "ph": "X",
+                "cat": "transfer", "ts": t.start_s * 1e6,
+                "dur": t.time_s * 1e6, "pid": 0, "tid": "PCIe",
+                "args": {"bytes": t.nbytes},
+            })
+        return events
+
+    def dump_chrome_trace(self, path: str) -> None:
+        """Write the timeline as a Chrome-trace JSON file."""
+        import json
+
+        with open(path, "w") as handle:
+            json.dump({"traceEvents": self.to_chrome_trace()}, handle)
+
+    def report(self) -> str:
+        """Human-readable trace summary."""
+        lines = [
+            f"kernels: {len(self.launches)} launches, "
+            f"{self.kernel_time_s * 1e3:.3f} ms",
+            f"transfers: {len(self.transfers)} copies, "
+            f"{self.transfer_time_s * 1e3:.3f} ms "
+            f"({self.bytes_htod / 1e6:.1f} MB htod, "
+            f"{self.bytes_dtoh / 1e6:.1f} MB dtoh)",
+        ]
+        for name, t in sorted(self.per_kernel_time().items(),
+                              key=lambda kv: -kv[1]):
+            lines.append(f"  {name}: {t * 1e3:.3f} ms")
+        return "\n".join(lines)

@@ -1,0 +1,204 @@
+"""Dynamic memory tracing: auditing the static coalescing model.
+
+The timing model prices accesses from a *static* classification
+(:mod:`repro.ir.analysis.access`).  This module checks that
+classification against ground truth: it executes a kernel functionally
+while recording every lane's actual addresses, groups lanes into warps,
+counts the real 128-byte transactions each warp access generates, and
+compares them with the static prediction.
+
+This is how we keep the analytical model honest — see
+``tests/test_trace_audit.py``, which audits the model on the benchmark
+kernels themselves, and ``examples/coalescing_audit.py``.
+
+Caveat: the audit is exact for *regular* kernels.  For data-dependent
+inner loops (CSR row traversals), the vectorizing executor iterates the
+union of the lanes' ranges with a validity mask, so any single recorded
+event carries only the lanes whose local iteration happens to coincide
+— far fewer than a real warp issues together.  Dynamic transaction
+counts for such kernels are therefore a *lower bound*; the static model
+intentionally charges the locality-blended expectation instead.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Mapping, MutableMapping, Optional, Sequence
+
+import numpy as np
+
+from repro.gpusim.coalescing import transactions_per_warp
+from repro.gpusim.device import TESLA_M2090, DeviceSpec
+from repro.gpusim.executor import KernelExecutor, _is_vector
+from repro.gpusim.kernel import Kernel
+from repro.ir.expr import ArrayRef
+from repro.ir.program import Function
+
+
+@dataclass
+class AccessEvent:
+    """One executed array access across all lanes."""
+
+    array: str
+    is_store: bool
+    #: flat element indices, one per active lane
+    lanes: np.ndarray
+    #: lane ids (flat thread ids) the indices belong to
+    lane_ids: np.ndarray
+
+
+class MemoryTrace:
+    """Collects access events during one kernel execution."""
+
+    def __init__(self) -> None:
+        self.events: list[AccessEvent] = []
+
+    def record(self, array: str, is_store: bool, lanes: np.ndarray,
+               lane_ids: np.ndarray) -> None:
+        self.events.append(AccessEvent(array, is_store,
+                                       np.asarray(lanes, dtype=np.int64),
+                                       np.asarray(lane_ids,
+                                                  dtype=np.int64)))
+
+    # -- analysis -----------------------------------------------------------
+    def transactions(self, array: str, elem_bytes: int,
+                     spec: DeviceSpec = TESLA_M2090,
+                     stores: Optional[bool] = None) -> float:
+        """Average real transactions per warp access for ``array``."""
+        per_warp: list[float] = []
+        seg = spec.transaction_bytes
+        w = spec.warp_size
+        for ev in self.events:
+            if ev.array != array:
+                continue
+            if stores is not None and ev.is_store != stores:
+                continue
+            if ev.lanes.size == 0:
+                continue
+            warps = ev.lane_ids // w
+            addresses = ev.lanes * elem_bytes
+            segments = addresses // seg
+            for wid in np.unique(warps):
+                sel = warps == wid
+                per_warp.append(float(np.unique(segments[sel]).size))
+        if not per_warp:
+            return 0.0
+        return float(np.mean(per_warp))
+
+    def arrays(self) -> set[str]:
+        return {ev.array for ev in self.events}
+
+
+class TracingExecutor(KernelExecutor):
+    """A :class:`KernelExecutor` that records global-memory addresses."""
+
+    def __init__(self, kernel: Kernel,
+                 arrays: MutableMapping[str, np.ndarray],
+                 scalars: Mapping[str, object],
+                 functions: Optional[Mapping[str, Function]] = None,
+                 trace: Optional[MemoryTrace] = None) -> None:
+        super().__init__(kernel, arrays, scalars, functions)
+        self.trace = trace if trace is not None else MemoryTrace()
+
+    # -- recording helpers -------------------------------------------------
+    def _flatten(self, arr: np.ndarray, idx: tuple) -> np.ndarray:
+        """Flat element indices per lane, broadcast to (T,)."""
+        parts = [np.broadcast_to(np.asarray(i), (self.T,)) for i in idx]
+        return np.ravel_multi_index(tuple(parts), arr.shape).astype(
+            np.int64)
+
+    def _active_lane_ids(self) -> np.ndarray:
+        lane_ids = np.arange(self.T, dtype=np.int64)
+        if self.mask is not None:
+            return lane_ids[self.mask]
+        return lane_ids
+
+    def _load(self, ref: ArrayRef):
+        value = super()._load(ref)
+        if ref.name in self.arrays and ref.name not in self.local_arrays:
+            arr = self.arrays[ref.name]
+            idx = self._indices(ref, arr.shape)
+            lane_ids = self._active_lane_ids()
+            flat = self._flatten(arr, idx)
+            if self.mask is not None:
+                flat = flat[self.mask]
+            self.trace.record(ref.name, False, flat, lane_ids)
+        return value
+
+    def _store(self, ref: ArrayRef, value, op) -> None:
+        if ref.name in self.arrays and ref.name not in self.local_arrays:
+            arr = self.arrays[ref.name]
+            idx = self._indices(ref, arr.shape)
+            lane_ids = self._active_lane_ids()
+            flat = self._flatten(arr, idx)
+            if self.mask is not None:
+                flat = flat[self.mask]
+            self.trace.record(ref.name, True, flat, lane_ids)
+        super()._store(ref, value, op)
+
+
+@dataclass
+class AuditRow:
+    """Static vs dynamic transactions for one array."""
+
+    array: str
+    static_txns: float
+    dynamic_txns: float
+
+    @property
+    def ratio(self) -> float:
+        if self.dynamic_txns == 0:
+            return float("inf") if self.static_txns else 1.0
+        return self.static_txns / self.dynamic_txns
+
+
+def audit_kernel(kernel: Kernel, arrays: Mapping[str, np.ndarray],
+                 scalars: Mapping[str, object],
+                 functions: Optional[Mapping[str, Function]] = None,
+                 spec: DeviceSpec = TESLA_M2090) -> dict[str, AuditRow]:
+    """Compare static access classification with traced reality.
+
+    Returns one row per global array: the *static* transactions-per-warp
+    the timing model charges (averaged over the kernel's references,
+    weighted by their counts) and the *dynamic* value measured from the
+    executed addresses.
+    """
+    data = {k: np.array(v, copy=True) for k, v in arrays.items()}
+    executor = TracingExecutor(kernel, data, dict(scalars), functions)
+    executor.run()
+    trace = executor.trace
+
+    bindings = {k: float(v) for k, v in scalars.items()
+                if isinstance(v, (int, float))}
+    extents = {name: list(a.shape) for name, a in arrays.items()}
+    desc = kernel.describe(bindings, extents)
+    elem = kernel.elem_bytes()
+
+    static: dict[str, list[tuple[float, float]]] = {}
+    for ref, count in desc.access.refs:
+        txns = transactions_per_warp(ref, elem, spec)
+        static.setdefault(ref.array, []).append((txns, count))
+
+    rows: dict[str, AuditRow] = {}
+    for array in sorted(trace.arrays()):
+        dyn = trace.transactions(array, elem, spec)
+        weighted = static.get(array, [])
+        if weighted:
+            total = sum(c for _, c in weighted)
+            stat = sum(t * c for t, c in weighted) / total
+        else:
+            stat = 0.0
+        rows[array] = AuditRow(array=array, static_txns=stat,
+                               dynamic_txns=dyn)
+    return rows
+
+
+def render_audit(rows: Mapping[str, AuditRow]) -> str:
+    lines = [f"{'array':<12}{'static txn/warp':>16}{'traced':>10}"
+             f"{'static/traced':>15}",
+             "-" * 53]
+    for row in rows.values():
+        lines.append(f"{row.array:<12}{row.static_txns:>16.2f}"
+                     f"{row.dynamic_txns:>10.2f}{row.ratio:>15.2f}")
+    return "\n".join(lines)

@@ -1,0 +1,151 @@
+"""Command-line entry point: ``repro-harness`` / ``python -m repro.harness``.
+
+Subcommands regenerate the paper's evaluation artifacts:
+
+* ``table1`` — the feature matrix;
+* ``table2`` — coverage + code-size increase over the 13-benchmark suite;
+* ``figure1`` — per-benchmark speedups for every model (text bars/CSV);
+* ``run BENCH MODEL`` — one functional run with validation and a trace;
+* ``all`` — everything (the EXPERIMENTS.md payload).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.benchmarks.base import ALL_MODELS
+from repro.benchmarks.registry import BENCHMARK_ORDER, get_benchmark
+from repro.harness.compare import compare_models
+from repro.harness.report import (render_figure1, render_figure1_csv,
+                                  render_table2)
+from repro.harness.runner import (run_coverage_and_codesize, run_speedups)
+from repro.harness.validate import validate_suite
+from repro.models.features import render_table1
+
+
+def _cmd_table1(_args: argparse.Namespace) -> int:
+    print(render_table1())
+    return 0
+
+
+def _cmd_table2(_args: argparse.Namespace) -> int:
+    results = run_coverage_and_codesize()
+    print(render_table2(results))
+    failures = []
+    for model, cov in results.coverage.items():
+        for prog, region, feature in cov.failures:
+            failures.append(f"  {model}: {prog}/{region}: {feature}")
+    if failures:
+        print("\nUntranslated regions:")
+        print("\n".join(failures))
+    return 0
+
+
+def _cmd_figure1(args: argparse.Namespace) -> int:
+    speedups = run_speedups(scale=args.scale)
+    if args.csv:
+        print(render_figure1_csv(speedups))
+    else:
+        print(render_figure1(speedups))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    bench = get_benchmark(args.benchmark)
+    outcome = bench.run(args.model, args.variant, scale=args.scale,
+                        execute=True)
+    print(outcome.speedup.summary())
+    if outcome.validated is not None:
+        print(f"validation: {'PASS' if outcome.validated else 'FAIL'}")
+        for err in outcome.validation_errors:
+            print(f"  {err}")
+    print()
+    print(outcome.executable.rt.profiler.report())
+    for name, result in outcome.compiled.results.items():
+        status = "ok" if result.translated else "HOST FALLBACK"
+        extras = "; ".join(result.applied)
+        print(f"  region {name}: {status}"
+              + (f" ({extras})" if extras else ""))
+    return 0 if outcome.validated is not False else 1
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    names = args.benchmarks or None
+    matrix = validate_suite(benchmarks=names)
+    print(matrix.render())
+    return 0 if matrix.passed else 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    bench = get_benchmark(args.benchmark)
+    print(compare_models(bench, args.model_a, args.model_b,
+                         variant=args.variant, scale=args.scale))
+    return 0
+
+
+def _cmd_all(args: argparse.Namespace) -> int:
+    print("Table I")
+    print(render_table1())
+    print()
+    _cmd_table2(args)
+    print()
+    speedups = run_speedups(scale=args.scale)
+    print(render_figure1(speedups))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-harness",
+        description="Regenerate the tables and figure of Lee & Vetter, "
+                    "SC'12 (directive-based GPU model evaluation).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table1", help="feature matrix").set_defaults(
+        func=_cmd_table1)
+    sub.add_parser("table2", help="coverage and code-size").set_defaults(
+        func=_cmd_table2)
+
+    p_fig = sub.add_parser("figure1", help="speedup sweep")
+    p_fig.add_argument("--scale", default="paper",
+                       choices=("test", "paper"))
+    p_fig.add_argument("--csv", action="store_true")
+    p_fig.set_defaults(func=_cmd_figure1)
+
+    p_run = sub.add_parser("run", help="run one benchmark functionally")
+    p_run.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    p_run.add_argument("model", choices=ALL_MODELS)
+    p_run.add_argument("--variant", default="best")
+    p_run.add_argument("--scale", default="test",
+                       choices=("test", "paper"))
+    p_run.set_defaults(func=_cmd_run)
+
+    p_val = sub.add_parser(
+        "validate", help="functional validation sweep (test scale)")
+    p_val.add_argument("benchmarks", nargs="*", metavar="BENCH",
+                       choices=BENCHMARK_ORDER + ("",) if False
+                       else None)
+    p_val.set_defaults(func=_cmd_validate)
+
+    p_cmp = sub.add_parser("compare",
+                           help="explain one model-vs-model gap")
+    p_cmp.add_argument("benchmark", choices=BENCHMARK_ORDER)
+    p_cmp.add_argument("model_a", choices=ALL_MODELS)
+    p_cmp.add_argument("model_b", choices=ALL_MODELS)
+    p_cmp.add_argument("--variant", default="best")
+    p_cmp.add_argument("--scale", default="paper",
+                       choices=("test", "paper"))
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_all = sub.add_parser("all", help="everything")
+    p_all.add_argument("--scale", default="paper",
+                       choices=("test", "paper"))
+    p_all.set_defaults(func=_cmd_all)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

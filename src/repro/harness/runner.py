@@ -1,0 +1,89 @@
+"""Evaluation runner: sweeps benchmark × model × variant.
+
+Produces the raw material for Table II and Figure 1.  Timing sweeps run
+at paper scale with functional execution off (the analytical model only
+needs shapes); coverage/code-size come straight from compilation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Sequence
+
+from repro.benchmarks.base import Benchmark
+from repro.benchmarks.registry import BENCHMARK_ORDER, iter_suite
+from repro.gpusim.device import TESLA_M2090, DeviceSpec
+from repro.gpusim.timing import TimingConfig
+from repro.metrics.codesize import CodeSizeReport
+from repro.metrics.coverage import CoverageReport
+from repro.metrics.speedup import BenchmarkSpeedups
+from repro.models import DIRECTIVE_MODELS, get_compiler
+
+#: Figure 1's model set (R-Stream excluded, as in the paper, for its
+#: low coverage; its coverage still appears in Table II)
+FIGURE1_MODELS: tuple[str, ...] = (
+    "PGI Accelerator", "OpenACC", "HMPP", "OpenMPC", "Hand-Written CUDA",
+)
+
+TABLE2_MODELS: tuple[str, ...] = DIRECTIVE_MODELS
+
+
+@dataclass
+class EvaluationResults:
+    """Everything a full sweep produced."""
+
+    coverage: dict[str, CoverageReport] = field(default_factory=dict)
+    codesize: dict[str, CodeSizeReport] = field(default_factory=dict)
+    #: speedups[benchmark][model]
+    speedups: dict[str, dict[str, BenchmarkSpeedups]] = field(
+        default_factory=dict)
+
+
+def run_coverage_and_codesize(
+        benchmarks: Optional[Sequence[Benchmark]] = None,
+) -> EvaluationResults:
+    """Compile every port; aggregate Table II."""
+    results = EvaluationResults()
+    benches = list(benchmarks) if benchmarks is not None else list(iter_suite())
+    for model in TABLE2_MODELS:
+        cov = CoverageReport(model=model)
+        size = CodeSizeReport(model=model)
+        compiler = get_compiler(model)
+        for bench in benches:
+            port = bench.port(model, "best")
+            compiled = compiler.compile_program(port)
+            cov.add(compiled)
+            size.add_port(bench.program, port)
+        results.coverage[model] = cov
+        results.codesize[model] = size
+    return results
+
+
+def run_speedups(benchmarks: Optional[Sequence[Benchmark]] = None,
+                 models: Sequence[str] = FIGURE1_MODELS,
+                 scale: str = "paper",
+                 device: DeviceSpec = TESLA_M2090,
+                 timing: Optional[TimingConfig] = None,
+                 ) -> dict[str, dict[str, BenchmarkSpeedups]]:
+    """Price every (benchmark, model, variant); returns Figure 1 data."""
+    out: dict[str, dict[str, BenchmarkSpeedups]] = {}
+    benches = list(benchmarks) if benchmarks is not None else list(iter_suite())
+    for bench in benches:
+        per_model: dict[str, BenchmarkSpeedups] = {}
+        for model in models:
+            record = BenchmarkSpeedups(benchmark=bench.name, model=model)
+            for variant in bench.variants(model):
+                outcome = bench.run(model, variant, scale=scale,
+                                    execute=False, validate=False,
+                                    device=device, timing=timing)
+                record.variants.append(outcome.speedup)
+            per_model[model] = record
+        out[bench.name] = per_model
+    return out
+
+
+def run_full_evaluation(scale: str = "paper") -> EvaluationResults:
+    """Coverage + code size + speedups over the whole suite."""
+    results = run_coverage_and_codesize()
+    results.speedups = run_speedups(scale=scale)
+    return results

@@ -1,0 +1,87 @@
+"""Suite-wide functional validation runner.
+
+Runs every benchmark × model × tuning variant *functionally* at test
+scale, compares all output arrays against the NumPy references, and
+renders the PASS matrix — the one-command answer to "is this
+reproduction actually computing the right things?" (the same sweep the
+test-suite performs, packaged for humans and CI logs).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.benchmarks.base import ALL_MODELS, Benchmark
+from repro.benchmarks.registry import BENCHMARK_ORDER, get_benchmark
+
+
+@dataclass
+class ValidationCell:
+    """Outcome of one (benchmark, model, variant) functional run."""
+
+    benchmark: str
+    model: str
+    variant: str
+    passed: bool
+    seconds: float
+    errors: tuple[str, ...] = ()
+
+
+@dataclass
+class ValidationMatrix:
+    """All cells of the sweep."""
+
+    cells: list[ValidationCell] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.cells)
+
+    def failures(self) -> list[ValidationCell]:
+        return [c for c in self.cells if not c.passed]
+
+    def render(self) -> str:
+        lines = [f"{'benchmark':<10}{'model':<20}{'variant':<12}"
+                 f"{'result':<8}{'secs':>6}",
+                 "-" * 56]
+        for c in self.cells:
+            status = "PASS" if c.passed else "FAIL"
+            lines.append(f"{c.benchmark:<10}{c.model:<20}"
+                         f"{c.variant:<12}{status:<8}{c.seconds:>6.1f}")
+            for err in c.errors:
+                lines.append(f"    {err}")
+        total = len(self.cells)
+        bad = len(self.failures())
+        lines.append("-" * 56)
+        lines.append(f"{total - bad}/{total} configurations validated "
+                     f"against the NumPy references")
+        return "\n".join(lines)
+
+
+def validate_suite(benchmarks: Optional[Sequence[str]] = None,
+                   models: Sequence[str] = ALL_MODELS,
+                   seed: int = 0) -> ValidationMatrix:
+    """Run the full functional sweep at test scale."""
+    matrix = ValidationMatrix()
+    names = list(benchmarks) if benchmarks else list(BENCHMARK_ORDER)
+    for name in names:
+        bench: Benchmark = get_benchmark(name)
+        for model in models:
+            for variant in bench.variants(model):
+                start = time.perf_counter()
+                try:
+                    outcome = bench.run(model, variant, scale="test",
+                                        seed=seed)
+                    passed = bool(outcome.validated)
+                    errors = tuple(outcome.validation_errors)
+                except Exception as exc:  # surface, don't abort the sweep
+                    passed = False
+                    errors = (f"exception: {exc}",)
+                matrix.cells.append(ValidationCell(
+                    benchmark=name, model=model, variant=variant,
+                    passed=passed,
+                    seconds=time.perf_counter() - start,
+                    errors=errors))
+    return matrix

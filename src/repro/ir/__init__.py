@@ -1,0 +1,31 @@
+"""Loop-nest IR: the 'OpenMP input program' representation.
+
+Sub-modules:
+
+* :mod:`repro.ir.expr` / :mod:`repro.ir.stmt` — AST node definitions.
+* :mod:`repro.ir.program` — arrays, functions, parallel regions, programs.
+* :mod:`repro.ir.builder` — fluent construction helpers.
+* :mod:`repro.ir.visitors` — traversal and rewriting machinery.
+* :mod:`repro.ir.analysis` — static analyses (affine, access, reductions,
+  dependences, metrics, liveness).
+* :mod:`repro.ir.transforms` — loop transformations (interchange,
+  collapse, tiling, transpose expansion, inlining).
+"""
+
+from repro.ir.expr import (ArrayRef, BinOp, Call, Cast, Const, Expr,
+                           Ternary, UnOp, Var, as_expr)
+from repro.ir.program import (ArrayDecl, Function, Param, ParallelRegion,
+                              Program, ScalarDecl)
+from repro.ir.stmt import (Assign, Barrier, Block, CallStmt, Critical, For,
+                           If, LocalDecl, PointerArith, ReductionClause,
+                           Return, Stmt, While)
+
+__all__ = [
+    "Expr", "Const", "Var", "BinOp", "UnOp", "Call", "Ternary", "Cast",
+    "ArrayRef", "as_expr",
+    "Stmt", "Block", "Assign", "LocalDecl", "For", "While", "If",
+    "Critical", "Barrier", "CallStmt", "Return", "PointerArith",
+    "ReductionClause",
+    "ArrayDecl", "ScalarDecl", "Param", "Function", "ParallelRegion",
+    "Program",
+]

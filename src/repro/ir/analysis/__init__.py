@@ -1,0 +1,28 @@
+"""Static analyses over the loop-nest IR."""
+
+from repro.ir.analysis.access import (AccessPattern, AccessSummary, RefClass,
+                                      classify_ref, summarize_accesses)
+from repro.ir.analysis.affine import (AffineForm, AffineReport, affine_form,
+                                      is_affine_in, region_is_affine)
+from repro.ir.analysis.deps import (Dependence, loop_carried_dependences,
+                                    parallelization_safe)
+from repro.ir.analysis.features import RegionFeatures, scan_region
+from repro.ir.analysis.liveness import SplitReport, analyze_split
+from repro.ir.analysis.metrics import WorkEstimate, body_work, expr_flops
+from repro.ir.analysis.reductions import (ReductionPattern,
+                                          critical_is_reduction,
+                                          detect_reductions,
+                                          has_unsupported_critical)
+
+__all__ = [
+    "AccessPattern", "AccessSummary", "RefClass", "classify_ref",
+    "summarize_accesses",
+    "AffineForm", "AffineReport", "affine_form", "is_affine_in",
+    "region_is_affine",
+    "Dependence", "loop_carried_dependences", "parallelization_safe",
+    "RegionFeatures", "scan_region",
+    "SplitReport", "analyze_split",
+    "WorkEstimate", "body_work", "expr_flops",
+    "ReductionPattern", "critical_is_reduction", "detect_reductions",
+    "has_unsupported_critical",
+]

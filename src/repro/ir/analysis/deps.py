@@ -1,0 +1,179 @@
+"""Lightweight dependence testing for transformation legality.
+
+The model compilers use this to decide whether loop interchange, collapse,
+and parallelization-as-written are safe.  The test is deliberately simple
+(the paper's compilers also rely on conservative array-name analyses,
+cf. Section III-D2):
+
+* two references to the same array *may* conflict when at least one is a
+  write;
+* for affine single-index pairs we run a ZIV/SIV test (constant-distance
+  or GCD) to disprove the conflict;
+* anything non-affine is conservatively dependent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.ir.analysis.affine import AffineForm, affine_form
+from repro.ir.expr import ArrayRef, Expr
+from repro.ir.stmt import Assign, For, Stmt
+from repro.ir.visitors import iter_stmts
+
+
+@dataclass(frozen=True)
+class Dependence:
+    """A (possibly spurious) loop-carried dependence on ``array``."""
+
+    array: str
+    kind: str  # "flow", "anti", "output"
+    carried_by: Optional[str]  # loop variable, or None when unproven
+    distance: Optional[int] = None  # constant distance when known
+
+
+def _gather_refs(body: Stmt) -> tuple[list[ArrayRef], list[ArrayRef]]:
+    """(reads, writes) array references in a loop body."""
+    reads: list[ArrayRef] = []
+    writes: list[ArrayRef] = []
+    for stmt in iter_stmts(body):
+        if isinstance(stmt, Assign):
+            if isinstance(stmt.target, ArrayRef):
+                writes.append(stmt.target)
+                if stmt.op is not None:
+                    # a structurally equal but distinct node, so the
+                    # read/write pair is not skipped as self-comparison
+                    reads.append(ArrayRef(stmt.target.name,
+                                          stmt.target.indices))
+                for index in stmt.target.indices:
+                    reads.extend(n for n in index.walk()
+                                 if isinstance(n, ArrayRef))
+            reads.extend(n for n in stmt.value.walk()
+                         if isinstance(n, ArrayRef))
+        else:
+            for expr in stmt.exprs():
+                reads.extend(n for n in expr.walk()
+                             if isinstance(n, ArrayRef))
+    return reads, writes
+
+
+def _siv_independent(a: AffineForm, b: AffineForm, var: str) -> Optional[bool]:
+    """Single-index-variable test: can ``a(i) == b(i')`` for i != i'?
+
+    Returns True when provably independent across iterations, False when
+    provably dependent, None when unknown.
+    """
+    ca, cb = a.coefficient(var), b.coefficient(var)
+    other_a = {n: v for n, v in a.coeffs.items() if n != var}
+    other_b = {n: v for n, v in b.coeffs.items() if n != var}
+    if other_a != other_b:
+        return None  # symbolic parts differ: unknown
+    if ca == cb:
+        if ca == 0:
+            # ZIV: the subscript pair is iteration-invariant — different
+            # constants prove independence; identical addresses touched
+            # every iteration are a (carried) conflict.
+            if a.const != b.const:
+                return True
+            return False
+        # strong SIV: distance = (b.const - a.const) / ca
+        diff = b.const - a.const
+        if diff % ca != 0:
+            return True
+        return (diff // ca) == 0 or None  # distance 0 => loop independent
+    if ca == 0 or cb == 0:
+        return None
+    # weak SIV via GCD test
+    g = math.gcd(int(abs(ca)), int(abs(cb)))
+    if g and (b.const - a.const) % g != 0:
+        return True
+    return None
+
+
+def loop_carried_dependences(loop: For) -> list[Dependence]:
+    """Dependences carried by ``loop`` that forbid parallel execution.
+
+    Augmented assignments to targets *not* indexed by the loop variable
+    are reductions, not counted here (the reduction analysis handles
+    them).  A write ``A[i] = f(...)`` against a read ``A[i + d]`` with
+    ``d != 0`` is a carried dependence.
+    """
+    reads, writes = _gather_refs(loop.body)
+    deps: list[Dependence] = []
+    var = loop.var
+
+    def test_pair(w: ArrayRef, other: ArrayRef, kind: str) -> None:
+        if w.name != other.name:
+            return
+        if w.ndim != other.ndim:
+            deps.append(Dependence(w.name, kind, None))
+            return
+        all_indep = False
+        any_unknown = False
+        carried = False
+        distance: Optional[int] = None
+        for iw, io in zip(w.indices, other.indices):
+            fw = affine_form(iw, [var])
+            fo = affine_form(io, [var])
+            if fw is None or fo is None:
+                any_unknown = True
+                continue
+            verdict = _siv_independent(fw, fo, var)
+            if verdict is True:
+                all_indep = True
+                break
+            cw, co = fw.coefficient(var), fo.coefficient(var)
+            if verdict is False and cw == 0 and co == 0:
+                # same fixed address hit every iteration (reduction slot
+                # or scalar-in-array): carried conflict
+                carried = True
+            if cw == co and cw != 0:
+                d = int((fo.const - fw.const) / cw) if cw else 0
+                if d != 0:
+                    carried = True
+                    distance = d
+            elif cw != co:
+                any_unknown = True
+        if all_indep:
+            return
+        if carried:
+            deps.append(Dependence(w.name, kind, var, distance))
+        elif any_unknown:
+            deps.append(Dependence(w.name, kind, None))
+
+    for w in writes:
+        # a write through a data-dependent subscript may collide with
+        # itself across iterations (scatter with unknown injectivity)
+        if any(affine_form(ix, [var]) is None for ix in w.indices):
+            deps.append(Dependence(w.name, "output", None))
+        for r in reads:
+            if r is w:
+                continue
+            test_pair(w, r, "flow")
+        for w2 in writes:
+            if w2 is w:
+                continue
+            # identical subscripts from the same statement are fine
+            test_pair(w, w2, "output")
+    # Deduplicate
+    seen: set[tuple] = set()
+    unique: list[Dependence] = []
+    for d in deps:
+        key = (d.array, d.kind, d.carried_by, d.distance)
+        if key not in seen:
+            seen.add(key)
+            unique.append(d)
+    return unique
+
+
+def parallelization_safe(loop: For) -> bool:
+    """Is executing the loop's iterations concurrently provably safe?
+
+    The benchmarks' parallel loops are already annotated by the original
+    OpenMP programmer; this check is what R-Stream's *automatic*
+    parallelizer must establish on its own.
+    """
+    return not any(d.carried_by == loop.var or d.carried_by is None
+                   for d in loop_carried_dependences(loop))

@@ -1,0 +1,139 @@
+"""Region feature scanning — the raw facts behind per-model applicability.
+
+Each directive compiler (Section III) rejects regions based on a handful
+of structural features.  :func:`scan_region` gathers them all in one pass
+so the compilers' acceptance logic stays declarative.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.ir.analysis.affine import region_is_affine
+from repro.ir.analysis.reductions import (critical_is_reduction,
+                                          detect_reductions)
+from repro.ir.expr import ArrayRef
+from repro.ir.program import ParallelRegion, Program
+from repro.ir.stmt import (Assign, Block, CallStmt, Critical, For, If,
+                           LocalDecl, PointerArith, Stmt, While)
+from repro.ir.visitors import (contains_barrier, contains_call,
+                               contains_critical, contains_pointer_arith,
+                               loop_nest_depth, written_arrays)
+
+
+@dataclass
+class RegionFeatures:
+    """Structural facts about one parallel region."""
+
+    name: str
+    worksharing_loops: int = 0
+    max_nest_depth: int = 0
+    has_call: bool = False
+    called_functions: tuple[str, ...] = ()
+    calls_all_inlinable: bool = True
+    has_critical: bool = False
+    criticals_are_reductions: bool = True
+    has_barrier: bool = False
+    has_pointer_arith: bool = False
+    has_while: bool = False
+    has_private_arrays: bool = False
+    private_array_names: tuple[str, ...] = ()
+    scalar_reductions: int = 0
+    array_reductions: int = 0
+    complex_reductions: int = 0
+    explicit_reduction_clauses: int = 0
+    explicit_array_reduction_clauses: int = 0
+    is_affine: bool = False
+    affine_violations: tuple[str, ...] = ()
+    stmts_outside_worksharing: bool = False
+    arrays_referenced: frozenset[str] = frozenset()
+    arrays_written: frozenset[str] = frozenset()
+
+
+def _has_stmts_outside_worksharing(body: Block) -> bool:
+    """Region code not inside any ``omp for`` loop (redundant host work).
+
+    PGI Accelerator "cannot parallelize general structured blocks"
+    (Section V, the EP story) — such regions need restructuring.
+    Scalar/array declarations do not count.
+    """
+    for stmt in body.stmts:
+        if isinstance(stmt, For) and stmt.parallel:
+            continue
+        if isinstance(stmt, LocalDecl):
+            continue
+        if isinstance(stmt, Block):
+            if _has_stmts_outside_worksharing(stmt):
+                return True
+            continue
+        return True
+    return False
+
+
+def scan_region(region: ParallelRegion,
+                program: Optional[Program] = None) -> RegionFeatures:
+    """Collect all acceptance-relevant features of ``region``."""
+    body = region.body
+    feats = RegionFeatures(name=region.name)
+
+    ws = region.worksharing_loops()
+    feats.worksharing_loops = len(ws)
+    feats.max_nest_depth = loop_nest_depth(body)
+    feats.has_call = contains_call(body)
+    feats.has_critical = contains_critical(body)
+    feats.has_barrier = contains_barrier(body)
+    feats.has_pointer_arith = contains_pointer_arith(body)
+    feats.has_while = any(isinstance(s, While) for s in body.walk())
+    feats.stmts_outside_worksharing = _has_stmts_outside_worksharing(body)
+
+    called: list[str] = []
+    for stmt in body.walk():
+        if isinstance(stmt, CallStmt):
+            called.append(stmt.func)
+    feats.called_functions = tuple(called)
+    if program is not None:
+        feats.calls_all_inlinable = all(
+            name in program.functions and program.functions[name].inlinable
+            for name in called)
+    else:
+        feats.calls_all_inlinable = not called
+
+    if feats.has_critical:
+        feats.criticals_are_reductions = all(
+            critical_is_reduction(s) for s in body.walk()
+            if isinstance(s, Critical))
+
+    # Private arrays: region- or loop-level private names that are
+    # declared as local arrays inside the body.
+    local_array_names = {s.name for s in body.walk()
+                         if isinstance(s, LocalDecl) and s.shape}
+    private_names = set(region.private)
+    for loop in body.walk():
+        if isinstance(loop, For):
+            private_names.update(loop.private)
+    pa = tuple(sorted(local_array_names | {
+        n for n in private_names if n in local_array_names}))
+    feats.private_array_names = tuple(sorted(local_array_names))
+    feats.has_private_arrays = bool(local_array_names)
+
+    parallel_vars = tuple(l.var for l in ws)
+    patterns = detect_reductions(body, parallel_vars)
+    feats.scalar_reductions = sum(1 for p in patterns if not p.is_array)
+    feats.array_reductions = sum(1 for p in patterns if p.is_array)
+    feats.complex_reductions = sum(1 for p in patterns if not p.simple)
+    for loop in ws:
+        for clause in loop.reductions:
+            feats.explicit_reduction_clauses += 1
+            if clause.is_array:
+                feats.explicit_array_reduction_clauses += 1
+
+    report = region_is_affine(region)
+    feats.is_affine = report.affine
+    feats.affine_violations = tuple(report.violations)
+
+    refs = {node.name for stmt in body.walk() for expr in stmt.exprs()
+            for node in expr.walk() if isinstance(node, ArrayRef)}
+    feats.arrays_referenced = frozenset(refs - local_array_names)
+    feats.arrays_written = frozenset(written_arrays(body) - local_array_names)
+    return feats

@@ -1,0 +1,85 @@
+"""Upward-exposed-variable analysis for region splitting.
+
+OpenMPC splits every parallel region at each explicit/implicit
+synchronization point (Section III-D); the split is *incorrect* when a
+private variable defined before the split is used after it ("upward
+exposed private variables").  This module computes, for a proposed split
+of a statement list, the set of scalars that are written in the prefix and
+read in the suffix — the values OpenMPC must either re-materialize or
+report to the user.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.ir.expr import ArrayRef, Var
+from repro.ir.stmt import (Assign, Block, Critical, For, If, LocalDecl,
+                           Stmt, While)
+
+
+def scalar_reads(stmt: Stmt) -> set[str]:
+    """Scalar variable names read anywhere under ``stmt``.
+
+    Loop induction variables defined by the loop itself are excluded.
+    """
+    reads: set[str] = set()
+    bound: set[str] = set()
+
+    def scan(s: Stmt) -> None:
+        if isinstance(s, For):
+            bound.add(s.var)
+        for expr in s.exprs():
+            for node in expr.walk():
+                if isinstance(node, Var):
+                    reads.add(node.name)
+        if isinstance(s, Assign) and isinstance(s.target, Var):
+            # plain writes do not read their target; augmented ones do
+            if s.op is None:
+                reads.discard(s.target.name)  # best effort (ordering)
+        for child in s.child_stmts():
+            scan(child)
+
+    scan(stmt)
+    return reads - bound
+
+
+def scalar_writes(stmt: Stmt) -> set[str]:
+    """Scalar variable names written anywhere under ``stmt``."""
+    writes: set[str] = set()
+    for s in stmt.walk():
+        if isinstance(s, Assign) and isinstance(s.target, Var):
+            writes.add(s.target.name)
+        if isinstance(s, LocalDecl) and not s.shape:
+            writes.add(s.name)
+    return writes
+
+
+@dataclass(frozen=True)
+class SplitReport:
+    """Result of analysing one region split point."""
+
+    upward_exposed: frozenset[str]
+
+    @property
+    def safe(self) -> bool:
+        return not self.upward_exposed
+
+
+def analyze_split(prefix: Sequence[Stmt], suffix: Sequence[Stmt],
+                  private: Sequence[str]) -> SplitReport:
+    """Which *private* scalars defined in ``prefix`` are live into ``suffix``?
+
+    Shared scalars survive a split through global memory; privates do not
+    (each kernel launch gets fresh thread-private storage), so privates
+    that are upward exposed break the split.
+    """
+    written: set[str] = set()
+    for s in prefix:
+        written |= scalar_writes(s)
+    read: set[str] = set()
+    for s in suffix:
+        read |= scalar_reads(s)
+    exposed = written & read & set(private)
+    return SplitReport(frozenset(exposed))

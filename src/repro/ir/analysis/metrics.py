@@ -1,0 +1,138 @@
+"""Operation-count metrics: flops and intrinsic costs per iteration.
+
+Feeds the compute side of the kernel timing model.  Counting is static:
+per-thread flop counts are the expression-tree op counts weighted by the
+same sequential-trip/divergence factors the access summary uses, so the
+two sides of the ``max(compute, memory)`` roofline are consistent.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional, Sequence
+
+from repro.ir.analysis.access import DEFAULT_SEQ_TRIPS, _const_value
+from repro.ir.expr import (INTRINSIC_FLOP_COST, ArrayRef, BinOp, Call, Cast,
+                           Const, Expr, Ternary, UnOp, Var)
+from repro.ir.stmt import (Assign, Block, Critical, For, If, LocalDecl,
+                           Stmt, While)
+
+#: Relative cost of each scalar binary operation (double precision).
+BINOP_FLOP_COST: Mapping[str, float] = {
+    "+": 1, "-": 1, "*": 1, "/": 4, "//": 4, "%": 4,
+    "min": 1, "max": 1,
+    "<": 0.5, "<=": 0.5, ">": 0.5, ">=": 0.5, "==": 0.5, "!=": 0.5,
+    "&&": 0.5, "||": 0.5, "&": 0.5, "|": 0.5, "^": 0.5, "<<": 0.5, ">>": 0.5,
+}
+
+
+def expr_flops(expr: Expr) -> float:
+    """Weighted floating-point-operation count of one expression tree.
+
+    Address arithmetic inside array subscripts is charged at a quarter
+    rate (integer units overlap with memory latency on Fermi).
+    """
+    return _expr_flops_clean(expr)
+
+
+def _expr_flops_clean(expr: Expr, in_subscript: bool = False) -> float:
+    scale = 0.25 if in_subscript else 1.0
+    if isinstance(expr, (Const, Var)):
+        return 0.0
+    if isinstance(expr, BinOp):
+        own = BINOP_FLOP_COST.get(expr.op, 1.0) * scale
+        return (own + _expr_flops_clean(expr.left, in_subscript)
+                + _expr_flops_clean(expr.right, in_subscript))
+    if isinstance(expr, UnOp):
+        return 0.5 * scale + _expr_flops_clean(expr.operand, in_subscript)
+    if isinstance(expr, Call):
+        own = INTRINSIC_FLOP_COST.get(expr.func, 8) * scale
+        return own + sum(_expr_flops_clean(a, in_subscript) for a in expr.args)
+    if isinstance(expr, Ternary):
+        return (1.0 * scale
+                + _expr_flops_clean(expr.cond, in_subscript)
+                + _expr_flops_clean(expr.if_true, in_subscript)
+                + _expr_flops_clean(expr.if_false, in_subscript))
+    if isinstance(expr, Cast):
+        return _expr_flops_clean(expr.operand, in_subscript)
+    if isinstance(expr, ArrayRef):
+        return sum(_expr_flops_clean(i, True) for i in expr.indices)
+    return 0.0
+
+
+@dataclass
+class WorkEstimate:
+    """Per-thread work of a kernel body."""
+
+    flops: float = 0.0
+    #: worst-case fraction of warp-divergent work, in [0, 1].
+    divergence: float = 0.0
+    #: number of distinct conditionals encountered.
+    branches: int = 0
+
+
+def body_work(body: Stmt, thread_vars: Sequence[str],
+              bindings: Optional[Mapping[str, float]] = None) -> WorkEstimate:
+    """Estimate per-thread flops and divergence for a kernel body."""
+    bindings = dict(bindings or {})
+    est = WorkEstimate()
+
+    def scan(stmt: Stmt, weight: float, divergent: bool) -> None:
+        if isinstance(stmt, Block):
+            for s in stmt.stmts:
+                scan(s, weight, divergent)
+        elif isinstance(stmt, Assign):
+            flops = _expr_flops_clean(stmt.value)
+            if isinstance(stmt.target, ArrayRef):
+                flops += sum(_expr_flops_clean(i, True)
+                             for i in stmt.target.indices)
+            if stmt.op is not None:
+                flops += BINOP_FLOP_COST.get(stmt.op, 1.0)
+            est.flops += flops * weight
+            if divergent:
+                est.divergence = min(1.0, est.divergence + 0.05)
+        elif isinstance(stmt, LocalDecl):
+            if stmt.init is not None:
+                est.flops += _expr_flops_clean(stmt.init) * weight
+        elif isinstance(stmt, For):
+            est.flops += (_expr_flops_clean(stmt.lower)
+                          + _expr_flops_clean(stmt.upper)) * weight
+            if stmt.var in thread_vars:
+                scan(stmt.body, weight, divergent)
+            else:
+                lo = _const_value(stmt.lower, bindings)
+                hi = _const_value(stmt.upper, bindings)
+                step = _const_value(stmt.step, bindings) or 1.0
+                if lo is not None and hi is not None and step:
+                    trips = max(0.0, math.ceil((hi - lo) / step))
+                else:
+                    trips = DEFAULT_SEQ_TRIPS
+                    # data-dependent trip counts diverge across the warp
+                    est.divergence = min(1.0, est.divergence + 0.25)
+                est.flops += trips * weight  # loop bookkeeping
+                scan(stmt.body, weight * trips, divergent)
+        elif isinstance(stmt, While):
+            est.divergence = min(1.0, est.divergence + 0.3)
+            est.flops += _expr_flops_clean(stmt.cond) * weight * DEFAULT_SEQ_TRIPS
+            scan(stmt.body, weight * DEFAULT_SEQ_TRIPS, True)
+        elif isinstance(stmt, If):
+            est.branches += 1
+            est.flops += _expr_flops_clean(stmt.cond) * weight
+            cond_thread_dep = bool(stmt.cond.free_vars() & set(thread_vars)
+                                   or stmt.cond.array_names())
+            if cond_thread_dep:
+                est.divergence = min(1.0, est.divergence + 0.15)
+            scan(stmt.then_body, weight * 0.5, divergent or cond_thread_dep)
+            if stmt.else_body is not None:
+                scan(stmt.else_body, weight * 0.5, divergent or cond_thread_dep)
+        elif isinstance(stmt, Critical):
+            # serialized updates: charge heavily
+            est.divergence = min(1.0, est.divergence + 0.5)
+            scan(stmt.body, weight, True)
+        else:
+            for expr in stmt.exprs():
+                est.flops += _expr_flops_clean(expr) * weight
+
+    scan(body, 1.0, False)
+    return est

@@ -1,0 +1,159 @@
+"""Reduction-pattern detection.
+
+The paper distinguishes three reduction situations (Sections III and V):
+
+* **explicit clauses** — OpenMP/OpenACC ``reduction(op: var)``; OpenMPC
+  additionally accepts *array* variables in the clause;
+* **implicit scalar reductions** — PGI Accelerator has no reduction clause
+  and relies on the compiler spotting ``sum += expr`` patterns; complex
+  patterns defeat the detector ("the compiler either fails to detect or
+  generates wrong output codes");
+* **critical-section reductions** — OpenMPC recognizes array reductions
+  written as ``omp critical`` blocks of ``q[j] += ...`` updates (the EP
+  and KMEANS porting story) and converts them to two-level GPU reductions.
+
+:func:`detect_reductions` implements the pattern matcher; its
+``complexity`` score feeds the PGI implicit-detection limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.ir.expr import ArrayRef, Expr, Var
+from repro.ir.stmt import (Assign, Block, Critical, For, If, LocalDecl,
+                           Stmt, While)
+from repro.ir.visitors import iter_stmts
+
+
+@dataclass(frozen=True)
+class ReductionPattern:
+    """One detected reduction.
+
+    ``complexity`` counts the obstacles a pattern-matching compiler faces:
+    +1 per enclosing conditional, +1 per enclosing sequential loop beyond
+    the first, +1 when the reduced value itself reads the target, +2 when
+    the target is an array element with a thread-dependent subscript.
+    """
+
+    var: str
+    op: str
+    is_array: bool
+    in_critical: bool
+    complexity: int
+    stmt: Assign
+
+    @property
+    def simple(self) -> bool:
+        """Simple enough for implicit detection (PGI-style)."""
+        return self.complexity <= 1 and not self.is_array
+
+
+def _target_name(target: Expr) -> Optional[str]:
+    if isinstance(target, Var):
+        return target.name
+    if isinstance(target, ArrayRef):
+        return target.name
+    return None
+
+
+def detect_reductions(body: Stmt, parallel_vars: tuple[str, ...] = ()) -> list[ReductionPattern]:
+    """Find ``x op= expr`` updates that form cross-iteration reductions.
+
+    A candidate is a reduction when the accumulated target is loop-carried
+    across the *parallel* iterations: a scalar target, or an array element
+    whose subscript does not include any parallel index (otherwise each
+    thread owns its element and no reduction is needed).
+    """
+    patterns: list[ReductionPattern] = []
+    pset = set(parallel_vars)
+    private_names: set[str] = set()
+
+    def scan(stmt: Stmt, depth_loops: int, depth_ifs: int,
+             in_critical: bool, loop_vars: frozenset[str]) -> None:
+        if isinstance(stmt, LocalDecl):
+            private_names.add(stmt.name)
+            return
+        if isinstance(stmt, Block):
+            for s in stmt.stmts:
+                scan(s, depth_loops, depth_ifs, in_critical, loop_vars)
+        elif isinstance(stmt, For):
+            extra = 0 if stmt.parallel else 1
+            scan(stmt.body, depth_loops + extra, depth_ifs, in_critical,
+                 loop_vars | {stmt.var})
+        elif isinstance(stmt, While):
+            scan(stmt.body, depth_loops + 1, depth_ifs, in_critical,
+                 loop_vars)
+        elif isinstance(stmt, If):
+            scan(stmt.then_body, depth_loops, depth_ifs + 1, in_critical,
+                 loop_vars)
+            if stmt.else_body is not None:
+                scan(stmt.else_body, depth_loops, depth_ifs + 1,
+                     in_critical, loop_vars)
+        elif isinstance(stmt, Critical):
+            scan(stmt.body, depth_loops, depth_ifs, True, loop_vars)
+        elif isinstance(stmt, Assign) and stmt.op is not None:
+            name = _target_name(stmt.target)
+            if name is None or name in private_names:
+                return  # thread-private accumulator: not a reduction
+            # An array element whose subscript is fixed for the whole
+            # region (constants or region parameters — no loop variable)
+            # is a scalar accumulator stored in memory; only a subscript
+            # that varies with a loop index makes it an *array* reduction.
+            # A subscript that is an affine function of the parallel index
+            # gives each thread its own element (no reduction), but a
+            # *data-dependent* subscript (histogramming through a gather)
+            # can collide across threads and is an array reduction.
+            is_array = False
+            if isinstance(stmt.target, ArrayRef):
+                idx_vars: set[str] = set()
+                has_gather = False
+                for index in stmt.target.indices:
+                    idx_vars |= index.free_vars()
+                    if any(isinstance(node, ArrayRef)
+                           for node in index.walk()):
+                        has_gather = True
+                if (idx_vars & pset) and not has_gather:
+                    return  # thread-owned element: no reduction needed
+                is_array = has_gather or bool(idx_vars & loop_vars)
+            complexity = depth_ifs + max(0, depth_loops - 1)
+            if name in stmt.value.array_names() or name in stmt.value.free_vars():
+                complexity += 1
+            if is_array:
+                complexity += 2
+            patterns.append(ReductionPattern(
+                var=name, op=stmt.op, is_array=is_array,
+                in_critical=in_critical, complexity=complexity, stmt=stmt))
+
+    scan(body, 0, 0, False, frozenset())
+    return patterns
+
+
+def critical_is_reduction(crit: Critical) -> bool:
+    """Is a critical section's body *purely* a reduction update set?
+
+    This is the OpenMPC acceptance test: every statement inside must be an
+    augmented assignment (or a local declaration feeding one); anything
+    else makes the critical section untranslatable by every model.
+    """
+    for stmt in crit.body.stmts:
+        if isinstance(stmt, Assign):
+            if stmt.op is None:
+                return False
+        elif isinstance(stmt, LocalDecl):
+            continue
+        elif isinstance(stmt, For):
+            # A loop of augmented updates (array reduction) is fine.
+            if not all(isinstance(s, Assign) and s.op is not None
+                       for s in stmt.body.stmts):
+                return False
+        else:
+            return False
+    return True
+
+
+def has_unsupported_critical(body: Stmt) -> bool:
+    """Any critical section that is *not* a pure reduction pattern?"""
+    return any(isinstance(s, Critical) and not critical_is_reduction(s)
+               for s in iter_stmts(body))

@@ -1,0 +1,140 @@
+"""Fluent construction helpers for writing benchmark programs.
+
+The thirteen benchmark sources use these helpers so their IR reads close
+to the original C/OpenMP, e.g.::
+
+    i, j = idx("i", "j")
+    body = assign(aref("b", i, j),
+                  0.25 * (aref("a", i - 1, j) + aref("a", i + 1, j)
+                          + aref("a", i, j - 1) + aref("a", i, j + 1)))
+    loop = pfor("j", 1, v("m") - 1, body)
+    region = pfor("i", 1, v("n") - 1, loop, private=["j"])
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.ir.expr import (ArrayRef, BinOp, Call, Cast, Const, Expr,
+                           ExprLike, Ternary, UnOp, Var, as_expr, intrinsic,
+                           maximum, minimum)
+from repro.ir.stmt import (Assign, Barrier, Block, CallStmt, Critical, For,
+                           If, LocalDecl, PointerArith, ReductionClause,
+                           Return, Stmt, While, as_block)
+
+
+def v(name: str) -> Var:
+    """A scalar variable reference."""
+    return Var(name)
+
+
+def c(value: Union[int, float]) -> Const:
+    """A numeric constant."""
+    return Const(value)
+
+
+def idx(*names: str) -> tuple[Var, ...]:
+    """Several index variables at once: ``i, j = idx("i", "j")``."""
+    return tuple(Var(n) for n in names)
+
+
+def aref(name: str, *indices: ExprLike) -> ArrayRef:
+    """An array reference ``name[indices...]``."""
+    return ArrayRef(name, [as_expr(i) for i in indices])
+
+
+def assign(target: Union[Var, ArrayRef], value: ExprLike,
+           op: Optional[str] = None) -> Assign:
+    """``target = value`` (or ``target op= value``)."""
+    return Assign(target, value, op=op)
+
+
+def accum(target: Union[Var, ArrayRef], value: ExprLike, op: str = "+") -> Assign:
+    """``target op= value`` — the canonical reduction statement."""
+    return Assign(target, value, op=op)
+
+
+def sfor(var: str, lower: ExprLike, upper: ExprLike,
+         body: Union[Stmt, Sequence[Stmt]], step: ExprLike = 1) -> For:
+    """A *sequential* for loop."""
+    return For(var, lower, upper, body, step=step, parallel=False)
+
+
+def pfor(var: str, lower: ExprLike, upper: ExprLike,
+         body: Union[Stmt, Sequence[Stmt]], step: ExprLike = 1,
+         private: Sequence[str] = (),
+         reductions: Sequence[ReductionClause] = (),
+         collapse: int = 1) -> For:
+    """An OpenMP work-sharing (``omp for``) loop."""
+    return For(var, lower, upper, body, step=step, parallel=True,
+               private=private, reductions=reductions, collapse=collapse)
+
+
+def reduce_clause(op: str, var: str, is_array: bool = False) -> ReductionClause:
+    """An OpenMP ``reduction(op: var)`` clause."""
+    return ReductionClause(op, var, is_array=is_array)
+
+
+def iff(cond: ExprLike, then_body: Union[Stmt, Sequence[Stmt]],
+        else_body: Union[Stmt, Sequence[Stmt], None] = None) -> If:
+    """An if/else statement."""
+    return If(cond, then_body, else_body)
+
+
+def wloop(cond: ExprLike, body: Union[Stmt, Sequence[Stmt]]) -> While:
+    """A while loop."""
+    return While(cond, body)
+
+
+def critical(body: Union[Stmt, Sequence[Stmt]]) -> Critical:
+    """An OpenMP critical section."""
+    return Critical(body)
+
+
+def barrier() -> Barrier:
+    """An OpenMP barrier."""
+    return Barrier()
+
+
+def local(name: str, shape: Sequence[int] = (), dtype: str = "double",
+          init: Optional[ExprLike] = None) -> LocalDecl:
+    """Declare a thread-local scalar/array."""
+    return LocalDecl(name, shape=shape, dtype=dtype, init=init)
+
+
+def call(func: str, *args: ExprLike) -> CallStmt:
+    """Call a user-defined function (statement form)."""
+    return CallStmt(func, args)
+
+
+def ret(value: Optional[ExprLike] = None) -> Return:
+    """Return statement."""
+    return Return(value)
+
+
+def block(*stmts: Stmt) -> Block:
+    """Group statements."""
+    return Block(list(stmts))
+
+
+def ternary(cond: ExprLike, if_true: ExprLike, if_false: ExprLike) -> Ternary:
+    """The C conditional expression."""
+    return Ternary(as_expr(cond), as_expr(if_true), as_expr(if_false))
+
+
+def cast(dtype: str, value: ExprLike) -> Cast:
+    """Explicit type conversion."""
+    return Cast(dtype, as_expr(value))
+
+
+def ptr_swap(a: str, b: str) -> PointerArith:
+    """Pointer-swap of two buffers (rejected inside offloaded loops)."""
+    return PointerArith("swap", (a, b))
+
+
+__all__ = [
+    "v", "c", "idx", "aref", "assign", "accum", "sfor", "pfor",
+    "reduce_clause", "iff", "wloop", "critical", "barrier", "local",
+    "call", "ret", "block", "ternary", "cast", "ptr_swap",
+    "intrinsic", "minimum", "maximum",
+]

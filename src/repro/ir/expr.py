@@ -1,0 +1,397 @@
+"""Expression nodes of the loop-nest IR.
+
+The IR plays the role of the C input programs in the paper: the thirteen
+benchmarks are written as loop nests over typed arrays, annotated with
+OpenMP-style parallel regions.  Expressions are deliberately close to the
+C expression subset the evaluated compilers accept: scalar constants and
+variables, binary/unary arithmetic, comparisons, intrinsic math calls,
+ternary selection, and array references with arbitrary integer index
+expressions (affine or indirect).
+
+All nodes are immutable value objects: equality and hashing are structural,
+which the analyses and transformations rely on (e.g. common-subexpression
+matching in the reduction detector).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence, Union
+
+from repro.errors import IRTypeError
+
+#: Operators accepted by :class:`BinOp`, mapped to rough C spellings.
+BINARY_OPS = frozenset(
+    {"+", "-", "*", "/", "//", "%", "min", "max",
+     "<", "<=", ">", ">=", "==", "!=", "&&", "||", "&", "|", "^", "<<", ">>"}
+)
+
+#: Operators accepted by :class:`UnOp`.
+UNARY_OPS = frozenset({"-", "!", "~"})
+
+#: Math intrinsics the simulated GPU supports (CUDA device functions).
+INTRINSICS = frozenset(
+    {"sqrt", "exp", "log", "pow", "fabs", "floor", "ceil", "sin", "cos",
+     "tan", "rsqrt", "fmin", "fmax", "round", "sign"}
+)
+
+#: Relative flop cost of each intrinsic, used by the metrics analysis.
+INTRINSIC_FLOP_COST: Mapping[str, int] = {
+    "sqrt": 4, "rsqrt": 2, "exp": 8, "log": 8, "pow": 16, "fabs": 1,
+    "floor": 1, "ceil": 1, "sin": 8, "cos": 8, "tan": 12, "fmin": 1,
+    "fmax": 1, "round": 1, "sign": 1,
+}
+
+
+class Expr:
+    """Abstract base class of all expression nodes."""
+
+    __slots__ = ()
+
+    def children(self) -> tuple["Expr", ...]:
+        """Direct sub-expressions, in source order."""
+        return ()
+
+    def walk(self) -> Iterator["Expr"]:
+        """Pre-order traversal of this expression tree."""
+        yield self
+        for child in self.children():
+            yield from child.walk()
+
+    def free_vars(self) -> frozenset[str]:
+        """Names of all scalar variables referenced in this expression."""
+        names: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, Var):
+                names.add(node.name)
+        return frozenset(names)
+
+    def array_names(self) -> frozenset[str]:
+        """Names of all arrays referenced (including inside indices)."""
+        names: set[str] = set()
+        for node in self.walk():
+            if isinstance(node, ArrayRef):
+                names.add(node.name)
+        return frozenset(names)
+
+    # Operator sugar so benchmark code reads naturally -------------------
+    def _binop(self, op: str, other: "ExprLike", swap: bool = False) -> "BinOp":
+        left, right = as_expr(other if swap else self), as_expr(self if swap else other)
+        return BinOp(op, left, right)
+
+    def __add__(self, o: "ExprLike") -> "BinOp":
+        return self._binop("+", o)
+
+    def __radd__(self, o: "ExprLike") -> "BinOp":
+        return self._binop("+", o, swap=True)
+
+    def __sub__(self, o: "ExprLike") -> "BinOp":
+        return self._binop("-", o)
+
+    def __rsub__(self, o: "ExprLike") -> "BinOp":
+        return self._binop("-", o, swap=True)
+
+    def __mul__(self, o: "ExprLike") -> "BinOp":
+        return self._binop("*", o)
+
+    def __rmul__(self, o: "ExprLike") -> "BinOp":
+        return self._binop("*", o, swap=True)
+
+    def __truediv__(self, o: "ExprLike") -> "BinOp":
+        return self._binop("/", o)
+
+    def __rtruediv__(self, o: "ExprLike") -> "BinOp":
+        return self._binop("/", o, swap=True)
+
+    def __floordiv__(self, o: "ExprLike") -> "BinOp":
+        return self._binop("//", o)
+
+    def __mod__(self, o: "ExprLike") -> "BinOp":
+        return self._binop("%", o)
+
+    def __neg__(self) -> "UnOp":
+        return UnOp("-", self)
+
+    # Comparisons build IR nodes rather than booleans; the dataclasses
+    # below therefore disable eq generation and define structural __eq__
+    # via the `key()` method instead.
+    def lt(self, o: "ExprLike") -> "BinOp":
+        return self._binop("<", o)
+
+    def le(self, o: "ExprLike") -> "BinOp":
+        return self._binop("<=", o)
+
+    def gt(self, o: "ExprLike") -> "BinOp":
+        return self._binop(">", o)
+
+    def ge(self, o: "ExprLike") -> "BinOp":
+        return self._binop(">=", o)
+
+    def eq(self, o: "ExprLike") -> "BinOp":
+        return self._binop("==", o)
+
+    def ne(self, o: "ExprLike") -> "BinOp":
+        return self._binop("!=", o)
+
+    def logical_and(self, o: "ExprLike") -> "BinOp":
+        return self._binop("&&", o)
+
+    def logical_or(self, o: "ExprLike") -> "BinOp":
+        return self._binop("||", o)
+
+    def key(self) -> tuple:
+        """Structural identity key; subclasses extend it."""
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self.key() == other.key()
+
+    def __ne__(self, other: object) -> bool:
+        return not self.__eq__(other)
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+
+ExprLike = Union[Expr, int, float, bool, str]
+
+
+def as_expr(value: ExprLike) -> Expr:
+    """Coerce a Python scalar / name into an IR expression.
+
+    Strings become :class:`Var` references, numbers become :class:`Const`.
+    """
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool):
+        return Const(int(value))
+    if isinstance(value, (int, float)):
+        return Const(value)
+    if isinstance(value, str):
+        return Var(value)
+    raise IRTypeError(f"cannot convert {value!r} to an IR expression")
+
+
+@dataclass(frozen=True, eq=False)
+class Const(Expr):
+    """A numeric literal."""
+
+    value: Union[int, float]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.value, (int, float)):
+            raise IRTypeError(f"Const value must be numeric, got {self.value!r}")
+
+    def key(self) -> tuple:
+        return ("const", self.value, type(self.value).__name__)
+
+    def __repr__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True, eq=False)
+class Var(Expr):
+    """A scalar variable reference (loop index, parameter, or local)."""
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name or not isinstance(self.name, str):
+            raise IRTypeError(f"Var name must be a non-empty string, got {self.name!r}")
+
+    def key(self) -> tuple:
+        return ("var", self.name)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, eq=False)
+class BinOp(Expr):
+    """A binary operation ``left op right``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in BINARY_OPS:
+            raise IRTypeError(f"unknown binary operator {self.op!r}")
+        if not isinstance(self.left, Expr) or not isinstance(self.right, Expr):
+            raise IRTypeError(f"BinOp operands must be Expr, got {self.left!r}, {self.right!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.left, self.right)
+
+    def key(self) -> tuple:
+        return ("binop", self.op, self.left.key(), self.right.key())
+
+    def __repr__(self) -> str:
+        if self.op in ("min", "max"):
+            return f"{self.op}({self.left!r}, {self.right!r})"
+        return f"({self.left!r} {self.op} {self.right!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class UnOp(Expr):
+    """A unary operation ``op operand``."""
+
+    op: str
+    operand: Expr
+
+    def __post_init__(self) -> None:
+        if self.op not in UNARY_OPS:
+            raise IRTypeError(f"unknown unary operator {self.op!r}")
+        if not isinstance(self.operand, Expr):
+            raise IRTypeError(f"UnOp operand must be Expr, got {self.operand!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def key(self) -> tuple:
+        return ("unop", self.op, self.operand.key())
+
+    def __repr__(self) -> str:
+        return f"({self.op}{self.operand!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Call(Expr):
+    """A call to a math intrinsic, e.g. ``sqrt(x)``.
+
+    Calls to *user* functions are statements (:class:`repro.ir.stmt.CallStmt`)
+    because the evaluated models restrict where user calls may appear.
+    """
+
+    func: str
+    args: tuple[Expr, ...]
+
+    def __init__(self, func: str, args: Sequence[ExprLike]) -> None:
+        if func not in INTRINSICS:
+            raise IRTypeError(
+                f"{func!r} is not a device intrinsic; known: {sorted(INTRINSICS)}"
+            )
+        object.__setattr__(self, "func", func)
+        object.__setattr__(self, "args", tuple(as_expr(a) for a in args))
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def key(self) -> tuple:
+        return ("call", self.func, tuple(a.key() for a in self.args))
+
+    def __repr__(self) -> str:
+        return f"{self.func}({', '.join(map(repr, self.args))})"
+
+
+@dataclass(frozen=True, eq=False)
+class Ternary(Expr):
+    """C's conditional expression ``cond ? if_true : if_false``."""
+
+    cond: Expr
+    if_true: Expr
+    if_false: Expr
+
+    def __post_init__(self) -> None:
+        for part in (self.cond, self.if_true, self.if_false):
+            if not isinstance(part, Expr):
+                raise IRTypeError(f"Ternary parts must be Expr, got {part!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.cond, self.if_true, self.if_false)
+
+    def key(self) -> tuple:
+        return ("ternary", self.cond.key(), self.if_true.key(), self.if_false.key())
+
+    def __repr__(self) -> str:
+        return f"({self.cond!r} ? {self.if_true!r} : {self.if_false!r})"
+
+
+@dataclass(frozen=True, eq=False)
+class Cast(Expr):
+    """An explicit type conversion, e.g. ``(double) n``."""
+
+    dtype: str
+    operand: Expr
+
+    _ALLOWED = frozenset({"int", "float", "double"})
+
+    def __post_init__(self) -> None:
+        if self.dtype not in self._ALLOWED:
+            raise IRTypeError(f"Cast dtype must be one of {sorted(self._ALLOWED)}")
+        if not isinstance(self.operand, Expr):
+            raise IRTypeError(f"Cast operand must be Expr, got {self.operand!r}")
+
+    def children(self) -> tuple[Expr, ...]:
+        return (self.operand,)
+
+    def key(self) -> tuple:
+        return ("cast", self.dtype, self.operand.key())
+
+    def __repr__(self) -> str:
+        return f"({self.dtype}){self.operand!r}"
+
+
+class ArrayRef(Expr):
+    """A subscripted array reference ``name[i0][i1]...``.
+
+    Index expressions may be anything — affine expressions of loop indices
+    (``A[i][j+1]``), or *indirect* references through other arrays
+    (``x[col[k]]``), which is precisely the distinction that decides
+    R-Stream mappability and memory-coalescing behaviour.
+    """
+
+    __slots__ = ("name", "indices")
+
+    def __init__(self, name: str, indices: Sequence[ExprLike]) -> None:
+        if not name or not isinstance(name, str):
+            raise IRTypeError(f"ArrayRef name must be a non-empty string, got {name!r}")
+        if len(indices) == 0:
+            raise IRTypeError(f"ArrayRef {name!r} must have at least one index")
+        self.name = name
+        self.indices = tuple(as_expr(i) for i in indices)
+
+    @property
+    def ndim(self) -> int:
+        return len(self.indices)
+
+    def children(self) -> tuple[Expr, ...]:
+        return self.indices
+
+    def key(self) -> tuple:
+        return ("aref", self.name, tuple(i.key() for i in self.indices))
+
+    def is_indirect(self) -> bool:
+        """True if any index goes through another array (subscripted subscript)."""
+        return any(
+            isinstance(node, ArrayRef)
+            for index in self.indices
+            for node in index.walk()
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Expr) and self.key() == other.key()
+
+    def __hash__(self) -> int:
+        return hash(self.key())
+
+    def __repr__(self) -> str:
+        subs = "".join(f"[{i!r}]" for i in self.indices)
+        return f"{self.name}{subs}"
+
+
+# Convenience constructors used pervasively by the benchmark sources ------
+
+def minimum(a: ExprLike, b: ExprLike) -> BinOp:
+    """``min(a, b)`` as an IR expression."""
+    return BinOp("min", as_expr(a), as_expr(b))
+
+
+def maximum(a: ExprLike, b: ExprLike) -> BinOp:
+    """``max(a, b)`` as an IR expression."""
+    return BinOp("max", as_expr(a), as_expr(b))
+
+
+def intrinsic(func: str, *args: ExprLike) -> Call:
+    """Build an intrinsic call, coercing scalar arguments."""
+    return Call(func, [as_expr(a) for a in args])

@@ -1,0 +1,252 @@
+"""JSON (de)serialization of the IR.
+
+Programs, regions, and kernels are plain data; this module gives them a
+stable JSON form so external tooling can consume what the compilers see
+(and so ports can be archived/diffed).  Round-tripping is exact:
+``loads(dumps(x)) == x`` structurally, which the property-based tests
+pin for randomly generated trees.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping
+
+from repro.errors import IRError
+from repro.ir.expr import (ArrayRef, BinOp, Call, Cast, Const, Expr,
+                           Ternary, UnOp, Var)
+from repro.ir.program import (ArrayDecl, Function, Param, ParallelRegion,
+                              Program, ScalarDecl)
+from repro.ir.stmt import (Assign, Barrier, Block, CallStmt, Critical, For,
+                           If, LocalDecl, PointerArith, ReductionClause,
+                           Return, Stmt, While)
+
+_VERSION = 1
+
+
+# -- expressions ---------------------------------------------------------
+
+def expr_to_dict(expr: Expr) -> dict:
+    if isinstance(expr, Const):
+        kind = "int" if isinstance(expr.value, int) else "float"
+        return {"k": "const", "dtype": kind, "value": expr.value}
+    if isinstance(expr, Var):
+        return {"k": "var", "name": expr.name}
+    if isinstance(expr, BinOp):
+        return {"k": "binop", "op": expr.op,
+                "left": expr_to_dict(expr.left),
+                "right": expr_to_dict(expr.right)}
+    if isinstance(expr, UnOp):
+        return {"k": "unop", "op": expr.op,
+                "operand": expr_to_dict(expr.operand)}
+    if isinstance(expr, Call):
+        return {"k": "call", "func": expr.func,
+                "args": [expr_to_dict(a) for a in expr.args]}
+    if isinstance(expr, Ternary):
+        return {"k": "ternary", "cond": expr_to_dict(expr.cond),
+                "if_true": expr_to_dict(expr.if_true),
+                "if_false": expr_to_dict(expr.if_false)}
+    if isinstance(expr, Cast):
+        return {"k": "cast", "dtype": expr.dtype,
+                "operand": expr_to_dict(expr.operand)}
+    if isinstance(expr, ArrayRef):
+        return {"k": "aref", "name": expr.name,
+                "indices": [expr_to_dict(i) for i in expr.indices]}
+    raise IRError(f"cannot serialize expression {expr!r}")
+
+
+def expr_from_dict(data: Mapping[str, Any]) -> Expr:
+    kind = data["k"]
+    if kind == "const":
+        value = data["value"]
+        return Const(int(value) if data["dtype"] == "int"
+                     else float(value))
+    if kind == "var":
+        return Var(data["name"])
+    if kind == "binop":
+        return BinOp(data["op"], expr_from_dict(data["left"]),
+                     expr_from_dict(data["right"]))
+    if kind == "unop":
+        return UnOp(data["op"], expr_from_dict(data["operand"]))
+    if kind == "call":
+        return Call(data["func"],
+                    [expr_from_dict(a) for a in data["args"]])
+    if kind == "ternary":
+        return Ternary(expr_from_dict(data["cond"]),
+                       expr_from_dict(data["if_true"]),
+                       expr_from_dict(data["if_false"]))
+    if kind == "cast":
+        return Cast(data["dtype"], expr_from_dict(data["operand"]))
+    if kind == "aref":
+        return ArrayRef(data["name"],
+                        [expr_from_dict(i) for i in data["indices"]])
+    raise IRError(f"unknown expression kind {kind!r}")
+
+
+# -- statements ------------------------------------------------------------
+
+def stmt_to_dict(stmt: Stmt) -> dict:
+    if isinstance(stmt, Block):
+        return {"k": "block", "stmts": [stmt_to_dict(s)
+                                        for s in stmt.stmts]}
+    if isinstance(stmt, Assign):
+        return {"k": "assign", "target": expr_to_dict(stmt.target),
+                "value": expr_to_dict(stmt.value), "op": stmt.op}
+    if isinstance(stmt, LocalDecl):
+        return {"k": "local", "name": stmt.name,
+                "shape": list(stmt.shape), "dtype": stmt.dtype,
+                "init": expr_to_dict(stmt.init)
+                if stmt.init is not None else None}
+    if isinstance(stmt, For):
+        return {"k": "for", "var": stmt.var,
+                "lower": expr_to_dict(stmt.lower),
+                "upper": expr_to_dict(stmt.upper),
+                "step": expr_to_dict(stmt.step),
+                "body": stmt_to_dict(stmt.body),
+                "parallel": stmt.parallel,
+                "private": list(stmt.private),
+                "reductions": [{"op": r.op, "var": r.var,
+                                "is_array": r.is_array}
+                               for r in stmt.reductions],
+                "collapse": stmt.collapse,
+                "schedule": stmt.schedule}
+    if isinstance(stmt, While):
+        return {"k": "while", "cond": expr_to_dict(stmt.cond),
+                "body": stmt_to_dict(stmt.body)}
+    if isinstance(stmt, If):
+        return {"k": "if", "cond": expr_to_dict(stmt.cond),
+                "then": stmt_to_dict(stmt.then_body),
+                "else": stmt_to_dict(stmt.else_body)
+                if stmt.else_body is not None else None}
+    if isinstance(stmt, Critical):
+        return {"k": "critical", "body": stmt_to_dict(stmt.body)}
+    if isinstance(stmt, Barrier):
+        return {"k": "barrier"}
+    if isinstance(stmt, CallStmt):
+        return {"k": "callstmt", "func": stmt.func,
+                "args": [expr_to_dict(a) for a in stmt.args]}
+    if isinstance(stmt, Return):
+        return {"k": "return", "value": expr_to_dict(stmt.value)
+                if stmt.value is not None else None}
+    if isinstance(stmt, PointerArith):
+        return {"k": "ptr", "kind": stmt.kind,
+                "operands": list(stmt.operands)}
+    raise IRError(f"cannot serialize statement {stmt!r}")
+
+
+def stmt_from_dict(data: Mapping[str, Any]) -> Stmt:
+    kind = data["k"]
+    if kind == "block":
+        return Block([stmt_from_dict(s) for s in data["stmts"]])
+    if kind == "assign":
+        target = expr_from_dict(data["target"])
+        assert isinstance(target, (Var, ArrayRef))
+        return Assign(target, expr_from_dict(data["value"]),
+                      op=data["op"])
+    if kind == "local":
+        return LocalDecl(data["name"], shape=tuple(data["shape"]),
+                         dtype=data["dtype"],
+                         init=expr_from_dict(data["init"])
+                         if data["init"] is not None else None)
+    if kind == "for":
+        return For(data["var"], expr_from_dict(data["lower"]),
+                   expr_from_dict(data["upper"]),
+                   stmt_from_dict(data["body"]),
+                   step=expr_from_dict(data["step"]),
+                   parallel=data["parallel"],
+                   private=tuple(data["private"]),
+                   reductions=tuple(
+                       ReductionClause(r["op"], r["var"], r["is_array"])
+                       for r in data["reductions"]),
+                   collapse=data["collapse"],
+                   schedule=data["schedule"])
+    if kind == "while":
+        return While(expr_from_dict(data["cond"]),
+                     stmt_from_dict(data["body"]))
+    if kind == "if":
+        return If(expr_from_dict(data["cond"]),
+                  stmt_from_dict(data["then"]),
+                  stmt_from_dict(data["else"])
+                  if data["else"] is not None else None)
+    if kind == "critical":
+        return Critical(stmt_from_dict(data["body"]))
+    if kind == "barrier":
+        return Barrier()
+    if kind == "callstmt":
+        return CallStmt(data["func"],
+                        [expr_from_dict(a) for a in data["args"]])
+    if kind == "return":
+        return Return(expr_from_dict(data["value"])
+                      if data["value"] is not None else None)
+    if kind == "ptr":
+        return PointerArith(data["kind"], tuple(data["operands"]))
+    raise IRError(f"unknown statement kind {kind!r}")
+
+
+# -- programs --------------------------------------------------------------
+
+def program_to_dict(program: Program) -> dict:
+    return {
+        "version": _VERSION,
+        "name": program.name,
+        "domain": program.domain,
+        "driver_lines": program.driver_lines,
+        "arrays": [{
+            "name": a.name, "shape": list(a.shape), "dtype": a.dtype,
+            "intent": a.intent, "contiguous": a.contiguous,
+            "monotone_content": a.monotone_content,
+        } for a in program.arrays.values()],
+        "scalars": [{"name": s.name, "dtype": s.dtype,
+                     "intent": s.intent}
+                    for s in program.scalars.values()],
+        "functions": [{
+            "name": f.name,
+            "params": [{"name": p.name, "is_array": p.is_array,
+                        "dtype": p.dtype} for p in f.params],
+            "body": stmt_to_dict(f.body),
+            "inlinable": f.inlinable,
+        } for f in program.functions.values()],
+        "regions": [{
+            "name": r.name,
+            "body": stmt_to_dict(r.body),
+            "private": list(r.private),
+            "affine_hint": r.affine_hint,
+            "invocations": r.invocations,
+        } for r in program.regions],
+    }
+
+
+def program_from_dict(data: Mapping[str, Any]) -> Program:
+    if data.get("version") != _VERSION:
+        raise IRError(f"unsupported IR serialization version "
+                      f"{data.get('version')!r}")
+    return Program(
+        data["name"],
+        arrays=[ArrayDecl(a["name"], tuple(a["shape"]), a["dtype"],
+                          a["intent"], a["contiguous"],
+                          a["monotone_content"])
+                for a in data["arrays"]],
+        scalars=[ScalarDecl(s["name"], s["dtype"], s["intent"])
+                 for s in data["scalars"]],
+        regions=[ParallelRegion(r["name"], stmt_from_dict(r["body"]),
+                                private=tuple(r["private"]),
+                                affine_hint=r["affine_hint"],
+                                invocations=r["invocations"])
+                 for r in data["regions"]],
+        functions=[Function(f["name"],
+                            [Param(p["name"], p["is_array"], p["dtype"])
+                             for p in f["params"]],
+                            stmt_from_dict(f["body"]),
+                            inlinable=f["inlinable"])
+                   for f in data["functions"]],
+        domain=data["domain"], driver_lines=data["driver_lines"])
+
+
+def dumps(program: Program, indent: int | None = 2) -> str:
+    """Serialize a program to JSON text."""
+    return json.dumps(program_to_dict(program), indent=indent)
+
+
+def loads(text: str) -> Program:
+    """Deserialize a program from JSON text."""
+    return program_from_dict(json.loads(text))

@@ -1,0 +1,356 @@
+"""Statement nodes of the loop-nest IR.
+
+Statements mirror the structured-C subset the paper's directive compilers
+consume: assignments, counted ``for`` loops (optionally annotated as
+OpenMP work-sharing loops), ``while`` loops, ``if``/``else``, critical
+sections, barriers, calls to user functions, and returns.
+
+Like expressions, statements are immutable; transformations produce new
+trees.  Each statement can report the expressions it contains, which the
+analyses use for flop counting and access classification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Sequence, Union
+
+from repro.errors import IRTypeError
+from repro.ir.expr import ArrayRef, Expr, ExprLike, Var, as_expr
+
+#: Reduction operators supported by the OpenMP-style ``reduction`` clause.
+REDUCTION_OPS = frozenset({"+", "*", "min", "max"})
+
+
+@dataclass(frozen=True)
+class ReductionClause:
+    """An OpenMP ``reduction(op: var)`` clause.
+
+    ``var`` may name a scalar *or* an array — array reductions are the
+    OpenMPC extension the paper highlights (Section III-D); the other
+    models only accept scalar reduction variables.
+    """
+
+    op: str
+    var: str
+    is_array: bool = False
+
+    def __post_init__(self) -> None:
+        if self.op not in REDUCTION_OPS:
+            raise IRTypeError(f"unsupported reduction operator {self.op!r}")
+        if not self.var:
+            raise IRTypeError("reduction clause needs a variable name")
+
+
+class Stmt:
+    """Abstract base class of all statement nodes."""
+
+    __slots__ = ()
+
+    def child_stmts(self) -> tuple["Stmt", ...]:
+        """Directly nested statements."""
+        return ()
+
+    def exprs(self) -> tuple[Expr, ...]:
+        """Expressions appearing directly in this statement (not nested)."""
+        return ()
+
+    def walk(self) -> Iterator["Stmt"]:
+        """Pre-order traversal of the statement tree."""
+        yield self
+        for child in self.child_stmts():
+            yield from child.walk()
+
+    def walk_exprs(self) -> Iterator[Expr]:
+        """All expressions in this statement and every nested statement."""
+        for stmt in self.walk():
+            for expr in stmt.exprs():
+                yield from expr.walk()
+
+    def line_count(self) -> int:
+        """Number of 'source lines' this statement represents.
+
+        Used by the code-size metric (Table II): each simple statement is
+        one line; compound statements add their header line(s).
+        """
+        return 1 + sum(c.line_count() for c in self.child_stmts())
+
+
+class Block(Stmt):
+    """A sequence of statements (a C compound statement)."""
+
+    __slots__ = ("stmts",)
+
+    def __init__(self, stmts: Sequence[Stmt]) -> None:
+        for s in stmts:
+            if not isinstance(s, Stmt):
+                raise IRTypeError(f"Block entries must be Stmt, got {s!r}")
+        self.stmts = tuple(stmts)
+
+    def child_stmts(self) -> tuple[Stmt, ...]:
+        return self.stmts
+
+    def line_count(self) -> int:
+        return sum(s.line_count() for s in self.stmts)
+
+    def __repr__(self) -> str:
+        return f"Block({len(self.stmts)} stmts)"
+
+
+def as_block(body: Union[Stmt, Sequence[Stmt]]) -> Block:
+    """Coerce a statement or sequence of statements into a Block."""
+    if isinstance(body, Block):
+        return body
+    if isinstance(body, Stmt):
+        return Block([body])
+    return Block(list(body))
+
+
+class Assign(Stmt):
+    """``target = expr`` or an augmented ``target op= expr``.
+
+    ``target`` is a :class:`Var` (scalar) or :class:`ArrayRef` (element
+    store).  Augmented assignments with ``op`` in the reduction set are
+    what the reduction detectors pattern-match.
+    """
+
+    __slots__ = ("target", "value", "op")
+
+    def __init__(self, target: Union[Var, ArrayRef], value: ExprLike,
+                 op: Optional[str] = None) -> None:
+        if not isinstance(target, (Var, ArrayRef)):
+            raise IRTypeError(f"Assign target must be Var or ArrayRef, got {target!r}")
+        if op is not None and op not in REDUCTION_OPS:
+            raise IRTypeError(f"augmented-assign op must be one of {sorted(REDUCTION_OPS)}")
+        self.target = target
+        self.value = as_expr(value)
+        self.op = op
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.target, self.value)
+
+    def __repr__(self) -> str:
+        op = f"{self.op}=" if self.op else "="
+        return f"{self.target!r} {op} {self.value!r}"
+
+
+class LocalDecl(Stmt):
+    """Declaration of a thread-local scalar or array.
+
+    ``shape`` of ``()`` declares a scalar; otherwise a small local array
+    (e.g. EP's per-thread histogram).  Local arrays are what the models'
+    ``private`` handling (and the matrix-transpose expansion) act on.
+    """
+
+    __slots__ = ("name", "shape", "dtype", "init")
+
+    def __init__(self, name: str, shape: Sequence[int] = (),
+                 dtype: str = "double", init: Optional[ExprLike] = None) -> None:
+        if not name:
+            raise IRTypeError("LocalDecl needs a name")
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = dtype
+        self.init = as_expr(init) if init is not None else None
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.init,) if self.init is not None else ()
+
+    def __repr__(self) -> str:
+        dims = "".join(f"[{s}]" for s in self.shape)
+        return f"{self.dtype} {self.name}{dims}"
+
+
+class For(Stmt):
+    """A counted loop ``for (var = lower; var < upper; var += step)``.
+
+    ``parallel=True`` marks an OpenMP work-sharing loop (``omp for``).
+    ``private`` lists per-iteration private scalars/arrays, ``reductions``
+    carries OpenMP reduction clauses.  The directive compilers map
+    parallel loops onto the GPU grid.
+    """
+
+    __slots__ = ("var", "lower", "upper", "step", "body", "parallel",
+                 "private", "reductions", "collapse", "schedule")
+
+    def __init__(self, var: str, lower: ExprLike, upper: ExprLike,
+                 body: Union[Stmt, Sequence[Stmt]], step: ExprLike = 1,
+                 parallel: bool = False, private: Sequence[str] = (),
+                 reductions: Sequence[ReductionClause] = (),
+                 collapse: int = 1, schedule: str = "static") -> None:
+        if not var:
+            raise IRTypeError("For loop needs an index variable name")
+        self.var = var
+        self.lower = as_expr(lower)
+        self.upper = as_expr(upper)
+        self.step = as_expr(step)
+        self.body = as_block(body)
+        self.parallel = bool(parallel)
+        self.private = tuple(private)
+        self.reductions = tuple(reductions)
+        self.collapse = int(collapse)
+        self.schedule = schedule
+        if self.collapse < 1:
+            raise IRTypeError("collapse must be >= 1")
+
+    def child_stmts(self) -> tuple[Stmt, ...]:
+        return (self.body,)
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.lower, self.upper, self.step)
+
+    def line_count(self) -> int:
+        return 1 + self.body.line_count()
+
+    def __repr__(self) -> str:
+        tag = "parallel for" if self.parallel else "for"
+        return f"{tag} {self.var} in [{self.lower!r}, {self.upper!r})"
+
+
+class While(Stmt):
+    """A ``while (cond)`` loop.  Always sequential on the device/host."""
+
+    __slots__ = ("cond", "body")
+
+    def __init__(self, cond: ExprLike, body: Union[Stmt, Sequence[Stmt]]) -> None:
+        self.cond = as_expr(cond)
+        self.body = as_block(body)
+
+    def child_stmts(self) -> tuple[Stmt, ...]:
+        return (self.body,)
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.cond,)
+
+    def line_count(self) -> int:
+        return 1 + self.body.line_count()
+
+    def __repr__(self) -> str:
+        return f"while {self.cond!r}"
+
+
+class If(Stmt):
+    """``if (cond) then_body [else else_body]``."""
+
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond: ExprLike, then_body: Union[Stmt, Sequence[Stmt]],
+                 else_body: Union[Stmt, Sequence[Stmt], None] = None) -> None:
+        self.cond = as_expr(cond)
+        self.then_body = as_block(then_body)
+        self.else_body = as_block(else_body) if else_body is not None else None
+
+    def child_stmts(self) -> tuple[Stmt, ...]:
+        if self.else_body is not None:
+            return (self.then_body, self.else_body)
+        return (self.then_body,)
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.cond,)
+
+    def line_count(self) -> int:
+        n = 1 + self.then_body.line_count()
+        if self.else_body is not None:
+            n += 1 + self.else_body.line_count()
+        return n
+
+    def __repr__(self) -> str:
+        return f"if {self.cond!r}"
+
+
+class Critical(Stmt):
+    """An OpenMP ``critical`` section.
+
+    The paper: only OpenMPC accepts critical sections, and only when their
+    body matches a (scalar or array) reduction pattern; the other models
+    reject them outright (Section VI-A item 3).
+    """
+
+    __slots__ = ("body",)
+
+    def __init__(self, body: Union[Stmt, Sequence[Stmt]]) -> None:
+        self.body = as_block(body)
+
+    def child_stmts(self) -> tuple[Stmt, ...]:
+        return (self.body,)
+
+    def line_count(self) -> int:
+        return 1 + self.body.line_count()
+
+    def __repr__(self) -> str:
+        return "critical"
+
+
+class Barrier(Stmt):
+    """An OpenMP barrier / implicit synchronization point.
+
+    OpenMPC splits parallel regions at every barrier (Section III-D);
+    inside generated kernels it corresponds to ``__syncthreads`` only when
+    the split would be block-local, which our models never exploit —
+    matching the paper's observation that synchronization support is
+    limited (Section VI-A item 4).
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "barrier"
+
+
+class CallStmt(Stmt):
+    """A call to a *user-defined* function: ``name(arg0, arg1, ...)``.
+
+    Arguments are expressions (typically whole-array :class:`Var` names or
+    scalars).  Whether calls are allowed inside offloaded regions is a key
+    model differentiator (only OpenMPC supports them; others require the
+    callee to be inlinable).
+    """
+
+    __slots__ = ("func", "args")
+
+    def __init__(self, func: str, args: Sequence[ExprLike] = ()) -> None:
+        if not func:
+            raise IRTypeError("CallStmt needs a function name")
+        self.func = func
+        self.args = tuple(as_expr(a) for a in args)
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return self.args
+
+    def __repr__(self) -> str:
+        return f"{self.func}({', '.join(map(repr, self.args))})"
+
+
+class Return(Stmt):
+    """Return from a function (optionally with a scalar value)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: Optional[ExprLike] = None) -> None:
+        self.value = as_expr(value) if value is not None else None
+
+    def exprs(self) -> tuple[Expr, ...]:
+        return (self.value,) if self.value is not None else ()
+
+    def __repr__(self) -> str:
+        return f"return {self.value!r}" if self.value is not None else "return"
+
+
+class PointerArith(Stmt):
+    """A marker for pointer-arithmetic constructs.
+
+    The benchmarks occasionally contain pointer manipulation (e.g. buffer
+    swaps via pointers).  The PGI/OpenACC compilers reject pointer
+    arithmetic inside offloaded loops (Section III-A2); we keep it as an
+    opaque statement carrying the variables involved so the feature
+    scanner can detect it.  Functionally it swaps two named arrays.
+    """
+
+    __slots__ = ("kind", "operands")
+
+    def __init__(self, kind: str, operands: Sequence[str]) -> None:
+        self.kind = kind
+        self.operands = tuple(operands)
+
+    def __repr__(self) -> str:
+        return f"ptr-{self.kind}({', '.join(self.operands)})"

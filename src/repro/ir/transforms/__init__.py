@@ -1,0 +1,21 @@
+"""Loop transformations used by the directive compilers."""
+
+from repro.ir.transforms.collapse import collapse_nest, collapsible
+from repro.ir.transforms.inline import inline_calls
+from repro.ir.transforms.interchange import (interchange, interchange_legal,
+                                             parallel_loop_swap)
+from repro.ir.transforms.normalize import (flatten_blocks, fold_constants,
+                                           normalize, normalize_loop_step)
+from repro.ir.transforms.tiling import (TilingDecision, strip_mine,
+                                        strip_mine_cyclic, tile_2d)
+from repro.ir.transforms.transpose import (ExpansionResult,
+                                           expand_private_array)
+
+__all__ = [
+    "collapse_nest", "collapsible",
+    "inline_calls",
+    "interchange", "interchange_legal", "parallel_loop_swap",
+    "flatten_blocks", "fold_constants", "normalize", "normalize_loop_step",
+    "TilingDecision", "strip_mine", "strip_mine_cyclic", "tile_2d",
+    "ExpansionResult", "expand_private_array",
+]

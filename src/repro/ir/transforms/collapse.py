@@ -1,0 +1,99 @@
+"""Loop collapsing.
+
+Two related transformations from the paper:
+
+* **OpenMP-style collapse** (HOTSPOT story): fuse a perfect 2-deep nest
+  into a single parallel loop over the product space, recovering index
+  values by division/modulo.  Increases the thread count so the GPU can
+  hide memory latency.
+* **Loop collapsing for irregular reductions** (CG/SPMUL story, [21]):
+  OpenMPC flattens a parallel-outer/sequential-inner CSR traversal into a
+  single flat loop over nonzeros, removing control-flow divergence and
+  enabling coalesced access to the value/column arrays.  We model the
+  effect with the same product-space rewrite plus an access-pattern
+  improvement recorded by the compiler.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError
+from repro.ir.expr import BinOp, Const, Var
+from repro.ir.stmt import Block, For, LocalDecl, Stmt
+from repro.ir.visitors import substitute_stmt
+
+
+def collapse_nest(outer: For, fresh: str = "__flat") -> For:
+    """Collapse a perfectly nested 2-deep loop pair into one loop.
+
+    Both loops must have constant (or symbolic but loop-invariant) bounds
+    with lower bound expressible; the result iterates
+    ``fresh in [0, No * Ni)`` and reconstructs
+    ``outer.var = lo_o + fresh // Ni``, ``inner.var = lo_i + fresh % Ni``.
+    """
+    inner_loops = [s for s in outer.body.stmts if isinstance(s, For)]
+    others = [s for s in outer.body.stmts
+              if not isinstance(s, (For, LocalDecl))]
+    if len(inner_loops) != 1 or others:
+        raise TransformError("collapse requires a perfect 2-deep nest")
+    inner = inner_loops[0]
+    if not (isinstance(outer.step, Const) and outer.step.value == 1
+            and isinstance(inner.step, Const) and inner.step.value == 1):
+        raise TransformError("collapse requires unit-step loops")
+
+    extent_o = BinOp("-", outer.upper, outer.lower)
+    extent_i = BinOp("-", inner.upper, inner.lower)
+    total = BinOp("*", extent_o, extent_i)
+
+    flat = Var(fresh)
+    outer_val = BinOp("+", outer.lower, BinOp("//", flat, extent_i))
+    inner_val = BinOp("+", inner.lower, BinOp("%", flat, extent_i))
+
+    decls = [s for s in outer.body.stmts if isinstance(s, LocalDecl)]
+    body = substitute_stmt(inner.body, {Var(outer.var): outer_val,
+                                        Var(inner.var): inner_val})
+    merged_private = tuple(dict.fromkeys(
+        list(outer.private) + list(inner.private)))
+    merged_reductions = tuple(list(outer.reductions) + list(inner.reductions))
+    return For(fresh, Const(0), total, Block(decls + list(body.stmts)),
+               parallel=outer.parallel or inner.parallel,
+               private=merged_private, reductions=merged_reductions,
+               schedule=outer.schedule)
+
+
+def collapsible(outer: For) -> bool:
+    """Can :func:`collapse_nest` apply?"""
+    try:
+        collapse_nest(outer)
+        return True
+    except TransformError:
+        return False
+
+
+def promote_inner_parallel(outer: For) -> For:
+    """Honor a ``collapse(2)`` clause by promoting the inner loop to the
+    grid.
+
+    Structural collapsing (``flat // extent`` / ``flat % extent``
+    subscripts) is how a CPU OpenMP runtime implements the clause; on a
+    GPU the compiler instead maps the two iteration dimensions onto a
+    2-D grid, which multiplies the thread count exactly the way the
+    HOTSPOT porting story requires.  The rewrite marks the unique inner
+    sequential loop parallel; the grid mapper then picks up both levels.
+    """
+    inner = [s for s in outer.body.stmts if isinstance(s, For)]
+    others = [s for s in outer.body.stmts
+              if not isinstance(s, (For, LocalDecl))]
+    if len(inner) != 1 or others:
+        raise TransformError("collapse requires a perfect 2-deep nest")
+    loop = inner[0]
+    if loop.parallel:
+        return outer
+    promoted = For(loop.var, loop.lower, loop.upper, loop.body,
+                   step=loop.step, parallel=True, private=loop.private,
+                   reductions=loop.reductions, schedule=loop.schedule)
+    decls = [s for s in outer.body.stmts if isinstance(s, LocalDecl)]
+    return For(outer.var, outer.lower, outer.upper,
+               Block(decls + [promoted]), step=outer.step, parallel=True,
+               private=tuple(p for p in outer.private if p != loop.var),
+               reductions=outer.reductions, schedule=outer.schedule,
+               collapse=1)

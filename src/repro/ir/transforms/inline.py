@@ -1,0 +1,102 @@
+"""Function inlining.
+
+The PGI/OpenACC/HMPP compilers require user functions called inside
+offloaded loops to be inlined ("unless called functions are simple enough
+to be automatically inlined by the compiler", Section III-A2).  OpenMPC
+instead supports calls interprocedurally.  :func:`inline_calls` performs
+the substitution for inlinable callees; non-inlinable callees raise.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.errors import TransformError
+from repro.ir.expr import ArrayRef, Expr, Var
+from repro.ir.program import Function, Program
+from repro.ir.stmt import Block, CallStmt, Return, Stmt
+from repro.ir.visitors import (StmtTransformer, rename_array, rename_var,
+                               substitute_stmt)
+
+
+def _bind_body(func: Function, args: tuple[Expr, ...],
+               suffix: str) -> list[Stmt]:
+    """Substitute actuals for formals in a copy of the function body."""
+    if len(args) != len(func.params):
+        raise TransformError(
+            f"call to {func.name!r}: {len(args)} args for "
+            f"{len(func.params)} parameters")
+    body: Stmt = func.body
+    # Uniquify the callee's local scalar names to avoid capture.
+    from repro.ir.analysis.liveness import scalar_writes
+    formals = {p.name for p in func.params}
+    for name in sorted(scalar_writes(body)):
+        if name not in formals:
+            body = rename_var(body, name, f"{name}{suffix}")
+    mapping: dict[Expr, Expr] = {}
+    for param, arg in zip(func.params, args):
+        if param.is_array:
+            if not isinstance(arg, Var):
+                raise TransformError(
+                    f"array argument to {func.name!r} must be an array name")
+            body = rename_array(body, param.name, arg.name)
+        else:
+            mapping[Var(param.name)] = arg
+    if mapping:
+        body = substitute_stmt(body, mapping)
+    stmts = list(body.stmts) if isinstance(body, Block) else [body]
+    for s in stmts:
+        for nested in s.walk():
+            if isinstance(nested, Return) and nested.value is not None:
+                raise TransformError(
+                    f"cannot inline {func.name!r}: value-returning return")
+    return [s for s in stmts
+            if not (isinstance(s, Return) and s.value is None)]
+
+
+class _Inliner(StmtTransformer):
+    def __init__(self, functions: Mapping[str, Function],
+                 require_inlinable: bool = True) -> None:
+        self.functions = functions
+        self.require_inlinable = require_inlinable
+        self.counter = 0
+        self.inlined: list[str] = []
+
+    def visit_Block(self, block: Block) -> Stmt:
+        new_stmts: list[Stmt] = []
+        for stmt in block.stmts:
+            if isinstance(stmt, CallStmt):
+                func = self.functions.get(stmt.func)
+                if func is None:
+                    raise TransformError(f"unknown function {stmt.func!r}")
+                if self.require_inlinable and not func.inlinable:
+                    raise TransformError(
+                        f"function {stmt.func!r} is not automatically inlinable")
+                self.counter += 1
+                self.inlined.append(stmt.func)
+                bound = _bind_body(func, stmt.args, f"__inl{self.counter}")
+                # recursively inline nested calls
+                for b in bound:
+                    new_stmts.append(self.visit_stmt(b))
+            else:
+                new_stmts.append(self.visit_stmt(stmt))
+        return Block(new_stmts)
+
+    def generic_visit_stmt(self, stmt: Stmt) -> Stmt:
+        if isinstance(stmt, Block):
+            return self.visit_Block(stmt)
+        return super().generic_visit_stmt(stmt)
+
+
+def inline_calls(body: Stmt, program: Program,
+                 require_inlinable: bool = True) -> tuple[Stmt, list[str]]:
+    """Inline all user calls under ``body``.
+
+    Returns the rewritten body and the list of inlined callee names.
+    Raises :class:`TransformError` when a callee is unknown, returns a
+    value, or (when ``require_inlinable``) is marked non-inlinable.
+    """
+    inliner = _Inliner(program.functions, require_inlinable)
+    root = body if isinstance(body, Block) else Block([body])
+    rewritten = inliner.visit_Block(root)
+    return rewritten, inliner.inlined

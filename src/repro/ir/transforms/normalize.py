@@ -1,0 +1,127 @@
+"""Loop and expression normalization.
+
+Small canonicalizations the compilers run before analysis:
+
+* constant folding of expressions,
+* flattening of nested blocks,
+* normalization of ``for`` loops to unit step where the step divides the
+  extent (iteration-space remapping).
+"""
+
+from __future__ import annotations
+
+from repro.ir.expr import BinOp, Cast, Const, Expr, Ternary, UnOp, Var
+from repro.ir.stmt import Block, For, Stmt
+from repro.ir.visitors import StmtTransformer, substitute_stmt
+
+
+def fold_constants(expr: Expr) -> Expr:
+    """Evaluate constant subexpressions."""
+
+    class _Folder(StmtTransformer):
+        def visit_BinOp(self, e: BinOp) -> Expr:
+            left = self.visit(e.left)
+            right = self.visit(e.right)
+            if isinstance(left, Const) and isinstance(right, Const):
+                a, b = left.value, right.value
+                try:
+                    if e.op == "+":
+                        return Const(a + b)
+                    if e.op == "-":
+                        return Const(a - b)
+                    if e.op == "*":
+                        return Const(a * b)
+                    if e.op == "/" and b != 0:
+                        return Const(a / b)
+                    if e.op == "//" and b != 0:
+                        return Const(a // b)
+                    if e.op == "%" and b != 0:
+                        return Const(a % b)
+                    if e.op == "min":
+                        return Const(min(a, b))
+                    if e.op == "max":
+                        return Const(max(a, b))
+                except (OverflowError, ValueError):
+                    pass
+            # algebraic identities
+            if e.op == "+":
+                if isinstance(left, Const) and left.value == 0:
+                    return right
+                if isinstance(right, Const) and right.value == 0:
+                    return left
+            if e.op == "-" and isinstance(right, Const) and right.value == 0:
+                return left
+            if e.op == "*":
+                for a_side, b_side in ((left, right), (right, left)):
+                    if isinstance(a_side, Const):
+                        if a_side.value == 0:
+                            return Const(0)
+                        if a_side.value == 1:
+                            return b_side
+            if left is e.left and right is e.right:
+                return e
+            return BinOp(e.op, left, right)
+
+        def visit_UnOp(self, e: UnOp) -> Expr:
+            operand = self.visit(e.operand)
+            if e.op == "-" and isinstance(operand, Const):
+                return Const(-operand.value)
+            return e if operand is e.operand else UnOp(e.op, operand)
+
+    return _Folder().visit(expr)
+
+
+class _BlockFlattener(StmtTransformer):
+    def visit_Block(self, block: Block) -> Stmt:
+        flat: list[Stmt] = []
+        for stmt in block.stmts:
+            rewritten = self.visit_stmt(stmt)
+            if isinstance(rewritten, Block):
+                flat.extend(rewritten.stmts)
+            else:
+                flat.append(rewritten)
+        return Block(flat)
+
+    def generic_visit_stmt(self, stmt: Stmt) -> Stmt:
+        if isinstance(stmt, Block):
+            return self.visit_Block(stmt)
+        return super().generic_visit_stmt(stmt)
+
+
+def flatten_blocks(stmt: Stmt) -> Stmt:
+    """Splice nested Blocks into their parents."""
+    result = _BlockFlattener().visit_stmt(stmt)
+    if not isinstance(result, Block) and isinstance(stmt, Block):
+        return Block([result])
+    return result
+
+
+class _ExprFolder(StmtTransformer):
+    def visit(self, expr: Expr) -> Expr:
+        return fold_constants(super().visit(expr))
+
+
+def normalize(stmt: Stmt) -> Stmt:
+    """Fold constants everywhere and flatten blocks."""
+    return flatten_blocks(_ExprFolder().visit_stmt(stmt))
+
+
+def normalize_loop_step(loop: For) -> For:
+    """Rewrite a constant-step loop to unit step.
+
+    ``for i in [L, U) step s`` becomes ``for t in [0, ceil((U-L)/s))``
+    with ``i = L + t*s`` substituted in the body.
+    """
+    if isinstance(loop.step, Const) and loop.step.value == 1:
+        return loop
+    if not isinstance(loop.step, Const):
+        return loop
+    s = int(loop.step.value)
+    t = Var(f"{loop.var}_n")
+    extent = BinOp("-", loop.upper, loop.lower)
+    trips = BinOp("//", BinOp("+", extent, Const(s - 1)), Const(s))
+    value = BinOp("+", loop.lower, BinOp("*", t, Const(s)))
+    body = substitute_stmt(loop.body, {Var(loop.var): value})
+    return For(t.name, Const(0), fold_constants(trips), body,
+               parallel=loop.parallel, private=loop.private,
+               reductions=loop.reductions, schedule=loop.schedule)

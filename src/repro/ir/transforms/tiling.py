@@ -1,0 +1,140 @@
+"""Strip-mining and tiling.
+
+* **Strip-mining** (EP story): split one parallel loop into an outer
+  parallel loop over strips and an inner sequential loop within the
+  strip.  The paper used it to bound the GPU-side footprint of expanded
+  private arrays ("to prevent the memory overflow, programmers should
+  manually strip-mine the parallel loop").
+* **Tiling** (JACOBI/HOTSPOT/NW stories): 2-D tiling that the PGI
+  compiler applies automatically to exploit shared memory.  Functionally
+  a pure re-nesting; the performance effect (global-traffic reduction by
+  the reuse factor) is recorded by the compilers through a
+  :class:`TilingDecision` consumed by the timing model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import TransformError
+from repro.ir.expr import BinOp, Const, Var
+from repro.ir.stmt import Block, For, LocalDecl
+from repro.ir.visitors import substitute_stmt
+
+
+@dataclass(frozen=True)
+class TilingDecision:
+    """Record of a tiling applied for shared-memory exploitation.
+
+    ``reuse_factor`` is the average number of times each global element
+    loaded into the tile is reused from shared memory (e.g. ~4 for a
+    5-point stencil with 16x16 tiles, ~tile for matrix multiply).
+    ``smem_bytes_per_block`` feeds the occupancy calculator.
+    """
+
+    tile_dims: tuple[int, ...]
+    reuse_factor: float
+    smem_bytes_per_block: int
+    arrays: tuple[str, ...] = ()
+
+
+def strip_mine(loop: For, strip: int, outer_name: str | None = None) -> For:
+    """Split ``loop`` into strips of size ``strip``.
+
+    Produces::
+
+        parallel for s in [0, ceil((U-L)/strip)):
+            for i in [L + s*strip, min(U, L + (s+1)*strip)):
+                body
+
+    The outer loop inherits the parallel annotation; the inner loop is
+    sequential.
+    """
+    if strip <= 0:
+        raise TransformError(f"strip size must be positive, got {strip}")
+    s_name = outer_name or f"{loop.var}_strip"
+    s_var = Var(s_name)
+    extent = BinOp("-", loop.upper, loop.lower)
+    n_strips = BinOp("//", BinOp("+", extent, Const(strip - 1)), Const(strip))
+    inner_lo = BinOp("+", loop.lower, BinOp("*", s_var, Const(strip)))
+    inner_hi = BinOp("min", loop.upper,
+                     BinOp("+", inner_lo, Const(strip)))
+    inner = For(loop.var, inner_lo, inner_hi, loop.body, step=loop.step,
+                parallel=False)
+    return For(s_name, Const(0), n_strips, Block([inner]),
+               parallel=loop.parallel, private=loop.private + (loop.var,),
+               reductions=loop.reductions, schedule=loop.schedule)
+
+
+def strip_mine_cyclic(loop: For, strips: int,
+                      outer_name: str | None = None) -> For:
+    """Strip-mine with a cyclic (round-robin) distribution.
+
+    Produces::
+
+        parallel for s in [0, strips):
+            for t in [0, ceil((U - L - s) / strips)):
+                i = L + s + t*strips
+                body
+
+    Cyclic distribution keeps consecutive strips' iterations interleaved
+    — the distribution GPU compilers emit for grid-stride loops, and the
+    one that keeps per-strip trip counts balanced (they differ by at
+    most one).
+    """
+    if strips <= 0:
+        raise TransformError(f"strip count must be positive, got {strips}")
+    s_name = outer_name or f"{loop.var}_strip"
+    s_var = Var(s_name)
+    t_name = f"{loop.var}_t"
+    t_var = Var(t_name)
+    extent = BinOp("-", loop.upper, loop.lower)
+    trips = BinOp("//",
+                  BinOp("+", BinOp("-", extent, s_var),
+                        Const(strips - 1)),
+                  Const(strips))
+    value = BinOp("+", loop.lower,
+                  BinOp("+", s_var, BinOp("*", t_var, Const(strips))))
+    body = substitute_stmt(loop.body, {Var(loop.var): value})
+    inner = For(t_name, Const(0), trips, body, parallel=False)
+    return For(s_name, Const(0), Const(strips), Block([inner]),
+               parallel=loop.parallel,
+               private=loop.private + (t_name,),
+               reductions=loop.reductions, schedule=loop.schedule)
+
+
+def tile_2d(outer: For, tile_i: int, tile_j: int) -> For:
+    """Classic rectangular 2-D tiling of a perfect nest.
+
+    Produces a 4-deep nest ``(ii, jj, i, j)`` where the two tile loops are
+    parallel (mapped to the block grid) and the two point loops are
+    sequential within a block.  Legal whenever interchange of the pair is
+    legal; we require the input loops to both be parallel, which the
+    benchmarks' stencil nests satisfy.
+    """
+    inner_loops = [s for s in outer.body.stmts if isinstance(s, For)]
+    decls = [s for s in outer.body.stmts if isinstance(s, LocalDecl)]
+    if len(inner_loops) != 1:
+        raise TransformError("tile_2d requires a perfect 2-deep nest")
+    inner = inner_loops[0]
+    if not (outer.parallel and inner.parallel):
+        raise TransformError("tile_2d tiles parallel loop pairs only")
+
+    stripped_outer = strip_mine(outer, tile_i, outer_name=f"{outer.var}_t")
+    # stripped_outer: parallel ii -> sequential i -> Block([inner])
+    seq_i = stripped_outer.body.stmts[0]
+    assert isinstance(seq_i, For)
+    inner_of_i = [s for s in seq_i.body.stmts if isinstance(s, For)][0]
+    stripped_inner = strip_mine(inner_of_i, tile_j, outer_name=f"{inner.var}_t")
+    # reorder to (ii, jj, i, j): put parallel jj directly under parallel ii
+    seq_j = stripped_inner.body.stmts[0]
+    assert isinstance(seq_j, For)
+    new_seq_i = For(seq_i.var, seq_i.lower, seq_i.upper,
+                    Block(decls + [seq_j]), parallel=False)
+    new_jj = For(stripped_inner.var, stripped_inner.lower,
+                 stripped_inner.upper, Block([new_seq_i]),
+                 parallel=True, private=stripped_inner.private)
+    return For(stripped_outer.var, stripped_outer.lower,
+               stripped_outer.upper, Block([new_jj]), parallel=True,
+               private=stripped_outer.private,
+               reductions=stripped_outer.reductions)

@@ -1,0 +1,107 @@
+"""Matrix-transpose array expansion (column-wise privatization).
+
+The EP story (Section V-A): every model privatizes a per-thread array by
+*array expansion* — giving each thread a row (or column) of a 2-D buffer.
+
+* **Row-wise expansion** ``q_exp[tid][k]`` maximizes *intra*-thread
+  locality (good on CPUs) but makes consecutive threads touch addresses
+  a full row apart — uncoalesced on the GPU.
+* **Column-wise expansion** ``q_exp[k][tid]`` (OpenMPC's *matrix
+  transpose* technique [21]) puts consecutive threads on consecutive
+  addresses — coalesced.
+
+:func:`expand_private_array` rewrites a parallel loop body, replacing a
+``LocalDecl`` private array with references into an expanded global
+buffer in either orientation.  The caller adds the buffer to the kernel's
+array set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.errors import TransformError
+from repro.ir.expr import ArrayRef, Expr, Var
+from repro.ir.stmt import Block, For, LocalDecl, Stmt
+from repro.ir.visitors import StmtTransformer
+
+Orientation = Literal["row", "column"]
+
+
+@dataclass(frozen=True)
+class ExpansionResult:
+    """Outcome of one private-array expansion."""
+
+    loop: For
+    buffer_name: str
+    #: (n_threads_symbol, private_extent) — logical buffer shape in row
+    #: orientation; column orientation is the transpose.
+    private_extent: int
+    orientation: Orientation
+
+    @property
+    def coalesced(self) -> bool:
+        """Column-wise expansion yields coalesced per-thread access."""
+        return self.orientation == "column"
+
+
+class _Expander(StmtTransformer):
+    def __init__(self, array: str, buffer: str, tid: str,
+                 orientation: Orientation) -> None:
+        self.array = array
+        self.buffer = buffer
+        self.tid = Var(tid)
+        self.orientation = orientation
+
+    def visit_ArrayRef(self, expr: ArrayRef) -> Expr:
+        indices = tuple(self.visit(i) for i in expr.indices)
+        if expr.name != self.array:
+            if all(a is b for a, b in zip(indices, expr.indices)):
+                return expr
+            return ArrayRef(expr.name, indices)
+        if len(indices) != 1:
+            raise TransformError(
+                f"expansion of {self.array!r} supports 1-D private arrays")
+        k = indices[0]
+        if self.orientation == "row":
+            return ArrayRef(self.buffer, (self.tid, k))
+        return ArrayRef(self.buffer, (k, self.tid))
+
+
+def expand_private_array(loop: For, array: str,
+                         orientation: Orientation = "column",
+                         buffer_name: str | None = None) -> ExpansionResult:
+    """Expand private array ``array`` of a parallel loop into a 2-D buffer.
+
+    The loop variable is used as the thread id subscript.  The private
+    declaration is removed from the body; the returned loop references
+    ``buffer_name`` (default ``f"{array}_exp"``).
+    """
+    if not loop.parallel:
+        raise TransformError("array expansion applies to parallel loops")
+    decl = None
+    for stmt in loop.body.walk():
+        if isinstance(stmt, LocalDecl) and stmt.name == array:
+            decl = stmt
+            break
+    if decl is None or not decl.shape:
+        raise TransformError(
+            f"{array!r} is not a private array declared in the loop body")
+    if len(decl.shape) != 1:
+        raise TransformError("only 1-D private arrays are supported")
+
+    buffer = buffer_name or f"{array}_exp"
+    expander = _Expander(array, buffer, loop.var, orientation)
+    new_body_stmts: list[Stmt] = []
+    for stmt in loop.body.stmts:
+        if isinstance(stmt, LocalDecl) and stmt.name == array:
+            continue
+        new_body_stmts.append(expander.visit_stmt(stmt))
+    new_private = tuple(p for p in loop.private if p != array)
+    new_loop = For(loop.var, loop.lower, loop.upper, Block(new_body_stmts),
+                   step=loop.step, parallel=True, private=new_private,
+                   reductions=loop.reductions, schedule=loop.schedule)
+    return ExpansionResult(loop=new_loop, buffer_name=buffer,
+                           private_extent=decl.shape[0],
+                           orientation=orientation)

@@ -1,0 +1,309 @@
+"""Generic traversal and rewriting machinery over the IR.
+
+Two families:
+
+* *read-only walks*: :func:`iter_stmts`, :func:`iter_exprs`,
+  :func:`collect_array_refs`, :func:`loop_nest_depth`, ...
+* *rewriters*: :class:`ExprTransformer` / :class:`StmtTransformer`
+  rebuild trees bottom-up (the IR is immutable), plus the widely used
+  :func:`substitute` (expression substitution) and
+  :func:`rename_var` helpers that the loop transformations build on.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.expr import (ArrayRef, BinOp, Call, Cast, Const, Expr,
+                           Ternary, UnOp, Var)
+from repro.ir.stmt import (Assign, Barrier, Block, CallStmt, Critical, For,
+                           If, LocalDecl, PointerArith, Return, Stmt, While)
+
+
+def iter_stmts(root: Stmt) -> Iterator[Stmt]:
+    """Pre-order traversal of all statements under ``root`` (inclusive)."""
+    yield from root.walk()
+
+
+def iter_exprs(root: Stmt) -> Iterator[Expr]:
+    """All expression nodes anywhere under ``root``."""
+    yield from root.walk_exprs()
+
+
+def collect_array_refs(root: Stmt) -> list[ArrayRef]:
+    """Every array reference in the subtree, reads and writes alike."""
+    return [e for e in iter_exprs(root) if isinstance(e, ArrayRef)]
+
+
+def written_arrays(root: Stmt) -> set[str]:
+    """Names of arrays stored to anywhere under ``root``."""
+    names: set[str] = set()
+    for stmt in iter_stmts(root):
+        if isinstance(stmt, Assign) and isinstance(stmt.target, ArrayRef):
+            names.add(stmt.target.name)
+        if isinstance(stmt, PointerArith):
+            names.update(stmt.operands)
+    return names
+
+
+def read_arrays(root: Stmt) -> set[str]:
+    """Names of arrays loaded from anywhere under ``root``.
+
+    A plain store target is *not* a read (its index expressions are);
+    an augmented assignment (``op=``) does read its target.
+    """
+    names: set[str] = set()
+    for stmt in iter_stmts(root):
+        if isinstance(stmt, Assign):
+            names |= stmt.value.array_names()
+            if isinstance(stmt.target, ArrayRef):
+                if stmt.op is not None:
+                    names.add(stmt.target.name)
+                for index in stmt.target.indices:
+                    names |= index.array_names()
+        else:
+            for expr in stmt.exprs():
+                names |= expr.array_names()
+    return names
+
+
+def written_scalars(root: Stmt) -> set[str]:
+    """Names of scalar variables assigned under ``root``."""
+    names: set[str] = set()
+    for stmt in iter_stmts(root):
+        if isinstance(stmt, Assign) and isinstance(stmt.target, Var):
+            names.add(stmt.target.name)
+        if isinstance(stmt, LocalDecl) and not stmt.shape:
+            names.add(stmt.name)
+        if isinstance(stmt, For):
+            names.add(stmt.var)
+    return names
+
+
+def loop_nest_depth(root: Stmt) -> int:
+    """Maximum depth of nested For/While loops under ``root``."""
+    if isinstance(root, (For, While)):
+        inner = max((loop_nest_depth(c) for c in root.child_stmts()), default=0)
+        return 1 + inner
+    return max((loop_nest_depth(c) for c in root.child_stmts()), default=0)
+
+
+def contains_call(root: Stmt) -> bool:
+    """Does the subtree call a user-defined function?"""
+    return any(isinstance(s, CallStmt) for s in iter_stmts(root))
+
+
+def contains_critical(root: Stmt) -> bool:
+    """Does the subtree contain an OpenMP critical section?"""
+    return any(isinstance(s, Critical) for s in iter_stmts(root))
+
+
+def contains_barrier(root: Stmt) -> bool:
+    """Does the subtree contain a barrier?"""
+    return any(isinstance(s, Barrier) for s in iter_stmts(root))
+
+
+def contains_pointer_arith(root: Stmt) -> bool:
+    """Does the subtree perform pointer arithmetic?"""
+    return any(isinstance(s, PointerArith) for s in iter_stmts(root))
+
+
+class ExprTransformer:
+    """Bottom-up expression rewriter.
+
+    Subclasses override ``visit_<NodeType>`` methods; the default
+    reconstructs nodes with transformed children (returning the original
+    object when nothing changed, to preserve sharing).
+    """
+
+    def visit(self, expr: Expr) -> Expr:
+        method = getattr(self, f"visit_{type(expr).__name__}", None)
+        if method is not None:
+            return method(expr)
+        return self.generic_visit(expr)
+
+    def generic_visit(self, expr: Expr) -> Expr:
+        if isinstance(expr, (Const, Var)):
+            return expr
+        if isinstance(expr, BinOp):
+            left, right = self.visit(expr.left), self.visit(expr.right)
+            if left is expr.left and right is expr.right:
+                return expr
+            return BinOp(expr.op, left, right)
+        if isinstance(expr, UnOp):
+            operand = self.visit(expr.operand)
+            return expr if operand is expr.operand else UnOp(expr.op, operand)
+        if isinstance(expr, Call):
+            args = tuple(self.visit(a) for a in expr.args)
+            if all(a is b for a, b in zip(args, expr.args)):
+                return expr
+            return Call(expr.func, args)
+        if isinstance(expr, Ternary):
+            cond = self.visit(expr.cond)
+            t, f = self.visit(expr.if_true), self.visit(expr.if_false)
+            if cond is expr.cond and t is expr.if_true and f is expr.if_false:
+                return expr
+            return Ternary(cond, t, f)
+        if isinstance(expr, Cast):
+            operand = self.visit(expr.operand)
+            return expr if operand is expr.operand else Cast(expr.dtype, operand)
+        if isinstance(expr, ArrayRef):
+            indices = tuple(self.visit(i) for i in expr.indices)
+            if all(a is b for a, b in zip(indices, expr.indices)):
+                return expr
+            return ArrayRef(expr.name, indices)
+        raise IRError(f"unknown expression node {expr!r}")
+
+
+class StmtTransformer(ExprTransformer):
+    """Bottom-up statement rewriter (also rewrites contained expressions)."""
+
+    def visit_stmt(self, stmt: Stmt) -> Stmt:
+        method = getattr(self, f"visit_{type(stmt).__name__}", None)
+        if method is not None:
+            return method(stmt)
+        return self.generic_visit_stmt(stmt)
+
+    def generic_visit_stmt(self, stmt: Stmt) -> Stmt:
+        if isinstance(stmt, Block):
+            stmts = tuple(self.visit_stmt(s) for s in stmt.stmts)
+            if all(a is b for a, b in zip(stmts, stmt.stmts)):
+                return stmt
+            return Block(stmts)
+        if isinstance(stmt, Assign):
+            target = self.visit(stmt.target)
+            value = self.visit(stmt.value)
+            if target is stmt.target and value is stmt.value:
+                return stmt
+            if not isinstance(target, (Var, ArrayRef)):
+                raise IRError(f"assignment target rewritten to non-lvalue: {target!r}")
+            return Assign(target, value, op=stmt.op)
+        if isinstance(stmt, For):
+            lower = self.visit(stmt.lower)
+            upper = self.visit(stmt.upper)
+            step = self.visit(stmt.step)
+            body = self.visit_stmt(stmt.body)
+            if (lower is stmt.lower and upper is stmt.upper
+                    and step is stmt.step and body is stmt.body):
+                return stmt
+            return For(stmt.var, lower, upper, body, step=step,
+                       parallel=stmt.parallel, private=stmt.private,
+                       reductions=stmt.reductions, collapse=stmt.collapse,
+                       schedule=stmt.schedule)
+        if isinstance(stmt, While):
+            cond = self.visit(stmt.cond)
+            body = self.visit_stmt(stmt.body)
+            if cond is stmt.cond and body is stmt.body:
+                return stmt
+            return While(cond, body)
+        if isinstance(stmt, If):
+            cond = self.visit(stmt.cond)
+            then_body = self.visit_stmt(stmt.then_body)
+            else_body = (self.visit_stmt(stmt.else_body)
+                         if stmt.else_body is not None else None)
+            if (cond is stmt.cond and then_body is stmt.then_body
+                    and else_body is stmt.else_body):
+                return stmt
+            return If(cond, then_body, else_body)
+        if isinstance(stmt, Critical):
+            body = self.visit_stmt(stmt.body)
+            return stmt if body is stmt.body else Critical(body)
+        if isinstance(stmt, LocalDecl):
+            if stmt.init is None:
+                return stmt
+            init = self.visit(stmt.init)
+            if init is stmt.init:
+                return stmt
+            return LocalDecl(stmt.name, shape=stmt.shape, dtype=stmt.dtype, init=init)
+        if isinstance(stmt, CallStmt):
+            args = tuple(self.visit(a) for a in stmt.args)
+            if all(a is b for a, b in zip(args, stmt.args)):
+                return stmt
+            return CallStmt(stmt.func, args)
+        if isinstance(stmt, Return):
+            if stmt.value is None:
+                return stmt
+            value = self.visit(stmt.value)
+            return stmt if value is stmt.value else Return(value)
+        if isinstance(stmt, (Barrier, PointerArith)):
+            return stmt
+        raise IRError(f"unknown statement node {stmt!r}")
+
+
+class _Substituter(ExprTransformer):
+    def __init__(self, mapping: Mapping[Expr, Expr]) -> None:
+        self.mapping = dict(mapping)
+
+    def visit(self, expr: Expr) -> Expr:
+        if expr in self.mapping:
+            return self.mapping[expr]
+        return super().visit(expr)
+
+
+class _StmtSubstituter(StmtTransformer, _Substituter):
+    pass
+
+
+def substitute(expr: Expr, mapping: Mapping[Expr, Expr]) -> Expr:
+    """Replace every occurrence of the mapping's keys in ``expr``.
+
+    Matching is structural (whole-subtree); replacements are not
+    re-scanned, so the substitution terminates even for self-referential
+    mappings like ``{i: i + 1}``.
+    """
+    return _Substituter(mapping).visit(expr)
+
+
+def substitute_stmt(stmt: Stmt, mapping: Mapping[Expr, Expr]) -> Stmt:
+    """Statement-level version of :func:`substitute`."""
+    return _StmtSubstituter(mapping).visit_stmt(stmt)
+
+
+def rename_var(stmt: Stmt, old: str, new: str) -> Stmt:
+    """Rename a scalar variable throughout a subtree (indices included).
+
+    Loop headers whose induction variable is ``old`` are renamed too.
+    """
+
+    class _Renamer(StmtTransformer):
+        def visit_Var(self, expr: Var) -> Expr:
+            return Var(new) if expr.name == old else expr
+
+        def visit_LocalDecl(self, stmt_: LocalDecl) -> Stmt:
+            init = self.visit(stmt_.init) if stmt_.init is not None else None
+            name = new if stmt_.name == old else stmt_.name
+            if name == stmt_.name and init is stmt_.init:
+                return stmt_
+            return LocalDecl(name, shape=stmt_.shape, dtype=stmt_.dtype,
+                             init=init)
+
+        def visit_For(self, stmt_: For) -> Stmt:
+            rebuilt = self.generic_visit_stmt(stmt_)
+            assert isinstance(rebuilt, For)
+            if rebuilt.var == old:
+                return For(new, rebuilt.lower, rebuilt.upper, rebuilt.body,
+                           step=rebuilt.step, parallel=rebuilt.parallel,
+                           private=tuple(new if p == old else p
+                                         for p in rebuilt.private),
+                           reductions=rebuilt.reductions,
+                           collapse=rebuilt.collapse,
+                           schedule=rebuilt.schedule)
+            return rebuilt
+
+    return _Renamer().visit_stmt(stmt)
+
+
+def rename_array(stmt: Stmt, old: str, new: str) -> Stmt:
+    """Rename an array throughout a subtree."""
+
+    class _Renamer(StmtTransformer):
+        def visit_ArrayRef(self, expr: ArrayRef) -> Expr:
+            indices = tuple(self.visit(i) for i in expr.indices)
+            name = new if expr.name == old else expr.name
+            if name == expr.name and all(a is b for a, b in
+                                         zip(indices, expr.indices)):
+                return expr
+            return ArrayRef(name, indices)
+
+    return _Renamer().visit_stmt(stmt)

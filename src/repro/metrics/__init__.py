@@ -1,0 +1,12 @@
+"""Evaluation metrics: coverage, code-size increase, speedups."""
+
+from repro.metrics.codesize import (CodeSizeEntry, CodeSizeReport,
+                                    codesize_for)
+from repro.metrics.coverage import CoverageReport, coverage_for
+from repro.metrics.speedup import BenchmarkSpeedups, SpeedupResult
+
+__all__ = [
+    "CoverageReport", "coverage_for",
+    "CodeSizeEntry", "CodeSizeReport", "codesize_for",
+    "SpeedupResult", "BenchmarkSpeedups",
+]

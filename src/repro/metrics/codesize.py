@@ -1,0 +1,77 @@
+"""Normalized code-size increase (Table II, column 2).
+
+The paper: "the normalized, average amount of additional codes that are
+needed to conform to each programming model and to manually optimize data
+transfers between CPU and GPU."  Per benchmark,
+
+    increase_% = 100 * (directive lines + restructured lines)
+                 / original serial line count
+
+and the table reports the mean over the thirteen benchmarks.  Both
+numerator terms come from the port specifications; the denominator is the
+input program's own line accounting (:meth:`Program.serial_line_count`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.ir.program import Program
+from repro.models.base import PortSpec
+
+
+@dataclass
+class CodeSizeEntry:
+    """One benchmark's porting cost for one model."""
+
+    program: str
+    baseline_lines: int
+    directive_lines: int
+    restructured_lines: int
+
+    @property
+    def increase_percent(self) -> float:
+        if self.baseline_lines <= 0:
+            return 0.0
+        added = self.directive_lines + self.restructured_lines
+        return 100.0 * added / self.baseline_lines
+
+
+@dataclass
+class CodeSizeReport:
+    """Average code-size increase of one model over the suite."""
+
+    model: str
+    entries: list[CodeSizeEntry] = field(default_factory=list)
+
+    def add_port(self, baseline: Program, port: PortSpec) -> None:
+        self.entries.append(CodeSizeEntry(
+            program=baseline.name,
+            baseline_lines=baseline.serial_line_count(),
+            directive_lines=port.directive_lines,
+            restructured_lines=port.restructured_lines))
+
+    @property
+    def average_percent(self) -> float:
+        if not self.entries:
+            return 0.0
+        return sum(e.increase_percent for e in self.entries) / len(self.entries)
+
+    def summary(self) -> str:
+        return f"{self.model}: +{self.average_percent:.1f}%"
+
+
+def codesize_for(model: str,
+                 baselines_and_ports: Iterable[tuple[Program, PortSpec]],
+                 ) -> CodeSizeReport:
+    """Aggregate one model's porting cost over the suite.
+
+    ``baselines_and_ports`` pairs each benchmark's *original OpenMP
+    program* (the denominator — not the restructured port program) with
+    the model's port.
+    """
+    report = CodeSizeReport(model=model)
+    for baseline, port in baselines_and_ports:
+        report.add_port(baseline, port)
+    return report

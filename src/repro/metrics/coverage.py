@@ -1,0 +1,58 @@
+"""Program-coverage accounting (Table II, column 1).
+
+Coverage is the fraction of OpenMP parallel regions each model translates
+to GPU kernels, measured over the whole 13-benchmark suite (58 regions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.models.base import CompiledProgram
+
+
+@dataclass
+class CoverageReport:
+    """Aggregate coverage of one model over many compiled programs."""
+
+    model: str
+    translated: int = 0
+    total: int = 0
+    #: per-program (translated, total)
+    per_program: dict[str, tuple[int, int]] = field(default_factory=dict)
+    #: (program, region, feature) for each failure
+    failures: list[tuple[str, str, str]] = field(default_factory=list)
+
+    @property
+    def percent(self) -> float:
+        return 100.0 * self.translated / self.total if self.total else 0.0
+
+    def add(self, compiled: CompiledProgram) -> None:
+        self.per_program[compiled.program.name] = (
+            compiled.regions_translated, compiled.regions_total)
+        self.translated += compiled.regions_translated
+        self.total += compiled.regions_total
+        for result in compiled.results.values():
+            if not result.translated:
+                for diag in result.diagnostics:
+                    self.failures.append(
+                        (compiled.program.name, diag.region, diag.feature))
+
+    def summary(self) -> str:
+        return (f"{self.model}: {self.percent:.1f}% "
+                f"({self.translated}/{self.total})")
+
+
+def coverage_for(model: str,
+                 compiled_programs: Iterable[CompiledProgram],
+                 ) -> CoverageReport:
+    """Aggregate a model's coverage over a set of compiled programs."""
+    report = CoverageReport(model=model)
+    for compiled in compiled_programs:
+        if compiled.model != model:
+            raise ValueError(
+                f"compiled program {compiled.program.name!r} targets "
+                f"{compiled.model!r}, expected {model!r}")
+        report.add(compiled)
+    return report

@@ -1,0 +1,79 @@
+"""Speedup computation (Figure 1).
+
+Speedups are GPU end-to-end simulated time (kernels + transfers + any
+host-fallback regions) over the serial-CPU analytical time of the same
+workload, matching the paper's "speedups are over sequential CPU versions
+without OpenMP".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional
+
+
+@dataclass(frozen=True)
+class SpeedupResult:
+    """One (benchmark, model, variant) measurement."""
+
+    benchmark: str
+    model: str
+    variant: str
+    cpu_time_s: float
+    gpu_time_s: float
+    kernel_time_s: float
+    transfer_time_s: float
+    host_fallback_s: float
+
+    @property
+    def speedup(self) -> float:
+        if self.gpu_time_s <= 0:
+            return float("inf")
+        return self.cpu_time_s / self.gpu_time_s
+
+    def summary(self) -> str:
+        return (f"{self.benchmark}/{self.model}[{self.variant}]: "
+                f"{self.speedup:.2f}x  (cpu {self.cpu_time_s * 1e3:.2f} ms, "
+                f"gpu {self.gpu_time_s * 1e3:.2f} ms = "
+                f"{self.kernel_time_s * 1e3:.2f} kernel + "
+                f"{self.transfer_time_s * 1e3:.2f} xfer + "
+                f"{self.host_fallback_s * 1e3:.2f} host)")
+
+
+@dataclass
+class BenchmarkSpeedups:
+    """All variants of one (benchmark, model) pair."""
+
+    benchmark: str
+    model: str
+    variants: list[SpeedupResult] = field(default_factory=list)
+
+    @property
+    def best(self) -> SpeedupResult:
+        if not self.variants:
+            raise ValueError("no variants recorded")
+        return max(self.variants, key=lambda r: r.speedup)
+
+    @property
+    def primary(self) -> SpeedupResult:
+        """The canonical port (variant named "best") — Figure 1's bar.
+
+        Other variants (naive translations, alternative manual tunings)
+        contribute only to the tuning-variation whisker.
+        """
+        for r in self.variants:
+            if r.variant == "best":
+                return r
+        return self.best
+
+    @property
+    def worst(self) -> SpeedupResult:
+        if not self.variants:
+            raise ValueError("no variants recorded")
+        return min(self.variants, key=lambda r: r.speedup)
+
+    @property
+    def tuning_variation(self) -> float:
+        """best/worst speedup ratio — the Figure 1 whiskers."""
+        worst = self.worst.speedup
+        return self.best.speedup / worst if worst > 0 else float("inf")

@@ -1,0 +1,50 @@
+"""Directive-model compilers and the manual-CUDA baseline."""
+
+from repro.models.base import (CompiledProgram, DataRegionSpec, Diagnostic,
+                               DirectiveCompiler, ExecutableProgram,
+                               PortSpec, RegionOptions, RegionResult,
+                               ScheduleStep, grid_nest, region_arrays)
+from repro.models.cuda_manual import ManualCudaCompiler
+from repro.models.features import (CAPABILITIES, FEATURE_ROWS, FEATURE_TABLE,
+                                   MODEL_COLUMNS, ModelCapabilities,
+                                   render_table1)
+from repro.models.hicuda import HiCudaCompiler
+from repro.models.hmpp import HMPPCompiler
+from repro.models.openacc import OpenACCCompiler
+from repro.models.openmpc import OpenMPCCompiler
+from repro.models.pgi import PGICompiler
+from repro.models.rstream import RStreamCompiler
+
+#: the evaluated directive models, in the paper's column order
+DIRECTIVE_MODELS: tuple[str, ...] = (
+    "PGI Accelerator", "OpenACC", "HMPP", "OpenMPC", "R-Stream",
+)
+
+#: all compilers by name (including the baseline and hiCUDA, which —
+#: as in the paper — appears in Table I but not in the evaluation)
+COMPILERS = {
+    cls.name: cls for cls in (
+        PGICompiler, OpenACCCompiler, HMPPCompiler, OpenMPCCompiler,
+        RStreamCompiler, ManualCudaCompiler, HiCudaCompiler)
+}
+
+
+def get_compiler(name: str) -> DirectiveCompiler:
+    """Instantiate a compiler by its paper name."""
+    try:
+        return COMPILERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown model {name!r}; known: {sorted(COMPILERS)}") from None
+
+
+__all__ = [
+    "DirectiveCompiler", "CompiledProgram", "RegionResult", "Diagnostic",
+    "PortSpec", "RegionOptions", "DataRegionSpec", "ScheduleStep",
+    "ExecutableProgram", "grid_nest", "region_arrays",
+    "PGICompiler", "OpenACCCompiler", "HMPPCompiler", "OpenMPCCompiler",
+    "RStreamCompiler", "ManualCudaCompiler", "HiCudaCompiler",
+    "DIRECTIVE_MODELS", "COMPILERS", "get_compiler",
+    "FEATURE_TABLE", "FEATURE_ROWS", "MODEL_COLUMNS", "CAPABILITIES",
+    "ModelCapabilities", "render_table1",
+]

@@ -1,0 +1,542 @@
+"""Shared machinery for the directive-model compilers.
+
+Each of the five evaluated models (plus the hand-written-CUDA baseline)
+is a :class:`DirectiveCompiler` subclass.  Compilation consumes
+
+* an input :class:`~repro.ir.program.Program` — possibly *restructured*
+  by the port (the paper's "code structures of the input programs were
+  also modified to meet the requirements and suggestions of each model"),
+* a :class:`PortSpec` — the per-model annotations the programmer added:
+  data regions, explicit clauses, loop-transformation directives, launch
+  configuration hints, and the code-size accounting for Table II,
+
+and produces a :class:`CompiledProgram`: per-region kernels (or an
+:class:`UnsupportedFeature` diagnostic — the coverage misses of Table II),
+plus a data-transfer plan.  :class:`ExecutableProgram` then drives a
+:class:`~repro.gpusim.runtime.CudaRuntime` through the benchmark's
+region schedule, executing translated regions on the simulated GPU and
+failed regions on the host, accumulating the simulated wall time that
+Figure 1's speedups are computed from.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Callable, Iterable, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.cpu.host import KEENELAND_HOST, HostSpec, price_region_serial
+from repro.cpu.openmp import run_region_host
+from repro.errors import CompileError, UnsupportedFeatureError
+from repro.gpusim.device import TESLA_M2090, DeviceSpec
+from repro.gpusim.kernel import DEFAULT_BLOCK, Kernel
+from repro.gpusim.memory import MemorySpace
+from repro.gpusim.runtime import CudaRuntime
+from repro.ir.analysis.features import RegionFeatures, scan_region
+from repro.ir.program import ParallelRegion, Program
+from repro.ir.stmt import Block, For, LocalDecl, Stmt
+from repro.ir.transforms.tiling import TilingDecision
+
+Value = Union[int, float]
+
+
+# ---------------------------------------------------------------------------
+# Port specifications (what the programmer wrote for each model)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DataRegionSpec:
+    """A data-scope annotation enclosing several compute regions.
+
+    In PGI Accelerator/OpenACC this is a ``data`` region; in HMPP, a
+    codelet *group* with ``advancedload``/``delegatedstore``; in OpenMPC,
+    the implicit whole-program/function boundary driven by environment
+    variables.  Arrays in ``copyin`` move host→device once at entry,
+    ``copyout`` device→host once at exit, ``create`` live device-only.
+    """
+
+    name: str
+    regions: tuple[str, ...]
+    copyin: tuple[str, ...] = ()
+    copyout: tuple[str, ...] = ()
+    create: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class RegionOptions:
+    """Per-region tuning/porting knobs a model port may carry."""
+
+    block_threads: Optional[int] = None
+    #: memory-space placements the port requests (HMPP/OpenMPC explicit;
+    #: PGI/OpenACC can only get these from the compiler, see the models)
+    placements: Mapping[str, MemorySpace] = field(default_factory=dict)
+    #: shared-memory tilings (explicit in HMPP/OpenMPC/manual)
+    tiling: tuple[TilingDecision, ...] = ()
+    #: arrays whose contents are thread-dependent indices
+    indirect_carriers: tuple[str, ...] = ()
+    #: directive-requested loop transformations (only models whose Table I
+    #: 'loop transformations' cell is *explicit* may honor these — HMPP
+    #: and OpenMPC; requesting them of PGI/OpenACC is a port error)
+    request_loop_swap: bool = False
+    request_collapse: bool = False
+    #: request automatic-transform suppression (ablation hook)
+    disable_auto_transforms: bool = False
+    #: registers per thread (manual CUDA versions tune this)
+    regs_per_thread: int = 24
+    #: access-pattern facts the port establishes by restructuring that the
+    #: structural analysis cannot see (e.g. the CFD layout change making
+    #: matrix accesses coalesced)
+    pattern_overrides: Mapping[str, "AccessPattern"] = field(default_factory=dict)
+    #: expansion orientation for private arrays ("row"/"column"/"register")
+    private_orientations: Mapping[str, str] = field(default_factory=dict)
+    #: OpenACC compute construct for this region: "kernels" (each loop
+    #: nest becomes one kernel, the PGI compute-region behaviour) or
+    #: "parallel" (the whole region is a single kernel, OpenMP-style —
+    #: Section III-B).  Only OpenACC consults it.
+    construct: str = "kernels"
+
+
+@dataclass(frozen=True)
+class PortSpec:
+    """One benchmark's port to one model (Table II's raw material)."""
+
+    model: str
+    program: Program
+    #: directive lines the programmer added
+    directive_lines: int = 0
+    #: input source lines restructured/added beyond directives
+    restructured_lines: int = 0
+    data_regions: tuple[DataRegionSpec, ...] = ()
+    region_options: Mapping[str, RegionOptions] = field(default_factory=dict)
+    notes: tuple[str, ...] = ()
+
+    def options_for(self, region: str) -> RegionOptions:
+        return self.region_options.get(region, RegionOptions())
+
+    def added_lines(self) -> int:
+        return self.directive_lines + self.restructured_lines
+
+
+# ---------------------------------------------------------------------------
+# Compile results
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Diagnostic:
+    """Why a region could not be translated."""
+
+    region: str
+    feature: str
+    message: str
+
+
+@dataclass
+class RegionResult:
+    """Outcome of compiling one parallel region."""
+
+    region: str
+    translated: bool
+    kernels: list[Kernel] = field(default_factory=list)
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: human-readable record of transformations the compiler applied
+    applied: list[str] = field(default_factory=list)
+    #: arrays this region reads / writes (for the transfer planner)
+    reads: frozenset[str] = frozenset()
+    writes: frozenset[str] = frozenset()
+
+
+@dataclass
+class CompiledProgram:
+    """A whole program, compiled by one model.
+
+    ``data_regions`` is the *effective* transfer discipline: the port's
+    explicit data regions, possibly augmented by the compiler (OpenMPC's
+    interprocedural analysis and R-Stream's automatic management
+    synthesize a whole-program data scope without user directives).
+    """
+
+    model: str
+    program: Program
+    port: PortSpec
+    results: dict[str, RegionResult]
+    data_regions: tuple[DataRegionSpec, ...] = ()
+
+    @property
+    def regions_total(self) -> int:
+        return len(self.results)
+
+    @property
+    def regions_translated(self) -> int:
+        return sum(1 for r in self.results.values() if r.translated)
+
+    @property
+    def coverage(self) -> float:
+        if not self.results:
+            return 0.0
+        return self.regions_translated / self.regions_total
+
+    def result(self, region: str) -> RegionResult:
+        return self.results[region]
+
+    def diagnostics(self) -> list[Diagnostic]:
+        out: list[Diagnostic] = []
+        for r in self.results.values():
+            out.extend(r.diagnostics)
+        return out
+
+
+# ---------------------------------------------------------------------------
+# The compiler interface
+# ---------------------------------------------------------------------------
+
+class DirectiveCompiler(abc.ABC):
+    """Base class of the model compilers.
+
+    Subclasses implement :meth:`check_region` (the model's applicability
+    limits — raising :class:`UnsupportedFeatureError`) and
+    :meth:`lower_region` (building the kernels, applying the model's
+    automatic and directive-driven transformations).
+    """
+
+    #: model name as it appears in the paper's tables
+    name: str = "abstract"
+
+    def compile_program(self, port: PortSpec) -> CompiledProgram:
+        """Compile every parallel region of the port's program."""
+        if port.model != self.name:
+            raise CompileError(
+                f"port targets model {port.model!r}, compiler is {self.name!r}")
+        program = port.program
+        results: dict[str, RegionResult] = {}
+        for region in program.regions:
+            results[region.name] = self.compile_region(region, program, port)
+        compiled = CompiledProgram(model=self.name, program=program,
+                                   port=port, results=results,
+                                   data_regions=tuple(port.data_regions))
+        self.plan_data(compiled)
+        return compiled
+
+    def plan_data(self, compiled: CompiledProgram) -> None:
+        """Hook: augment the transfer plan (interprocedural compilers)."""
+
+    def compile_region(self, region: ParallelRegion, program: Program,
+                       port: PortSpec) -> RegionResult:
+        """Check acceptance, then lower; never raises on model limits."""
+        feats = scan_region(region, program)
+        reads, writes = region_arrays(region, program)
+        try:
+            self.check_region(region, feats, program, port)
+        except UnsupportedFeatureError as exc:
+            return RegionResult(
+                region=region.name, translated=False,
+                diagnostics=[Diagnostic(region.name, exc.feature, str(exc))],
+                reads=reads, writes=writes)
+        try:
+            kernels, applied = self.lower_region(region, feats, program, port)
+        except UnsupportedFeatureError as exc:
+            return RegionResult(
+                region=region.name, translated=False,
+                diagnostics=[Diagnostic(region.name, exc.feature, str(exc))],
+                reads=reads, writes=writes)
+        return RegionResult(region=region.name, translated=True,
+                            kernels=kernels, applied=applied,
+                            reads=reads, writes=writes)
+
+    @abc.abstractmethod
+    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec) -> None:
+        """Raise :class:`UnsupportedFeatureError` if the model rejects it."""
+
+    @abc.abstractmethod
+    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec,
+                     ) -> tuple[list[Kernel], list[str]]:
+        """Build kernels for an accepted region."""
+
+    # -- shared lowering helpers -----------------------------------------
+    def kernels_from_worksharing(self, region: ParallelRegion,
+                                 program: Program, port: PortSpec,
+                                 transform: Optional[Callable[[For], tuple[For, list[str]]]] = None,
+                                 extra_pattern_overrides: Optional[Mapping[str, object]] = None,
+                                 extra_private_orientations: Optional[Mapping[str, str]] = None,
+                                 default_private_orientation: Optional[str] = None,
+                                 extra_tiling: Sequence[TilingDecision] = (),
+                                 ) -> tuple[list[Kernel], list[str]]:
+        """One kernel per outermost work-sharing loop.
+
+        ``transform`` optionally rewrites each loop (auto optimizations)
+        and reports what it did.  The ``extra_*`` mappings are the
+        compiler's own decisions, merged over the port's options.
+        ``default_private_orientation`` applies to private arrays neither
+        the port nor the compiler placed (PGI-style row expansion).
+        """
+        opts = port.options_for(region.name)
+        kernels: list[Kernel] = []
+        applied: list[str] = []
+        loops = region.worksharing_loops()
+        if not loops:
+            raise UnsupportedFeatureError(
+                "no-worksharing-loop",
+                f"region {region.name!r} has no work-sharing loop")
+        reads, writes = region_arrays(region, program)
+        arrays = sorted(reads | writes)
+        scalars = sorted(program.scalars)
+        overrides = dict(opts.pattern_overrides)
+        overrides.update(extra_pattern_overrides or {})
+        monotone = tuple(sorted(
+            name for name, decl in program.arrays.items()
+            if decl.monotone_content))
+        orientations = dict(opts.private_orientations)
+        orientations.update(extra_private_orientations or {})
+        tiling = tuple(opts.tiling) + tuple(extra_tiling)
+        for n, loop in enumerate(loops):
+            body: For = loop
+            if transform is not None:
+                body, notes = transform(loop)
+                applied.extend(notes)
+            if default_private_orientation is not None:
+                for stmt in body.walk():
+                    if isinstance(stmt, LocalDecl) and stmt.shape:
+                        orientations.setdefault(stmt.name,
+                                                default_private_orientation)
+            nest = grid_nest(body)
+            kernels.append(Kernel(
+                name=f"{program.name}_{region.name}_k{n}",
+                body=body, thread_vars=nest, arrays=arrays, scalars=scalars,
+                block_threads=opts.block_threads or DEFAULT_BLOCK,
+                placements=dict(opts.placements),
+                tiling=tiling,
+                regs_per_thread=opts.regs_per_thread,
+                indirect_carriers=opts.indirect_carriers,
+                monotone_carriers=monotone,
+                pattern_overrides=overrides,
+                private_orientations=orientations))
+        return kernels, applied
+
+
+def grid_nest(loop: For, max_dims: int = 3) -> list[str]:
+    """The contiguous outermost parallel nest of ``loop`` (grid mapping)."""
+    nest = [loop.var]
+    node = loop
+    while len(nest) < max_dims:
+        inner = [s for s in node.body.stmts if isinstance(s, For) and s.parallel]
+        others = [s for s in node.body.stmts
+                  if not isinstance(s, (For, LocalDecl))]
+        seq = [s for s in node.body.stmts
+               if isinstance(s, For) and not s.parallel]
+        if len(inner) == 1 and not others and not seq:
+            nest.append(inner[0].var)
+            node = inner[0]
+        else:
+            break
+    return nest
+
+
+def auto_data_region(compiled: CompiledProgram, name: str) -> Optional[DataRegionSpec]:
+    """Synthesize a whole-program data scope from data-flow facts.
+
+    Copy in each array read before its first write (in program region
+    order — the driver's invocation order); copy out every written array
+    whose declaration says its final value escapes (intent out/inout).
+    Temp arrays live device-only.  Only translated regions participate.
+    """
+    translated = [r.name for r in compiled.program.regions
+                  if compiled.results[r.name].translated]
+    if not translated:
+        return None
+    written: set[str] = set()
+    copyin: set[str] = set()
+    touched: set[str] = set()
+    for region in compiled.program.regions:
+        res = compiled.results[region.name]
+        if not res.translated:
+            continue
+        copyin |= (set(res.reads) - written)
+        written |= set(res.writes)
+        touched |= set(res.reads) | set(res.writes)
+    copyout = {nm for nm in written
+               if compiled.program.arrays[nm].intent in ("out", "inout")}
+    create = touched - copyin - copyout
+    return DataRegionSpec(name=name, regions=tuple(translated),
+                          copyin=tuple(sorted(copyin)),
+                          copyout=tuple(sorted(copyout)),
+                          create=tuple(sorted(create)))
+
+
+def region_arrays(region: ParallelRegion,
+                  program: Program) -> tuple[frozenset[str], frozenset[str]]:
+    """(reads, writes) of program-level arrays for one region.
+
+    Uses the region's explicit summaries when present, otherwise derives
+    them from the body (plus called functions' bodies).
+    """
+    from repro.ir.visitors import read_arrays, written_arrays
+
+    if region._arrays_read is not None and region._arrays_written is not None:
+        return frozenset(region._arrays_read), frozenset(region._arrays_written)
+    reads = read_arrays(region.body)
+    writes = written_arrays(region.body)
+    for stmt in region.body.walk():
+        from repro.ir.stmt import CallStmt
+        if isinstance(stmt, CallStmt) and stmt.func in program.functions:
+            func = program.functions[stmt.func]
+            # map param names to argument arrays
+            param_map = {}
+            for param, arg in zip(func.params, stmt.args):
+                from repro.ir.expr import Var
+                if param.is_array and isinstance(arg, Var):
+                    param_map[param.name] = arg.name
+            for name in read_arrays(func.body):
+                reads.add(param_map.get(name, name))
+            for name in written_arrays(func.body):
+                writes.add(param_map.get(name, name))
+    declared = set(program.arrays)
+    return frozenset(reads & declared), frozenset(writes & declared)
+
+
+# ---------------------------------------------------------------------------
+# Execution: driving the runtime through a region schedule
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ScheduleStep:
+    """One host-driver step: invoke a region (``times`` may be > 1 for
+    tight loops whose per-iteration host work is negligible).
+
+    ``scalars`` override/extend the workload's scalar bindings for this
+    step — iteration counters, per-pass constants.
+    """
+
+    region: str
+    times: int = 1
+    scalars: Mapping[str, Value] = field(default_factory=dict)
+
+
+class ExecutableProgram:
+    """Runs a compiled program on a simulated device.
+
+    The transfer discipline comes from the port's data regions: arrays
+    covered by a data region move only at its boundaries; everything else
+    moves per region invocation (copy-in reads, copy-out writes) — the
+    naive pattern the paper's untuned ports exhibit.
+    """
+
+    def __init__(self, compiled: CompiledProgram,
+                 runtime: Optional[CudaRuntime] = None,
+                 host: HostSpec = KEENELAND_HOST) -> None:
+        self.compiled = compiled
+        self.rt = runtime or CudaRuntime()
+        self.host = host
+        self.host_time_s = 0.0
+        self._data_region_of: dict[str, DataRegionSpec] = {}
+        for dr in compiled.data_regions:
+            for rname in dr.regions:
+                self._data_region_of[rname] = dr
+        self._entered_dr: set[str] = set()
+        self._resident: set[str] = set()
+        self._dirty: set[str] = set()
+
+    # -- setup -------------------------------------------------------------
+    def bind_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
+        for name, arr in arrays.items():
+            self.rt.bind_host(name, arr)
+
+    # -- data-region management --------------------------------------------
+    def _enter_data_region(self, dr: DataRegionSpec,
+                           scalars: Mapping[str, Value]) -> None:
+        if dr.name in self._entered_dr:
+            return
+        self._entered_dr.add(dr.name)
+        for name in dr.copyin:
+            self._ensure_alloc(name)
+            self.rt.htod(name)
+            self._resident.add(name)
+        for name in dr.create + dr.copyout:
+            self._ensure_alloc(name)
+            self._resident.add(name)
+
+    def _ensure_alloc(self, name: str) -> None:
+        if name not in self.rt.buffers:
+            self.rt.malloc(name)
+
+    def close_data_regions(self) -> None:
+        """Exit all data regions: copy out their results."""
+        for dr in self.compiled.data_regions:
+            if dr.name in self._entered_dr:
+                for name in dr.copyout:
+                    self.rt.dtoh(name)
+                self._entered_dr.discard(dr.name)
+        for name in list(self._resident):
+            self._resident.discard(name)
+
+    # -- region invocation ---------------------------------------------------
+    def run_region(self, name: str, scalars: Mapping[str, Value],
+                   times: int = 1) -> None:
+        result = self.compiled.result(name)
+        region = self.compiled.program.region(name)
+        if not result.translated:
+            self._run_on_host(region, scalars, times)
+            return
+        dr = self._data_region_of.get(name)
+        if dr is not None:
+            self._enter_data_region(dr, scalars)
+        for _ in range(times):
+            self._transfers_in(result, dr)
+            for kernel in result.kernels:
+                self.rt.launch(kernel, scalars,
+                               functions=self.compiled.program.functions)
+            self._transfers_out(result, dr)
+
+    def _transfers_in(self, result: RegionResult,
+                      dr: Optional[DataRegionSpec]) -> None:
+        covered = set(dr.copyin) | set(dr.copyout) | set(dr.create) \
+            if dr is not None else set()
+        for name in sorted(result.reads | result.writes):
+            self._ensure_alloc(name)
+            if name in covered and name in self._resident:
+                continue
+            if name in result.reads:
+                self.rt.htod(name)
+
+    def _transfers_out(self, result: RegionResult,
+                       dr: Optional[DataRegionSpec]) -> None:
+        covered = set(dr.copyin) | set(dr.copyout) | set(dr.create) \
+            if dr is not None else set()
+        for name in sorted(result.writes):
+            if name in covered:
+                self._dirty.add(name)
+                continue
+            self.rt.dtoh(name)
+
+    def _run_on_host(self, region: ParallelRegion,
+                     scalars: Mapping[str, Value], times: int) -> None:
+        """A region the model failed to translate runs serially on host."""
+        extents = {name: list(arr.shape)
+                   for name, arr in self.rt.host_arrays.items()}
+        bindings = {k: float(v) for k, v in scalars.items()}
+        t = price_region_serial(region, extents, bindings, spec=self.host)
+        # price_region_serial multiplies by region.invocations; here the
+        # driver controls repetition explicitly.
+        t = t / max(1, region.invocations) * times
+        self.host_time_s += t
+        if self.rt.execute:
+            # host data must be current: copy back any resident arrays the
+            # region touches, then re-stage them
+            reads, writes = region_arrays(region, self.compiled.program)
+            for name in sorted((reads | writes)):
+                if name in self.rt.buffers and name in self._resident:
+                    self.rt.dtoh(name)
+            for _ in range(times):
+                run_region_host(region, self.rt.host_arrays, scalars,
+                                self.compiled.program.functions)
+            for name in sorted(reads | writes):
+                if name in self.rt.buffers and name in self._resident:
+                    self.rt.htod(name)
+
+    # -- results ---------------------------------------------------------
+    @property
+    def gpu_time_s(self) -> float:
+        """Simulated end-to-end time: device timeline + host fallbacks."""
+        return self.rt.clock_s + self.host_time_s

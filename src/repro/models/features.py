@@ -1,0 +1,193 @@
+"""Table I: the feature matrix of the directive models.
+
+Each cell records *how* a model exposes a capability: ``explicit``
+(directives exist to control it), ``implicit`` (the compiler handles it),
+``indirect`` (the user can steer the compiler indirectly), ``imp-dep``
+(implementation dependent), or combinations.  The data below transcribes
+the paper's Table I; the test-suite cross-checks the cells against the
+corresponding compiler behaviours (e.g. a model whose "data movement" is
+implicit-only must synthesize its own transfer plan).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+EXPLICIT = "explicit"
+IMPLICIT = "implicit"
+INDIRECT = "indirect"
+IMP_DEP = "imp-dep"
+
+#: Table I row labels, in paper order.
+FEATURE_ROWS: tuple[str, ...] = (
+    "Code regions to be offloaded",
+    "Loop mapping",
+    "GPU memory allocation and free",
+    "Data movement between CPU and GPU",
+    "Loop transformations",
+    "Data management optimizations",
+    "Thread batching",
+    "Utilization of special memories",
+)
+
+#: Table I column labels (models), in paper order.
+MODEL_COLUMNS: tuple[str, ...] = (
+    "PGI", "OpenACC", "HMPP", "OpenMPC", "hiCUDA", "R-Stream",
+)
+
+#: The matrix itself.  Cells are tuples of support levels (some cells in
+#: the paper carry two entries, e.g. "explicit implicit").  The first two
+#: rows are categorical rather than support levels.
+FEATURE_TABLE: Mapping[str, Mapping[str, tuple[str, ...]]] = {
+    "Code regions to be offloaded": {
+        "PGI": ("loops",),
+        "OpenACC": ("structured blocks",),
+        "HMPP": ("loops",),
+        "OpenMPC": ("structured blocks",),
+        "hiCUDA": ("structured blocks",),
+        "R-Stream": ("loops",),
+    },
+    "Loop mapping": {
+        "PGI": ("parallel", "vector"),
+        "OpenACC": ("parallel", "vector"),
+        "HMPP": ("parallel",),
+        "OpenMPC": ("parallel",),
+        "hiCUDA": ("parallel",),
+        "R-Stream": ("parallel",),
+    },
+    "GPU memory allocation and free": {
+        "PGI": (EXPLICIT, IMPLICIT),
+        "OpenACC": (EXPLICIT, IMPLICIT),
+        "HMPP": (EXPLICIT, IMPLICIT),
+        "OpenMPC": (EXPLICIT, IMPLICIT),
+        "hiCUDA": (EXPLICIT,),
+        "R-Stream": (IMPLICIT,),
+    },
+    "Data movement between CPU and GPU": {
+        "PGI": (EXPLICIT, IMPLICIT),
+        "OpenACC": (EXPLICIT, IMPLICIT),
+        "HMPP": (EXPLICIT, IMPLICIT),
+        "OpenMPC": (EXPLICIT, IMPLICIT),
+        "hiCUDA": (EXPLICIT,),
+        "R-Stream": (IMPLICIT,),
+    },
+    "Loop transformations": {
+        "PGI": (IMPLICIT,),
+        "OpenACC": (IMP_DEP,),
+        "HMPP": (EXPLICIT,),
+        "OpenMPC": (EXPLICIT,),
+        "hiCUDA": (),
+        "R-Stream": (IMPLICIT,),
+    },
+    "Data management optimizations": {
+        "PGI": (EXPLICIT, IMPLICIT),
+        "OpenACC": (IMP_DEP,),
+        "HMPP": (EXPLICIT, IMPLICIT),
+        "OpenMPC": (EXPLICIT, IMPLICIT),
+        "hiCUDA": (IMPLICIT,),
+        "R-Stream": (IMPLICIT,),
+    },
+    "Thread batching": {
+        "PGI": (INDIRECT, IMPLICIT),
+        "OpenACC": (INDIRECT, IMPLICIT),
+        "HMPP": (EXPLICIT, IMPLICIT),
+        "OpenMPC": (EXPLICIT, IMPLICIT),
+        "hiCUDA": (EXPLICIT,),
+        "R-Stream": (EXPLICIT, IMPLICIT),
+    },
+    "Utilization of special memories": {
+        "PGI": (INDIRECT, IMPLICIT),
+        "OpenACC": (INDIRECT, IMP_DEP),
+        "HMPP": (EXPLICIT,),
+        "OpenMPC": (EXPLICIT, IMPLICIT),
+        "hiCUDA": (EXPLICIT,),
+        "R-Stream": (IMPLICIT,),
+    },
+}
+
+
+@dataclass(frozen=True)
+class ModelCapabilities:
+    """The behavioural flags each compiler implementation asserts.
+
+    Tests verify these against both Table I and the compilers' observable
+    behaviour, tying the qualitative table to the executable system.
+    """
+
+    name: str
+    #: user can place data in special memories via directives
+    explicit_special_memories: bool
+    #: user can request loop transformations via directives
+    explicit_loop_transforms: bool
+    #: compiler synthesizes the whole transfer plan with no data clauses
+    automatic_data_plan: bool
+    #: user can set thread-block size directly
+    explicit_thread_batching: bool
+    #: accepts scalar reduction clauses / array reduction clauses
+    scalar_reduction_clause: bool
+    array_reduction_clause: bool
+    #: accepts critical sections that encode reductions
+    critical_reductions: bool
+    #: supports calls to non-inlinable functions in offloaded code
+    interprocedural_calls: bool
+    #: restricted to affine (extended static control) regions
+    affine_only: bool
+
+
+CAPABILITIES: Mapping[str, ModelCapabilities] = {
+    "PGI Accelerator": ModelCapabilities(
+        name="PGI Accelerator",
+        explicit_special_memories=False, explicit_loop_transforms=False,
+        automatic_data_plan=False, explicit_thread_batching=False,
+        scalar_reduction_clause=False, array_reduction_clause=False,
+        critical_reductions=False, interprocedural_calls=False,
+        affine_only=False),
+    "OpenACC": ModelCapabilities(
+        name="OpenACC",
+        explicit_special_memories=False, explicit_loop_transforms=False,
+        automatic_data_plan=False, explicit_thread_batching=True,
+        scalar_reduction_clause=True, array_reduction_clause=False,
+        critical_reductions=False, interprocedural_calls=False,
+        affine_only=False),
+    "HMPP": ModelCapabilities(
+        name="HMPP",
+        explicit_special_memories=True, explicit_loop_transforms=True,
+        automatic_data_plan=False, explicit_thread_batching=True,
+        scalar_reduction_clause=True, array_reduction_clause=False,
+        critical_reductions=False, interprocedural_calls=False,
+        affine_only=False),
+    "OpenMPC": ModelCapabilities(
+        name="OpenMPC",
+        explicit_special_memories=True, explicit_loop_transforms=True,
+        automatic_data_plan=True, explicit_thread_batching=True,
+        scalar_reduction_clause=True, array_reduction_clause=True,
+        critical_reductions=True, interprocedural_calls=True,
+        affine_only=False),
+    "R-Stream": ModelCapabilities(
+        name="R-Stream",
+        explicit_special_memories=False, explicit_loop_transforms=False,
+        automatic_data_plan=True, explicit_thread_batching=True,
+        scalar_reduction_clause=False, array_reduction_clause=False,
+        critical_reductions=False, interprocedural_calls=False,
+        affine_only=True),
+}
+
+
+def render_table1() -> str:
+    """Render Table I as aligned text (the harness's table1 command)."""
+    col_width = max(len(m) for m in MODEL_COLUMNS) + 2
+    row_label_width = max(len(r) for r in FEATURE_ROWS) + 2
+    lines = []
+    header = "Feature".ljust(row_label_width) + "".join(
+        m.ljust(col_width + 8) for m in MODEL_COLUMNS)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in FEATURE_ROWS:
+        cells = FEATURE_TABLE[row]
+        line = row.ljust(row_label_width)
+        for model in MODEL_COLUMNS:
+            cell = "/".join(cells.get(model, ())) or "-"
+            line += cell.ljust(col_width + 8)
+        lines.append(line)
+    return "\n".join(lines)

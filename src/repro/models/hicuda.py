@@ -1,0 +1,102 @@
+"""The hiCUDA compiler (Han & Abdelrahman, TPDS'11).
+
+hiCUDA appears in the paper's Table I as the *lowest-abstraction*
+directive model — "programmers should control most of the features
+explicitly" — but was not part of the quantitative evaluation (and is
+likewise excluded from our Table II/Figure 1 sweeps).  It is provided
+for completeness and for exploring the abstraction-spectrum question
+Table I raises: everything the other models infer must be written down.
+
+Explicit-everything semantics implemented:
+
+* **thread batching is mandatory**: a region without an explicit
+  ``block_threads`` in its options is a port error (hiCUDA's
+  ``kernel ... tblock/thread`` clauses carry the geometry);
+* **data movement is mandatory**: every array the region touches must be
+  covered by a data region (``global alloc``/``copyout`` directives);
+  there is no implicit transfer generation at all;
+* special-memory placements and tilings are honored verbatim
+  (``shared`` / ``constant`` directives);
+* no reduction support of any kind — scalar or array reductions must
+  already have been restructured away;
+* the usual structural limits: loops only, no critical sections, no
+  pointer arithmetic, inline-only calls.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFeatureError
+from repro.gpusim.kernel import Kernel
+from repro.ir.analysis.features import RegionFeatures
+from repro.ir.program import ParallelRegion, Program
+from repro.ir.stmt import Block, For
+from repro.ir.transforms.inline import inline_calls
+from repro.models.base import DirectiveCompiler, PortSpec
+
+
+class HiCudaCompiler(DirectiveCompiler):
+    """hiCUDA: the explicit end of the abstraction spectrum."""
+
+    name = "hiCUDA"
+
+    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec) -> None:
+        opts = port.options_for(region.name)
+        if feats.worksharing_loops == 0:
+            raise UnsupportedFeatureError(
+                "no-worksharing-loop",
+                f"region {region.name!r} contains no parallel loop")
+        if feats.stmts_outside_worksharing:
+            raise UnsupportedFeatureError(
+                "general-structured-block",
+                "hiCUDA kernels are loop nests; hoist the serial code")
+        if feats.has_critical:
+            raise UnsupportedFeatureError(
+                "critical-section", "no critical-section support")
+        if feats.has_pointer_arith:
+            raise UnsupportedFeatureError(
+                "pointer-arithmetic", "no pointer manipulation in kernels")
+        if feats.has_call and not feats.calls_all_inlinable:
+            raise UnsupportedFeatureError(
+                "function-call", "callees must be manually inlinable")
+        if (feats.scalar_reductions or feats.array_reductions
+                or feats.explicit_reduction_clauses):
+            raise UnsupportedFeatureError(
+                "reduction",
+                "hiCUDA has no reduction support; restructure the "
+                "computation (two-level reduction by hand)")
+        if opts.block_threads is None:
+            raise UnsupportedFeatureError(
+                "thread-batching-unspecified",
+                f"region {region.name!r}: hiCUDA requires an explicit "
+                "tblock/thread geometry in the port")
+        covered = set()
+        for dr in port.data_regions:
+            if region.name in dr.regions:
+                covered |= set(dr.copyin) | set(dr.copyout) | set(dr.create)
+        missing = sorted((feats.arrays_referenced | feats.arrays_written)
+                         - covered)
+        if missing:
+            raise UnsupportedFeatureError(
+                "data-movement-unspecified",
+                f"region {region.name!r}: arrays {missing} lack explicit "
+                "global alloc/copy directives")
+
+    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec,
+                     ) -> tuple[list[Kernel], list[str]]:
+        def transform(loop: For) -> tuple[For, list[str]]:
+            if not feats.has_call:
+                return loop, []
+            inlined, names = inline_calls(Block([loop]), program)
+            inner = [s for s in inlined.stmts if isinstance(s, For)]
+            if len(inner) == 1:
+                return inner[0], [f"manually inlined: {', '.join(names)}"]
+            return loop, []
+
+        kernels, applied = self.kernels_from_worksharing(
+            region, program, port, transform=transform,
+            default_private_orientation="register")
+        applied.append("explicit geometry and data directives honored "
+                       "verbatim")
+        return kernels, applied

@@ -1,0 +1,118 @@
+"""The HMPP Workbench compiler (Section III-C).
+
+HMPP's codelet model:
+
+* offloaded code must be a *pure function* (codelet): no critical
+  sections, no calls to non-inlinable functions, no pointer arithmetic,
+  no statements outside the loops — the port pays outlining/refactoring
+  lines for this (Table II's coding-practice story);
+* scalar reduction clauses exist (``reductions`` in the codelet
+  generator directives); array reductions do not;
+* a rich set of **codelet generator directives** gives explicit control
+  over loop transformations (``permute``, ``tile``, ``blocksize``) and
+  CUDA special memories — so HMPP ports express loop-swap and tiling as
+  directives where PGI/OpenACC ports had to restructure the input;
+* data-transfer optimization uses codelet *groups* with
+  ``advancedload``/``delegatedstore`` — mapped to our
+  :class:`~repro.models.base.DataRegionSpec`, at a higher directive-line
+  cost per codelet than a PGI data region (III-C2).
+"""
+
+from __future__ import annotations
+
+from repro.errors import TransformError, UnsupportedFeatureError
+from repro.gpusim.kernel import Kernel
+from repro.ir.analysis.features import RegionFeatures
+from repro.ir.program import ParallelRegion, Program
+from repro.ir.stmt import Block, For
+from repro.ir.transforms.collapse import promote_inner_parallel
+from repro.ir.transforms.inline import inline_calls
+from repro.ir.transforms.interchange import parallel_loop_swap
+from repro.models.base import DirectiveCompiler, PortSpec
+from repro.models.pgi import MAX_NEST_DEPTH
+
+
+class HMPPCompiler(DirectiveCompiler):
+    """HMPP Workbench 3.0.7."""
+
+    name = "HMPP"
+
+    # -- acceptance -----------------------------------------------------
+    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec) -> None:
+        if feats.worksharing_loops == 0:
+            raise UnsupportedFeatureError(
+                "no-worksharing-loop",
+                f"region {region.name!r} contains no parallel loop")
+        if feats.stmts_outside_worksharing:
+            raise UnsupportedFeatureError(
+                "codelet-purity",
+                f"region {region.name!r} has statements outside parallel "
+                "loops; a codelet body must be the computation itself")
+        if feats.has_critical:
+            raise UnsupportedFeatureError(
+                "critical-section",
+                "codelets cannot contain critical sections")
+        if feats.has_pointer_arith:
+            raise UnsupportedFeatureError(
+                "pointer-arithmetic",
+                "codelets are pure functions; no pointer manipulation")
+        if feats.has_call and not feats.calls_all_inlinable:
+            raise UnsupportedFeatureError(
+                "function-call",
+                "codelets may only call functions the generator can inline")
+        if feats.max_nest_depth > MAX_NEST_DEPTH:
+            raise UnsupportedFeatureError(
+                "nest-depth-limit",
+                f"loop nest of depth {feats.max_nest_depth} exceeds the "
+                "codelet generator's limit")
+        if feats.explicit_array_reduction_clauses or feats.array_reductions:
+            raise UnsupportedFeatureError(
+                "array-reduction",
+                "only scalar reduction variables are supported")
+        if feats.complex_reductions and not feats.explicit_reduction_clauses:
+            raise UnsupportedFeatureError(
+                "complex-reduction",
+                "complex reduction patterns need explicit reduction "
+                "directives")
+
+    # -- lowering ---------------------------------------------------------
+    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec,
+                     ) -> tuple[list[Kernel], list[str]]:
+        opts = port.options_for(region.name)
+
+        def transform(loop: For) -> tuple[For, list[str]]:
+            notes: list[str] = []
+            body: For = loop
+            if feats.has_call:
+                inlined_block, names = inline_calls(Block([body]), program)
+                inner = [s for s in inlined_block.stmts if isinstance(s, For)]
+                if len(inner) == 1:
+                    body = inner[0]
+                    notes.append(f"inlined: {', '.join(names)}")
+            if opts.request_loop_swap:
+                try:
+                    body = parallel_loop_swap(body)
+                    notes.append("directive-driven loop permutation "
+                                 "(hmppcg permute)")
+                except TransformError as exc:
+                    raise UnsupportedFeatureError(
+                        "loop-permute", f"cannot permute: {exc}") from exc
+            if opts.request_collapse:
+                try:
+                    body = promote_inner_parallel(body)
+                    notes.append("directive-driven loop gridification "
+                                 "(hmppcg gridify)")
+                except TransformError as exc:
+                    raise UnsupportedFeatureError(
+                        "loop-collapse", f"cannot gridify: {exc}") from exc
+            return body, notes
+
+        # HMPP honors explicit special-memory placements and tilings from
+        # the port (Table I row 'utilization of special memories':
+        # explicit); private arrays default to row-wise expansion like the
+        # other non-OpenMPC models unless the port overrides.
+        return self.kernels_from_worksharing(
+            region, program, port, transform=transform,
+            default_private_orientation="row")

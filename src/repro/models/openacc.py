@@ -1,0 +1,69 @@
+"""The OpenACC compiler (Section III-B) — PGI's implementation.
+
+OpenACC inherits the PGI Accelerator model (the tested implementation is
+literally built on the PGI compiler), with the standard's extensions:
+
+* two compute constructs: **kernels** (each loop nest in the region
+  becomes one kernel — the PGI compute-region behaviour, our default)
+  and **parallel** (the whole region compiles to a *single* kernel,
+  OpenMP-style; a region with several work-sharing nests cannot use it);
+* an **explicit reduction clause** for scalar loop reductions — complex
+  scalar patterns that defeat PGI's implicit detector are fine here *if*
+  the port annotated them;
+* three levels of parallelism (gang/worker/vector) — our grid mapping
+  covers gang×vector; the distinction is recorded, not priced;
+* richer data clauses across procedure boundaries — ports may attach
+  data regions without the PGI lexical-containment caveat;
+* the OpenACC-specific **contiguity requirement**: arrays named in data
+  clauses must be contiguous in memory, or the port must repack them.
+
+Everything else (no critical sections, inline-only calls, no
+loop-transformation directives, row-wise private expansion, automatic
+tiling) behaves as in :class:`repro.models.pgi.PGICompiler`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import UnsupportedFeatureError
+from repro.gpusim.kernel import Kernel
+from repro.ir.analysis.features import RegionFeatures
+from repro.ir.program import ParallelRegion, Program
+from repro.models.base import PortSpec
+from repro.models.pgi import PGICompiler
+
+
+class OpenACCCompiler(PGICompiler):
+    """OpenACC 1.0 via the PGI 12.6 implementation."""
+
+    name = "OpenACC"
+
+    accepts_scalar_reduction_clause = True
+    accepts_array_reduction_clause = False
+    requires_contiguous_arrays = True
+
+    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec) -> None:
+        opts = port.options_for(region.name)
+        if opts.construct not in ("kernels", "parallel"):
+            raise UnsupportedFeatureError(
+                "unknown-construct",
+                f"region {region.name!r}: construct must be 'kernels' or "
+                f"'parallel', got {opts.construct!r}")
+        if opts.construct == "parallel" and feats.worksharing_loops > 1:
+            raise UnsupportedFeatureError(
+                "parallel-construct-single-kernel",
+                f"region {region.name!r} has {feats.worksharing_loops} "
+                "work-sharing nests; the parallel construct compiles the "
+                "whole region into one kernel — use kernels, or split "
+                "the region")
+        super().check_region(region, feats, program, port)
+
+    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec,
+                     ) -> tuple[list[Kernel], list[str]]:
+        kernels, applied = super().lower_region(region, feats, program,
+                                                port)
+        construct = port.options_for(region.name).construct
+        applied.append(f"{construct} construct "
+                       f"({'one kernel per loop nest' if construct == 'kernels' else 'single-kernel region'})")
+        return kernels, applied

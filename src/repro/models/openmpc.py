@@ -1,0 +1,234 @@
+"""The OpenMPC compiler (Section III-D).
+
+OpenMPC consumes the OpenMP annotations directly, which is why its ports
+carry almost no restructuring (Table II: +5.2%).  Implemented behaviour:
+
+* **Region splitting** at every barrier; a split that leaves private
+  scalars upward-exposed is rejected with a diagnostic (the paper: the
+  compiler flags these for manual restructuring).
+* **Critical sections** are accepted iff they encode (scalar or array)
+  reduction patterns, which become two-level GPU reductions.
+* **Array reduction clauses** are accepted (OpenMPC extension).
+* **Function calls** in offloaded regions are supported through
+  interprocedural analysis + selective procedure cloning — no inlining
+  requirement.
+* **Automatic optimizations** (each can be disabled for the ablations):
+
+  - *parallel loop-swap* on perfect 2-deep nests when the access analysis
+    shows the swap converts strided traffic to coalesced (JACOBI, SRAD);
+  - *loop collapsing* of irregular (CSR-style) inner loops — modeled as
+    a pattern override making directly-indexed arrays coalesced (SPMUL,
+    CG);
+  - *matrix-transpose* (column-wise) private-array expansion (EP);
+  - OpenMP-3.0 ``collapse`` clauses are honored structurally (HOTSPOT).
+
+* **Interprocedural data-flow transfer optimization**: the compiler
+  synthesizes a whole-program data scope (copy each array in before its
+  first GPU use, out after its last) with no user data clauses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TransformError, UnsupportedFeatureError
+from repro.gpusim.kernel import Kernel
+from repro.ir.analysis.access import AccessPattern, summarize_accesses
+from repro.ir.analysis.affine import is_affine_in
+from repro.ir.analysis.features import RegionFeatures
+from repro.ir.analysis.liveness import analyze_split
+from repro.ir.expr import ArrayRef
+from repro.ir.program import ParallelRegion, Program
+from repro.ir.stmt import Barrier, Block, For, LocalDecl, Stmt
+from repro.ir.transforms.collapse import promote_inner_parallel
+from repro.ir.transforms.interchange import parallel_loop_swap
+from repro.models.base import (CompiledProgram, DataRegionSpec,
+                               DirectiveCompiler, PortSpec, grid_nest)
+
+
+def _split_at_barriers(region: ParallelRegion) -> list[list[Stmt]]:
+    """Split the region's top-level statement list at barriers."""
+    pieces: list[list[Stmt]] = [[]]
+    for stmt in region.body.stmts:
+        if isinstance(stmt, Barrier):
+            pieces.append([])
+        else:
+            pieces[-1].append(stmt)
+    return [p for p in pieces if p]
+
+
+class OpenMPCCompiler(DirectiveCompiler):
+    """OpenMPC 0.31."""
+
+    name = "OpenMPC"
+
+    # -- acceptance -------------------------------------------------------
+    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec) -> None:
+        if feats.worksharing_loops == 0:
+            raise UnsupportedFeatureError(
+                "no-worksharing-loop",
+                f"region {region.name!r} has no work-sharing construct; "
+                "sub-regions without one execute on the host")
+        if feats.has_critical and not feats.criticals_are_reductions:
+            raise UnsupportedFeatureError(
+                "non-reduction-critical",
+                "critical sections are accepted only when they match a "
+                "reduction pattern")
+        if feats.has_pointer_arith:
+            raise UnsupportedFeatureError(
+                "pointer-type",
+                "pointer-type variables must be converted to arrays "
+                "(outline the parallel region)")
+        for name in sorted(feats.arrays_referenced):
+            if name in program.arrays and not program.arrays[name].contiguous:
+                raise UnsupportedFeatureError(
+                    "non-contiguous-data",
+                    f"multi-dimensional array {name!r} must be allocated "
+                    "as one continuous layout")
+        if feats.has_barrier:
+            pieces = _split_at_barriers(region)
+            for cut in range(1, len(pieces)):
+                prefix = [s for piece in pieces[:cut] for s in piece]
+                suffix = [s for piece in pieces[cut:] for s in piece]
+                report = analyze_split(prefix, suffix, region.private)
+                if not report.safe:
+                    raise UnsupportedFeatureError(
+                        "upward-exposed-private",
+                        f"splitting region {region.name!r} at a barrier "
+                        f"exposes private variables "
+                        f"{sorted(report.upward_exposed)}; restructure "
+                        "the code manually")
+
+    # -- lowering -----------------------------------------------------------
+    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec,
+                     ) -> tuple[list[Kernel], list[str]]:
+        opts = port.options_for(region.name)
+        auto = not opts.disable_auto_transforms
+        applied: list[str] = []
+
+        def transform(loop: For) -> tuple[For, list[str]]:
+            notes: list[str] = []
+            body: For = loop
+            if (loop.collapse > 1 or opts.request_collapse):
+                try:
+                    body = promote_inner_parallel(body)
+                    notes.append("collapse clause honored (2-D grid)")
+                except TransformError:
+                    pass
+            if auto:
+                swapped = self._try_loop_swap(body, program)
+                if swapped is not None:
+                    body = swapped
+                    notes.append("automatic parallel loop-swap")
+            return body, notes
+
+        overrides: dict[str, AccessPattern] = {}
+        if auto:
+            for loop in region.worksharing_loops():
+                collapsed = self._collapsible_irregular_arrays(loop)
+                if collapsed:
+                    for name in collapsed:
+                        overrides[name] = AccessPattern.COALESCED
+                    applied.append(
+                        "loop collapsing of irregular inner loop "
+                        f"(coalesced: {', '.join(sorted(collapsed))})")
+
+        kernels, notes = self.kernels_from_worksharing(
+            region, program, port, transform=transform,
+            default_private_orientation="column" if auto else "row",
+            extra_pattern_overrides=overrides)
+        applied.extend(notes)
+        if auto and any(k.private_orientations.get(n) == "column"
+                        for k in kernels for n in k.private_orientations):
+            applied.append("matrix-transpose (column-wise) private-array "
+                           "expansion")
+        if feats.has_critical:
+            applied.append("critical-section reduction converted to "
+                           "two-level tree reduction")
+        if feats.has_call:
+            applied.append("interprocedural translation with selective "
+                           "procedure cloning")
+        return kernels, applied
+
+    # -- automatic transforms ---------------------------------------------
+    def _try_loop_swap(self, loop: For, program: Program) -> Optional[For]:
+        """Swap a perfect (parallel, sequential) 2-deep nest when the
+        access analysis says the swap converts strided to coalesced."""
+        inner = [s for s in loop.body.stmts if isinstance(s, For)]
+        others = [s for s in loop.body.stmts
+                  if not isinstance(s, (For, LocalDecl))]
+        if len(inner) != 1 or others or inner[0].parallel:
+            return None
+        extents = {name: [None] * decl.ndim
+                   for name, decl in program.arrays.items()}
+        before = summarize_accesses(loop, [loop.var], extents)
+        try:
+            # OpenMPC's aggressive optimizations "rely on array-name-only
+            # analyses" and do not guarantee correctness (III-D2): the
+            # swap is forced past the conservative dependence test, and
+            # the user is expected to verify the output (our test-suite
+            # does, against the NumPy references).
+            swapped = parallel_loop_swap(loop, force=True)
+        except TransformError:
+            return None
+        after = summarize_accesses(swapped, [swapped.var], extents)
+
+        def badness(summary) -> float:
+            score = 0.0
+            for ref, count in summary.refs:
+                if ref.pattern is AccessPattern.STRIDED:
+                    score += count * min(ref.stride, 32)
+                elif ref.pattern is AccessPattern.INDIRECT:
+                    score += count * 24
+            return score
+
+        if badness(after) < badness(before):
+            return swapped
+        return None
+
+    def _collapsible_irregular_arrays(self, loop: For) -> set[str]:
+        """Arrays the CSR-style loop collapsing would make coalesced.
+
+        Looks for a sequential inner loop whose bounds depend on the
+        parallel index (directly or via an index array) and returns the
+        arrays subscripted *affinely by the inner index* — after
+        collapsing, the inner index becomes the thread index and those
+        accesses are contiguous.
+        """
+        result: set[str] = set()
+
+        def scan(stmt: Stmt, tvars: set[str]) -> None:
+            if isinstance(stmt, For):
+                bound_vars = (stmt.lower.free_vars()
+                              | stmt.upper.free_vars())
+                if not stmt.parallel and (bound_vars & tvars):
+                    for expr_stmt in stmt.body.walk():
+                        for expr in expr_stmt.exprs():
+                            for node in expr.walk():
+                                if isinstance(node, ArrayRef):
+                                    if all(is_affine_in(ix, [stmt.var])
+                                           and (stmt.var in ix.free_vars())
+                                           for ix in node.indices):
+                                        result.add(node.name)
+                else:
+                    scan(stmt.body, tvars | {stmt.var} if stmt.parallel
+                         else tvars)
+                return
+            for child in stmt.child_stmts():
+                scan(child, tvars)
+
+        scan(loop.body, {loop.var})
+        return result
+
+    # -- data planning ---------------------------------------------------
+    def plan_data(self, compiled: CompiledProgram) -> None:
+        """Interprocedural transfer optimization: one program-wide scope."""
+        from repro.models.base import auto_data_region
+
+        if compiled.port.data_regions:
+            return  # the port's explicit clauses win
+        auto = auto_data_region(compiled, "__openmpc_interprocedural__")
+        if auto is not None:
+            compiled.data_regions = (auto,)

@@ -1,0 +1,183 @@
+"""The PGI Accelerator compiler (Section III-A).
+
+Acceptance limits implemented (III-A2):
+
+* offloads *loops*, not general structured blocks — regions with code
+  outside work-sharing loops are rejected (the EP restructuring story);
+* no critical sections, no reduction clauses — only *simple* scalar
+  reduction patterns are detected implicitly; complex patterns or array
+  reductions fail;
+* function calls only when the callee is automatically inlinable;
+* no pointer arithmetic in offloaded loops;
+* an implementation limit on nested-loop depth.
+
+Automatic behaviour implemented (III-A1 and the Section V stories):
+
+* nested parallel loops map to multi-dimensional thread blocks;
+* affine 2-D stencil nests get automatic shared-memory tiling ("the PGI
+  compiler automatically applies tiling transformation");
+* private arrays are expanded **row-wise** — intra-thread locality, which
+  is exactly what makes the PGI EP version uncoalesced;
+* data regions (from the port's directives) define transfer scopes; the
+  compiler has no interprocedural transfer planning of its own.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TransformError, UnsupportedFeatureError
+from repro.gpusim.kernel import Kernel
+from repro.ir.analysis.affine import region_is_affine
+from repro.ir.analysis.features import RegionFeatures
+from repro.ir.program import ParallelRegion, Program
+from repro.ir.stmt import Block, For, LocalDecl
+from repro.ir.transforms.inline import inline_calls
+from repro.ir.transforms.tiling import TilingDecision
+from repro.models.base import (DirectiveCompiler, PortSpec, RegionOptions,
+                               grid_nest)
+
+#: implementation-specific limit on loop-nest depth (III-A2)
+MAX_NEST_DEPTH = 4
+
+#: automatic tile edge for 2-D stencil tiling
+AUTO_TILE = 16
+
+
+class PGICompiler(DirectiveCompiler):
+    """PGI Accelerator C, as evaluated with PGI 12.6."""
+
+    name = "PGI Accelerator"
+
+    #: subclass hooks (OpenACC overrides)
+    accepts_scalar_reduction_clause = False
+    accepts_array_reduction_clause = False
+    requires_contiguous_arrays = False
+
+    # -- acceptance -------------------------------------------------------
+    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec) -> None:
+        opts = port.options_for(region.name)
+        if opts.request_loop_swap or opts.request_collapse:
+            raise UnsupportedFeatureError(
+                "no-loop-transformation-directives",
+                f"{self.name} has no directives for loop transformations; "
+                "restructure the input code instead")
+        if feats.worksharing_loops == 0:
+            raise UnsupportedFeatureError(
+                "no-worksharing-loop",
+                f"region {region.name!r} contains no parallel loop")
+        if feats.stmts_outside_worksharing:
+            raise UnsupportedFeatureError(
+                "general-structured-block",
+                f"region {region.name!r} has statements outside parallel "
+                "loops; the compute-region model offloads loops only")
+        if feats.has_critical:
+            raise UnsupportedFeatureError(
+                "critical-section",
+                f"region {region.name!r} contains an OpenMP critical "
+                "section, which the model cannot express")
+        if feats.has_pointer_arith:
+            raise UnsupportedFeatureError(
+                "pointer-arithmetic",
+                "pointer arithmetic is not allowed in offloaded loops")
+        if feats.has_call and not feats.calls_all_inlinable:
+            raise UnsupportedFeatureError(
+                "function-call",
+                f"region {region.name!r} calls functions the compiler "
+                "cannot inline automatically")
+        if feats.max_nest_depth > MAX_NEST_DEPTH:
+            raise UnsupportedFeatureError(
+                "nest-depth-limit",
+                f"loop nest of depth {feats.max_nest_depth} exceeds the "
+                f"implementation limit of {MAX_NEST_DEPTH}")
+        self._check_reductions(region, feats)
+        if self.requires_contiguous_arrays:
+            for name in sorted(feats.arrays_referenced):
+                if name in program.arrays and not program.arrays[name].contiguous:
+                    raise UnsupportedFeatureError(
+                        "non-contiguous-data",
+                        f"array {name!r} is not contiguous in memory; "
+                        "data clauses require contiguous data")
+
+    def _check_reductions(self, region: ParallelRegion,
+                          feats: RegionFeatures) -> None:
+        if feats.explicit_array_reduction_clauses:
+            raise UnsupportedFeatureError(
+                "array-reduction-clause",
+                "reduction clauses accept scalar variables only")
+        if feats.explicit_reduction_clauses and \
+                not self.accepts_scalar_reduction_clause:
+            raise UnsupportedFeatureError(
+                "reduction-clause",
+                f"{self.name} has no reduction clause; reductions must be "
+                "implicitly detectable")
+        if feats.array_reductions:
+            raise UnsupportedFeatureError(
+                "array-reduction",
+                "only scalar reductions can be handled; decompose the "
+                "array reduction manually")
+        clause_covered = feats.explicit_reduction_clauses > 0 and \
+            self.accepts_scalar_reduction_clause
+        if feats.complex_reductions and not clause_covered:
+            raise UnsupportedFeatureError(
+                "complex-reduction",
+                "the implicit reduction detector only recognizes simple "
+                "scalar patterns")
+
+    # -- lowering -----------------------------------------------------------
+    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec,
+                     ) -> tuple[list[Kernel], list[str]]:
+        opts = port.options_for(region.name)
+        applied: list[str] = []
+
+        def transform(loop: For) -> tuple[For, list[str]]:
+            notes: list[str] = []
+            body: For = loop
+            if feats.has_call:
+                inlined_block, names = inline_calls(Block([body]), program)
+                inner = [s for s in inlined_block.stmts if isinstance(s, For)]
+                if len(inner) == 1:
+                    body = inner[0]
+                    notes.append(f"inlined: {', '.join(names)}")
+            return body, notes
+
+        extra_tiling: list[TilingDecision] = []
+        if not opts.disable_auto_transforms and not opts.tiling:
+            tiling = self._auto_tiling(region, feats)
+            if tiling is not None:
+                extra_tiling.append(tiling)
+                applied.append(
+                    f"automatic {AUTO_TILE}x{AUTO_TILE} shared-memory tiling")
+
+        kernels, notes = self.kernels_from_worksharing(
+            region, program, port, transform=transform,
+            default_private_orientation="row",
+            extra_tiling=extra_tiling)
+        applied.extend(notes)
+        if any(k.private_orientations.get(n) == "row"
+               for k in kernels for n in k.private_orientations):
+            applied.append("row-wise private-array expansion")
+        return kernels, applied
+
+    def _auto_tiling(self, region: ParallelRegion,
+                     feats: RegionFeatures) -> Optional[TilingDecision]:
+        """Tile affine 2-D parallel stencil nests for shared memory."""
+        if not feats.is_affine:
+            return None
+        loops = region.worksharing_loops()
+        if len(loops) != 1:
+            return None
+        nest = grid_nest(loops[0])
+        if len(nest) < 2:
+            return None
+        arrays = tuple(sorted(feats.arrays_referenced - feats.arrays_written))
+        if not arrays:
+            return None
+        halo = AUTO_TILE + 2
+        return TilingDecision(
+            tile_dims=(AUTO_TILE, AUTO_TILE),
+            reuse_factor=3.0,
+            smem_bytes_per_block=halo * halo * 8,
+            arrays=arrays)

@@ -1,0 +1,121 @@
+"""The R-Stream polyhedral compiler (Section III-E).
+
+R-Stream is fully automatic but only over *extended static control*
+programs: affine loop bounds, affine subscripts, static control flow.
+Our front end runs the real affine analysis
+(:func:`repro.ir.analysis.affine.region_is_affine`) to decide
+mappability, which is where Table II's 22/58 coverage comes from — the
+blackboxing escape hatch is "not yet fully supported for porting to
+GPUs" (III-E2) and therefore, faithfully, not implemented.
+
+For mappable regions everything is automatic: dependence-checked
+parallelization (the input's OpenMP annotations are ignored — R-Stream
+re-derives parallelism), multi-dimensional grid mapping, hierarchical
+tiling into shared memory, and per-region transfer management.  Cross-
+region transfer optimization is *not* performed (the regions would have
+to be merged into one mappable function, III-E2), so R-Stream programs
+pay per-invocation transfers like untuned PGI ports.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import UnsupportedFeatureError
+from repro.gpusim.kernel import Kernel
+from repro.ir.analysis.deps import parallelization_safe
+from repro.ir.analysis.features import RegionFeatures
+from repro.ir.program import ParallelRegion, Program
+from repro.ir.stmt import For
+from repro.ir.transforms.tiling import TilingDecision
+from repro.models.base import (CompiledProgram, DataRegionSpec,
+                               DirectiveCompiler, PortSpec, grid_nest)
+
+#: tile edge chosen by the hierarchical mapper for stencil nests
+AUTO_TILE = 32
+
+
+class RStreamCompiler(DirectiveCompiler):
+    """R-Stream 3.2RC1."""
+
+    name = "R-Stream"
+
+    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec) -> None:
+        for name in sorted(feats.arrays_referenced):
+            decl = program.arrays.get(name)
+            if decl is not None and not decl.contiguous:
+                raise UnsupportedFeatureError(
+                    "pointer-based-allocation",
+                    f"array {name!r} is allocated as pointer-to-pointer "
+                    "rows; the polyhedral mapper needs one dense linear "
+                    "layout")
+        if not feats.is_affine:
+            raise UnsupportedFeatureError(
+                "non-affine",
+                f"region {region.name!r} is not an extended static "
+                f"control program: {'; '.join(feats.affine_violations[:3])}"
+                " (blackboxing not yet supported for GPU targets)")
+        if feats.worksharing_loops == 0:
+            raise UnsupportedFeatureError(
+                "no-loop",
+                f"region {region.name!r} has no mappable loop")
+        # The polyhedral mapper must *prove* parallelism; annotation is
+        # not trusted.  Loops it cannot prove parallel run sequentially,
+        # and a region with no provably parallel loop is not mapped.
+        if not any(parallelization_safe(loop)
+                   or loop.reductions  # reductions are handled specially
+                   for loop in region.worksharing_loops()):
+            raise UnsupportedFeatureError(
+                "no-provable-parallelism",
+                f"dependence analysis finds no parallel loop in "
+                f"{region.name!r}")
+        # practical limit on mapping complexity (III-E2)
+        if feats.max_nest_depth > 5:
+            raise UnsupportedFeatureError(
+                "mapping-complexity",
+                f"nest depth {feats.max_nest_depth} exceeds the practical "
+                "mapping limit")
+
+    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
+                     program: Program, port: PortSpec,
+                     ) -> tuple[list[Kernel], list[str]]:
+        applied = ["polyhedral dependence analysis and automatic mapping"]
+        extra_tiling: list[TilingDecision] = []
+        loops = region.worksharing_loops()
+        if len(loops) == 1 and len(grid_nest(loops[0])) >= 2:
+            read_only = tuple(sorted(feats.arrays_referenced
+                                     - feats.arrays_written))
+            if read_only:
+                halo = AUTO_TILE + 2
+                extra_tiling.append(TilingDecision(
+                    tile_dims=(AUTO_TILE, AUTO_TILE),
+                    reuse_factor=4.0,
+                    smem_bytes_per_block=min(halo * halo * 8, 34 * 34 * 8),
+                    arrays=read_only))
+                applied.append("hierarchical tiling into shared memory")
+        kernels, notes = self.kernels_from_worksharing(
+            region, program, port,
+            default_private_orientation="column",  # the mapper interleaves
+            extra_tiling=extra_tiling)
+        applied.extend(notes)
+        return kernels, applied
+
+    def plan_data(self, compiled: CompiledProgram) -> None:
+        """Automatic whole-program transfer management — but only when
+        *every* region is mappable.
+
+        Cross-region transfer optimization requires merging the mappable
+        regions into one function (III-E2); unmappable code between them
+        blocks the merge (blackboxing unsupported), leaving the naive
+        per-invocation transfer pattern.
+        """
+        from repro.models.base import auto_data_region
+
+        if compiled.port.data_regions:
+            return
+        if not all(res.translated for res in compiled.results.values()):
+            return
+        auto = auto_data_region(compiled, "__rstream_merged__")
+        if auto is not None:
+            compiled.data_regions = (auto,)

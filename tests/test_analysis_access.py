@@ -1,0 +1,163 @@
+"""Tests for memory-access-pattern classification."""
+
+from repro.ir.analysis.access import (AccessPattern, classify_ref,
+                                      summarize_accesses)
+from repro.ir.builder import (accum, aref, assign, block, iff, local,
+                              maximum, pfor, sfor, v)
+
+
+class TestClassifyRef:
+    def test_fastest_dim_unit_stride(self):
+        cls = classify_ref(aref("a", v("i"), v("j")), ["i", "j"],
+                           dim_extents=[None, None])
+        assert cls.pattern is AccessPattern.COALESCED
+
+    def test_offset_preserves_coalescing(self):
+        cls = classify_ref(aref("a", v("i") - 1, v("j") + 1), ["i", "j"],
+                           dim_extents=[None, None])
+        assert cls.pattern is AccessPattern.COALESCED
+
+    def test_thread_in_slow_dim_is_strided(self):
+        cls = classify_ref(aref("a", v("i"), v("j")), ["i"],
+                           dim_extents=[None, None])
+        assert cls.pattern is AccessPattern.STRIDED
+        assert cls.stride > 32
+
+    def test_constant_stride(self):
+        cls = classify_ref(aref("a", v("i") * 5), ["i"])
+        assert cls.pattern is AccessPattern.STRIDED
+        assert cls.stride == 5
+
+    def test_known_extent_stride(self):
+        cls = classify_ref(aref("a", v("i"), 0), ["i"],
+                           dim_extents=[1024, 16])
+        assert cls.pattern is AccessPattern.STRIDED
+        assert cls.stride == 16
+
+    def test_uniform(self):
+        cls = classify_ref(aref("a", v("k")), ["i"])
+        assert cls.pattern is AccessPattern.UNIFORM
+        assert cls.read_only_uniform
+
+    def test_indirect_through_lane_gather(self):
+        cls = classify_ref(aref("x", aref("col", v("i"))), ["i"])
+        assert cls.pattern is AccessPattern.INDIRECT
+
+    def test_block_dim_gather_not_indirect(self):
+        # iN[i] with i a *block* index: every lane reads the same entry,
+        # so warp coalescing is governed by the fast dimension alone
+        cls = classify_ref(aref("J", aref("iN", v("i")), v("j")),
+                           ["i", "j"], dim_extents=[None, None])
+        assert cls.pattern is AccessPattern.COALESCED
+
+    def test_lane_gather_is_indirect(self):
+        cls = classify_ref(aref("J", v("i"), aref("jW", v("j"))),
+                           ["i", "j"], dim_extents=[None, None])
+        assert cls.pattern is AccessPattern.INDIRECT
+
+    def test_monotone_carrier_sees_through(self):
+        cls = classify_ref(aref("J", aref("iN", v("i")), v("j")),
+                           ["i", "j"], dim_extents=[None, None],
+                           monotone_carriers=["iN"])
+        assert cls.pattern is AccessPattern.COALESCED
+
+    def test_monotone_carrier_in_fast_dim(self):
+        cls = classify_ref(aref("J", v("i"), aref("jW", v("j"))),
+                           ["i", "j"], dim_extents=[None, None],
+                           monotone_carriers=["jW"])
+        assert cls.pattern is AccessPattern.COALESCED
+
+    def test_divmod_collapse_recovery_is_coalesced(self):
+        # temp[(t // cols)][(t % cols)]: lanes walk the fast dim
+        ref = aref("temp", v("t") // v("cols"), v("t") % v("cols"))
+        cls = classify_ref(ref, ["t"], dim_extents=[None, None])
+        assert cls.pattern is AccessPattern.COALESCED
+
+    def test_flat_divmod_linearized(self):
+        ref = aref("temp", (v("t") // v("cols")) * v("cols")
+                   + v("t") % v("cols"))
+        cls = classify_ref(ref, ["t"])
+        assert cls.pattern is AccessPattern.COALESCED
+
+    def test_indirect_carrier_contents(self):
+        cls = classify_ref(aref("cost", aref("frontier", v("k"))), ["i"],
+                           indirect_carriers=["frontier"])
+        assert cls.pattern is AccessPattern.INDIRECT
+
+
+class TestSummaries:
+    def test_sequential_trip_weighting(self):
+        body = pfor("i", 0, v("n"),
+                    sfor("j", 0, v("m"),
+                         assign(aref("b", v("i"), v("j")), 1.0)))
+        summary = summarize_accesses(body, ["i"], {"b": [None, None]},
+                                     {"n": 8, "m": 16})
+        (ref, count), = summary.refs
+        assert count == 16
+        assert ref.is_store
+
+    def test_divergence_halves_weights(self):
+        body = pfor("i", 0, v("n"),
+                    iff(v("i").gt(0), assign(aref("b", v("i")), 1.0)))
+        summary = summarize_accesses(body, ["i"], {"b": [None]}, {"n": 8})
+        stores = summary.stores()
+        assert stores[0][1] == 0.5
+
+    def test_irregular_inner_loop_marks_indirect(self):
+        body = pfor("i", 0, v("n"),
+                    sfor("k", aref("rowstr", v("i")),
+                         aref("rowstr", v("i") + 1),
+                         accum(aref("y", v("i")),
+                               aref("val", v("k")))))
+        summary = summarize_accesses(body, ["i"],
+                                     {"y": [None], "val": [None],
+                                      "rowstr": [None]}, {"n": 8})
+        patterns = {ref.array: ref.pattern for ref, _ in summary.refs}
+        assert patterns["val"] is AccessPattern.INDIRECT
+
+    def test_register_locals_produce_no_traffic(self):
+        body = pfor("i", 0, v("n"), block(
+            local("q", shape=(4,)),
+            accum(aref("q", 0), 1.0),
+        ))
+        summary = summarize_accesses(body, ["i"], {}, {"n": 8})
+        assert not summary.refs
+
+    def test_local_pattern_row_vs_column(self):
+        body = pfor("i", 0, v("n"), block(
+            local("q", shape=(4,)),
+            accum(aref("q", 1), 1.0),
+        ))
+        row = summarize_accesses(body, ["i"], {}, {"n": 8},
+                                 local_patterns={"q": AccessPattern.STRIDED})
+        col = summarize_accesses(
+            body, ["i"], {}, {"n": 8},
+            local_patterns={"q": AccessPattern.COALESCED})
+        assert row.refs[0][0].pattern is AccessPattern.STRIDED
+        assert col.refs[0][0].pattern is AccessPattern.COALESCED
+
+    def test_pattern_overrides(self):
+        body = pfor("i", 0, v("n"),
+                    sfor("k", aref("rowstr", v("i")),
+                         aref("rowstr", v("i") + 1),
+                         accum(aref("y", v("i")), aref("val", v("k")))))
+        summary = summarize_accesses(
+            body, ["i"], {"y": [None], "val": [None], "rowstr": [None]},
+            {"n": 8}, pattern_overrides={"val": AccessPattern.COALESCED})
+        patterns = {ref.array: ref.pattern for ref, _ in summary.refs
+                    if ref.array == "val"}
+        assert patterns["val"] is AccessPattern.COALESCED
+
+    def test_innermost_mode_for_cpu(self):
+        body = pfor("i", 0, v("n"),
+                    sfor("j", 0, v("m"),
+                         assign(aref("b", v("i"), v("j")),
+                                aref("a", v("j"), v("i")))))
+        summary = summarize_accesses(body, (), {"a": [None, None],
+                                                "b": [None, None]},
+                                     {"n": 4, "m": 4},
+                                     classify_against="innermost")
+        patterns = {(r.array, r.is_store): r.pattern
+                    for r, _ in summary.refs}
+        assert patterns[("b", True)] is AccessPattern.COALESCED
+        assert patterns[("a", False)] is AccessPattern.STRIDED

@@ -1,0 +1,150 @@
+"""Tests for the affine / extended-static-control analysis."""
+
+import pytest
+
+from repro.ir.analysis.affine import (affine_form, is_affine_in,
+                                      region_is_affine)
+from repro.ir.builder import (accum, aref, assign, block, call, critical,
+                              iff, intrinsic, local, maximum, pfor, sfor,
+                              ternary, v, wloop)
+from repro.ir.program import ParallelRegion
+
+
+class TestAffineForm:
+    def test_constant(self):
+        form = affine_form(v("i") * 2 + 3, ["i"])
+        assert form.coefficient("i") == 2 and form.const == 3
+
+    def test_sum_and_negation(self):
+        form = affine_form(-(v("i") - v("j")), ["i", "j"])
+        assert form.coefficient("i") == -1
+        assert form.coefficient("j") == 1
+
+    def test_parameters_allowed(self):
+        form = affine_form(v("i") + v("n"), ["i"])
+        assert form is not None
+        assert form.coefficient("n") == 1
+
+    def test_parametric_coefficient(self):
+        form = affine_form(v("i") * v("n") + v("j"), ["i", "j"])
+        assert form is not None
+        assert any("*" in name for name in form.coeffs)
+
+    def test_products_of_indices_rejected(self):
+        assert affine_form(v("i") * v("j"), ["i", "j"]) is None
+
+    def test_mod_rejected(self):
+        assert not is_affine_in(v("i") % 2, ["i"])
+
+    def test_division_by_constant(self):
+        form = affine_form(v("i") / 2, ["i"])
+        assert form.coefficient("i") == 0.5
+
+    def test_int_division_of_index_rejected(self):
+        assert affine_form(v("i") // 2, ["i"]) is None
+
+    def test_indirect_rejected(self):
+        assert affine_form(aref("col", v("k")), ["k"]) is None
+
+    def test_call_rejected(self):
+        assert affine_form(intrinsic("sqrt", v("i")), ["i"]) is None
+
+
+def _region(body, **kw):
+    return ParallelRegion("r", body, **kw)
+
+
+class TestRegionCheck:
+    def test_stencil_is_affine(self):
+        body = pfor("i", 1, v("n") - 1,
+                    sfor("j", 1, v("m") - 1,
+                         assign(aref("b", v("i"), v("j")),
+                                aref("a", v("i") - 1, v("j")))))
+        assert region_is_affine(_region(body)).affine
+
+    def test_intrinsics_in_values_are_fine(self):
+        body = pfor("i", 0, v("n"),
+                    assign(aref("b", v("i")),
+                           intrinsic("exp", aref("a", v("i")))))
+        assert region_is_affine(_region(body)).affine
+
+    def test_indirect_subscript_rejected(self):
+        body = pfor("i", 0, v("n"),
+                    assign(aref("y", v("i")),
+                           aref("x", aref("col", v("i")))))
+        report = region_is_affine(_region(body))
+        assert not report.affine
+        assert any("non-affine subscript" in m for m in report.violations)
+
+    def test_while_rejected(self):
+        body = pfor("i", 0, v("n"), wloop(v("c").gt(0), assign(v("c"), 0)))
+        assert not region_is_affine(_region(body)).affine
+
+    def test_critical_rejected(self):
+        body = pfor("i", 0, v("n"), critical(accum(v("s"), 1)))
+        assert not region_is_affine(_region(body)).affine
+
+    def test_call_rejected(self):
+        body = pfor("i", 0, v("n"), call("helper", v("i")))
+        assert not region_is_affine(_region(body)).affine
+
+    def test_data_dependent_conditional_rejected(self):
+        body = pfor("i", 0, v("n"),
+                    iff(aref("a", v("i")).gt(0),
+                        assign(aref("b", v("i")), 1.0)))
+        assert not region_is_affine(_region(body)).affine
+
+    def test_affine_conditional_accepted(self):
+        body = pfor("i", 0, v("n"),
+                    iff(v("i").gt(0), assign(aref("b", v("i")), 1.0)))
+        assert region_is_affine(_region(body)).affine
+
+    def test_minmax_subscript_rejected(self):
+        # quasi-affine access functions (boundary clamps)
+        body = pfor("i", 0, v("n"),
+                    assign(aref("b", v("i")),
+                           aref("a", maximum(v("i") - 1, 0))))
+        report = region_is_affine(_region(body))
+        assert not report.affine
+        assert any("quasi-affine" in m for m in report.violations)
+
+    def test_symbolic_linearization_rejected(self):
+        body = pfor("i", 0, v("n"),
+                    sfor("j", 0, v("n"),
+                         assign(aref("a", v("i") * v("n") + v("j")), 1.0)))
+        report = region_is_affine(_region(body))
+        assert not report.affine
+        assert any("linearized" in m for m in report.violations)
+
+    def test_constant_linearization_accepted(self):
+        body = pfor("i", 0, v("n"),
+                    assign(aref("a", v("i") * 5 + 1), 1.0))
+        assert region_is_affine(_region(body)).affine
+
+    def test_subscript_through_nonaffine_local_rejected(self):
+        body = pfor("e", 0, v("n"), block(
+            local("kx", dtype="int", init=v("e") % v("m")),
+            assign(aref("tw", v("kx")), 1.0),
+        ))
+        report = region_is_affine(_region(body))
+        assert not report.affine
+        assert any("data-dependent local" in m for m in report.violations)
+
+    def test_affine_local_accepted(self):
+        body = pfor("e", 0, v("n"), block(
+            local("k2", dtype="int", init=v("e") + 1),
+            assign(aref("tw", v("k2")), 1.0),
+        ))
+        assert region_is_affine(_region(body)).affine
+
+    def test_ternary_in_value_rejected(self):
+        body = pfor("i", 0, v("n"),
+                    assign(aref("b", v("i")),
+                           ternary(aref("a", v("i")).gt(0), 1.0, 0.0)))
+        assert not region_is_affine(_region(body)).affine
+
+    def test_nonconstant_step_rejected(self):
+        from repro.ir.stmt import For
+        body = For("i", 0, v("n"), [assign(aref("a", v("i")), 1.0)],
+                   step=v("s"), parallel=True)
+        assert not region_is_affine(_region(body)).affine

@@ -1,0 +1,166 @@
+"""Tests for dependences, liveness, metrics, and feature scanning."""
+
+from repro.ir.analysis.deps import (loop_carried_dependences,
+                                    parallelization_safe)
+from repro.ir.analysis.features import scan_region
+from repro.ir.analysis.liveness import analyze_split, scalar_reads
+from repro.ir.analysis.metrics import body_work, expr_flops
+from repro.ir.builder import (accum, aref, assign, barrier, block, call,
+                              critical, iff, intrinsic, local, pfor,
+                              ptr_swap, reduce_clause, sfor, v, wloop)
+from repro.ir.program import (ArrayDecl, Function, Param, ParallelRegion,
+                              Program, ScalarDecl)
+
+
+class TestDeps:
+    def test_elementwise_is_safe(self):
+        loop = pfor("i", 0, v("n"),
+                    assign(aref("b", v("i")), aref("a", v("i"))))
+        assert parallelization_safe(loop)
+
+    def test_carried_distance_detected(self):
+        loop = pfor("i", 1, v("n"),
+                    assign(aref("a", v("i")), aref("a", v("i") - 1)))
+        deps = loop_carried_dependences(loop)
+        assert any(d.carried_by == "i" and d.distance for d in deps)
+        assert not parallelization_safe(loop)
+
+    def test_disjoint_offsets_safe(self):
+        # writes a[2i], reads a[2i+1]: GCD disproves intersection
+        loop = pfor("i", 0, v("n"),
+                    assign(aref("a", v("i") * 2),
+                           aref("a", v("i") * 2 + 1)))
+        assert parallelization_safe(loop)
+
+    def test_fixed_slot_write_is_carried(self):
+        loop = pfor("i", 0, v("n"), accum(aref("s", 0), aref("a", v("i"))))
+        assert not parallelization_safe(loop)
+
+    def test_unknown_subscripts_conservative(self):
+        loop = pfor("i", 0, v("n"),
+                    assign(aref("a", aref("idx", v("i"))), 1.0))
+        assert not parallelization_safe(loop)
+
+
+class TestLiveness:
+    def test_safe_split(self):
+        prefix = [assign(v("t"), 1.0)]
+        suffix = [assign(v("u"), 2.0)]
+        assert analyze_split(prefix, suffix, ["t"]).safe
+
+    def test_upward_exposed_private(self):
+        prefix = [assign(v("t"), 1.0)]
+        suffix = [assign(aref("a", v("i")), v("t"))]
+        report = analyze_split(prefix, suffix, ["t"])
+        assert not report.safe
+        assert "t" in report.upward_exposed
+
+    def test_shared_scalar_does_not_block(self):
+        prefix = [assign(v("t"), 1.0)]
+        suffix = [assign(aref("a", v("i")), v("t"))]
+        assert analyze_split(prefix, suffix, []).safe
+
+    def test_scalar_reads_excludes_loop_vars(self):
+        loop = sfor("i", 0, v("n"), assign(aref("a", v("i")), v("x")))
+        reads = scalar_reads(loop)
+        assert "x" in reads and "n" in reads and "i" not in reads
+
+
+class TestMetrics:
+    def test_expr_flops_counts_ops(self):
+        assert expr_flops(v("a") + v("b")) == 1.0
+        assert expr_flops(v("a") / v("b")) == 4.0
+        assert expr_flops(intrinsic("sqrt", v("a"))) == 4.0
+
+    def test_subscript_arith_discounted(self):
+        direct = expr_flops(v("i") * 2 + 1)
+        in_sub = expr_flops(aref("a", v("i") * 2 + 1))
+        assert in_sub == direct * 0.25
+
+    def test_body_work_multiplies_trips(self):
+        body = pfor("i", 0, v("n"),
+                    sfor("j", 0, 10, accum(v("s"), v("j") * 2.0)))
+        w = body_work(body, ["i"], {"n": 100})
+        # per thread: 10 iterations of (mul + add) + bookkeeping
+        assert w.flops >= 20
+
+    def test_divergence_sources(self):
+        body = pfor("i", 0, v("n"),
+                    iff(aref("a", v("i")).gt(0), accum(v("s"), 1.0)))
+        w = body_work(body, ["i"], {"n": 8})
+        assert w.divergence > 0
+        assert w.branches == 1
+
+    def test_while_adds_divergence(self):
+        body = pfor("i", 0, v("n"),
+                    wloop(v("c").gt(0), assign(v("c"), v("c") - 1)))
+        assert body_work(body, ["i"], {"n": 4}).divergence >= 0.3
+
+
+class TestFeatureScan:
+    def _program(self, region):
+        return Program("p", [ArrayDecl("a", ("n",)),
+                             ArrayDecl("q", (4,))],
+                       [ScalarDecl("n", "int")], [region],
+                       functions=[Function("helper", [Param("x")],
+                                           assign(v("y"), v("x")),
+                                           inlinable=True)])
+
+    def test_counts_and_flags(self):
+        region = ParallelRegion("r", block(
+            pfor("i", 0, v("n"), block(
+                local("qq", shape=(4,)),
+                accum(aref("qq", v("l")), 1.0),
+                critical(sfor("l", 0, 4,
+                              accum(aref("q", v("l")), aref("qq", v("l"))))),
+            )),
+        ))
+        feats = scan_region(region, self._program(region))
+        assert feats.worksharing_loops == 1
+        assert feats.has_critical and feats.criticals_are_reductions
+        assert feats.has_private_arrays
+        assert "qq" in feats.private_array_names
+        assert feats.array_reductions >= 1
+        assert not feats.is_affine
+
+    def test_stmts_outside_worksharing(self):
+        region = ParallelRegion("r", block(
+            assign(v("x"), 1.0),
+            pfor("i", 0, v("n"), assign(aref("a", v("i")), 1.0)),
+        ))
+        feats = scan_region(region)
+        assert feats.stmts_outside_worksharing
+
+    def test_call_inlinability(self):
+        region = ParallelRegion("r", pfor("i", 0, v("n"),
+                                          call("helper", v("i"))))
+        feats = scan_region(region, self._program(region))
+        assert feats.has_call and feats.calls_all_inlinable
+
+    def test_unknown_call_not_inlinable(self):
+        region = ParallelRegion("r", pfor("i", 0, v("n"),
+                                          call("mystery", v("i"))))
+        feats = scan_region(region, self._program(region))
+        assert feats.has_call and not feats.calls_all_inlinable
+
+    def test_explicit_clauses_counted(self):
+        region = ParallelRegion("r", pfor(
+            "i", 0, v("n"), accum(aref("s", 0), aref("a", v("i"))),
+            reductions=(reduce_clause("+", "s"),
+                        reduce_clause("+", "q", is_array=True))))
+        feats = scan_region(region)
+        assert feats.explicit_reduction_clauses == 2
+        assert feats.explicit_array_reduction_clauses == 1
+
+    def test_pointer_arith_flag(self):
+        region = ParallelRegion("r", block(
+            pfor("i", 0, v("n"), assign(aref("a", v("i")), 1.0)),
+            ptr_swap("a", "b")))
+        assert scan_region(region).has_pointer_arith
+
+    def test_barrier_flag(self):
+        region = ParallelRegion("r", block(
+            pfor("i", 0, v("n"), assign(aref("a", v("i")), 1.0)),
+            barrier(),
+            pfor("i", 0, v("n"), assign(aref("a", v("i")), 2.0))))
+        assert scan_region(region).has_barrier

@@ -1,0 +1,90 @@
+"""Tests for reduction-pattern detection."""
+
+from repro.ir.analysis.reductions import (critical_is_reduction,
+                                          detect_reductions,
+                                          has_unsupported_critical)
+from repro.ir.builder import (accum, aref, assign, block, critical, iff,
+                              local, pfor, sfor, v)
+
+
+class TestDetect:
+    def test_simple_scalar(self):
+        body = block(accum(v("s"), aref("a", v("i"))))
+        (p,) = detect_reductions(body, ("i",))
+        assert p.var == "s" and not p.is_array and p.simple
+
+    def test_scalar_slot_in_array_is_scalar(self):
+        # nrm[0] += ... : fixed subscript == memory-resident scalar
+        body = block(accum(aref("nrm", 0), aref("y", v("i"))))
+        (p,) = detect_reductions(body, ("i",))
+        assert not p.is_array
+
+    def test_parameter_slot_is_scalar(self):
+        body = block(accum(aref("rho", v("t")), aref("r", v("i"))))
+        (p,) = detect_reductions(body, ("i",))
+        assert not p.is_array
+
+    def test_thread_owned_element_is_not_reduction(self):
+        body = block(accum(aref("y", v("i")), 1.0))
+        assert detect_reductions(body, ("i",)) == []
+
+    def test_loop_var_subscript_is_array_reduction(self):
+        body = block(sfor("l", 0, 10, accum(aref("q", v("l")), 1.0)))
+        (p,) = detect_reductions(body, ("i",))
+        assert p.is_array
+
+    def test_gather_subscript_is_array_reduction(self):
+        # hist[cost[i]] += 1: data-dependent target, collides across
+        # threads even though the subscript mentions the parallel index
+        body = block(accum(aref("hist", aref("cost", v("i"))), 1.0))
+        (p,) = detect_reductions(body, ("i",))
+        assert p.is_array
+
+    def test_private_targets_skipped(self):
+        body = block(
+            local("qq", shape=(4,)),
+            accum(aref("qq", v("l")), 1.0),
+            local("t", init=0.0),
+            accum(v("t"), 1.0),
+        )
+        assert detect_reductions(body, ("i",)) == []
+
+    def test_complexity_scoring(self):
+        simple = block(accum(v("s"), 1.0))
+        assert detect_reductions(simple, ("i",))[0].complexity == 0
+        nested = block(sfor("j", 0, 4, sfor("k", 0, 4,
+                                            iff(v("k").gt(0),
+                                                accum(v("s"), 1.0)))))
+        (p,) = detect_reductions(nested, ("i",))
+        assert p.complexity >= 2 and not p.simple
+
+    def test_in_critical_flag(self):
+        body = block(critical(accum(v("s"), 1.0)))
+        (p,) = detect_reductions(body, ("i",))
+        assert p.in_critical
+
+
+class TestCriticalAcceptance:
+    def test_pure_reduction_critical(self):
+        crit = critical(accum(aref("q", v("l")), 1.0))
+        assert critical_is_reduction(crit)
+
+    def test_reduction_loop_critical(self):
+        crit = critical(sfor("l", 0, 10,
+                             accum(aref("q", v("l")), aref("qq", v("l")))))
+        assert critical_is_reduction(crit)
+
+    def test_plain_store_rejected(self):
+        crit = critical(assign(aref("q", v("l")), 1.0))
+        assert not critical_is_reduction(crit)
+
+    def test_mixed_body_rejected(self):
+        crit = critical(block(accum(v("s"), 1.0),
+                              iff(v("s").gt(0), assign(v("x"), 1.0))))
+        assert not critical_is_reduction(crit)
+
+    def test_has_unsupported_critical(self):
+        good = block(critical(accum(v("s"), 1.0)))
+        bad = block(critical(assign(v("s"), 1.0)))
+        assert not has_unsupported_critical(good)
+        assert has_unsupported_critical(bad)

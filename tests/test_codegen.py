@@ -1,0 +1,136 @@
+"""Tests for the CUDA-C unparser (the debuggability feature)."""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.errors import IRError
+from repro.gpusim.codegen import (compiled_program_to_cuda, expr_to_c,
+                                  kernel_to_cuda)
+from repro.gpusim.kernel import Kernel
+from repro.ir.builder import (accum, aref, assign, block, cast, critical,
+                              iff, intrinsic, local, maximum, pfor, sfor,
+                              ternary, v, wloop)
+
+
+class TestExprToC:
+    def test_arithmetic(self):
+        assert expr_to_c(v("a") + v("b") * 2) == "(a + (b * 2))"
+
+    def test_float_literals_keep_point(self):
+        assert expr_to_c(v("x") * 2.0) == "(x * 2.0)"
+
+    def test_min_max(self):
+        assert expr_to_c(maximum(v("a"), 0)) == "max(a, 0)"
+
+    def test_intrinsics(self):
+        assert expr_to_c(intrinsic("rsqrt", v("x"))) == "rsqrt(x)"
+
+    def test_ternary_and_cast(self):
+        assert expr_to_c(ternary(v("c").gt(0), 1.0, 2.0)) \
+            == "((c > 0) ? 1.0 : 2.0)"
+        assert expr_to_c(cast("int", v("x"))) == "((long long)x)"
+
+    def test_array_subscripts(self):
+        assert expr_to_c(aref("a", v("i"), v("j") + 1)) == "a[i][(j + 1)]"
+
+
+class TestKernelToCuda:
+    def _kernel_1d(self):
+        body = assign(aref("b", v("i")), aref("a", v("i")) * 2.0)
+        return Kernel("scale", pfor("i", 0, v("n"), body), ["i"],
+                      arrays=["a", "b"], scalars=["n"], block_threads=128)
+
+    def test_grid_recovery_and_guard(self):
+        src = kernel_to_cuda(self._kernel_1d())
+        assert "__global__ void scale" in src
+        assert "blockIdx.x * blockDim.x + threadIdx.x" in src
+        assert "if (i >= n) return;" in src
+        assert "b[i] = (a[i] * 2.0);" in src
+
+    def test_launch_snippet(self):
+        src = kernel_to_cuda(self._kernel_1d())
+        assert "scale<<<grid, block>>>(a, b, n);" in src
+        assert "dim3 block(128);" in src
+
+    def test_2d_grid_dims(self):
+        body = assign(aref("b", v("i"), v("j")), 0.0)
+        kern = Kernel("k2", pfor("i", 0, v("n"),
+                                 pfor("j", 0, v("m"), body)),
+                      ["i", "j"], arrays=["b"], scalars=["n", "m"])
+        src = kernel_to_cuda(kern)
+        # fastest var j -> x dimension, i -> y
+        assert "long long j = 0 + (blockIdx.x" in src
+        assert "long long i = 0 + (blockIdx.y" in src
+
+    def test_shared_slot_reduction_becomes_atomic(self):
+        body = accum(aref("s", 0), aref("a", v("i")))
+        kern = Kernel("dot", pfor("i", 0, v("n"), body), ["i"],
+                      arrays=["a", "s"], scalars=["n"])
+        src = kernel_to_cuda(kern)
+        assert "atomicAdd(&s[0]," in src
+
+    def test_thread_owned_update_stays_plain(self):
+        body = accum(aref("y", v("i")), 1.0)
+        kern = Kernel("k", pfor("i", 0, v("n"), body), ["i"],
+                      arrays=["y"], scalars=["n"])
+        src = kernel_to_cuda(kern)
+        assert "y[i] += 1.0;" in src
+        assert "atomicAdd" not in src
+
+    def test_gathered_target_is_atomic(self):
+        body = accum(aref("h", aref("c", v("i"))), 1.0)
+        kern = Kernel("hist", pfor("i", 0, v("n"), body), ["i"],
+                      arrays=["h", "c"], scalars=["n"])
+        src = kernel_to_cuda(kern)
+        assert "atomicAdd(&h[c[i]], 1.0);" in src
+
+    def test_locals_and_control_flow(self):
+        body = block(
+            local("t", init=0.0),
+            sfor("k", 0, 4, accum(v("t"), v("k") * 1.0)),
+            iff(v("t").gt(1.0), assign(aref("b", v("i")), v("t")),
+                assign(aref("b", v("i")), 0.0)),
+        )
+        kern = Kernel("k", pfor("i", 0, v("n"), body), ["i"],
+                      arrays=["b"], scalars=["n"])
+        src = kernel_to_cuda(kern)
+        assert "double t = 0.0;" in src
+        assert "for (long long k = 0; k < 4; k += 1)" in src
+        assert "} else {" in src
+
+    def test_private_array_decl(self):
+        body = block(local("q", shape=(10,)), accum(aref("q", 0), 1.0))
+        kern = Kernel("k", pfor("i", 0, v("n"), body), ["i"],
+                      arrays=[], scalars=["n"])
+        src = kernel_to_cuda(kern)
+        assert "double q[10];" in src
+        assert "q[0] += 1.0;" in src  # private: no atomic
+
+    def test_int_dtype_arrays(self):
+        body = assign(aref("m", v("i")), 1)
+        kern = Kernel("k", pfor("i", 0, v("n"), body), ["i"],
+                      arrays=["m"], scalars=["n"])
+        src = kernel_to_cuda(kern, array_dtypes={"m": "int"})
+        assert "long long *m" in src
+
+
+class TestWholeProgram:
+    def test_spmul_openmpc_source(self):
+        bench = get_benchmark("SPMUL")
+        compiled = bench.compile("OpenMPC", "best")
+        src = compiled_program_to_cuda(compiled)
+        assert "__global__ void spmul_spmv_k0" in src
+        assert "rowstr[i]" in src
+        assert "compiled by OpenMPC" in src
+
+    def test_untranslated_regions_annotated(self):
+        bench = get_benchmark("BFS")
+        compiled = bench.compile("PGI Accelerator", "best")
+        src = compiled_program_to_cuda(compiled)
+        assert "region level_histogram: NOT TRANSLATED" in src
+
+    def test_device_functions_emitted(self):
+        bench = get_benchmark("FT")
+        compiled = bench.compile("OpenMPC", "best")
+        src = compiled_program_to_cuda(compiled)
+        assert "__device__ void fftz2" in src

@@ -1,0 +1,56 @@
+"""Tests for the model-comparison explainer and its CLI command."""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.harness.cli import main as cli_main
+from repro.harness.compare import (compare_models, explain_model,
+                                   render_comparison)
+
+
+class TestExplain:
+    def test_explain_collects_kernels(self):
+        exp = explain_model(get_benchmark("JACOBI"), "OpenMPC",
+                            scale="test")
+        assert exp.translated == ["stencil", "copyback"]
+        assert not exp.rejected
+        assert len(exp.kernels) == 2
+        assert exp.kernel_time_s > 0
+        assert "copyin" in exp.transfer_plan
+
+    def test_explain_records_rejections(self):
+        exp = explain_model(get_benchmark("BFS"), "PGI Accelerator",
+                            scale="test")
+        assert exp.rejected == {"level_histogram": "critical-section"}
+
+    def test_pattern_shares_sum_to_one(self):
+        exp = explain_model(get_benchmark("SPMUL"), "PGI Accelerator",
+                            scale="test")
+        for k in exp.kernels:
+            assert sum(k.patterns.values()) == pytest.approx(1.0)
+
+
+class TestRender:
+    def test_cg_comparison_explains_collapse(self):
+        text = compare_models(get_benchmark("CG"), "PGI Accelerator",
+                              "OpenMPC", scale="test")
+        assert "loop collapsing" in text
+        assert "indirect" in text
+        assert "total kernel time" in text
+
+    def test_ordering_stable(self):
+        bench = get_benchmark("JACOBI")
+        a = explain_model(bench, "PGI Accelerator", scale="test")
+        b = explain_model(bench, "OpenMPC", scale="test")
+        text = render_comparison("JACOBI", a, b)
+        assert text.index("PGI Accelerator") < text.index("OpenMPC")
+
+
+class TestCLI:
+    def test_compare_command(self, capsys):
+        rc = cli_main(["compare", "SPMUL", "PGI Accelerator", "OpenMPC",
+                       "--scale", "test"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "SPMUL: PGI Accelerator vs OpenMPC" in out
+        assert "transfer plans:" in out

@@ -1,0 +1,163 @@
+"""Tests for the future-directions extensions: autotuner (VI-C),
+multi-device scaling (VI-B), and the hiCUDA compiler (Table I)."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.errors import GpuSimError, LaunchError
+from repro.gpusim.kernel import Kernel
+from repro.gpusim.multigpu import (KEENELAND_IB, Interconnect,
+                                   scaling_sweep)
+from repro.harness.tuner import tune_benchmark, tune_kernel
+from repro.ir.builder import (accum, aref, assign, critical, local, pfor,
+                              sfor, v)
+from repro.ir.program import ArrayDecl, ParallelRegion, Program, ScalarDecl
+from repro.models import DataRegionSpec, PortSpec, RegionOptions, get_compiler
+
+
+def _stencil_kernel():
+    body = assign(aref("b", v("i"), v("j")),
+                  aref("a", v("i"), v("j")) * 2.0)
+    nest = pfor("j", 1, v("cols") - 1,
+                sfor("i", 1, v("rows") - 1, body), private=["i"])
+    return Kernel("stencil", nest, ["j"], arrays=["a", "b"],
+                  scalars=["rows", "cols"])
+
+
+_BINDINGS = {"rows": 2048.0, "cols": 2048.0}
+_EXTENTS = {"a": [None, None], "b": [None, None]}
+
+
+class TestTuner:
+    def test_sweep_produces_points(self):
+        result = tune_kernel(_stencil_kernel(), _BINDINGS, _EXTENTS)
+        assert len(result.points) >= 8
+        assert result.best.time_s <= result.worst.time_s
+        assert result.tuning_gain >= 1.0
+        assert "best" in result.report()
+
+    def test_infeasible_configs_recorded(self):
+        from repro.ir.transforms.tiling import TilingDecision
+
+        tile = TilingDecision((16, 16), reuse_factor=2.0,
+                              smem_bytes_per_block=40 * 1024,
+                              arrays=("a",))
+        kern = Kernel("smem_hog", _stencil_kernel().body, ["j"],
+                      arrays=["a", "b"], scalars=["rows", "cols"],
+                      tiling=(tile,), regs_per_thread=63)
+        result = tune_kernel(kern, _BINDINGS, _EXTENTS)
+        assert result.skipped  # large blocks blow the register budget
+
+    def test_tune_benchmark_covers_all_kernels(self):
+        results = tune_benchmark(get_benchmark("JACOBI"), "OpenMPC",
+                                 scale="test")
+        assert len(results) == 2  # stencil + copyback
+        for r in results.values():
+            assert r.points
+
+    def test_determinism(self):
+        a = tune_kernel(_stencil_kernel(), _BINDINGS, _EXTENTS)
+        b = tune_kernel(_stencil_kernel(), _BINDINGS, _EXTENTS)
+        assert [(p.block_threads, p.time_s) for p in a.points] == \
+            [(p.block_threads, p.time_s) for p in b.points]
+
+
+class TestMultiGpu:
+    def test_strong_scaling_monotone_but_saturating(self):
+        sweep = scaling_sweep(_stencil_kernel(), _BINDINGS, _EXTENTS,
+                              domain_symbol="rows", halo_bytes=2048 * 8,
+                              device_counts=(1, 2, 4, 8, 64),
+                              mode="strong")
+        times = [p.step_s for p in sweep.points]
+        assert all(t2 <= t1 for t1, t2 in zip(times, times[1:]))
+        effs = [sweep.efficiency(p) for p in sweep.points]
+        assert effs[0] == pytest.approx(1.0)
+        assert effs[-1] < effs[1]  # efficiency decays with P
+
+    def test_weak_scaling_near_flat(self):
+        sweep = scaling_sweep(_stencil_kernel(), _BINDINGS, _EXTENTS,
+                              domain_symbol="rows", halo_bytes=2048 * 8,
+                              device_counts=(1, 4, 64), mode="weak")
+        assert sweep.efficiency(sweep.points[-1]) > 0.9
+
+    def test_latency_floor_visible(self):
+        slow_link = Interconnect("slow", bandwidth_gbs=0.5,
+                                 latency_us=100.0)
+        fast = scaling_sweep(_stencil_kernel(), _BINDINGS, _EXTENTS,
+                             "rows", 2048 * 8, (1, 16), "strong",
+                             link=KEENELAND_IB)
+        slow = scaling_sweep(_stencil_kernel(), _BINDINGS, _EXTENTS,
+                             "rows", 2048 * 8, (1, 16), "strong",
+                             link=slow_link)
+        assert slow.points[-1].halo_s > 3 * fast.points[-1].halo_s
+
+    def test_validation(self):
+        with pytest.raises(GpuSimError):
+            scaling_sweep(_stencil_kernel(), _BINDINGS, _EXTENTS,
+                          "missing", 0, mode="strong")
+        with pytest.raises(GpuSimError):
+            scaling_sweep(_stencil_kernel(), _BINDINGS, _EXTENTS,
+                          "rows", 0, mode="sideways")
+
+
+class TestHiCuda:
+    def _program(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      assign(aref("b", v("i")), aref("a", v("i")) + 1.0)))
+        return Program("p", [ArrayDecl("a", ("n",), intent="in"),
+                             ArrayDecl("b", ("n",), intent="out")],
+                       [ScalarDecl("n", "int")], [region])
+
+    def _full_port(self, program, block=256):
+        data = DataRegionSpec("d", regions=("r",), copyin=("a",),
+                              copyout=("b",))
+        opts = {"r": RegionOptions(block_threads=block)} if block else {}
+        return PortSpec(model="hiCUDA", program=program,
+                        data_regions=(data,), region_options=opts)
+
+    def test_explicit_everything_accepted(self):
+        compiled = get_compiler("hiCUDA").compile_program(
+            self._full_port(self._program()))
+        assert compiled.results["r"].translated
+
+    def test_missing_geometry_rejected(self):
+        compiled = get_compiler("hiCUDA").compile_program(
+            self._full_port(self._program(), block=None))
+        res = compiled.results["r"]
+        assert not res.translated
+        assert res.diagnostics[0].feature == "thread-batching-unspecified"
+
+    def test_missing_data_directives_rejected(self):
+        port = PortSpec(model="hiCUDA", program=self._program(),
+                        region_options={"r": RegionOptions(
+                            block_threads=128)})
+        res = get_compiler("hiCUDA").compile_program(port).results["r"]
+        assert not res.translated
+        assert res.diagnostics[0].feature == "data-movement-unspecified"
+
+    def test_reductions_rejected(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      accum(aref("b", 0), aref("a", v("i")))))
+        program = Program("p", [ArrayDecl("a", ("n",), intent="in"),
+                                ArrayDecl("b", (1,), intent="out")],
+                          [ScalarDecl("n", "int")], [region])
+        res = get_compiler("hiCUDA").compile_program(
+            self._full_port(program)).results["r"]
+        assert not res.translated
+        assert res.diagnostics[0].feature == "reduction"
+
+    def test_functional_execution(self):
+        from repro.models import ExecutableProgram
+
+        compiled = get_compiler("hiCUDA").compile_program(
+            self._full_port(self._program()))
+        ex = ExecutableProgram(compiled)
+        a = np.arange(8.0)
+        b = np.zeros(8)
+        ex.bind_arrays({"a": a, "b": b})
+        ex.run_region("r", {"n": 8})
+        ex.close_data_regions()
+        np.testing.assert_allclose(b, a + 1.0)

@@ -1,0 +1,106 @@
+"""Tests for the coalescing and occupancy models."""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim.coalescing import (CoalescingReport,
+                                     effective_bytes_per_warp,
+                                     transactions_per_warp)
+from repro.gpusim.device import TESLA_M2090
+from repro.gpusim.occupancy import compute_occupancy, latency_hiding_factor
+from repro.ir.analysis.access import AccessPattern, RefClass
+
+
+def _ref(pattern, stride=1):
+    return RefClass("a", pattern, stride=stride)
+
+
+class TestCoalescing:
+    def test_coalesced_double(self):
+        # 32 lanes x 8 B = 256 B = two 128-B transactions
+        t = transactions_per_warp(_ref(AccessPattern.COALESCED), 8,
+                                  TESLA_M2090)
+        assert t == 2.0
+
+    def test_coalesced_float(self):
+        t = transactions_per_warp(_ref(AccessPattern.COALESCED), 4,
+                                  TESLA_M2090)
+        assert t == 1.0
+
+    def test_uniform_single_transaction(self):
+        t = transactions_per_warp(_ref(AccessPattern.UNIFORM), 8,
+                                  TESLA_M2090)
+        assert t == 1.0
+
+    def test_strided_worst_case(self):
+        t = transactions_per_warp(_ref(AccessPattern.STRIDED, stride=4096),
+                                  8, TESLA_M2090)
+        assert t == 32.0
+
+    def test_strided_small(self):
+        # stride 2 doubles the touched bytes: 512 B / 128 B = 4 txns
+        t = transactions_per_warp(_ref(AccessPattern.STRIDED, stride=2), 8,
+                                  TESLA_M2090)
+        assert 2.0 < t <= 4.0
+
+    def test_indirect_blend(self):
+        t = transactions_per_warp(_ref(AccessPattern.INDIRECT), 8,
+                                  TESLA_M2090)
+        coalesced = 2.0
+        assert coalesced < t < 32.0
+
+    def test_monotone_ordering(self):
+        spec = TESLA_M2090
+        t_c = transactions_per_warp(_ref(AccessPattern.COALESCED), 8, spec)
+        t_i = transactions_per_warp(_ref(AccessPattern.INDIRECT), 8, spec)
+        t_s = transactions_per_warp(
+            _ref(AccessPattern.STRIDED, stride=10000), 8, spec)
+        assert t_c < t_i <= t_s
+
+    def test_effective_bytes(self):
+        b = effective_bytes_per_warp(_ref(AccessPattern.COALESCED), 8,
+                                     TESLA_M2090)
+        assert b == 256.0
+
+    def test_report_efficiency(self):
+        rep = CoalescingReport.for_ref(
+            _ref(AccessPattern.STRIDED, stride=10000), 8, TESLA_M2090)
+        assert rep.efficiency == pytest.approx(256 / 4096)
+
+
+class TestOccupancy:
+    def test_full_occupancy(self):
+        occ = compute_occupancy(TESLA_M2090, 256, 1024,
+                                regs_per_thread=20)
+        assert occ.occupancy == 1.0
+        assert occ.sm_utilization == 1.0
+
+    def test_smem_limits_blocks(self):
+        occ = compute_occupancy(TESLA_M2090, 128, 1024,
+                                smem_per_block=24 * 1024)
+        assert occ.blocks_per_sm == 2
+        assert occ.limited_by == "smem"
+
+    def test_register_limit(self):
+        occ = compute_occupancy(TESLA_M2090, 512, 1024,
+                                regs_per_thread=63)
+        assert occ.limited_by == "regs"
+
+    def test_small_grid_underfills(self):
+        occ = compute_occupancy(TESLA_M2090, 256, 4)
+        assert occ.sm_utilization == pytest.approx(4 / 16)
+
+    def test_launch_validation(self):
+        with pytest.raises(LaunchError):
+            compute_occupancy(TESLA_M2090, 0, 1)
+        with pytest.raises(LaunchError):
+            compute_occupancy(TESLA_M2090, 2048, 1)
+        with pytest.raises(LaunchError):
+            compute_occupancy(TESLA_M2090, 256, 1,
+                              smem_per_block=1 << 20)
+
+    def test_latency_hiding_monotone(self):
+        lo = compute_occupancy(TESLA_M2090, 256, 4)
+        hi = compute_occupancy(TESLA_M2090, 256, 4096)
+        assert latency_hiding_factor(lo) < latency_hiding_factor(hi)
+        assert latency_hiding_factor(hi) == pytest.approx(1.0)

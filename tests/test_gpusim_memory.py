@@ -1,0 +1,92 @@
+"""Tests for simulated device memory and device specs."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceMemoryError, GpuSimError
+from repro.gpusim.device import (TESLA_C2050, TESLA_M2090, TINY_DEVICE,
+                                 get_device)
+from repro.gpusim.memory import MemoryManager, MemorySpace
+
+
+class TestDeviceSpecs:
+    def test_m2090_shape(self):
+        spec = TESLA_M2090
+        assert spec.total_cores == 512
+        assert spec.num_sms == 16
+        assert spec.global_mem_bytes == 6 * 1024 ** 3
+        assert spec.peak_flops("double") == pytest.approx(665e9)
+        assert spec.peak_flops("float") == pytest.approx(1331e9)
+
+    def test_registry(self):
+        assert get_device("Tesla M2090") is TESLA_M2090
+        assert get_device("Tesla C2050") is TESLA_C2050
+        with pytest.raises(KeyError):
+            get_device("H100")
+
+
+class TestAllocator:
+    def test_alloc_and_free_accounting(self):
+        mem = MemoryManager(TINY_DEVICE)
+        buf = mem.alloc("a", (1024,), np.dtype(np.float64))
+        assert mem.global_used == 8192
+        assert buf.nbytes == 8192
+        mem.free(buf)
+        assert mem.global_used == 0
+        assert mem.alloc_count == 1 and mem.free_count == 1
+
+    def test_global_oom(self):
+        mem = MemoryManager(TINY_DEVICE)
+        n = TINY_DEVICE.global_mem_bytes // 8 + 1
+        with pytest.raises(DeviceMemoryError):
+            mem.alloc("big", (n,), np.dtype(np.float64))
+
+    def test_peak_tracking(self):
+        mem = MemoryManager(TINY_DEVICE)
+        a = mem.alloc("a", (1000,), np.dtype(np.float64))
+        b = mem.alloc("b", (1000,), np.dtype(np.float64))
+        mem.free(a)
+        assert mem.peak_global_used == 16000
+        mem.free(b)
+
+    def test_constant_space_limit(self):
+        mem = MemoryManager(TESLA_M2090)
+        mem.alloc("c", (1000,), np.dtype(np.float64),
+                  space=MemorySpace.CONSTANT)
+        with pytest.raises(DeviceMemoryError):
+            mem.alloc("c2", (8000,), np.dtype(np.float64),
+                      space=MemorySpace.CONSTANT)
+
+    def test_shared_space_not_allocatable(self):
+        mem = MemoryManager(TESLA_M2090)
+        with pytest.raises(GpuSimError):
+            mem.alloc("s", (10,), np.dtype(np.float64),
+                      space=MemorySpace.SHARED)
+
+    def test_double_free(self):
+        mem = MemoryManager(TINY_DEVICE)
+        buf = mem.alloc("a", (10,), np.dtype(np.float64))
+        mem.free(buf)
+        with pytest.raises(GpuSimError):
+            mem.free(buf)
+
+    def test_use_after_free(self):
+        mem = MemoryManager(TINY_DEVICE)
+        buf = mem.alloc("a", (10,), np.dtype(np.float64))
+        mem.free(buf)
+        with pytest.raises(GpuSimError):
+            buf.check_alive()
+
+    def test_reset_frees_everything(self):
+        mem = MemoryManager(TINY_DEVICE)
+        mem.alloc("a", (10,), np.dtype(np.float64))
+        mem.alloc("b", (10,), np.dtype(np.float64))
+        mem.reset()
+        assert mem.global_used == 0
+        assert list(mem.live_buffers()) == []
+
+    def test_texture_counts_against_global(self):
+        mem = MemoryManager(TINY_DEVICE)
+        mem.alloc("t", (100,), np.dtype(np.float64),
+                  space=MemorySpace.TEXTURE)
+        assert mem.global_used == 800

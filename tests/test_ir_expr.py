@@ -1,0 +1,145 @@
+"""Unit tests for the expression IR."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir.builder import aref, c, v
+from repro.ir.expr import (ArrayRef, BinOp, Call, Cast, Const, Ternary,
+                           UnOp, Var, as_expr, intrinsic, maximum, minimum)
+
+
+class TestConstruction:
+    def test_const_values(self):
+        assert Const(3).value == 3
+        assert Const(2.5).value == 2.5
+
+    def test_const_rejects_non_numeric(self):
+        with pytest.raises(IRTypeError):
+            Const("nope")
+
+    def test_var_requires_name(self):
+        with pytest.raises(IRTypeError):
+            Var("")
+
+    def test_binop_rejects_unknown_op(self):
+        with pytest.raises(IRTypeError):
+            BinOp("@", Const(1), Const(2))
+
+    def test_binop_rejects_non_expr(self):
+        with pytest.raises(IRTypeError):
+            BinOp("+", 1, Const(2))  # type: ignore[arg-type]
+
+    def test_call_rejects_unknown_intrinsic(self):
+        with pytest.raises(IRTypeError):
+            Call("frobnicate", [Const(1)])
+
+    def test_cast_dtypes(self):
+        assert Cast("int", Const(1.5)).dtype == "int"
+        with pytest.raises(IRTypeError):
+            Cast("complex", Const(1))
+
+    def test_arrayref_needs_indices(self):
+        with pytest.raises(IRTypeError):
+            ArrayRef("a", [])
+
+    def test_as_expr_coercions(self):
+        assert as_expr(3) == Const(3)
+        assert as_expr(2.0) == Const(2.0)
+        assert as_expr("x") == Var("x")
+        assert as_expr(True) == Const(1)
+        existing = Var("y")
+        assert as_expr(existing) is existing
+
+    def test_as_expr_rejects_junk(self):
+        with pytest.raises(IRTypeError):
+            as_expr(object())
+
+
+class TestOperatorSugar:
+    def test_arithmetic(self):
+        e = v("x") + 1
+        assert isinstance(e, BinOp) and e.op == "+"
+        assert (1 + v("x")).op == "+"
+        assert (v("x") - 1).op == "-"
+        assert (2 * v("x")).op == "*"
+        assert (v("x") / 2).op == "/"
+        assert (v("x") // 2).op == "//"
+        assert (v("x") % 2).op == "%"
+        assert isinstance(-v("x"), UnOp)
+
+    def test_reversed_operand_order(self):
+        e = 10 - v("x")
+        assert e.left == Const(10) and e.right == Var("x")
+
+    def test_comparisons(self):
+        assert v("x").lt(1).op == "<"
+        assert v("x").le(1).op == "<="
+        assert v("x").gt(1).op == ">"
+        assert v("x").ge(1).op == ">="
+        assert v("x").eq(1).op == "=="
+        assert v("x").ne(1).op == "!="
+        assert v("x").lt(1).logical_and(v("y").gt(2)).op == "&&"
+        assert v("x").lt(1).logical_or(v("y").gt(2)).op == "||"
+
+    def test_min_max_helpers(self):
+        assert minimum("a", "b").op == "min"
+        assert maximum(1, v("n")).op == "max"
+
+    def test_intrinsic_helper(self):
+        e = intrinsic("sqrt", v("x"))
+        assert isinstance(e, Call) and e.func == "sqrt"
+
+
+class TestStructuralIdentity:
+    def test_equality_is_structural(self):
+        a = v("i") + 1
+        b = Var("i") + Const(1)
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert (v("i") + 1) != (v("i") + 2)
+        assert v("i") != v("j")
+        assert Const(1) != Const(1.0)  # int vs float literal
+
+    def test_arrayref_identity(self):
+        assert aref("a", v("i")) == aref("a", v("i"))
+        assert aref("a", v("i")) != aref("b", v("i"))
+        assert aref("a", v("i")) != aref("a", v("j"))
+
+    def test_usable_as_dict_key(self):
+        table = {v("i") + 1: "x"}
+        assert table[Var("i") + Const(1)] == "x"
+
+
+class TestTraversal:
+    def test_walk_preorder(self):
+        e = (v("i") + 1) * aref("a", v("j"))
+        kinds = [type(node).__name__ for node in e.walk()]
+        assert kinds[0] == "BinOp"
+        assert "ArrayRef" in kinds and "Var" in kinds and "Const" in kinds
+
+    def test_free_vars(self):
+        e = aref("a", v("i") + v("n")) * v("x")
+        assert e.free_vars() == {"i", "n", "x"}
+
+    def test_array_names_nested(self):
+        e = aref("x", aref("col", v("k")))
+        assert e.array_names() == {"x", "col"}
+
+    def test_is_indirect(self):
+        assert aref("x", aref("col", v("k"))).is_indirect()
+        assert not aref("x", v("k") + 1).is_indirect()
+
+    def test_ndim(self):
+        assert aref("a", 1, 2, 3).ndim == 3
+
+
+class TestRepr:
+    def test_reprs_render(self):
+        e = Ternary(v("c").gt(0), v("a"), v("b"))
+        assert "?" in repr(e)
+        assert repr(aref("a", v("i"))) == "a[i]"
+        assert "sqrt" in repr(intrinsic("sqrt", v("x")))
+        assert "(int)" in repr(Cast("int", v("x")))
+        assert "min" in repr(minimum(1, 2))

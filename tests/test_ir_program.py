@@ -1,0 +1,112 @@
+"""Unit tests for program-level IR."""
+
+import pytest
+
+from repro.errors import IRError, IRTypeError
+from repro.ir.builder import aref, assign, pfor, sfor, v
+from repro.ir.program import (ArrayDecl, Function, Param, ParallelRegion,
+                              Program, ScalarDecl, numpy_dtype)
+
+
+def _region(name="r", invocations=1):
+    return ParallelRegion(
+        name, pfor("i", 0, v("n"), assign(aref("a", v("i")), 1.0)),
+        invocations=invocations)
+
+
+class TestArrayDecl:
+    def test_shape_resolution(self):
+        decl = ArrayDecl("a", ("n", 4))
+        assert decl.resolve_shape({"n": 8}) == (8, 4)
+        assert decl.nbytes({"n": 8}) == 8 * 4 * 8
+
+    def test_unbound_symbol(self):
+        with pytest.raises(IRError):
+            ArrayDecl("a", ("n",)).resolve_shape({})
+
+    def test_intent_validation(self):
+        with pytest.raises(IRTypeError):
+            ArrayDecl("a", ("n",), intent="sideways")
+
+    def test_needs_dimension(self):
+        with pytest.raises(IRTypeError):
+            ArrayDecl("a", ())
+
+    def test_dtype_validation(self):
+        with pytest.raises(IRTypeError):
+            ArrayDecl("a", ("n",), dtype="quaternion")
+        assert numpy_dtype("int").kind == "i"
+        assert numpy_dtype("float").itemsize == 4
+
+    def test_flags_default(self):
+        decl = ArrayDecl("a", ("n",))
+        assert decl.contiguous and not decl.monotone_content
+
+
+class TestParallelRegion:
+    def test_worksharing_loops_outermost_only(self):
+        nested = pfor("i", 0, v("n"), pfor("j", 0, v("m"),
+                                           assign(aref("a", v("j")), 1.0)))
+        region = ParallelRegion("r", nested)
+        loops = region.worksharing_loops()
+        assert [l.var for l in loops] == ["i"]
+
+    def test_sibling_worksharing_loops(self):
+        region = ParallelRegion("r", [
+            pfor("i", 0, v("n"), assign(aref("a", v("i")), 1.0)),
+            pfor("j", 0, v("n"), assign(aref("b", v("j")), 2.0)),
+        ])
+        assert len(region.worksharing_loops()) == 2
+
+    def test_invocations_validation(self):
+        with pytest.raises(IRError):
+            _region(invocations=0)
+
+
+class TestProgram:
+    def _program(self):
+        return Program(
+            "p",
+            arrays=[ArrayDecl("a", ("n",)), ArrayDecl("b", ("n",))],
+            scalars=[ScalarDecl("n", "int")],
+            regions=[_region("r1"), _region("r2")],
+            driver_lines=10)
+
+    def test_lookup(self):
+        p = self._program()
+        assert p.region("r1").name == "r1"
+        assert p.array("a").name == "a"
+        assert p.num_regions == 2
+
+    def test_missing_lookups_raise(self):
+        p = self._program()
+        with pytest.raises(IRError):
+            p.region("nope")
+        with pytest.raises(IRError):
+            p.array("nope")
+
+    def test_duplicate_regions_rejected(self):
+        with pytest.raises(IRError):
+            Program("p", [ArrayDecl("a", ("n",))], [],
+                    [_region("r"), _region("r")])
+
+    def test_duplicate_arrays_rejected(self):
+        with pytest.raises(IRError):
+            Program("p", [ArrayDecl("a", ("n",)), ArrayDecl("a", ("n",))],
+                    [], [_region("r")])
+
+    def test_serial_line_count_includes_driver(self):
+        p = self._program()
+        base = Program("p", [ArrayDecl("a", ("n",)),
+                             ArrayDecl("b", ("n",))],
+                       [ScalarDecl("n", "int")],
+                       [_region("r1"), _region("r2")])
+        assert p.serial_line_count() == base.serial_line_count() + 10
+
+
+class TestFunction:
+    def test_construction(self):
+        f = Function("f", [Param("x"), Param("arr", is_array=True)],
+                     assign(aref("arr", 0), v("x")))
+        assert f.inlinable
+        assert len(f.params) == 2

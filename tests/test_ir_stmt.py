@@ -1,0 +1,112 @@
+"""Unit tests for the statement IR."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir.builder import (accum, aref, assign, barrier, block, critical,
+                              iff, local, pfor, ptr_swap, ret, sfor, v,
+                              wloop)
+from repro.ir.stmt import (Assign, Barrier, Block, For, If, LocalDecl,
+                           ReductionClause, Return, Stmt, While, as_block)
+
+
+class TestAssign:
+    def test_plain_and_augmented(self):
+        s = assign(v("x"), 1)
+        assert s.op is None
+        s2 = accum(v("x"), 1)
+        assert s2.op == "+"
+        s3 = accum(v("x"), 1, op="max")
+        assert s3.op == "max"
+
+    def test_target_must_be_lvalue(self):
+        with pytest.raises(IRTypeError):
+            Assign(v("x") + 1, 1)  # type: ignore[arg-type]
+
+    def test_bad_augmented_op(self):
+        with pytest.raises(IRTypeError):
+            Assign(v("x"), 1, op="-")
+
+
+class TestFor:
+    def test_parallel_flag_and_clauses(self):
+        loop = pfor("i", 0, v("n"), assign(aref("a", v("i")), 0),
+                    private=["t"],
+                    reductions=(ReductionClause("+", "s"),))
+        assert loop.parallel
+        assert loop.private == ("t",)
+        assert loop.reductions[0].var == "s"
+
+    def test_sequential(self):
+        loop = sfor("i", 0, 10, assign(v("x"), v("i")))
+        assert not loop.parallel
+
+    def test_collapse_validation(self):
+        with pytest.raises(IRTypeError):
+            For("i", 0, 10, [assign(v("x"), 0)], collapse=0)
+
+    def test_reduction_clause_validation(self):
+        with pytest.raises(IRTypeError):
+            ReductionClause("-", "x")
+        with pytest.raises(IRTypeError):
+            ReductionClause("+", "")
+
+
+class TestBlocks:
+    def test_as_block_coercions(self):
+        s = assign(v("x"), 1)
+        assert isinstance(as_block(s), Block)
+        assert as_block([s, s]).stmts == (s, s)
+        b = block(s)
+        assert as_block(b) is b
+
+    def test_block_rejects_non_stmt(self):
+        with pytest.raises(IRTypeError):
+            Block([v("x")])  # type: ignore[list-item]
+
+
+class TestWalks:
+    def test_walk_visits_nested(self):
+        loop = pfor("i", 0, 4, iff(v("i").gt(0), accum(v("s"), 1)))
+        kinds = {type(s).__name__ for s in loop.walk()}
+        assert {"For", "Block", "If", "Assign"} <= kinds
+
+    def test_walk_exprs(self):
+        loop = sfor("i", 0, v("n"), assign(aref("a", v("i")), v("i") * 2))
+        names = {node.name for node in loop.walk_exprs()
+                 if hasattr(node, "name")}
+        assert "n" in names and "i" in names
+
+
+class TestLineCounts:
+    def test_simple_statement_is_one_line(self):
+        assert assign(v("x"), 1).line_count() == 1
+
+    def test_loop_adds_header(self):
+        loop = sfor("i", 0, 10, [assign(v("x"), 1), assign(v("y"), 2)])
+        assert loop.line_count() == 3
+
+    def test_if_else(self):
+        s = iff(v("c").gt(0), assign(v("x"), 1), assign(v("x"), 2))
+        assert s.line_count() == 4
+
+    def test_critical_and_while(self):
+        assert critical(assign(v("x"), 1)).line_count() == 2
+        assert wloop(v("c").gt(0), assign(v("x"), 1)).line_count() == 2
+
+
+class TestMisc:
+    def test_local_decl(self):
+        d = local("q", shape=(10,), dtype="double")
+        assert d.shape == (10,)
+        d2 = local("s", init=0.0)
+        assert d2.shape == () and d2.init is not None
+
+    def test_barrier_and_return(self):
+        assert isinstance(barrier(), Barrier)
+        assert ret().value is None
+        assert ret(v("x")).value == v("x")
+
+    def test_ptr_swap(self):
+        s = ptr_swap("a", "b")
+        assert s.kind == "swap" and s.operands == ("a", "b")

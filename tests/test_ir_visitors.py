@@ -1,0 +1,103 @@
+"""Tests for traversal/rewriting machinery."""
+
+from repro.ir.builder import (accum, aref, assign, block, call, critical,
+                              iff, local, pfor, ptr_swap, sfor, v, wloop)
+from repro.ir.expr import Var
+from repro.ir.visitors import (collect_array_refs, contains_barrier,
+                               contains_call, contains_critical,
+                               contains_pointer_arith, loop_nest_depth,
+                               read_arrays, rename_array, rename_var,
+                               substitute, substitute_stmt, written_arrays,
+                               written_scalars)
+
+
+def _loop():
+    body = block(
+        assign(aref("b", v("i"), v("j")),
+               aref("a", v("i") - 1, v("j")) + aref("a", v("i") + 1, v("j"))),
+        accum(v("s"), aref("a", v("i"), v("j"))),
+    )
+    return pfor("i", 1, v("n"), sfor("j", 1, v("m"), body))
+
+
+class TestQueries:
+    def test_collect_array_refs(self):
+        refs = collect_array_refs(_loop())
+        names = {r.name for r in refs}
+        assert names == {"a", "b"}
+
+    def test_written_vs_read(self):
+        loop = _loop()
+        assert written_arrays(loop) == {"b"}
+        assert "a" in read_arrays(loop)
+        assert "b" not in read_arrays(loop)  # plain store, never loaded
+
+    def test_augmented_store_counts_as_read(self):
+        s = accum(aref("y", v("i")), 1.0)
+        assert "y" in read_arrays(s)
+        assert "y" in written_arrays(s)
+
+    def test_index_arrays_count_as_reads(self):
+        s = assign(aref("x", aref("col", v("k"))), 0.0)
+        assert "col" in read_arrays(s)
+        assert written_arrays(s) == {"x"}
+
+    def test_written_scalars(self):
+        body = block(local("t", init=0.0), assign(v("t"), 1.0))
+        loop = sfor("i", 0, 4, body)
+        assert {"t", "i"} <= written_scalars(loop)
+
+    def test_nest_depth(self):
+        assert loop_nest_depth(_loop()) == 2
+        assert loop_nest_depth(assign(v("x"), 1)) == 0
+        deep = sfor("i", 0, 2, sfor("j", 0, 2, wloop(v("c").gt(0),
+                                                     assign(v("x"), 1))))
+        assert loop_nest_depth(deep) == 3
+
+    def test_feature_predicates(self):
+        assert contains_call(block(call("f")))
+        assert contains_critical(block(critical(accum(v("s"), 1))))
+        assert contains_pointer_arith(block(ptr_swap("a", "b")))
+        assert not contains_barrier(_loop())
+
+
+class TestSubstitution:
+    def test_expr_substitution(self):
+        e = v("i") * 2 + aref("a", v("i"))
+        out = substitute(e, {Var("i"): v("k") + 1})
+        assert out == (v("k") + 1) * 2 + aref("a", v("k") + 1)
+
+    def test_no_rescan_of_replacement(self):
+        e = v("i")
+        out = substitute(e, {Var("i"): v("i") + 1})
+        assert out == v("i") + 1
+
+    def test_stmt_substitution(self):
+        s = assign(aref("a", v("i")), v("i"))
+        out = substitute_stmt(s, {Var("i"): v("j")})
+        assert out.target == aref("a", v("j"))
+        assert out.value == v("j")
+
+
+class TestRenaming:
+    def test_rename_var_everywhere(self):
+        loop = sfor("i", 0, v("n"), assign(aref("a", v("i")), v("i")))
+        out = rename_var(loop, "i", "ii")
+        assert out.var == "ii"
+        assert collect_array_refs(out)[0].indices[0] == v("ii")
+
+    def test_rename_var_handles_locals(self):
+        body = block(local("t", init=v("x")), assign(v("t"), v("t") + 1))
+        out = rename_var(body, "t", "t2")
+        assert written_scalars(out) == {"t2"}
+
+    def test_rename_array(self):
+        s = assign(aref("a", v("i")), aref("a", v("i")) + 1)
+        out = rename_array(s, "a", "buf")
+        assert written_arrays(out) == {"buf"}
+        assert "a" not in read_arrays(out)
+
+    def test_rename_preserves_unrelated(self):
+        s = assign(aref("b", v("i")), 0)
+        assert rename_array(s, "a", "x") is s or \
+            written_arrays(rename_array(s, "a", "x")) == {"b"}

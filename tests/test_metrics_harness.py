@@ -1,0 +1,123 @@
+"""Tests for the metrics layer, host model, and harness rendering/CLI."""
+
+import numpy as np
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.cpu.host import KEENELAND_HOST, HostSpec, price_body_serial
+from repro.cpu.openmp import run_region_host
+from repro.harness.cli import main as cli_main
+from repro.harness.report import render_figure1, render_figure1_csv
+from repro.harness.runner import run_speedups
+from repro.ir.builder import accum, aref, assign, pfor, sfor, v
+from repro.ir.program import ArrayDecl, ParallelRegion, Program, ScalarDecl
+from repro.metrics.codesize import CodeSizeReport
+from repro.metrics.coverage import CoverageReport, coverage_for
+from repro.metrics.speedup import BenchmarkSpeedups, SpeedupResult
+from repro.models import PortSpec, get_compiler
+from repro.models.features import render_table1
+
+
+class TestHostModel:
+    def test_more_work_costs_more(self):
+        body = pfor("i", 0, v("n"), assign(aref("b", v("i")),
+                                           aref("a", v("i")) * 2.0))
+        t1 = price_body_serial(body, 1, {"a": [None], "b": [None]},
+                               {"n": 1000})
+        t2 = price_body_serial(body, 1, {"a": [None], "b": [None]},
+                               {"n": 100000})
+        assert t2 > 50 * t1
+
+    def test_indirect_penalty(self):
+        seq = pfor("i", 0, v("n"),
+                   assign(aref("b", v("i")), aref("a", v("i"))))
+        gather = pfor("i", 0, v("n"),
+                      assign(aref("b", v("i")),
+                             aref("a", aref("idx", v("i")))))
+        extents = {"a": [None], "b": [None], "idx": [None]}
+        t_seq = price_body_serial(seq, 1, extents, {"n": 100000})
+        t_gather = price_body_serial(gather, 1, extents, {"n": 100000})
+        assert t_gather > t_seq
+
+    def test_host_region_execution_matches_numpy(self):
+        region = ParallelRegion("r", pfor(
+            "i", 0, v("n"),
+            sfor("j", 0, v("m"),
+                 accum(aref("s", 0), aref("a", v("i"), v("j"))))))
+        rng = np.random.default_rng(0)
+        a = rng.random((5, 4))
+        arrays = {"a": a, "s": np.zeros(1)}
+        run_region_host(region, arrays, {"n": 5, "m": 4})
+        assert arrays["s"][0] == pytest.approx(a.sum())
+
+
+class TestMetrics:
+    def test_speedup_math(self):
+        r = SpeedupResult("B", "M", "best", cpu_time_s=2.0, gpu_time_s=0.5,
+                          kernel_time_s=0.4, transfer_time_s=0.1,
+                          host_fallback_s=0.0)
+        assert r.speedup == 4.0
+        assert "4.00x" in r.summary()
+
+    def test_benchmark_speedups_primary_and_whiskers(self):
+        rec = BenchmarkSpeedups("B", "M")
+        for name, cpu in (("naive", 1.0), ("best", 3.0), ("alt", 6.0)):
+            rec.variants.append(SpeedupResult(
+                "B", "M", name, cpu_time_s=cpu, gpu_time_s=1.0,
+                kernel_time_s=1.0, transfer_time_s=0.0,
+                host_fallback_s=0.0))
+        assert rec.primary.variant == "best"
+        assert rec.best.speedup == 6.0
+        assert rec.worst.speedup == 1.0
+        assert rec.tuning_variation == 6.0
+
+    def test_coverage_report_rejects_wrong_model(self):
+        bench = get_benchmark("JACOBI")
+        compiled = get_compiler("OpenMPC").compile_program(
+            bench.port("OpenMPC"))
+        report = coverage_for("OpenMPC", [compiled])
+        assert report.translated == 2 and report.total == 2
+        with pytest.raises(ValueError):
+            coverage_for("HMPP", [compiled])
+
+    def test_codesize_entry_math(self):
+        report = CodeSizeReport("M")
+        bench = get_benchmark("JACOBI")
+        report.add_port(bench.program, bench.port("PGI Accelerator"))
+        (entry,) = report.entries
+        added = entry.directive_lines + entry.restructured_lines
+        assert entry.increase_percent == pytest.approx(
+            100 * added / entry.baseline_lines)
+        assert report.average_percent == entry.increase_percent
+
+
+class TestRendering:
+    def test_table1_renders_all_models(self):
+        text = render_table1()
+        for model in ("PGI", "OpenACC", "HMPP", "OpenMPC", "hiCUDA",
+                      "R-Stream"):
+            assert model in text
+
+    def test_figure1_render_and_csv(self):
+        speedups = run_speedups(
+            benchmarks=[get_benchmark("JACOBI")],
+            models=("OpenMPC", "Hand-Written CUDA"))
+        text = render_figure1(speedups)
+        assert "JACOBI" in text and "x" in text
+        csv = render_figure1_csv(speedups)
+        assert csv.splitlines()[0].startswith("benchmark,model")
+        assert any("JACOBI,OpenMPC,best" in line
+                   for line in csv.splitlines())
+
+
+class TestCLI:
+    def test_table1_command(self, capsys):
+        assert cli_main(["table1"]) == 0
+        assert "OpenMPC" in capsys.readouterr().out
+
+    def test_run_command(self, capsys):
+        rc = cli_main(["run", "JACOBI", "OpenMPC", "--scale", "test"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "validation: PASS" in out
+        assert "region stencil" in out

@@ -1,0 +1,258 @@
+"""Acceptance/rejection tests for the six model compilers.
+
+Each test encodes one of the paper's Section III limitations and checks
+which models accept or reject the construct.
+"""
+
+import pytest
+
+from repro.ir.builder import (accum, aref, assign, barrier, block, call,
+                              critical, iff, local, maximum, pfor,
+                              ptr_swap, reduce_clause, sfor, v, wloop)
+from repro.ir.program import (ArrayDecl, Function, Param, ParallelRegion,
+                              Program, ScalarDecl)
+from repro.models import PortSpec, get_compiler
+from repro.models.base import RegionOptions
+
+MODELS = ("PGI Accelerator", "OpenACC", "HMPP", "OpenMPC", "R-Stream",
+          "Hand-Written CUDA")
+
+
+def compile_one(region, model, arrays=None, functions=(), options=None):
+    program = Program(
+        "t",
+        arrays=arrays or [ArrayDecl("a", ("n",)), ArrayDecl("b", ("n",)),
+                          ArrayDecl("q", (8,)), ArrayDecl("s", (1,))],
+        scalars=[ScalarDecl("n", "int")],
+        regions=[region], functions=functions)
+    port = PortSpec(model=model, program=program,
+                    region_options=options or {})
+    return get_compiler(model).compile_program(port).results[region.name]
+
+
+def accepted_by(region, **kw):
+    return {m for m in MODELS
+            if compile_one(region, m, **kw).translated}
+
+
+class TestCriticalSections:
+    def test_reduction_critical_only_openmpc(self):
+        region = ParallelRegion("r", pfor(
+            "i", 0, v("n"),
+            critical(accum(aref("q", aref("a", v("i"))), 1.0))))
+        # NOTE: index must be integer-ish; acceptance is what we test
+        acc = accepted_by(region)
+        assert "OpenMPC" in acc
+        assert "Hand-Written CUDA" in acc
+        assert acc & {"PGI Accelerator", "OpenACC", "HMPP",
+                      "R-Stream"} == set()
+
+    def test_non_reduction_critical_rejected_everywhere_directive(self):
+        region = ParallelRegion("r", pfor(
+            "i", 0, v("n"), critical(assign(aref("q", 0), v("i") * 1.0))))
+        acc = accepted_by(region)
+        assert acc == {"Hand-Written CUDA"}
+
+
+class TestReductions:
+    def _array_reduction(self, with_clause):
+        clauses = (reduce_clause("+", "q", is_array=True),) if with_clause \
+            else ()
+        return ParallelRegion("r", pfor(
+            "i", 0, v("n"),
+            sfor("l", 0, 8, accum(aref("q", v("l")), 1.0)),
+            private=["l"], reductions=clauses))
+
+    def test_array_reduction_only_openmpc(self):
+        acc = accepted_by(self._array_reduction(with_clause=True))
+        assert "OpenMPC" in acc
+        assert "PGI Accelerator" not in acc
+        assert "OpenACC" not in acc
+        assert "HMPP" not in acc
+
+    def test_scalar_clause_pgi_vs_openacc(self):
+        region = ParallelRegion("r", pfor(
+            "i", 0, v("n"),
+            iff(v("i").gt(0),
+                sfor("k", 0, 4, accum(aref("s", 0), aref("a", v("i"))))),
+            reductions=(reduce_clause("+", "s"),)))
+        # complex pattern: PGI's implicit detector fails; OpenACC's
+        # explicit clause carries it
+        acc = accepted_by(region)
+        assert "PGI Accelerator" not in acc
+        assert "OpenACC" in acc and "HMPP" in acc and "OpenMPC" in acc
+
+    def test_simple_scalar_reduction_everywhere(self):
+        region = ParallelRegion("r", pfor(
+            "i", 0, v("n"), accum(aref("s", 0), aref("a", v("i")))))
+        acc = accepted_by(region)
+        assert {"PGI Accelerator", "OpenACC", "HMPP",
+                "OpenMPC"} <= acc
+
+
+class TestStructure:
+    def test_stmts_outside_worksharing(self):
+        region = ParallelRegion("r", block(
+            assign(aref("s", 0), 0.0),
+            pfor("i", 0, v("n"), assign(aref("b", v("i")), 1.0))))
+        acc = accepted_by(region)
+        # PGI/HMPP offload loops only; OpenMPC splits; manual expresses it
+        assert "PGI Accelerator" not in acc and "HMPP" not in acc
+        assert "OpenMPC" in acc
+
+    def test_pointer_arithmetic(self):
+        region = ParallelRegion("r", block(
+            pfor("i", 0, v("n"), assign(aref("b", v("i")), 1.0)),
+            ptr_swap("a", "b")))
+        acc = accepted_by(region)
+        assert acc == {"Hand-Written CUDA"}
+
+    def test_nest_depth_limit(self):
+        body = assign(aref("b", v("i")), 1.0)
+        for var in ("l5", "l4", "l3", "l2"):
+            body = sfor(var, 0, 2, body)
+        region = ParallelRegion("r", pfor("i", 0, v("n"), body))
+        acc = accepted_by(region)
+        assert "PGI Accelerator" not in acc and "HMPP" not in acc
+        assert "OpenMPC" in acc
+
+    def test_barrier_split_safe(self):
+        region = ParallelRegion("r", block(
+            pfor("i", 0, v("n"), assign(aref("b", v("i")), 1.0)),
+            barrier(),
+            pfor("i", 0, v("n"), assign(aref("a", v("i")),
+                                        aref("b", v("i"))))))
+        res = compile_one(region, "OpenMPC")
+        assert res.translated
+        assert len(res.kernels) == 2
+
+    def test_barrier_split_upward_exposed_private(self):
+        region = ParallelRegion("r", block(
+            pfor("i", 0, v("n"), assign(v("t"), 1.0)),
+            barrier(),
+            pfor("i", 0, v("n"), assign(aref("b", v("i")), v("t"))),
+        ), private=["t"])
+        res = compile_one(region, "OpenMPC")
+        assert not res.translated
+        assert res.diagnostics[0].feature == "upward-exposed-private"
+
+
+class TestCalls:
+    def _region(self):
+        return ParallelRegion("r", pfor("i", 0, v("n"),
+                                        call("bump", v("b"), v("i"))))
+
+    def _func(self, inlinable):
+        return Function("bump", [Param("dst", is_array=True),
+                                 Param("idx")],
+                        accum(aref("dst", v("idx")), 1.0),
+                        inlinable=inlinable)
+
+    def test_inlinable_call(self):
+        acc = accepted_by(self._region(),
+                          functions=[self._func(inlinable=True)])
+        assert {"PGI Accelerator", "OpenACC", "HMPP", "OpenMPC"} <= acc
+        assert "R-Stream" not in acc  # calls break static control
+
+    def test_non_inlinable_call_only_openmpc(self):
+        acc = accepted_by(self._region(),
+                          functions=[self._func(inlinable=False)])
+        assert "OpenMPC" in acc
+        assert "PGI Accelerator" not in acc and "HMPP" not in acc
+
+    def test_pgi_inlines_in_lowering(self):
+        res = compile_one(self._region(), "PGI Accelerator",
+                          functions=[self._func(inlinable=True)])
+        assert res.translated
+        assert any("inlined" in a for a in res.applied)
+
+
+class TestContiguity:
+    def _region(self):
+        return ParallelRegion("r", pfor(
+            "i", 0, v("n"), assign(aref("w", v("i")), 1.0)))
+
+    def _arrays(self):
+        return [ArrayDecl("w", ("n",), contiguous=False)]
+
+    def test_openacc_and_openmpc_require_contiguous(self):
+        acc = accepted_by(self._region(), arrays=self._arrays())
+        assert "OpenACC" not in acc
+        assert "OpenMPC" not in acc
+        assert "R-Stream" not in acc  # pointer-based allocation
+        assert "PGI Accelerator" in acc  # III-A has no such documented limit
+
+
+class TestRStream:
+    def test_affine_region_automatic(self):
+        region = ParallelRegion("r", pfor(
+            "i", 0, v("n"), assign(aref("b", v("i")),
+                                   aref("a", v("i")) * 2.0)))
+        res = compile_one(region, "R-Stream")
+        assert res.translated
+        assert any("polyhedral" in a for a in res.applied)
+
+    def test_annotation_not_trusted(self):
+        # annotated parallel but carries a real dependence: rejected
+        region = ParallelRegion("r", pfor(
+            "i", 1, v("n"), assign(aref("a", v("i")),
+                                   aref("a", v("i") - 1))))
+        res = compile_one(region, "R-Stream")
+        assert not res.translated
+        assert res.diagnostics[0].feature == "no-provable-parallelism"
+
+    def test_loop_transform_directives_rejected_by_pgi(self):
+        region = ParallelRegion("r", pfor(
+            "i", 0, v("n"),
+            sfor("j", 0, v("n"), assign(aref("b", v("j")), 1.0))))
+        opts = {"r": RegionOptions(request_loop_swap=True)}
+        res = compile_one(region, "PGI Accelerator", options=opts)
+        assert not res.translated
+        assert res.diagnostics[0].feature == \
+            "no-loop-transformation-directives"
+        res2 = compile_one(region, "HMPP", options=opts)
+        assert res2.translated
+        assert any("permut" in a for a in res2.applied)
+
+
+class TestOpenACCConstructs:
+    def _two_loop_region(self):
+        return ParallelRegion("r", block(
+            pfor("i", 0, v("n"), assign(aref("b", v("i")), 1.0)),
+            pfor("i", 0, v("n"), assign(aref("a", v("i")),
+                                        aref("b", v("i"))))))
+
+    def test_kernels_construct_accepts_many_nests(self):
+        res = compile_one(self._two_loop_region(), "OpenACC")
+        assert res.translated
+        assert len(res.kernels) == 2
+        assert any("kernels construct" in a for a in res.applied)
+
+    def test_parallel_construct_rejects_many_nests(self):
+        opts = {"r": RegionOptions(construct="parallel")}
+        res = compile_one(self._two_loop_region(), "OpenACC",
+                          options=opts)
+        assert not res.translated
+        assert res.diagnostics[0].feature == \
+            "parallel-construct-single-kernel"
+
+    def test_parallel_construct_single_nest_ok(self):
+        region = ParallelRegion("r", pfor(
+            "i", 0, v("n"), assign(aref("b", v("i")), 1.0)))
+        opts = {"r": RegionOptions(construct="parallel")}
+        res = compile_one(region, "OpenACC", options=opts)
+        assert res.translated
+        assert any("parallel construct" in a for a in res.applied)
+
+    def test_unknown_construct_rejected(self):
+        region = ParallelRegion("r", pfor(
+            "i", 0, v("n"), assign(aref("b", v("i")), 1.0)))
+        opts = {"r": RegionOptions(construct="serial")}
+        res = compile_one(region, "OpenACC", options=opts)
+        assert not res.translated
+        assert res.diagnostics[0].feature == "unknown-construct"
+
+    def test_pgi_ignores_construct_field(self):
+        # PGI predates the construct split; its ports never set it
+        res = compile_one(self._two_loop_region(), "PGI Accelerator")
+        assert res.translated

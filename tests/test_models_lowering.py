@@ -1,0 +1,204 @@
+"""Tests for compiler lowering decisions and data-transfer planning."""
+
+import numpy as np
+import pytest
+
+from repro.gpusim.runtime import CudaRuntime
+from repro.ir.analysis.access import AccessPattern
+from repro.ir.builder import (accum, aref, assign, block, local, pfor,
+                              sfor, v)
+from repro.ir.program import (ArrayDecl, ParallelRegion, Program,
+                              ScalarDecl)
+from repro.models import (CAPABILITIES, DIRECTIVE_MODELS, FEATURE_TABLE,
+                          ExecutableProgram, PortSpec, get_compiler)
+from repro.models.base import DataRegionSpec, RegionOptions
+
+
+def _stencil_program():
+    body = assign(aref("b", v("i"), v("j")),
+                  aref("a", v("i"), v("j")) * 2.0)
+    region = ParallelRegion(
+        "r", pfor("i", 0, v("n"), sfor("j", 0, v("n"), body),
+                  private=["j"]), invocations=4)
+    return Program("p", [ArrayDecl("a", ("n", "n"), intent="in"),
+                         ArrayDecl("b", ("n", "n"), intent="out")],
+                   [ScalarDecl("n", "int")], [region])
+
+
+class TestOpenMPCAutomation:
+    def test_automatic_loop_swap(self):
+        compiled = get_compiler("OpenMPC").compile_program(
+            PortSpec(model="OpenMPC", program=_stencil_program()))
+        res = compiled.results["r"]
+        assert any("loop-swap" in a for a in res.applied)
+        # after the swap the kernel's thread index is j (fast dim)
+        assert res.kernels[0].thread_vars == ("j",)
+
+    def test_swap_disabled_by_ablation(self):
+        port = PortSpec(model="OpenMPC", program=_stencil_program(),
+                        region_options={
+                            "r": RegionOptions(disable_auto_transforms=True)})
+        res = get_compiler("OpenMPC").compile_program(port).results["r"]
+        assert not any("loop-swap" in a for a in res.applied)
+        assert res.kernels[0].thread_vars == ("i",)
+
+    def test_csr_collapse_overrides(self):
+        body = block(
+            assign(aref("y", v("i")), 0.0),
+            sfor("k", aref("rowstr", v("i")), aref("rowstr", v("i") + 1),
+                 accum(aref("y", v("i")),
+                       aref("val", v("k"))
+                       * aref("x", aref("col", v("k"))))),
+        )
+        region = ParallelRegion("spmv", pfor("i", 0, v("n"), body,
+                                             private=["k"]))
+        program = Program("p", [
+            ArrayDecl("rowstr", ("n1",), dtype="int", intent="in"),
+            ArrayDecl("col", ("nnz",), dtype="int", intent="in"),
+            ArrayDecl("val", ("nnz",), intent="in"),
+            ArrayDecl("x", ("n",), intent="in"),
+            ArrayDecl("y", ("n",), intent="out")],
+            [ScalarDecl(s, "int") for s in ("n", "n1", "nnz")], [region])
+        res = get_compiler("OpenMPC").compile_program(
+            PortSpec(model="OpenMPC", program=program)).results["spmv"]
+        assert any("loop collapsing" in a for a in res.applied)
+        overrides = res.kernels[0].pattern_overrides
+        assert overrides.get("val") is AccessPattern.COALESCED
+        assert overrides.get("col") is AccessPattern.COALESCED
+        assert "x" not in overrides  # the gather stays indirect
+
+    def test_column_expansion_default(self):
+        region = ParallelRegion("r", pfor("i", 0, v("n"), block(
+            local("qq", shape=(4,)),
+            accum(aref("qq", 0), 1.0),
+            accum(aref("out", 0), aref("qq", 0)),
+        )))
+        program = Program("p", [ArrayDecl("out", (1,), intent="out")],
+                          [ScalarDecl("n", "int")], [region])
+        res = get_compiler("OpenMPC").compile_program(
+            PortSpec(model="OpenMPC", program=program)).results["r"]
+        assert res.kernels[0].private_orientations.get("qq") == "column"
+        res_pgi = get_compiler("PGI Accelerator").compile_program(
+            PortSpec(model="PGI Accelerator", program=program)).results["r"]
+        assert res_pgi.kernels[0].private_orientations.get("qq") == "row"
+
+
+class TestPGITiling:
+    def test_auto_tiling_on_affine_2d(self):
+        body = assign(aref("b", v("i"), v("j")),
+                      aref("a", v("i"), v("j")))
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"), pfor("j", 0, v("n"), body)))
+        program = Program("p", [ArrayDecl("a", ("n", "n"), intent="in"),
+                                ArrayDecl("b", ("n", "n"), intent="out")],
+                          [ScalarDecl("n", "int")], [region])
+        res = get_compiler("PGI Accelerator").compile_program(
+            PortSpec(model="PGI Accelerator", program=program)).results["r"]
+        assert res.kernels[0].tiling
+        assert any("tiling" in a for a in res.applied)
+
+
+class TestDataPlanning:
+    def test_openmpc_synthesizes_whole_program_scope(self):
+        compiled = get_compiler("OpenMPC").compile_program(
+            PortSpec(model="OpenMPC", program=_stencil_program()))
+        (dr,) = compiled.data_regions
+        assert "a" in dr.copyin
+        assert "b" in dr.copyout
+        assert "b" not in dr.copyin  # written before read
+
+    def test_explicit_port_regions_win(self):
+        explicit = DataRegionSpec("mine", regions=("r",), copyin=("a",),
+                                  copyout=("b",))
+        compiled = get_compiler("OpenMPC").compile_program(
+            PortSpec(model="OpenMPC", program=_stencil_program(),
+                     data_regions=(explicit,)))
+        assert compiled.data_regions == (explicit,)
+
+    def test_rstream_merged_scope_requires_full_coverage(self):
+        compiled = get_compiler("R-Stream").compile_program(
+            PortSpec(model="R-Stream", program=_stencil_program()))
+        assert compiled.data_regions  # fully mappable: merged scope
+        # now add an unmappable region: no cross-region optimization
+        prog = _stencil_program()
+        bad = ParallelRegion("irr", pfor(
+            "i", 0, v("n"),
+            assign(aref("b", aref("a", v("i"), 0).ne(0).eq(0) * 0, 0), 1.0)))
+        prog2 = Program("p2", list(prog.arrays.values()),
+                        list(prog.scalars.values()),
+                        [prog.regions[0], bad])
+        compiled2 = get_compiler("R-Stream").compile_program(
+            PortSpec(model="R-Stream", program=prog2))
+        assert not compiled2.results["irr"].translated
+        assert compiled2.data_regions == ()
+
+
+class TestExecutableProgram:
+    def test_data_region_amortizes_transfers(self):
+        program = _stencil_program()
+        n = 16
+        arrays = {"a": np.random.default_rng(0).random((n, n)),
+                  "b": np.zeros((n, n))}
+
+        def run(model, data_regions):
+            compiled = get_compiler(model).compile_program(
+                PortSpec(model=model, program=program,
+                         data_regions=data_regions))
+            ex = ExecutableProgram(compiled)
+            ex.bind_arrays({k: a.copy() for k, a in arrays.items()})
+            for _ in range(4):
+                ex.run_region("r", {"n": n})
+            ex.close_data_regions()
+            return ex.rt.profiler
+
+    # per-invocation transfers vs one data region
+        naive = run("PGI Accelerator", ())
+        region = run("PGI Accelerator", (DataRegionSpec(
+            "d", regions=("r",), copyin=("a",), copyout=("b",)),))
+        assert len(region.transfers) < len(naive.transfers)
+        assert region.transfer_time_s < naive.transfer_time_s
+
+    def test_host_fallback_for_untranslated_region(self):
+        # a critical region PGI rejects must run on the host — and still
+        # produce correct results
+        region = ParallelRegion("hist", pfor(
+            "i", 0, v("n"),
+            __import__("repro.ir.builder", fromlist=["critical"]).critical(
+                accum(aref("h", aref("c", v("i"))), 1.0))))
+        program = Program("p", [
+            ArrayDecl("c", ("n",), dtype="int", intent="in"),
+            ArrayDecl("h", ("n",), intent="out")],
+            [ScalarDecl("n", "int")], [region])
+        compiled = get_compiler("PGI Accelerator").compile_program(
+            PortSpec(model="PGI Accelerator", program=program))
+        assert not compiled.results["hist"].translated
+        ex = ExecutableProgram(compiled)
+        c = np.array([0, 1, 1, 2], dtype=np.int64)
+        h = np.zeros(4)
+        ex.bind_arrays({"c": c, "h": h})
+        ex.run_region("hist", {"n": 4})
+        np.testing.assert_allclose(h, [1, 2, 1, 0])
+        assert ex.host_time_s > 0
+
+
+class TestFeatureTableConsistency:
+    def test_capabilities_match_table1(self):
+        # models whose 'special memories' row says explicit must expose it
+        specials = FEATURE_TABLE["Utilization of special memories"]
+        for model, caps in CAPABILITIES.items():
+            key = {"PGI Accelerator": "PGI"}.get(model, model)
+            if key in specials:
+                says_explicit = "explicit" in specials[key]
+                assert caps.explicit_special_memories == says_explicit
+
+    def test_capability_flags_vs_compilers(self):
+        # OpenMPC is the only evaluated model accepting array reductions
+        assert CAPABILITIES["OpenMPC"].array_reduction_clause
+        for name in ("PGI Accelerator", "OpenACC", "HMPP", "R-Stream"):
+            assert not CAPABILITIES[name].array_reduction_clause
+        assert CAPABILITIES["R-Stream"].affine_only
+        assert CAPABILITIES["OpenMPC"].interprocedural_calls
+
+    def test_all_directive_models_present(self):
+        for model in DIRECTIVE_MODELS:
+            assert get_compiler(model).name == model

@@ -1,0 +1,165 @@
+"""Property-based tests on the core analyses and transformations.
+
+These pin the *semantics* of the static machinery: an affine form must
+evaluate to the same number as the expression it decomposes; constant
+folding and loop normalization must preserve evaluation; coalescing
+costs must respect the obvious partial orders.
+"""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.gpusim.coalescing import transactions_per_warp
+from repro.gpusim.device import TESLA_M2090
+from repro.gpusim.executor import execute_kernel
+from repro.gpusim.kernel import Kernel
+from repro.gpusim.occupancy import compute_occupancy, latency_hiding_factor
+from repro.ir.analysis.access import AccessPattern, RefClass
+from repro.ir.analysis.affine import affine_form
+from repro.ir.builder import aref, assign, pfor, v
+from repro.ir.expr import BinOp, Const, Expr, UnOp, Var
+from repro.ir.transforms.normalize import fold_constants, normalize_loop_step
+from repro.ir.stmt import For
+
+
+# -- expression generators ------------------------------------------------
+
+_VARS = ("i", "j", "n", "m")
+
+
+@st.composite
+def affine_exprs(draw, depth=0) -> Expr:
+    """Random expressions affine in i/j with parameters n/m."""
+    if depth >= 3 or draw(st.booleans()):
+        kind = draw(st.sampled_from(["const", "var"]))
+        if kind == "const":
+            return Const(draw(st.integers(min_value=-8, max_value=8)))
+        return Var(draw(st.sampled_from(_VARS)))
+    op = draw(st.sampled_from(["+", "-", "scale", "neg"]))
+    left = draw(affine_exprs(depth=depth + 1))
+    if op == "neg":
+        return UnOp("-", left)
+    if op == "scale":
+        k = draw(st.integers(min_value=-4, max_value=4))
+        return BinOp("*", Const(k), left)
+    right = draw(affine_exprs(depth=depth + 1))
+    return BinOp(op, left, right)
+
+
+def _eval(expr: Expr, env: dict) -> float:
+    if isinstance(expr, Const):
+        return float(expr.value)
+    if isinstance(expr, Var):
+        return float(env[expr.name])
+    if isinstance(expr, UnOp):
+        return -_eval(expr.operand, env)
+    assert isinstance(expr, BinOp)
+    a, b = _eval(expr.left, env), _eval(expr.right, env)
+    return {"+": a + b, "-": a - b, "*": a * b}[expr.op]
+
+
+class TestAffineFormSemantics:
+    @given(affine_exprs(),
+           st.integers(-5, 5), st.integers(-5, 5),
+           st.integers(1, 7), st.integers(1, 7))
+    @settings(max_examples=120, deadline=None)
+    def test_form_evaluates_like_expression(self, expr, i, j, n, m):
+        form = affine_form(expr, ["i", "j"])
+        assume(form is not None)
+        # composite (parametric) coefficients need factored evaluation
+        env = {"i": i, "j": j, "n": n, "m": m}
+        total = form.const
+        for name, coeff in form.coeffs.items():
+            value = 1.0
+            for part in name.split("*"):
+                value *= env[part]
+            total += coeff * value
+        assert total == pytest.approx(_eval(expr, env))
+
+    @given(affine_exprs())
+    @settings(max_examples=60, deadline=None)
+    def test_fold_constants_preserves_value(self, expr):
+        env = {"i": 2, "j": -3, "n": 5, "m": 7}
+        folded = fold_constants(expr)
+        assert _eval(folded, env) == pytest.approx(_eval(expr, env))
+
+
+class TestLoopNormalization:
+    @given(st.integers(0, 6), st.integers(6, 20), st.integers(1, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_step_normalization_preserves_iterations(self, lo, hi, step):
+        loop = For("i", Const(lo), Const(hi),
+                   [assign(aref("hits", v("i")), 1.0)],
+                   step=Const(step), parallel=True)
+        out = normalize_loop_step(loop)
+
+        def run(l):
+            kern = Kernel("k", l, [l.var], arrays=["hits"])
+            data = {"hits": np.zeros(32)}
+            execute_kernel(kern, data, {})
+            return data["hits"]
+
+        np.testing.assert_array_equal(run(loop), run(out))
+
+
+class TestCoalescingOrder:
+    @given(st.integers(1, 64))
+    @settings(max_examples=40, deadline=None)
+    def test_strided_monotone_in_stride(self, stride):
+        spec = TESLA_M2090
+        a = transactions_per_warp(
+            RefClass("a", AccessPattern.STRIDED, stride=stride), 8, spec)
+        b = transactions_per_warp(
+            RefClass("a", AccessPattern.STRIDED, stride=stride + 1), 8,
+            spec)
+        assert b >= a - 1e-12
+
+    @given(st.sampled_from([1, 2, 4, 8]))
+    @settings(max_examples=10, deadline=None)
+    def test_coalesced_never_beats_single_transaction(self, elem):
+        spec = TESLA_M2090
+        t = transactions_per_warp(
+            RefClass("a", AccessPattern.COALESCED), elem, spec)
+        assert t >= 1.0
+        assert t <= 32.0
+
+
+class TestOccupancyOrder:
+    @given(st.sampled_from([32, 64, 128, 256, 512, 1024]),
+           st.integers(1, 4096))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_in_unit_interval(self, block, grid):
+        occ = compute_occupancy(TESLA_M2090, block, grid,
+                                regs_per_thread=20)
+        assert 0.0 < occ.occupancy <= 1.0
+        assert 0.0 < occ.sm_utilization <= 1.0
+        assert 0.0 < latency_hiding_factor(occ) <= 1.0
+
+    @given(st.sampled_from([64, 128, 256]))
+    @settings(max_examples=10, deadline=None)
+    def test_bigger_grid_never_hurts(self, block):
+        small = compute_occupancy(TESLA_M2090, block, 2)
+        large = compute_occupancy(TESLA_M2090, block, 4096)
+        assert latency_hiding_factor(large) >= \
+            latency_hiding_factor(small)
+
+
+class TestExecutorAlgebra:
+    @given(st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_sum_reduction_matches_numpy(self, values):
+        a = np.array(values)
+        kern = Kernel("sum", pfor("i", 0, v("n"),
+                                  __import__("repro.ir.builder",
+                                             fromlist=["accum"]).accum(
+                                      aref("s", 0), aref("a", v("i")))),
+                      ["i"], arrays=["a", "s"], scalars=["n"])
+        data = {"a": a, "s": np.zeros(1)}
+        execute_kernel(kern, data, {"n": len(values)})
+        assert data["s"][0] == pytest.approx(a.sum(), rel=1e-9,
+                                             abs=1e-9)

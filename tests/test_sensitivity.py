@@ -1,0 +1,56 @@
+"""Tests for the device-parameter sensitivity analysis."""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.gpusim.device import TESLA_M2090
+from repro.harness.sensitivity import (SWEEPABLE_FIELDS, scaled_device,
+                                       sensitivity_sweep)
+
+
+class TestScaledDevice:
+    def test_scales_one_field(self):
+        dev = scaled_device(TESLA_M2090, "mem_bandwidth_gbs", 2.0)
+        assert dev.mem_bandwidth_gbs == pytest.approx(310.0)
+        assert dev.peak_gflops_dp == TESLA_M2090.peak_gflops_dp
+        assert "x2" in dev.name
+
+    def test_probability_fields_clamped(self):
+        dev = scaled_device(TESLA_M2090, "texture_cache_hit_rate", 2.0)
+        assert dev.texture_cache_hit_rate < 1.0
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_device(TESLA_M2090, "num_sms", 2.0)
+
+    def test_all_sweepable_fields_exist(self):
+        for name in SWEEPABLE_FIELDS:
+            assert hasattr(TESLA_M2090, name)
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def ep_sweep(self):
+        return sensitivity_sweep(
+            get_benchmark("EP"),
+            models=("PGI Accelerator", "OpenMPC", "Hand-Written CUDA"),
+            fields=("mem_bandwidth_gbs", "kernel_launch_us"),
+            factors=(0.5, 2.0))
+
+    def test_rows_cover_grid(self, ep_sweep):
+        assert len(ep_sweep.rows) == 4
+        assert set(ep_sweep.baseline) == {
+            "PGI Accelerator", "OpenMPC", "Hand-Written CUDA"}
+
+    def test_ep_ranking_is_robust(self, ep_sweep):
+        # the paper's EP conclusion must not hinge on a single constant
+        assert ep_sweep.ordering_stable()
+        assert "ranking stable" in ep_sweep.report()
+
+    def test_bandwidth_moves_memory_bound_speedups(self):
+        rep = sensitivity_sweep(
+            get_benchmark("JACOBI"), models=("OpenMPC",),
+            fields=("mem_bandwidth_gbs",), factors=(0.5, 2.0))
+        low = rep.rows[0].speedups["OpenMPC"]
+        high = rep.rows[1].speedups["OpenMPC"]
+        assert high > rep.baseline["OpenMPC"] > low

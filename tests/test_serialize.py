@@ -1,0 +1,144 @@
+"""Round-trip tests for IR serialization, including property-based
+random trees and all thirteen benchmark programs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.benchmarks.registry import BENCHMARK_ORDER, get_benchmark
+from repro.errors import IRError
+from repro.ir.builder import (accum, aref, assign, barrier, block, call,
+                              cast, critical, iff, intrinsic, local,
+                              maximum, pfor, ptr_swap, ret, sfor, ternary,
+                              v, wloop)
+from repro.ir.serialize import (dumps, expr_from_dict, expr_to_dict, loads,
+                                stmt_from_dict, stmt_to_dict)
+from repro.ir.expr import BinOp, Call, Const, Expr, UnOp, Var
+
+
+def _roundtrip_expr(expr):
+    back = expr_from_dict(expr_to_dict(expr))
+    assert back == expr
+
+
+def _roundtrip_stmt(stmt):
+    data = stmt_to_dict(stmt)
+    back = stmt_from_dict(data)
+    assert stmt_to_dict(back) == data
+
+
+class TestExprRoundTrip:
+    def test_all_node_kinds(self):
+        _roundtrip_expr(v("x") + 2 * v("y") - 1)
+        _roundtrip_expr(intrinsic("pow", v("x"), 2.0))
+        _roundtrip_expr(ternary(v("c").gt(0), 1.0, aref("a", v("i"))))
+        _roundtrip_expr(cast("int", v("x") / 3.0))
+        _roundtrip_expr(aref("a", aref("idx", v("k")), v("j") % 4))
+        _roundtrip_expr(maximum(-v("x"), 0))
+
+    def test_int_float_distinction_survives(self):
+        one_int = expr_from_dict(expr_to_dict(Const(1)))
+        one_float = expr_from_dict(expr_to_dict(Const(1.0)))
+        assert one_int == Const(1) and one_int != Const(1.0)
+        assert one_float == Const(1.0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(IRError):
+            expr_from_dict({"k": "lambda"})
+
+
+class TestStmtRoundTrip:
+    def test_all_statement_kinds(self):
+        from repro.ir.builder import reduce_clause
+
+        _roundtrip_stmt(block(
+            local("t", init=0.0),
+            local("q", shape=(4, 2), dtype="int"),
+            pfor("i", 0, v("n"), block(
+                iff(v("i").gt(0), accum(v("t"), 1.0),
+                    assign(v("t"), 0.0)),
+                sfor("j", 0, 4, accum(aref("b", v("i")), v("j") * 1.0)),
+                critical(accum(aref("s", 0), v("t"))),
+                wloop(v("t").gt(0), assign(v("t"), v("t") - 1.0)),
+                call("helper", v("b"), v("i")),
+            ), private=["t"],
+                reductions=(reduce_clause("+", "s"),), collapse=2),
+            barrier(),
+            ptr_swap("a", "b"),
+            ret(),
+        ))
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(IRError):
+            stmt_from_dict({"k": "goto"})
+
+
+@st.composite
+def small_exprs(draw, depth=0) -> Expr:
+    if depth >= 3 or draw(st.booleans()):
+        choice = draw(st.sampled_from(["int", "float", "var", "aref"]))
+        if choice == "int":
+            return Const(draw(st.integers(-100, 100)))
+        if choice == "float":
+            return Const(draw(st.floats(-10, 10, allow_nan=False)))
+        if choice == "var":
+            return Var(draw(st.sampled_from("ijknm")))
+        return aref(draw(st.sampled_from(["a", "b"])),
+                    draw(small_exprs(depth=depth + 1)))
+    kind = draw(st.sampled_from(["binop", "unop", "call", "ternary"]))
+    if kind == "binop":
+        op = draw(st.sampled_from(["+", "-", "*", "/", "min", "max",
+                                   "%", "<", ">="]))
+        return BinOp(op, draw(small_exprs(depth=depth + 1)),
+                     draw(small_exprs(depth=depth + 1)))
+    if kind == "unop":
+        return UnOp("-", draw(small_exprs(depth=depth + 1)))
+    if kind == "call":
+        return Call("sqrt", [draw(small_exprs(depth=depth + 1))])
+    from repro.ir.expr import Ternary
+
+    return Ternary(draw(small_exprs(depth=depth + 1)),
+                   draw(small_exprs(depth=depth + 1)),
+                   draw(small_exprs(depth=depth + 1)))
+
+
+class TestPropertyRoundTrip:
+    @given(small_exprs())
+    @settings(max_examples=150, deadline=None)
+    def test_random_exprs_roundtrip(self, expr):
+        assert expr_from_dict(expr_to_dict(expr)) == expr
+
+
+class TestProgramRoundTrip:
+    @pytest.mark.parametrize("name", BENCHMARK_ORDER)
+    def test_benchmark_programs_roundtrip(self, name):
+        program = get_benchmark(name).program
+        text = dumps(program)
+        back = loads(text)
+        assert back.name == program.name
+        assert back.num_regions == program.num_regions
+        assert back.serial_line_count() == program.serial_line_count()
+        assert set(back.arrays) == set(program.arrays)
+        assert set(back.functions) == set(program.functions)
+        # bodies identical under re-serialization
+        assert dumps(back) == text
+
+    def test_roundtrip_preserves_compilation(self):
+        from repro.models import PortSpec, get_compiler
+
+        program = get_benchmark("JACOBI").program
+        back = loads(dumps(program))
+        compiled = get_compiler("R-Stream").compile_program(
+            PortSpec(model="R-Stream", program=back))
+        assert compiled.regions_translated == 2
+
+    def test_version_check(self):
+        import json
+
+        program = get_benchmark("JACOBI").program
+        data = json.loads(dumps(program))
+        data["version"] = 999
+        with pytest.raises(IRError):
+            from repro.ir.serialize import program_from_dict
+
+            program_from_dict(data)

@@ -1,0 +1,160 @@
+"""Tests for the timing model and the CUDA-like runtime."""
+
+import numpy as np
+import pytest
+
+from repro.errors import DeviceMemoryError, GpuSimError
+from repro.gpusim.device import TESLA_M2090, TINY_DEVICE
+from repro.gpusim.kernel import Kernel, KernelDescriptor
+from repro.gpusim.runtime import CudaRuntime
+from repro.gpusim.timing import (TimingConfig, price_kernel, price_transfer)
+from repro.ir.analysis.access import AccessPattern, AccessSummary, RefClass
+from repro.ir.builder import accum, aref, assign, block, local, pfor, sfor, v
+from repro.ir.transforms.tiling import TilingDecision
+
+
+def _desc(pattern=AccessPattern.COALESCED, stride=1, threads=1 << 20,
+          flops=2.0, counts=4.0, divergence=0.0, tiling=(), smem=0):
+    summary = AccessSummary()
+    summary.refs.append((RefClass("a", pattern, stride=stride), counts))
+    return KernelDescriptor(
+        name="k", total_threads=threads, block_threads=256,
+        flops_per_thread=flops, divergence=divergence, access=summary,
+        smem_per_block=smem, tiling=tiling)
+
+
+class TestKernelPricing:
+    def test_coalesced_faster_than_strided(self):
+        fast = price_kernel(_desc(), TESLA_M2090)
+        slow = price_kernel(_desc(AccessPattern.STRIDED, stride=4096),
+                            TESLA_M2090)
+        assert slow.time_s > 8 * fast.time_s
+
+    def test_coalescing_ablation_removes_gap(self):
+        cfg = TimingConfig(model_coalescing=False)
+        fast = price_kernel(_desc(), TESLA_M2090, cfg)
+        slow = price_kernel(_desc(AccessPattern.STRIDED, stride=4096),
+                            TESLA_M2090, cfg)
+        assert slow.time_s == pytest.approx(fast.time_s)
+
+    def test_tiling_reuse_cuts_traffic(self):
+        tile = TilingDecision((16, 16), reuse_factor=4.0,
+                              smem_bytes_per_block=2048, arrays=("a",))
+        base = price_kernel(_desc(), TESLA_M2090)
+        tiled = price_kernel(_desc(tiling=(tile,), smem=2048), TESLA_M2090)
+        assert tiled.dram_bytes == pytest.approx(base.dram_bytes / 4)
+
+    def test_divergence_slows_compute(self):
+        base = price_kernel(_desc(flops=500.0), TESLA_M2090)
+        div = price_kernel(_desc(flops=500.0, divergence=0.8),
+                           TESLA_M2090)
+        assert div.compute_s > 2 * base.compute_s
+
+    def test_bound_classification(self):
+        mem = price_kernel(_desc(flops=0.5, counts=64.0), TESLA_M2090)
+        cpu = price_kernel(_desc(flops=5000.0, counts=0.1), TESLA_M2090)
+        assert mem.bound == "memory" and cpu.bound == "compute"
+
+    def test_launch_overhead_floor(self):
+        t = price_kernel(_desc(threads=32, counts=1.0, flops=1.0),
+                         TESLA_M2090)
+        assert t.time_s >= TESLA_M2090.kernel_launch_us * 1e-6
+
+    def test_occupancy_ablation(self):
+        small = _desc(threads=512)  # 2 blocks: badly underfilled device
+        on = price_kernel(small, TESLA_M2090)
+        off = price_kernel(small, TESLA_M2090,
+                           TimingConfig(model_occupancy=False))
+        assert off.memory_s < on.memory_s
+
+
+class TestTransferPricing:
+    def test_latency_plus_bandwidth(self):
+        t = price_transfer(6_000_000, TESLA_M2090)
+        assert t == pytest.approx(10e-6 + 1e-3, rel=1e-6)
+
+    def test_zero_bytes_free(self):
+        assert price_transfer(0, TESLA_M2090) == 0.0
+
+
+class TestRuntime:
+    def _simple_kernel(self):
+        return Kernel("scale", pfor("i", 0, v("n"),
+                                    assign(aref("a", v("i")),
+                                           aref("a", v("i")) * 2.0)),
+                      ["i"], arrays=["a"], scalars=["n"])
+
+    def test_end_to_end_functional(self):
+        rt = CudaRuntime()
+        host = np.arange(16.0)
+        rt.bind_host("a", host)
+        rt.malloc("a")
+        rt.htod("a")
+        rt.launch(self._simple_kernel(), {"n": 16})
+        rt.dtoh("a")
+        np.testing.assert_allclose(host, np.arange(16.0) * 2)
+        assert len(rt.profiler.launches) == 1
+        assert rt.profiler.bytes_htod == 16 * 8
+        assert rt.clock_s > 0
+
+    def test_timing_only_mode_skips_values(self):
+        rt = CudaRuntime(execute=False)
+        host = np.arange(16.0)
+        rt.bind_host("a", host)
+        rt.malloc("a")
+        rt.htod("a")
+        rt.launch(self._simple_kernel(), {"n": 16})
+        rt.dtoh("a")
+        np.testing.assert_allclose(host, np.arange(16.0))  # untouched
+        assert rt.clock_s > 0
+
+    def test_missing_buffer_errors(self):
+        rt = CudaRuntime()
+        rt.bind_host("a", np.zeros(4))
+        with pytest.raises(GpuSimError):
+            rt.htod("a")
+        with pytest.raises(GpuSimError):
+            rt.free("a")
+
+    def test_double_malloc_rejected(self):
+        rt = CudaRuntime()
+        rt.bind_host("a", np.zeros(4))
+        rt.malloc("a")
+        with pytest.raises(GpuSimError):
+            rt.malloc("a")
+
+    def test_device_capacity_enforced(self):
+        rt = CudaRuntime(spec=TINY_DEVICE, execute=False)
+        rt.bind_host("a", np.zeros(1))
+        with pytest.raises(DeviceMemoryError):
+            rt.malloc("a", shape=(TINY_DEVICE.global_mem_bytes,),
+                      dtype=np.dtype(np.float64))
+
+    def test_private_array_expansion_overflow(self):
+        # the EP story: expanded private arrays overflow device memory
+        # when the grid is too large; strip-mining is the documented fix
+        body = block(local("qq", shape=(64,)),
+                     accum(aref("out", 0), 1.0))
+        kern = Kernel("ep_like", pfor("i", 0, v("nk"), body), ["i"],
+                      arrays=["out"], scalars=["nk"],
+                      private_orientations={"qq": "row"})
+        rt = CudaRuntime(spec=TINY_DEVICE, execute=False)
+        rt.bind_host("out", np.zeros(1))
+        rt.malloc("out")
+        big = TINY_DEVICE.global_mem_bytes // (64 * 8) + 100
+        with pytest.raises(DeviceMemoryError):
+            rt.launch(kern, {"nk": big})
+        # register-resident private arrays do not allocate
+        kern_reg = Kernel("ep_reg", pfor("i", 0, v("nk"), body), ["i"],
+                          arrays=["out"], scalars=["nk"])
+        rt.launch(kern_reg, {"nk": big})
+
+    def test_reset(self):
+        rt = CudaRuntime()
+        rt.bind_host("a", np.zeros(4))
+        rt.malloc("a")
+        rt.htod("a")
+        rt.reset()
+        assert rt.clock_s == 0.0
+        assert not rt.buffers
+        assert not rt.profiler.transfers

@@ -1,0 +1,223 @@
+"""Tests for the loop transformations."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TransformError
+from repro.gpusim.kernel import Kernel
+from repro.gpusim.executor import execute_kernel
+from repro.ir.builder import (accum, aref, assign, block, call, local,
+                              pfor, sfor, v)
+from repro.ir.expr import Const
+from repro.ir.program import Function, Param, Program, ArrayDecl, ScalarDecl, ParallelRegion
+from repro.ir.stmt import For
+from repro.ir.transforms.collapse import (collapse_nest, collapsible,
+                                          promote_inner_parallel)
+from repro.ir.transforms.inline import inline_calls
+from repro.ir.transforms.interchange import interchange, parallel_loop_swap
+from repro.ir.transforms.normalize import (flatten_blocks, fold_constants,
+                                           normalize, normalize_loop_step)
+from repro.ir.transforms.tiling import strip_mine, tile_2d
+from repro.ir.transforms.transpose import expand_private_array
+
+
+def _run(loop: For, arrays: dict, scalars: dict) -> dict:
+    """Execute a (possibly transformed) parallel nest and return arrays."""
+    tvars = [loop.var]
+    node = loop
+    while True:
+        inner = [s for s in node.body.stmts if isinstance(s, For)
+                 and s.parallel]
+        if len(inner) == 1 and len(node.body.stmts) == 1:
+            tvars.append(inner[0].var)
+            node = inner[0]
+        else:
+            break
+    kern = Kernel("t", loop, tvars, arrays=sorted(arrays),
+                  scalars=sorted(scalars))
+    data = {k: a.copy() for k, a in arrays.items()}
+    execute_kernel(kern, data, scalars)
+    return data
+
+
+def _stencil(parallel_inner=False):
+    body = assign(aref("b", v("i"), v("j")),
+                  aref("a", v("i"), v("j")) * 2.0)
+    inner = (pfor if parallel_inner else sfor)("j", 0, v("m"), body)
+    return pfor("i", 0, v("n"), inner)
+
+
+class TestInterchange:
+    def test_swap_preserves_semantics(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((6, 5))
+        arrays = {"a": a, "b": np.zeros((6, 5))}
+        scalars = {"n": 6, "m": 5}
+        base = _run(_stencil(), arrays, scalars)
+        swapped = parallel_loop_swap(_stencil())
+        assert swapped.var == "j" and swapped.parallel
+        out = _run(swapped, arrays, scalars)
+        np.testing.assert_allclose(out["b"], base["b"])
+
+    def test_swap_requires_parallel_outer(self):
+        loop = sfor("i", 0, 4, sfor("j", 0, 4, assign(v("x"), 1.0)))
+        with pytest.raises(TransformError):
+            parallel_loop_swap(loop)
+
+    def test_imperfect_nest_rejected(self):
+        loop = pfor("i", 0, 4, block(assign(v("x"), 1.0),
+                                     sfor("j", 0, 4, assign(v("y"), 1.0))))
+        with pytest.raises(TransformError):
+            interchange(loop)
+
+    def test_carried_dependence_blocks_swap(self):
+        loop = pfor("i", 1, v("n"),
+                    sfor("j", 1, v("m"),
+                         assign(aref("a", v("i"), v("j")),
+                                aref("a", v("i") - 1, v("j")))))
+        with pytest.raises(TransformError):
+            interchange(loop)
+        # force pushes through (the OpenMPC aggressive mode)
+        forced = parallel_loop_swap(loop, force=True)
+        assert forced.var == "j"
+
+
+class TestCollapse:
+    def test_collapse_nest_semantics(self):
+        rng = np.random.default_rng(1)
+        arrays = {"a": rng.random((4, 8)), "b": np.zeros((4, 8))}
+        scalars = {"n": 4, "m": 8}
+        base = _run(_stencil(parallel_inner=True), arrays, scalars)
+        flat = collapse_nest(_stencil(parallel_inner=True))
+        assert flat.parallel
+        out = _run(flat, arrays, scalars)
+        np.testing.assert_allclose(out["b"], base["b"])
+
+    def test_collapsible_predicate(self):
+        assert collapsible(_stencil())
+        bad = pfor("i", 0, 4, block(assign(v("x"), 1.0),
+                                    sfor("j", 0, 4, assign(v("y"), 1.0))))
+        assert not collapsible(bad)
+
+    def test_promote_inner_parallel(self):
+        out = promote_inner_parallel(_stencil())
+        inner = [s for s in out.body.stmts if isinstance(s, For)][0]
+        assert inner.parallel
+        assert out.collapse == 1
+
+
+class TestStripMineAndTile:
+    def test_strip_mine_semantics(self):
+        loop = pfor("i", 0, v("n"), assign(aref("b", v("i")),
+                                           aref("a", v("i")) + 1.0))
+        arrays = {"a": np.arange(10.0), "b": np.zeros(10)}
+        base = _run(loop, arrays, {"n": 10})
+        stripped = strip_mine(loop, 4)
+        out = _run(stripped, arrays, {"n": 10})
+        np.testing.assert_allclose(out["b"], base["b"])
+
+    def test_strip_mine_rejects_bad_size(self):
+        with pytest.raises(TransformError):
+            strip_mine(_stencil(), 0)
+
+    def test_tile_2d_semantics(self):
+        nest = _stencil(parallel_inner=True)
+        arrays = {"a": np.random.default_rng(2).random((9, 7)),
+                  "b": np.zeros((9, 7))}
+        scalars = {"n": 9, "m": 7}
+        base = _run(nest, arrays, scalars)
+        tiled = tile_2d(nest, 4, 4)
+        out = _run(tiled, arrays, scalars)
+        np.testing.assert_allclose(out["b"], base["b"])
+
+    def test_tile_requires_parallel_pair(self):
+        with pytest.raises(TransformError):
+            tile_2d(_stencil(parallel_inner=False), 4, 4)
+
+
+class TestExpansion:
+    def test_column_expansion_rewrites_refs(self):
+        loop = pfor("i", 0, v("n"), block(
+            local("qq", shape=(4,)),
+            accum(aref("qq", v("l")), 1.0),
+        ))
+        result = expand_private_array(loop, "qq", orientation="column")
+        assert result.coalesced
+        refs = [e for s in result.loop.walk() for expr in s.exprs()
+                for e in expr.walk()
+                if getattr(e, "name", None) == "qq_exp"]
+        assert refs and all(r.indices[-1] == v("i") for r in refs)
+
+    def test_row_expansion(self):
+        loop = pfor("i", 0, v("n"), block(
+            local("qq", shape=(4,)),
+            accum(aref("qq", 0), 1.0),
+        ))
+        result = expand_private_array(loop, "qq", orientation="row")
+        assert not result.coalesced
+
+    def test_requires_declared_private_array(self):
+        loop = pfor("i", 0, v("n"), accum(aref("qq", 0), 1.0))
+        with pytest.raises(TransformError):
+            expand_private_array(loop, "qq")
+
+
+class TestInline:
+    def _program(self, inlinable=True):
+        f = Function("addone", [Param("dst", is_array=True), Param("idx")],
+                     assign(aref("dst", v("idx")),
+                            aref("dst", v("idx")) + 1.0),
+                     inlinable=inlinable)
+        region = ParallelRegion("r", pfor("i", 0, v("n"),
+                                          call("addone", v("a"), v("i"))))
+        return Program("p", [ArrayDecl("a", ("n",))],
+                       [ScalarDecl("n", "int")], [region], functions=[f])
+
+    def test_inline_substitutes(self):
+        prog = self._program()
+        body, names = inline_calls(prog.regions[0].body, prog)
+        assert names == ["addone"]
+        from repro.ir.visitors import contains_call, written_arrays
+        assert not contains_call(body)
+        assert written_arrays(body) == {"a"}
+
+    def test_non_inlinable_rejected(self):
+        prog = self._program(inlinable=False)
+        with pytest.raises(TransformError):
+            inline_calls(prog.regions[0].body, prog)
+
+    def test_unknown_callee_rejected(self):
+        prog = self._program()
+        body = block(call("missing"))
+        with pytest.raises(TransformError):
+            inline_calls(body, prog)
+
+
+class TestNormalize:
+    def test_fold_constants(self):
+        assert fold_constants(Const(2) + Const(3)) == Const(5)
+        assert fold_constants(v("x") * 1) == v("x")
+        assert fold_constants(v("x") * 0) == Const(0)
+        assert fold_constants(v("x") + 0) == v("x")
+
+    def test_flatten_blocks(self):
+        nested = block(block(assign(v("x"), 1.0)),
+                       block(block(assign(v("y"), 2.0))))
+        flat = flatten_blocks(nested)
+        assert len(flat.stmts) == 2
+
+    def test_normalize_loop_step(self):
+        loop = For("i", 0, Const(10), [assign(aref("b", v("i")), 1.0)],
+                   step=Const(2), parallel=True)
+        out = normalize_loop_step(loop)
+        assert out.step == Const(1)
+        arrays = {"b": np.zeros(10)}
+        got = _run(out, arrays, {})
+        expected = np.zeros(10)
+        expected[::2] = 1.0
+        np.testing.assert_allclose(got["b"], expected)
+
+    def test_normalize_composite(self):
+        body = block(block(assign(v("x"), Const(2) * Const(3))))
+        out = normalize(body)
+        assert out.stmts[0].value == Const(6)

@@ -1,0 +1,85 @@
+"""Tests for the validation runner and the Chrome-trace exporter."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.gpusim.kernel import Kernel
+from repro.gpusim.runtime import CudaRuntime
+from repro.harness.cli import main as cli_main
+from repro.harness.validate import validate_suite
+from repro.ir.builder import aref, assign, pfor, v
+
+
+class TestValidateRunner:
+    def test_matrix_for_one_benchmark(self):
+        matrix = validate_suite(benchmarks=["JACOBI"],
+                                models=("OpenMPC", "Hand-Written CUDA"))
+        assert matrix.passed
+        # OpenMPC has best+naive variants, manual just best
+        assert len(matrix.cells) == 3
+        assert "3/3 configurations validated" in matrix.render()
+
+    def test_cli_validate(self, capsys):
+        rc = cli_main(["validate", "EP"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "EP" in out and "PASS" in out
+
+    def test_exceptions_reported_not_raised(self, monkeypatch):
+        from repro.benchmarks import registry
+
+        class Boom(registry.get_benchmark("JACOBI").__class__):
+            def run(self, *a, **kw):
+                raise RuntimeError("kaboom")
+
+        monkeypatch.setattr(registry, "get_benchmark",
+                            lambda name: Boom())
+        import repro.harness.validate as val
+
+        monkeypatch.setattr(val, "get_benchmark", lambda name: Boom())
+        matrix = val.validate_suite(benchmarks=["JACOBI"],
+                                    models=("OpenMPC",))
+        assert not matrix.passed
+        assert any("kaboom" in e for c in matrix.failures()
+                   for e in c.errors)
+
+
+class TestChromeTrace:
+    def _run(self):
+        rt = CudaRuntime()
+        host = np.arange(32.0)
+        rt.bind_host("a", host)
+        rt.malloc("a")
+        rt.htod("a")
+        kern = Kernel("scale", pfor("i", 0, v("n"),
+                                    assign(aref("a", v("i")),
+                                           aref("a", v("i")) * 2.0)),
+                      ["i"], arrays=["a"], scalars=["n"])
+        rt.launch(kern, {"n": 32})
+        rt.dtoh("a")
+        return rt
+
+    def test_events_cover_timeline(self):
+        rt = self._run()
+        events = rt.profiler.to_chrome_trace()
+        assert len(events) == 3  # htod + kernel + dtoh
+        kinds = {e["cat"] for e in events}
+        assert kinds == {"kernel", "transfer"}
+        kernel = next(e for e in events if e["cat"] == "kernel")
+        assert kernel["name"] == "scale"
+        assert kernel["dur"] > 0
+        assert "occupancy" in kernel["args"]
+        # on the simulated clock the order is htod, kernel, dtoh
+        ordered = sorted(events, key=lambda e: e["ts"])
+        assert [e["cat"] for e in ordered] == ["transfer", "kernel",
+                                               "transfer"]
+        assert ordered[0]["ts"] == 0.0
+
+    def test_dump_to_file(self, tmp_path):
+        rt = self._run()
+        path = tmp_path / "trace.json"
+        rt.profiler.dump_chrome_trace(str(path))
+        data = json.loads(path.read_text())
+        assert len(data["traceEvents"]) == 3
