@@ -36,9 +36,11 @@ class UnsupportedFeatureError(ReproError):
     which limitation of Section III was hit.
     """
 
-    def __init__(self, feature: str, detail: str = "") -> None:
+    def __init__(self, feature: str, detail: str = "",
+                 region: str = "") -> None:
         self.feature = feature
         self.detail = detail
+        self.region = region  # the rejecting region, when known
         msg = feature if not detail else f"{feature}: {detail}"
         super().__init__(msg)
 

@@ -1,14 +1,17 @@
 """Fermi-class GPU simulator: device model, memory, execution, timing."""
 
 from repro.gpusim.coalescing import (CoalescingReport,
+                                     coalescing_efficiency,
                                      effective_bytes_per_warp,
+                                     is_poorly_coalesced,
                                      transactions_per_warp)
 from repro.gpusim.device import (TESLA_C2050, TESLA_M2090, TINY_DEVICE,
                                  DeviceSpec, get_device)
 from repro.gpusim.executor import KernelExecutor, execute_kernel
 from repro.gpusim.kernel import DEFAULT_BLOCK, Kernel, KernelDescriptor
 from repro.gpusim.memory import DeviceBuffer, MemoryManager, MemorySpace
-from repro.gpusim.occupancy import (Occupancy, compute_occupancy,
+from repro.gpusim.occupancy import (Occupancy, block_shape_occupancy,
+                                    compute_occupancy,
                                     latency_hiding_factor)
 from repro.gpusim.profiler import LaunchRecord, Profiler, TransferRecord
 from repro.gpusim.reference import ScalarExecutor, execute_kernel_scalar
@@ -27,7 +30,9 @@ __all__ = [
     "DeviceSpec", "get_device", "TESLA_M2090", "TESLA_C2050", "TINY_DEVICE",
     "MemorySpace", "DeviceBuffer", "MemoryManager",
     "transactions_per_warp", "effective_bytes_per_warp", "CoalescingReport",
-    "Occupancy", "compute_occupancy", "latency_hiding_factor",
+    "coalescing_efficiency", "is_poorly_coalesced",
+    "Occupancy", "compute_occupancy", "block_shape_occupancy",
+    "latency_hiding_factor",
     "Kernel", "KernelDescriptor", "DEFAULT_BLOCK",
     "KernelExecutor", "execute_kernel",
     "ScalarExecutor", "execute_kernel_scalar",

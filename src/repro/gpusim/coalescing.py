@@ -73,3 +73,25 @@ class CoalescingReport:
         transferred = txns * spec.transaction_bytes
         return cls(ref.array, ref.pattern, txns,
                    min(1.0, useful / transferred))
+
+
+# ---------------------------------------------------------------------------
+# Pure predicates for static checkers (repro.lint)
+# ---------------------------------------------------------------------------
+
+def coalescing_efficiency(ref: RefClass, elem_bytes: int,
+                          spec: DeviceSpec) -> float:
+    """Useful/transferred byte ratio of one warp access, in (0, 1]."""
+    return CoalescingReport.for_ref(ref, elem_bytes, spec).efficiency
+
+
+def is_poorly_coalesced(ref: RefClass, elem_bytes: int, spec: DeviceSpec,
+                        min_transactions: float = 8.0) -> bool:
+    """Does this reference replay ``min_transactions``+ per warp access?
+
+    The threshold defaults to a quarter of a full 32-way serialization —
+    the point past which the paper's ports stop scaling (IV-B's
+    uncoalesced JACOBI/EP/CFD stories).  Pure query: no device state, no
+    launch validation.
+    """
+    return transactions_per_warp(ref, elem_bytes, spec) >= min_transactions

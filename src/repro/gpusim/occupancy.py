@@ -84,6 +84,24 @@ def compute_occupancy(spec: DeviceSpec, block_threads: int, grid_blocks: int,
                      sm_utilization=sm_util)
 
 
+def block_shape_occupancy(spec: DeviceSpec, block_threads: int,
+                          smem_per_block: int = 0,
+                          regs_per_thread: int = 24) -> "Occupancy | None":
+    """Occupancy of a block shape assuming a saturated grid.
+
+    Pure query for static checkers (repro.lint): evaluates the block
+    shape alone, with enough blocks to fill every SM, and returns
+    ``None`` instead of raising when the shape cannot launch at all.
+    """
+    saturated = spec.num_sms * spec.max_blocks_per_sm
+    try:
+        return compute_occupancy(spec, block_threads, saturated,
+                                 smem_per_block=smem_per_block,
+                                 regs_per_thread=regs_per_thread)
+    except LaunchError:
+        return None
+
+
 def latency_hiding_factor(occ: Occupancy) -> float:
     """How much of peak memory throughput the launch can sustain.
 

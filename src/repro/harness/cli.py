@@ -6,12 +6,16 @@ Subcommands regenerate the paper's evaluation artifacts:
 * ``table2`` — coverage + code-size increase over the 13-benchmark suite;
 * ``figure1`` — per-benchmark speedups for every model (text bars/CSV);
 * ``run BENCH MODEL`` — one functional run with validation and a trace;
+* ``lint [BENCH MODEL]`` — the directive verifier (``--all`` for the
+  whole suite, ``--json`` for machine-readable output, ``--fail-on`` to
+  gate CI);
 * ``all`` — everything (the EXPERIMENTS.md payload).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.benchmarks.base import ALL_MODELS
@@ -84,6 +88,57 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import Severity, lint_port, lint_suite
+    from repro.metrics.lintstats import lint_density, render_lint_density
+
+    threshold = Severity.parse(args.fail_on) if args.fail_on else None
+    if args.all_ports:
+        records = lint_suite()
+        if args.json:
+            payload = [{"benchmark": rec.benchmark, "model": rec.model,
+                        "variant": rec.variant, "regions": rec.regions,
+                        "findings": [f.to_dict()
+                                     for f in rec.report.sorted()]}
+                       for rec in records]
+            print(json.dumps(payload, indent=2))
+        else:
+            print(render_lint_density(lint_density(records)))
+        if threshold is None:
+            return 0
+        over = [(rec, f) for rec in records
+                for f in rec.report.at_or_above(threshold)]
+        if over and not args.json:
+            print(f"\nFindings at or above {threshold}:")
+            for rec, f in over:
+                print(f"  {f.rule} {f.severity} {f.location()}: {f.message}")
+        return 1 if over else 0
+    if not args.benchmark or not args.model:
+        print("lint: BENCH and MODEL are required unless --all is given",
+              file=sys.stderr)
+        return 2
+    try:
+        report = lint_port(args.benchmark, args.model, variant=args.variant)
+    except KeyError as exc:
+        # unknown benchmark/model/variant: argparse can't pre-validate
+        # these (aliases, per-benchmark variants), so fail cleanly here
+        print(f"lint: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(report.to_json())
+    else:
+        header = f"{report.program} / {report.model}"
+        print(header)
+        print("-" * len(header))
+        if not report.findings:
+            print("no findings")
+        for f in report.sorted():
+            print(f"{f.rule} {f.severity} {f.location()}: {f.message}")
+    if threshold is not None and report.at_or_above(threshold):
+        return 1
+    return 0
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
     print("Table I")
     print(render_table1())
@@ -137,6 +192,25 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp.add_argument("--scale", default="paper",
                        choices=("test", "paper"))
     p_cmp.set_defaults(func=_cmd_compare)
+
+    p_lint = sub.add_parser(
+        "lint", help="run the directive verifier over one port or --all")
+    p_lint.add_argument("benchmark", nargs="?", default=None,
+                        help="benchmark name (e.g. jacobi)")
+    p_lint.add_argument("model", nargs="?", default=None,
+                        help="model name or alias (e.g. openacc)")
+    p_lint.add_argument("--variant", default=None,
+                        help="port variant (default: the model's best)")
+    p_lint.add_argument("--json", action="store_true",
+                        help="machine-readable findings")
+    p_lint.add_argument("--all", action="store_true", dest="all_ports",
+                        help="lint every benchmark x model pair and print "
+                             "the per-model density table")
+    p_lint.add_argument("--fail-on", dest="fail_on", default=None,
+                        choices=("error", "warning", "info"),
+                        help="exit 1 if any finding is at/above "
+                             "this severity")
+    p_lint.set_defaults(func=_cmd_lint)
 
     p_all = sub.add_parser("all", help="everything")
     p_all.add_argument("--scale", default="paper",

@@ -7,8 +7,12 @@ from repro.ir.analysis.affine import (AffineForm, AffineReport, affine_form,
 from repro.ir.analysis.deps import (Dependence, loop_carried_dependences,
                                     parallelization_safe)
 from repro.ir.analysis.features import RegionFeatures, scan_region
-from repro.ir.analysis.liveness import SplitReport, analyze_split
+from repro.ir.analysis.liveness import (SplitReport, analyze_split,
+                                        array_upward_exposed_reads)
 from repro.ir.analysis.metrics import WorkEstimate, body_work, expr_flops
+from repro.ir.analysis.miv import (DimConstraint, PairVerdict, delinearize,
+                                   dim_constraint, test_ref_pair,
+                                   write_may_self_collide)
 from repro.ir.analysis.reductions import (ReductionPattern,
                                           critical_is_reduction,
                                           detect_reductions,
@@ -21,8 +25,10 @@ __all__ = [
     "region_is_affine",
     "Dependence", "loop_carried_dependences", "parallelization_safe",
     "RegionFeatures", "scan_region",
-    "SplitReport", "analyze_split",
+    "SplitReport", "analyze_split", "array_upward_exposed_reads",
     "WorkEstimate", "body_work", "expr_flops",
+    "DimConstraint", "PairVerdict", "delinearize", "dim_constraint",
+    "test_ref_pair", "write_may_self_collide",
     "ReductionPattern", "critical_is_reduction", "detect_reductions",
     "has_unsupported_critical",
 ]

@@ -1,26 +1,25 @@
 """Lightweight dependence testing for transformation legality.
 
 The model compilers use this to decide whether loop interchange, collapse,
-and parallelization-as-written are safe.  The test is deliberately simple
-(the paper's compilers also rely on conservative array-name analyses,
-cf. Section III-D2):
-
-* two references to the same array *may* conflict when at least one is a
-  write;
-* for affine single-index pairs we run a ZIV/SIV test (constant-distance
-  or GCD) to disprove the conflict;
-* anything non-affine is conservatively dependent.
+and parallelization-as-written are safe.  The pairwise subscript test
+lives in :mod:`repro.ir.analysis.miv`: per-dimension ZIV/SIV/GCD
+constraints (with delinearization of ``e // K`` / ``e % K`` pairs and
+symbolic strides) intersected across dimensions.  Anything the test
+cannot resolve remains conservatively dependent with ``carried_by=None``
+— faithful to the array-name analyses the paper's compilers fall back on
+(Section III-D2) — but provably-independent stencils (JACOBI, HOTSPOT)
+and coupled wavefront subscripts (NW) no longer report spurious
+loop-carried dependences.
 """
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Iterable, Optional
 
-from repro.ir.analysis.affine import AffineForm, affine_form
-from repro.ir.expr import ArrayRef, Expr
-from repro.ir.stmt import Assign, For, Stmt
+from repro.ir.analysis.miv import test_ref_pair, write_may_self_collide
+from repro.ir.expr import ArrayRef
+from repro.ir.stmt import Assign, For, LocalDecl, Stmt
 from repro.ir.visitors import iter_stmts
 
 
@@ -34,73 +33,62 @@ class Dependence:
     distance: Optional[int] = None  # constant distance when known
 
 
-def _gather_refs(body: Stmt) -> tuple[list[ArrayRef], list[ArrayRef]]:
-    """(reads, writes) array references in a loop body."""
+def _local_array_names(body: Stmt) -> set[str]:
+    """Arrays declared per-iteration inside the body (thread-private)."""
+    return {stmt.name for stmt in iter_stmts(body)
+            if isinstance(stmt, LocalDecl) and stmt.shape}
+
+
+def _gather_refs(body: Stmt,
+                 skip: Iterable[str] = (),
+                 ) -> tuple[list[ArrayRef], list[ArrayRef]]:
+    """(reads, writes) array references in a loop body.
+
+    References to arrays in ``skip`` (privatized or iteration-local) are
+    excluded: each iteration owns its copy, so they carry nothing.
+    """
+    skip_names = set(skip) | _local_array_names(body)
     reads: list[ArrayRef] = []
     writes: list[ArrayRef] = []
+
+    def keep(refs: Iterable[ArrayRef]) -> list[ArrayRef]:
+        return [r for r in refs if r.name not in skip_names]
+
     for stmt in iter_stmts(body):
         if isinstance(stmt, Assign):
             if isinstance(stmt.target, ArrayRef):
-                writes.append(stmt.target)
+                writes.extend(keep([stmt.target]))
                 if stmt.op is not None:
                     # a structurally equal but distinct node, so the
                     # read/write pair is not skipped as self-comparison
-                    reads.append(ArrayRef(stmt.target.name,
-                                          stmt.target.indices))
+                    reads.extend(keep([ArrayRef(stmt.target.name,
+                                                stmt.target.indices)]))
                 for index in stmt.target.indices:
-                    reads.extend(n for n in index.walk()
-                                 if isinstance(n, ArrayRef))
-            reads.extend(n for n in stmt.value.walk()
-                         if isinstance(n, ArrayRef))
+                    reads.extend(keep(n for n in index.walk()
+                                      if isinstance(n, ArrayRef)))
+            reads.extend(keep(n for n in stmt.value.walk()
+                              if isinstance(n, ArrayRef)))
         else:
             for expr in stmt.exprs():
-                reads.extend(n for n in expr.walk()
-                             if isinstance(n, ArrayRef))
+                reads.extend(keep(n for n in expr.walk()
+                                  if isinstance(n, ArrayRef)))
     return reads, writes
 
 
-def _siv_independent(a: AffineForm, b: AffineForm, var: str) -> Optional[bool]:
-    """Single-index-variable test: can ``a(i) == b(i')`` for i != i'?
-
-    Returns True when provably independent across iterations, False when
-    provably dependent, None when unknown.
-    """
-    ca, cb = a.coefficient(var), b.coefficient(var)
-    other_a = {n: v for n, v in a.coeffs.items() if n != var}
-    other_b = {n: v for n, v in b.coeffs.items() if n != var}
-    if other_a != other_b:
-        return None  # symbolic parts differ: unknown
-    if ca == cb:
-        if ca == 0:
-            # ZIV: the subscript pair is iteration-invariant — different
-            # constants prove independence; identical addresses touched
-            # every iteration are a (carried) conflict.
-            if a.const != b.const:
-                return True
-            return False
-        # strong SIV: distance = (b.const - a.const) / ca
-        diff = b.const - a.const
-        if diff % ca != 0:
-            return True
-        return (diff // ca) == 0 or None  # distance 0 => loop independent
-    if ca == 0 or cb == 0:
-        return None
-    # weak SIV via GCD test
-    g = math.gcd(int(abs(ca)), int(abs(cb)))
-    if g and (b.const - a.const) % g != 0:
-        return True
-    return None
-
-
-def loop_carried_dependences(loop: For) -> list[Dependence]:
+def loop_carried_dependences(loop: For,
+                             private: Iterable[str] = (),
+                             coupled: bool = True) -> list[Dependence]:
     """Dependences carried by ``loop`` that forbid parallel execution.
 
-    Augmented assignments to targets *not* indexed by the loop variable
-    are reductions, not counted here (the reduction analysis handles
-    them).  A write ``A[i] = f(...)`` against a read ``A[i + d]`` with
-    ``d != 0`` is a carried dependence.
+    ``private`` names arrays privatized by an enclosing directive clause;
+    they (and iteration-local :class:`LocalDecl` arrays) are excluded.
+    A write ``A[i] = f(...)`` against a read ``A[i + d]`` with ``d != 0``
+    is a carried dependence; with ``coupled=True`` multi-dimensional
+    subscripts that demand contradictory per-dimension distances are
+    proven independent (the wavefront case).  ``coupled=False`` keeps
+    the dimensions-in-isolation behaviour the paper's compilers exhibit.
     """
-    reads, writes = _gather_refs(loop.body)
+    reads, writes = _gather_refs(loop.body, skip=private)
     deps: list[Dependence] = []
     var = loop.var
 
@@ -110,43 +98,18 @@ def loop_carried_dependences(loop: For) -> list[Dependence]:
         if w.ndim != other.ndim:
             deps.append(Dependence(w.name, kind, None))
             return
-        all_indep = False
-        any_unknown = False
-        carried = False
-        distance: Optional[int] = None
-        for iw, io in zip(w.indices, other.indices):
-            fw = affine_form(iw, [var])
-            fo = affine_form(io, [var])
-            if fw is None or fo is None:
-                any_unknown = True
-                continue
-            verdict = _siv_independent(fw, fo, var)
-            if verdict is True:
-                all_indep = True
-                break
-            cw, co = fw.coefficient(var), fo.coefficient(var)
-            if verdict is False and cw == 0 and co == 0:
-                # same fixed address hit every iteration (reduction slot
-                # or scalar-in-array): carried conflict
-                carried = True
-            if cw == co and cw != 0:
-                d = int((fo.const - fw.const) / cw) if cw else 0
-                if d != 0:
-                    carried = True
-                    distance = d
-            elif cw != co:
-                any_unknown = True
-        if all_indep:
+        verdict = test_ref_pair(w, other, var, coupled=coupled)
+        if verdict.independent:
             return
-        if carried:
-            deps.append(Dependence(w.name, kind, var, distance))
-        elif any_unknown:
+        if verdict.carried:
+            deps.append(Dependence(w.name, kind, var, verdict.distance))
+        else:
             deps.append(Dependence(w.name, kind, None))
 
     for w in writes:
         # a write through a data-dependent subscript may collide with
         # itself across iterations (scatter with unknown injectivity)
-        if any(affine_form(ix, [var]) is None for ix in w.indices):
+        if write_may_self_collide(w, var):
             deps.append(Dependence(w.name, "output", None))
         for r in reads:
             if r is w:
@@ -168,12 +131,15 @@ def loop_carried_dependences(loop: For) -> list[Dependence]:
     return unique
 
 
-def parallelization_safe(loop: For) -> bool:
+def parallelization_safe(loop: For, coupled: bool = True) -> bool:
     """Is executing the loop's iterations concurrently provably safe?
 
     The benchmarks' parallel loops are already annotated by the original
     OpenMP programmer; this check is what R-Stream's *automatic*
-    parallelizer must establish on its own.
+    parallelizer must establish on its own (with ``coupled=False``: the
+    paper's R-Stream could not untangle NW's coupled anti-diagonal
+    subscripts, cf. Table II).
     """
     return not any(d.carried_by == loop.var or d.carried_by is None
-                   for d in loop_carried_dependences(loop))
+                   for d in loop_carried_dependences(loop, loop.private,
+                                                     coupled=coupled))

@@ -12,7 +12,7 @@ report to the user.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Mapping, Optional, Sequence
 
 from repro.ir.expr import ArrayRef, Var
 from repro.ir.stmt import (Assign, Block, Critical, For, If, LocalDecl,
@@ -54,6 +54,104 @@ def scalar_writes(stmt: Stmt) -> set[str]:
         if isinstance(s, LocalDecl) and not s.shape:
             writes.add(s.name)
     return writes
+
+
+def _array_flow(stmt: Stmt, functions: Optional[Mapping] = None,
+                include_augmented_targets: bool = True,
+                ) -> tuple[set[str], set[str]]:
+    """(upward-exposed reads, unconditional kills) of arrays in ``stmt``."""
+    from repro.ir.stmt import CallStmt
+
+    functions = functions or {}
+    exposed: set[str] = set()
+    killed: set[str] = set()
+    local: set[str] = set()
+
+    def note_read(name: str) -> None:
+        if name not in killed and name not in local:
+            exposed.add(name)
+
+    def note_reads(exprs) -> None:
+        for expr in exprs:
+            for node in expr.walk():
+                if isinstance(node, ArrayRef):
+                    note_read(node.name)
+
+    def scan(s: Stmt, guarded: bool) -> None:
+        if isinstance(s, LocalDecl):
+            if s.shape:
+                local.add(s.name)
+            note_reads([s.init] if s.init is not None else [])
+            return
+        if isinstance(s, Assign):
+            if isinstance(s.target, ArrayRef):
+                # subscripts and the RHS read first; an augmented
+                # assignment also reads the target element itself
+                note_reads(list(s.target.indices))
+                note_reads([s.value])
+                if s.op is not None and s.target.name not in local:
+                    if include_augmented_targets:
+                        note_read(s.target.name)
+                elif s.op is None and not guarded:
+                    killed.add(s.target.name)
+            else:
+                note_reads([s.value])
+            return
+        if isinstance(s, CallStmt):
+            func = functions.get(s.func) if functions else None
+            if func is None:
+                note_reads(s.args)  # unknown callee: assume it reads
+                return
+            param_map = {p.name: a.name
+                         for p, a in zip(func.params, s.args)
+                         if p.is_array and isinstance(a, Var)}
+            sub_exposed, sub_killed = _array_flow(
+                func.body, functions,
+                include_augmented_targets=include_augmented_targets)
+            for name in sub_exposed:
+                note_read(param_map.get(name, name))
+            if not guarded:
+                killed.update(param_map.get(n, n) for n in sub_killed)
+            return
+        inner_guarded = guarded or isinstance(s, (If, While))
+        note_reads(s.exprs())
+        for child in s.child_stmts():
+            scan(child, inner_guarded)
+
+    scan(stmt, guarded=False)
+    return exposed, killed
+
+
+def array_upward_exposed_reads(stmt: Stmt,
+                               functions: Optional[Mapping] = None,
+                               include_augmented_targets: bool = True,
+                               ) -> set[str]:
+    """Arrays whose incoming contents ``stmt`` may read.
+
+    Name-granularity forward walk in statement order: a read counts as
+    upward-exposed unless the whole array was already *killed* — and the
+    only kill we trust at name granularity is an unconditional plain
+    assignment to the array (guarded writes under ``If``/``While`` may
+    leave elements untouched, and an element store kills only that
+    element, but per-name analysis — faithful to the paper's compilers,
+    III-D2 — treats the first unguarded plain store as defining the
+    array's region-local contents).  Iteration-local (``LocalDecl``)
+    arrays are excluded; calls are followed through ``functions``
+    (name → :class:`~repro.ir.program.Function`) when provided.
+
+    This decides whether a ``copyin`` actually feeds anything: JACOBI's
+    stencil reads ``a`` before writing ``b`` (exposed), while an
+    initialization like ``y[i] = 0`` kills ``y`` before a later
+    ``y[i] += ...`` accumulation (not exposed).  With
+    ``include_augmented_targets=False`` the read a ``+=``-style target
+    performs is ignored — isolating *plain* consumers of incoming data
+    from reduction-accumulator slots, whose seed the reduction machinery
+    (clause lowering or host combine) supplies out of band.
+    """
+    exposed, _killed = _array_flow(
+        stmt, functions,
+        include_augmented_targets=include_augmented_targets)
+    return exposed
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,225 @@
+"""Multi-dimensional and MIV subscript dependence testing.
+
+The baseline test in :mod:`repro.ir.analysis.deps` treats every subscript
+dimension in isolation and bails to "conservatively dependent" whenever a
+dimension is not affine in the tested loop variable.  That is faithful to
+the array-name-level analyses the paper's compilers rely on (Section
+III-D2) — but it reports *spurious* loop-carried dependences for code the
+suite knows to be parallel:
+
+* manually collapsed 2-D stencils (HOTSPOT's "flat" style) whose
+  subscripts are the ``t // cols`` / ``t % cols`` index-recovery pair;
+* coupled subscripts (NW's anti-diagonal ``items[t+1][d-t+1]``) where
+  each dimension alone admits a dependence but the dimensions demand
+  *contradictory* iteration distances;
+* symbolically linearized arrays (LUD's ``a[i*n + k]``) where the loop
+  index carries a symbolic stride.
+
+This module upgrades the pairwise test:
+
+* :func:`delinearize` recovers the multi-dimensional view of a
+  ``(e // K, e % K)`` subscript pair (the quotient/remainder encode an
+  injective map of ``e``, so the pair tests exactly like ``e``);
+* :func:`dim_constraint` classifies one subscript dimension into a
+  constraint on the iteration distance ``d = i' - i`` (independent /
+  exact distance / collides-for-any-d / unknown), handling symbolic
+  strides with the standard symbolic-SIV rule (equal symbolic parts and
+  equal constants ⇒ distance 0);
+* :func:`test_ref_pair` intersects the per-dimension constraints: any
+  provably-independent dimension, or two dimensions demanding different
+  distances, disproves the dependence; a consistent nonzero distance
+  proves it carried.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.ir.analysis.affine import AffineForm, affine_form
+from repro.ir.expr import ArrayRef, BinOp, Expr
+
+#: constraint kinds on the iteration distance of a potential collision
+INDEPENDENT = "independent"   # the dimension disproves any collision
+DISTANCE = "distance"         # collision requires d == value
+ANY = "any"                   # the dimension collides for every d
+UNKNOWN = "unknown"           # the dimension constrains nothing provable
+
+
+@dataclass(frozen=True)
+class DimConstraint:
+    """What one subscript dimension says about the iteration distance."""
+
+    kind: str
+    distance: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PairVerdict:
+    """Combined verdict for one (write, other) reference pair.
+
+    Exactly one of ``independent`` / ``carried`` / ``unknown`` is set,
+    except the loop-independent case (collision only at distance 0)
+    which reports ``independent=True`` — such a dependence does not
+    forbid parallel execution of the tested loop.
+    """
+
+    independent: bool = False
+    carried: bool = False
+    unknown: bool = False
+    distance: Optional[int] = None
+
+
+def delinearize(indices: Sequence[Expr]) -> tuple[Expr, ...]:
+    """Merge ``(e // K, e % K)`` dimension pairs into the single index ``e``.
+
+    The map ``x >= 0  ->  (x // K, x % K)`` is injective, so two
+    references through such a pair collide exactly when their numerators
+    collide — recovering the flat index of a manually collapsed loop
+    (HOTSPOT's ``temp[t // cols][t % cols]``).  Both the divisor and the
+    numerator must match structurally between the two dimensions.
+    """
+    out: list[Expr] = []
+    i = 0
+    while i < len(indices):
+        cur = indices[i]
+        if (i + 1 < len(indices)
+                and isinstance(cur, BinOp) and cur.op == "//"):
+            nxt = indices[i + 1]
+            if (isinstance(nxt, BinOp) and nxt.op == "%"
+                    and cur.left.key() == nxt.left.key()
+                    and cur.right.key() == nxt.right.key()):
+                out.append(cur.left)
+                i += 2
+                continue
+        out.append(cur)
+        i += 1
+    return tuple(out)
+
+
+def _split_coeffs(form: AffineForm, var: str,
+                  ) -> tuple[float, dict[str, float], dict[str, float]]:
+    """(direct coeff of var, symbolic-stride coeffs of var, the rest).
+
+    :func:`repro.ir.analysis.affine.affine_form` encodes a parameter
+    multiplying the index (``i * n``) as the composite coefficient name
+    ``"i*n"`` — a *symbolic stride* on ``i``.
+    """
+    direct = form.coefficient(var)
+    symbolic: dict[str, float] = {}
+    others: dict[str, float] = {}
+    for name, coeff in form.coeffs.items():
+        if name == var:
+            continue
+        if "*" in name and var in name.split("*"):
+            symbolic[name] = coeff
+        else:
+            others[name] = coeff
+    return direct, symbolic, others
+
+
+def dim_constraint(fa: AffineForm, fb: AffineForm, var: str) -> DimConstraint:
+    """Constrain the iteration distance at which ``fa(i) == fb(i + d)``.
+
+    ``fa`` is the subscript of the first reference at iteration ``i``,
+    ``fb`` that of the second at iteration ``i' = i + d``; variables
+    other than ``var`` are loop-invariant symbols for the purpose of this
+    test (inner-loop indices take equal values on both sides, which is
+    conservative: an inner index difference shows up as UNKNOWN through
+    the differing symbolic parts, never as a false independence).
+    """
+    ca, sym_a, other_a = _split_coeffs(fa, var)
+    cb, sym_b, other_b = _split_coeffs(fb, var)
+    if other_a != other_b or sym_a != sym_b:
+        return DimConstraint(UNKNOWN)
+    diff = fb.const - fa.const
+    if sym_a:
+        # Symbolic SIV: the stride of var involves a runtime parameter.
+        # Equal forms collide only in the same iteration (distance 0);
+        # a constant offset against a symbolic stride is unresolvable.
+        if diff == 0 and ca == cb:
+            return DimConstraint(DISTANCE, 0)
+        return DimConstraint(UNKNOWN)
+    if ca == cb:
+        if ca == 0:
+            # ZIV: iteration-invariant addresses — distinct constants can
+            # never meet; identical ones meet in every iteration pair.
+            if diff != 0:
+                return DimConstraint(INDEPENDENT)
+            return DimConstraint(ANY)
+        # strong SIV: d = diff / ca must be integral
+        if diff % ca != 0:
+            return DimConstraint(INDEPENDENT)
+        return DimConstraint(DISTANCE, int(diff // ca))
+    if ca == 0 or cb == 0:
+        return DimConstraint(UNKNOWN)  # weak-zero SIV: single crossing
+    # weak SIV / MIV: GCD test on the two strides
+    g = math.gcd(int(abs(ca)), int(abs(cb)))
+    if g and diff % g != 0:
+        return DimConstraint(INDEPENDENT)
+    return DimConstraint(UNKNOWN)
+
+
+def test_ref_pair(a: ArrayRef, b: ArrayRef, var: str,
+                  coupled: bool = True) -> PairVerdict:
+    """Can ``a`` at iteration ``i`` alias ``b`` at iteration ``i' != i``?
+
+    Intersects the per-dimension distance constraints (after
+    delinearization).  Rules, in order:
+
+    * any INDEPENDENT dimension disproves the whole pair;
+    * two dimensions demanding *different* exact distances are
+      contradictory — independent (the coupled-subscript case; only
+      with ``coupled=True``, else such pairs stay unknown);
+    * a consistent exact distance 0 means the references can only meet
+      within one iteration — no carried dependence;
+    * a consistent nonzero distance is a carried dependence (proven when
+      every other dimension agrees, unprovable-but-suspect when some
+      dimension is unknown);
+    * all-ANY dimensions are the fixed-slot (reduction accumulator)
+      case: carried with no finite distance;
+    * otherwise unknown.
+    """
+    ia, ib = delinearize(a.indices), delinearize(b.indices)
+    if len(ia) != len(ib):
+        return PairVerdict(unknown=True)
+    constraints: list[DimConstraint] = []
+    for ea, eb in zip(ia, ib):
+        fa = affine_form(ea, [var])
+        fb = affine_form(eb, [var])
+        if fa is None or fb is None:
+            constraints.append(DimConstraint(UNKNOWN))
+            continue
+        constraints.append(dim_constraint(fa, fb, var))
+    kinds = {c.kind for c in constraints}
+    if INDEPENDENT in kinds:
+        return PairVerdict(independent=True)
+    distances = {c.distance for c in constraints if c.kind == DISTANCE}
+    if len(distances) > 1:
+        if coupled:
+            return PairVerdict(independent=True)  # contradictory requirements
+        return PairVerdict(unknown=True)
+    if distances:
+        d = distances.pop()
+        if d == 0:
+            # collision restricted to a single iteration: loop independent
+            return PairVerdict(independent=True)
+        if UNKNOWN in kinds:
+            return PairVerdict(unknown=True)
+        return PairVerdict(carried=True, distance=d)
+    if UNKNOWN in kinds:
+        return PairVerdict(unknown=True)
+    # every dimension is ANY: the same address is hit in all iterations
+    return PairVerdict(carried=True)
+
+
+def write_may_self_collide(ref: ArrayRef, var: str) -> bool:
+    """Is a lone write a potential cross-iteration scatter collision?
+
+    A write whose (delinearized) subscripts are affine in ``var`` maps
+    each iteration to a distinct, analyzable address set; anything
+    data-dependent (``a[idx[i]]``) may collide with itself.
+    """
+    return any(affine_form(ix, [var]) is None
+               for ix in delinearize(ref.indices))

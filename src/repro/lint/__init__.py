@@ -1,0 +1,25 @@
+"""repro.lint — the directive verifier (static analysis over ports).
+
+Rule families:
+
+* ``RACE``: loop-carried write conflicts (:mod:`repro.lint.race`);
+* ``DATA``: transfer-plan defects (:mod:`repro.lint.data`);
+* ``PERF``: memory/occupancy smells (:mod:`repro.lint.perf`);
+* ``COV-*``: model coverage limitations, folded in from the compilers'
+  :class:`~repro.models.base.Diagnostic` records.
+
+See ``docs/lint.md`` for the full rule catalog.
+"""
+
+from repro.lint import data, perf, race  # noqa: F401  (register rules)
+from repro.lint.engine import (CHECKERS, RULES, Checker, LintContext, Rule,
+                               checker, declare, run_lint)
+from repro.lint.findings import Finding, LintReport, Severity
+from repro.lint.suite import SuiteRecord, lint_port, lint_suite
+
+__all__ = [
+    "Severity", "Finding", "LintReport",
+    "Rule", "Checker", "RULES", "CHECKERS", "declare", "checker",
+    "LintContext", "run_lint",
+    "SuiteRecord", "lint_port", "lint_suite",
+]

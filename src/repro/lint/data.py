@@ -1,0 +1,148 @@
+"""DATA rules: transfer-plan defects in :class:`DataRegionSpec` plans.
+
+The paper attributes most directive-porting bugs and most of the
+remaining performance gap to data movement (Sections III-D2, IV-B):
+implicit clauses computed by conservative array-name analyses transfer
+too much, hand-written clauses transfer too little, and a region left
+untranslated inside a data scope silently round-trips every resident
+array.  These rules replay the runtime's transfer semantics
+(:class:`~repro.models.base.ExecutableProgram`) symbolically, in program
+region order:
+
+* ``DATA001`` (error): a device-resident array (``create`` or
+  ``copyout``-only) is read before any covered region has written it —
+  the kernel consumes uninitialized device memory.
+* ``DATA002`` (error for ``intent out``, warning for ``inout``): a
+  covered region writes the array but no ``copyout`` returns it — the
+  host copy goes stale (the stale-host bug of III-D2; ``inout`` work
+  arrays kept deliberately device-resident rate only a warning).
+* ``DATA003`` (warning): a ``copyin`` feeds an array no covered region
+  reads before it is overwritten — a dead host-to-device transfer (the
+  conservative array-name-analysis waste the paper measures on SPMUL
+  under OpenMPC).
+* ``DATA004`` (warning): a ``copyout`` for an array no covered region
+  writes (or declared ``intent in``/``temp``) — a dead device-to-host
+  transfer.
+* ``DATA005`` (warning): an untranslated region inside the data scope
+  touches resident arrays — the host fallback forces a full round trip
+  of them on every invocation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.ir.analysis.liveness import array_upward_exposed_reads
+from repro.lint.engine import LintContext, checker, declare
+from repro.lint.findings import Finding, Severity
+
+declare("DATA001", Severity.ERROR,
+        "device-resident array read before any covered write "
+        "(uninitialized device memory)")
+declare("DATA002", Severity.ERROR,
+        "out/inout array written on device but absent from copyout "
+        "(result never reaches the host)")
+declare("DATA003", Severity.WARNING,
+        "copyin transfers an array whose incoming values no covered "
+        "region reads (dead host-to-device transfer)")
+declare("DATA004", Severity.WARNING,
+        "copyout transfers an array no covered region writes "
+        "(dead device-to-host transfer)")
+declare("DATA005", Severity.WARNING,
+        "untranslated region inside a data scope round-trips resident "
+        "arrays on every invocation")
+
+
+@checker("DATA001", "DATA002", "DATA003", "DATA004", "DATA005",
+         scope="compiled")
+def check_data_plans(ctx: LintContext) -> Iterator[Finding]:
+    compiled = ctx.compiled
+    assert compiled is not None
+    program = ctx.program
+    for spec in compiled.data_regions:
+        covered = set(spec.copyin) | set(spec.copyout) | set(spec.create)
+        copyin = set(spec.copyin)
+        in_scope = [r for r in program.regions if r.name in spec.regions]
+        written: set[str] = set()
+        justified: set[str] = set()
+        device_written: set[str] = set()
+        for region in in_scope:
+            result = compiled.results.get(region.name)
+            reads = result.reads if result is not None else set()
+            writes = result.writes if result is not None else set()
+            exposed = array_upward_exposed_reads(
+                region.body, program.functions) & covered
+            # Accumulator slots (`x[0] += ...`) read their target, but
+            # the reduction machinery seeds them out of band — only
+            # *plain* consumers of incoming data can read stale memory.
+            plain = array_upward_exposed_reads(
+                region.body, program.functions,
+                include_augmented_targets=False) & covered
+            for arr in sorted(exposed):
+                if arr in copyin:
+                    # the htod transfer happens once, at scope entry: a
+                    # read only consumes it if no covered region has
+                    # overwritten the device copy first
+                    if arr not in device_written:
+                        justified.add(arr)
+                elif arr in plain and arr not in device_written:
+                    yield ctx.finding(
+                        "DATA001",
+                        f"region {region.name!r} reads device-resident "
+                        f"{arr!r} before any region in data scope "
+                        f"{spec.name!r} has written it; the device copy "
+                        "is uninitialized",
+                        region=region.name, array=arr)
+            if result is not None and not result.translated:
+                resident = sorted(covered & (set(reads) | set(writes)))
+                if resident:
+                    yield ctx.finding(
+                        "DATA005",
+                        f"region {region.name!r} falls back to the host "
+                        f"inside data scope {spec.name!r}; resident "
+                        f"{', '.join(repr(a) for a in resident)} round-trip "
+                        "on every invocation",
+                        region=region.name, array=resident[0])
+            device_written |= set(writes) & covered
+            written |= set(writes) & covered
+        for arr in sorted(copyin - justified):
+            yield ctx.finding(
+                "DATA003",
+                f"data scope {spec.name!r} copies {arr!r} to the device, "
+                "but every covered use overwrites it before reading; the "
+                "host-to-device transfer moves dead data",
+                array=arr)
+        for arr in sorted(written):
+            decl = program.arrays.get(arr)
+            if decl is None or decl.intent not in ("out", "inout"):
+                continue
+            if arr not in spec.copyout:
+                # intent "out" means the host *will* consume the result:
+                # omitting the copyout is an outright bug.  "inout" work
+                # arrays are often kept device-resident deliberately, so
+                # flag those at warning strength only.
+                sev = (Severity.ERROR if decl.intent == "out"
+                       else Severity.WARNING)
+                yield ctx.finding(
+                    "DATA002",
+                    f"data scope {spec.name!r} leaves {arr!r} "
+                    f"(intent {decl.intent!r}) without a copyout although "
+                    "covered regions write it; the host copy goes stale",
+                    severity=sev, array=arr)
+        for arr in sorted(set(spec.copyout)):
+            decl = program.arrays.get(arr)
+            intent = decl.intent if decl is not None else "?"
+            if arr not in written:
+                yield ctx.finding(
+                    "DATA004",
+                    f"data scope {spec.name!r} copies {arr!r} back to the "
+                    "host, but no covered region writes it; the "
+                    "device-to-host transfer is dead",
+                    array=arr)
+            elif intent in ("in", "temp"):
+                yield ctx.finding(
+                    "DATA004",
+                    f"data scope {spec.name!r} copies {arr!r} back to the "
+                    f"host although it is declared intent {intent!r}; "
+                    "the result is never consumed",
+                    array=arr)

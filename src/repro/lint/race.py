@@ -1,0 +1,115 @@
+"""RACE rules: loop-carried write conflicts in parallel regions.
+
+The paper's models disagree about reductions: PGI has *no* reduction
+clause and relies on implicit pattern detection (III-A2); OpenACC and
+HMPP take explicit scalar clauses; criticals serialize but most models
+reject them outright.  These rules grade each parallel loop's carried
+dependences against whatever synchronization actually covers them:
+
+* ``RACE001`` (error): a proven loop-carried dependence with no
+  covering reduction clause, detected reduction pattern, or critical
+  section — concurrent iterations conflict.
+* ``RACE002`` (warning): the conflict matches a reduction pattern but
+  carries no explicit clause — correct only if the compiler's implicit
+  detector recognizes it (the III-A story; PGI-style ports).
+* ``RACE003`` (warning): the dependence test could not prove
+  independence (data-dependent subscripts, symbolic strides); the loop
+  is annotated parallel on the programmer's authority alone.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.ir.analysis.deps import Dependence, loop_carried_dependences
+from repro.ir.analysis.reductions import detect_reductions
+from repro.ir.expr import ArrayRef
+from repro.ir.program import ParallelRegion
+from repro.ir.stmt import Assign, Critical, For
+from repro.ir.visitors import iter_stmts
+from repro.lint.engine import LintContext, checker, declare
+from repro.lint.findings import Finding, Severity
+
+declare("RACE001", Severity.ERROR,
+        "proven loop-carried write conflict with no covering reduction "
+        "clause, reduction pattern, or critical section")
+declare("RACE002", Severity.WARNING,
+        "reduction not annotated: correctness depends on the compiler's "
+        "implicit reduction detector (Section III-A)")
+declare("RACE003", Severity.WARNING,
+        "independence unprovable (data-dependent or symbolic subscripts); "
+        "parallelism rests on the annotation alone")
+
+
+def _parallel_loops(region: ParallelRegion) -> Iterator[For]:
+    for stmt in iter_stmts(region.body):
+        if isinstance(stmt, For) and stmt.parallel:
+            yield stmt
+
+
+def _critical_writes(loop: For) -> set[str]:
+    """Arrays/slots only ever written under a critical section."""
+    inside: set[str] = set()
+    outside: set[str] = set()
+    for stmt in iter_stmts(loop.body):
+        if isinstance(stmt, Critical):
+            for s in iter_stmts(stmt):
+                if isinstance(s, Assign) and isinstance(s.target, ArrayRef):
+                    inside.add(s.target.name)
+    for stmt in iter_stmts(loop.body):
+        if isinstance(stmt, Critical):
+            continue
+        if isinstance(stmt, Assign) and isinstance(stmt.target, ArrayRef):
+            outside.add(stmt.target.name)
+    return inside - outside
+
+
+def _classify(dep: Dependence, loop: For, clause_vars: set[str],
+              detected: set[str], critical: set[str]) -> str:
+    """'' (silent) | 'RACE001' | 'RACE002' | 'RACE003'."""
+    if dep.array in clause_vars or dep.array in critical:
+        return ""  # explicitly synchronized
+    if dep.array in detected:
+        return "RACE002"
+    if dep.carried_by == loop.var:
+        return "RACE001"
+    return "RACE003"
+
+
+@checker("RACE001", "RACE002", "RACE003", scope="program")
+def check_races(ctx: LintContext) -> Iterator[Finding]:
+    for region in ctx.program.regions:
+        for loop in _parallel_loops(region):
+            private = set(region.private) | set(loop.private)
+            deps = loop_carried_dependences(loop, private=private)
+            if not deps:
+                continue
+            clause_vars = {rc.var for rc in loop.reductions}
+            detected = {p.var for p in detect_reductions(loop.body,
+                                                         [loop.var])}
+            critical = _critical_writes(loop)
+            seen: set[tuple[str, str]] = set()
+            for dep in deps:
+                rule_id = _classify(dep, loop, clause_vars, detected,
+                                    critical)
+                if not rule_id or (rule_id, dep.array) in seen:
+                    continue
+                seen.add((rule_id, dep.array))
+                if rule_id == "RACE001":
+                    dist = (f" at distance {dep.distance}"
+                            if dep.distance is not None
+                            else " (same slot every iteration)")
+                    msg = (f"loop {loop.var!r} carries a {dep.kind} "
+                           f"dependence on {dep.array!r}{dist}; concurrent "
+                           "iterations race")
+                elif rule_id == "RACE002":
+                    msg = (f"{dep.array!r} is accumulated across iterations "
+                           f"of {loop.var!r} without a reduction clause; "
+                           "only compilers with implicit reduction "
+                           "detection translate this correctly")
+                else:
+                    msg = (f"cannot prove iterations of {loop.var!r} "
+                           f"independent for {dep.array!r} ({dep.kind} "
+                           "dependence through unanalyzable subscripts)")
+                yield ctx.finding(rule_id, msg, region=region.name,
+                                  array=dep.array, loop=loop.var)

@@ -1,0 +1,71 @@
+"""Run the verifier over benchmark ports — the batch entry points.
+
+:func:`lint_port` lints one (benchmark, model, variant) triple;
+:func:`lint_suite` sweeps the paper's 13 benchmarks × 5 directive
+models, producing the records the per-model lint-density table
+(:mod:`repro.metrics.lintstats`) aggregates alongside Table II.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.gpusim.device import TESLA_M2090, DeviceSpec
+from repro.lint.engine import run_lint
+from repro.lint.findings import LintReport
+from repro.models import DIRECTIVE_MODELS, get_compiler, resolve_model
+
+# NOTE: repro.benchmarks is imported inside the functions below —
+# benchmarks pulls in repro.metrics, whose lintstats module imports this
+# package, so a module-level import would be circular.
+
+
+@dataclass
+class SuiteRecord:
+    """One (benchmark, model) lint outcome with sizing context."""
+
+    benchmark: str
+    model: str
+    variant: str
+    regions: int
+    report: LintReport
+
+
+def lint_port(benchmark: str, model: str, variant: Optional[str] = None,
+              device: DeviceSpec = TESLA_M2090) -> LintReport:
+    """Compile the named port and lint program + compilation together."""
+    from repro.benchmarks import get_benchmark
+
+    bench = get_benchmark(benchmark)
+    model = resolve_model(model)
+    chosen = variant or bench.variants(model)[0]
+    if chosen not in bench.variants(model):
+        raise KeyError(
+            f"unknown variant {chosen!r} for {bench.name}/{model}; "
+            f"known: {bench.variants(model)}")
+    port = bench.port(model, chosen)
+    compiled = get_compiler(model).compile_program(port)
+    return run_lint(port.program, compiled, device=device)
+
+
+def lint_suite(models: Sequence[str] = DIRECTIVE_MODELS,
+               benchmarks: Optional[Sequence[str]] = None,
+               device: DeviceSpec = TESLA_M2090) -> list[SuiteRecord]:
+    """Lint every benchmark × model pair, in table order."""
+    from repro.benchmarks import BENCHMARK_ORDER, get_benchmark
+
+    records: list[SuiteRecord] = []
+    for bench_name in benchmarks if benchmarks is not None \
+            else BENCHMARK_ORDER:
+        bench = get_benchmark(bench_name)
+        for model in models:
+            model = resolve_model(model)
+            chosen = bench.variants(model)[0]
+            port = bench.port(model, chosen)
+            compiled = get_compiler(model).compile_program(port)
+            report = run_lint(port.program, compiled, device=device)
+            records.append(SuiteRecord(
+                benchmark=bench_name, model=model, variant=chosen,
+                regions=compiled.regions_total, report=report))
+    return records

@@ -3,10 +3,13 @@
 from repro.metrics.codesize import (CodeSizeEntry, CodeSizeReport,
                                     codesize_for)
 from repro.metrics.coverage import CoverageReport, coverage_for
+from repro.metrics.lintstats import (LintDensityRow, lint_density,
+                                     render_lint_density)
 from repro.metrics.speedup import BenchmarkSpeedups, SpeedupResult
 
 __all__ = [
     "CoverageReport", "coverage_for",
     "CodeSizeEntry", "CodeSizeReport", "codesize_for",
     "SpeedupResult", "BenchmarkSpeedups",
+    "LintDensityRow", "lint_density", "render_lint_density",
 ]

@@ -29,10 +29,41 @@ COMPILERS = {
 }
 
 
+#: CLI-friendly aliases → paper names (case-insensitive lookup)
+MODEL_ALIASES = {
+    "pgi": "PGI Accelerator",
+    "pgi-accelerator": "PGI Accelerator",
+    "openacc": "OpenACC",
+    "hmpp": "HMPP",
+    "openmpc": "OpenMPC",
+    "rstream": "R-Stream",
+    "r-stream": "R-Stream",
+    "cuda": "Hand-Written CUDA",
+    "hicuda": "hiCUDA",
+}
+
+
+def resolve_model(name: str) -> str:
+    """Map a user-typed model name to its canonical paper name.
+
+    Accepts the paper names themselves in any case plus the short
+    aliases (``pgi``, ``openacc``, ``rstream``, ...).
+    """
+    folded = name.strip().lower()
+    if folded in MODEL_ALIASES:
+        return MODEL_ALIASES[folded]
+    for canonical in COMPILERS:
+        if canonical.lower() == folded:
+            return canonical
+    raise KeyError(
+        f"unknown model {name!r}; known: "
+        f"{sorted(COMPILERS)} or aliases {sorted(MODEL_ALIASES)}")
+
+
 def get_compiler(name: str) -> DirectiveCompiler:
-    """Instantiate a compiler by its paper name."""
+    """Instantiate a compiler by its paper name (or alias)."""
     try:
-        return COMPILERS[name]()
+        return COMPILERS[resolve_model(name)]()
     except KeyError:
         raise KeyError(
             f"unknown model {name!r}; known: {sorted(COMPILERS)}") from None
@@ -44,7 +75,8 @@ __all__ = [
     "ExecutableProgram", "grid_nest", "region_arrays",
     "PGICompiler", "OpenACCCompiler", "HMPPCompiler", "OpenMPCCompiler",
     "RStreamCompiler", "ManualCudaCompiler", "HiCudaCompiler",
-    "DIRECTIVE_MODELS", "COMPILERS", "get_compiler",
+    "DIRECTIVE_MODELS", "COMPILERS", "MODEL_ALIASES", "get_compiler",
+    "resolve_model",
     "FEATURE_TABLE", "FEATURE_ROWS", "MODEL_COLUMNS", "CAPABILITIES",
     "ModelCapabilities", "render_table1",
 ]

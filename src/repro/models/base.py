@@ -125,11 +125,29 @@ class PortSpec:
 
 @dataclass
 class Diagnostic:
-    """Why a region could not be translated."""
+    """Why a region could not be translated.
+
+    ``rule`` is the stable lint rule ID for this limitation — derived
+    from the feature name (``"non-affine"`` → ``"COV-NON-AFFINE"``) so
+    coverage accounting (Table II) and ``repro.lint`` consume one
+    format.
+    """
 
     region: str
     feature: str
     message: str
+    rule: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.rule:
+            self.rule = "COV-" + self.feature.upper()
+
+    @classmethod
+    def from_unsupported(cls, region: str,
+                         exc: UnsupportedFeatureError) -> "Diagnostic":
+        """The one constructor every compiler's rejection path uses."""
+        return cls(getattr(exc, "region", "") or region,
+                   exc.feature, str(exc))
 
 
 @dataclass
@@ -228,21 +246,26 @@ class DirectiveCompiler(abc.ABC):
         reads, writes = region_arrays(region, program)
         try:
             self.check_region(region, feats, program, port)
-        except UnsupportedFeatureError as exc:
-            return RegionResult(
-                region=region.name, translated=False,
-                diagnostics=[Diagnostic(region.name, exc.feature, str(exc))],
-                reads=reads, writes=writes)
-        try:
             kernels, applied = self.lower_region(region, feats, program, port)
         except UnsupportedFeatureError as exc:
             return RegionResult(
                 region=region.name, translated=False,
-                diagnostics=[Diagnostic(region.name, exc.feature, str(exc))],
+                diagnostics=[Diagnostic.from_unsupported(region.name, exc)],
                 reads=reads, writes=writes)
         return RegionResult(region=region.name, translated=True,
                             kernels=kernels, applied=applied,
                             reads=reads, writes=writes)
+
+    def reject(self, region: ParallelRegion, feature: str, detail: str,
+               cause: Optional[BaseException] = None) -> None:
+        """Reject ``region``: raise the model-limit error all five
+        compilers funnel through, tagged with the region name so the
+        resulting :class:`Diagnostic` (and its ``COV-*`` lint rule ID)
+        is built in exactly one place."""
+        exc = UnsupportedFeatureError(feature, detail, region=region.name)
+        if cause is not None:
+            raise exc from cause
+        raise exc
 
     @abc.abstractmethod
     def check_region(self, region: ParallelRegion, feats: RegionFeatures,
@@ -277,9 +300,8 @@ class DirectiveCompiler(abc.ABC):
         applied: list[str] = []
         loops = region.worksharing_loops()
         if not loops:
-            raise UnsupportedFeatureError(
-                "no-worksharing-loop",
-                f"region {region.name!r} has no work-sharing loop")
+            self.reject(region, "no-worksharing-loop",
+                        f"region {region.name!r} has no work-sharing loop")
         reads, writes = region_arrays(region, program)
         arrays = sorted(reads | writes)
         scalars = sorted(program.scalars)

@@ -25,7 +25,6 @@ Explicit-everything semantics implemented:
 
 from __future__ import annotations
 
-from repro.errors import UnsupportedFeatureError
 from repro.gpusim.kernel import Kernel
 from repro.ir.analysis.features import RegionFeatures
 from repro.ir.program import ParallelRegion, Program
@@ -43,30 +42,37 @@ class HiCudaCompiler(DirectiveCompiler):
                      program: Program, port: PortSpec) -> None:
         opts = port.options_for(region.name)
         if feats.worksharing_loops == 0:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "no-worksharing-loop",
                 f"region {region.name!r} contains no parallel loop")
         if feats.stmts_outside_worksharing:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "general-structured-block",
                 "hiCUDA kernels are loop nests; hoist the serial code")
         if feats.has_critical:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "critical-section", "no critical-section support")
         if feats.has_pointer_arith:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "pointer-arithmetic", "no pointer manipulation in kernels")
         if feats.has_call and not feats.calls_all_inlinable:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "function-call", "callees must be manually inlinable")
         if (feats.scalar_reductions or feats.array_reductions
                 or feats.explicit_reduction_clauses):
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "reduction",
                 "hiCUDA has no reduction support; restructure the "
                 "computation (two-level reduction by hand)")
         if opts.block_threads is None:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "thread-batching-unspecified",
                 f"region {region.name!r}: hiCUDA requires an explicit "
                 "tblock/thread geometry in the port")
@@ -77,7 +83,8 @@ class HiCudaCompiler(DirectiveCompiler):
         missing = sorted((feats.arrays_referenced | feats.arrays_written)
                          - covered)
         if missing:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "data-movement-unspecified",
                 f"region {region.name!r}: arrays {missing} lack explicit "
                 "global alloc/copy directives")

@@ -20,7 +20,7 @@ HMPP's codelet model:
 
 from __future__ import annotations
 
-from repro.errors import TransformError, UnsupportedFeatureError
+from repro.errors import TransformError
 from repro.gpusim.kernel import Kernel
 from repro.ir.analysis.features import RegionFeatures
 from repro.ir.program import ParallelRegion, Program
@@ -41,37 +41,45 @@ class HMPPCompiler(DirectiveCompiler):
     def check_region(self, region: ParallelRegion, feats: RegionFeatures,
                      program: Program, port: PortSpec) -> None:
         if feats.worksharing_loops == 0:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "no-worksharing-loop",
                 f"region {region.name!r} contains no parallel loop")
         if feats.stmts_outside_worksharing:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "codelet-purity",
                 f"region {region.name!r} has statements outside parallel "
                 "loops; a codelet body must be the computation itself")
         if feats.has_critical:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "critical-section",
                 "codelets cannot contain critical sections")
         if feats.has_pointer_arith:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "pointer-arithmetic",
                 "codelets are pure functions; no pointer manipulation")
         if feats.has_call and not feats.calls_all_inlinable:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "function-call",
                 "codelets may only call functions the generator can inline")
         if feats.max_nest_depth > MAX_NEST_DEPTH:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "nest-depth-limit",
                 f"loop nest of depth {feats.max_nest_depth} exceeds the "
                 "codelet generator's limit")
         if feats.explicit_array_reduction_clauses or feats.array_reductions:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "array-reduction",
                 "only scalar reduction variables are supported")
         if feats.complex_reductions and not feats.explicit_reduction_clauses:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "complex-reduction",
                 "complex reduction patterns need explicit reduction "
                 "directives")
@@ -97,16 +105,16 @@ class HMPPCompiler(DirectiveCompiler):
                     notes.append("directive-driven loop permutation "
                                  "(hmppcg permute)")
                 except TransformError as exc:
-                    raise UnsupportedFeatureError(
-                        "loop-permute", f"cannot permute: {exc}") from exc
+                    self.reject(region, "loop-permute",
+                                f"cannot permute: {exc}", cause=exc)
             if opts.request_collapse:
                 try:
                     body = promote_inner_parallel(body)
                     notes.append("directive-driven loop gridification "
                                  "(hmppcg gridify)")
                 except TransformError as exc:
-                    raise UnsupportedFeatureError(
-                        "loop-collapse", f"cannot gridify: {exc}") from exc
+                    self.reject(region, "loop-collapse",
+                                f"cannot gridify: {exc}", cause=exc)
             return body, notes
 
         # HMPP honors explicit special-memory placements and tilings from

@@ -24,7 +24,6 @@ tiling) behaves as in :class:`repro.models.pgi.PGICompiler`.
 
 from __future__ import annotations
 
-from repro.errors import UnsupportedFeatureError
 from repro.gpusim.kernel import Kernel
 from repro.ir.analysis.features import RegionFeatures
 from repro.ir.program import ParallelRegion, Program
@@ -45,12 +44,14 @@ class OpenACCCompiler(PGICompiler):
                      program: Program, port: PortSpec) -> None:
         opts = port.options_for(region.name)
         if opts.construct not in ("kernels", "parallel"):
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "unknown-construct",
                 f"region {region.name!r}: construct must be 'kernels' or "
                 f"'parallel', got {opts.construct!r}")
         if opts.construct == "parallel" and feats.worksharing_loops > 1:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "parallel-construct-single-kernel",
                 f"region {region.name!r} has {feats.worksharing_loops} "
                 "work-sharing nests; the parallel construct compiles the "

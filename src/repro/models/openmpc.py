@@ -31,7 +31,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import TransformError, UnsupportedFeatureError
+from repro.errors import TransformError
 from repro.gpusim.kernel import Kernel
 from repro.ir.analysis.access import AccessPattern, summarize_accesses
 from repro.ir.analysis.affine import is_affine_in
@@ -66,23 +66,27 @@ class OpenMPCCompiler(DirectiveCompiler):
     def check_region(self, region: ParallelRegion, feats: RegionFeatures,
                      program: Program, port: PortSpec) -> None:
         if feats.worksharing_loops == 0:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "no-worksharing-loop",
                 f"region {region.name!r} has no work-sharing construct; "
                 "sub-regions without one execute on the host")
         if feats.has_critical and not feats.criticals_are_reductions:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "non-reduction-critical",
                 "critical sections are accepted only when they match a "
                 "reduction pattern")
         if feats.has_pointer_arith:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "pointer-type",
                 "pointer-type variables must be converted to arrays "
                 "(outline the parallel region)")
         for name in sorted(feats.arrays_referenced):
             if name in program.arrays and not program.arrays[name].contiguous:
-                raise UnsupportedFeatureError(
+                self.reject(
+                region,
                     "non-contiguous-data",
                     f"multi-dimensional array {name!r} must be allocated "
                     "as one continuous layout")
@@ -93,7 +97,8 @@ class OpenMPCCompiler(DirectiveCompiler):
                 suffix = [s for piece in pieces[cut:] for s in piece]
                 report = analyze_split(prefix, suffix, region.private)
                 if not report.safe:
-                    raise UnsupportedFeatureError(
+                    self.reject(
+                region,
                         "upward-exposed-private",
                         f"splitting region {region.name!r} at a barrier "
                         f"exposes private variables "

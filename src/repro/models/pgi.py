@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import TransformError, UnsupportedFeatureError
+from repro.errors import TransformError
 from repro.gpusim.kernel import Kernel
 from repro.ir.analysis.affine import region_is_affine
 from repro.ir.analysis.features import RegionFeatures
@@ -59,35 +59,42 @@ class PGICompiler(DirectiveCompiler):
                      program: Program, port: PortSpec) -> None:
         opts = port.options_for(region.name)
         if opts.request_loop_swap or opts.request_collapse:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "no-loop-transformation-directives",
                 f"{self.name} has no directives for loop transformations; "
                 "restructure the input code instead")
         if feats.worksharing_loops == 0:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "no-worksharing-loop",
                 f"region {region.name!r} contains no parallel loop")
         if feats.stmts_outside_worksharing:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "general-structured-block",
                 f"region {region.name!r} has statements outside parallel "
                 "loops; the compute-region model offloads loops only")
         if feats.has_critical:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "critical-section",
                 f"region {region.name!r} contains an OpenMP critical "
                 "section, which the model cannot express")
         if feats.has_pointer_arith:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "pointer-arithmetic",
                 "pointer arithmetic is not allowed in offloaded loops")
         if feats.has_call and not feats.calls_all_inlinable:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "function-call",
                 f"region {region.name!r} calls functions the compiler "
                 "cannot inline automatically")
         if feats.max_nest_depth > MAX_NEST_DEPTH:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "nest-depth-limit",
                 f"loop nest of depth {feats.max_nest_depth} exceeds the "
                 f"implementation limit of {MAX_NEST_DEPTH}")
@@ -95,7 +102,8 @@ class PGICompiler(DirectiveCompiler):
         if self.requires_contiguous_arrays:
             for name in sorted(feats.arrays_referenced):
                 if name in program.arrays and not program.arrays[name].contiguous:
-                    raise UnsupportedFeatureError(
+                    self.reject(
+                region,
                         "non-contiguous-data",
                         f"array {name!r} is not contiguous in memory; "
                         "data clauses require contiguous data")
@@ -103,24 +111,28 @@ class PGICompiler(DirectiveCompiler):
     def _check_reductions(self, region: ParallelRegion,
                           feats: RegionFeatures) -> None:
         if feats.explicit_array_reduction_clauses:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "array-reduction-clause",
                 "reduction clauses accept scalar variables only")
         if feats.explicit_reduction_clauses and \
                 not self.accepts_scalar_reduction_clause:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "reduction-clause",
                 f"{self.name} has no reduction clause; reductions must be "
                 "implicitly detectable")
         if feats.array_reductions:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "array-reduction",
                 "only scalar reductions can be handled; decompose the "
                 "array reduction manually")
         clause_covered = feats.explicit_reduction_clauses > 0 and \
             self.accepts_scalar_reduction_clause
         if feats.complex_reductions and not clause_covered:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "complex-reduction",
                 "the implicit reduction detector only recognizes simple "
                 "scalar patterns")

@@ -21,7 +21,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import UnsupportedFeatureError
 from repro.gpusim.kernel import Kernel
 from repro.ir.analysis.deps import parallelization_safe
 from repro.ir.analysis.features import RegionFeatures
@@ -45,34 +44,42 @@ class RStreamCompiler(DirectiveCompiler):
         for name in sorted(feats.arrays_referenced):
             decl = program.arrays.get(name)
             if decl is not None and not decl.contiguous:
-                raise UnsupportedFeatureError(
+                self.reject(
+                region,
                     "pointer-based-allocation",
                     f"array {name!r} is allocated as pointer-to-pointer "
                     "rows; the polyhedral mapper needs one dense linear "
                     "layout")
         if not feats.is_affine:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "non-affine",
                 f"region {region.name!r} is not an extended static "
                 f"control program: {'; '.join(feats.affine_violations[:3])}"
                 " (blackboxing not yet supported for GPU targets)")
         if feats.worksharing_loops == 0:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "no-loop",
                 f"region {region.name!r} has no mappable loop")
         # The polyhedral mapper must *prove* parallelism; annotation is
         # not trusted.  Loops it cannot prove parallel run sequentially,
         # and a region with no provably parallel loop is not mapped.
-        if not any(parallelization_safe(loop)
+        # coupled=False: R-Stream tests subscript dimensions in
+        # isolation, so NW's coupled anti-diagonals stay unproven
+        # (Table II reports the wavefront regions unmapped).
+        if not any(parallelization_safe(loop, coupled=False)
                    or loop.reductions  # reductions are handled specially
                    for loop in region.worksharing_loops()):
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "no-provable-parallelism",
                 f"dependence analysis finds no parallel loop in "
                 f"{region.name!r}")
         # practical limit on mapping complexity (III-E2)
         if feats.max_nest_depth > 5:
-            raise UnsupportedFeatureError(
+            self.reject(
+                region,
                 "mapping-complexity",
                 f"nest depth {feats.max_nest_depth} exceeds the practical "
                 "mapping limit")

@@ -1,0 +1,156 @@
+"""Tests for the multi-dimensional/MIV dependence upgrade.
+
+The baseline per-dimension test reported spurious loop-carried
+dependences for 2-D stencils and manually collapsed index math; these
+tests pin the upgraded behaviour (``repro.ir.analysis.miv``) and the
+suite-level consequences (JACOBI/HOTSPOT prove parallel, NW's coupled
+anti-diagonals prove parallel only when coupling is honoured — which
+R-Stream, per Table II, does not).
+"""
+
+from repro.benchmarks import get_benchmark
+from repro.ir.analysis.deps import (loop_carried_dependences,
+                                    parallelization_safe)
+from repro.ir.analysis.miv import delinearize, write_may_self_collide
+from repro.ir.analysis.miv import test_ref_pair as ref_pair
+from repro.ir.builder import accum, aref, assign, local, pfor, v
+from repro.ir.stmt import For
+from repro.ir.visitors import iter_stmts
+
+
+def parallel_loops(program, region_name):
+    region = next(r for r in program.regions if r.name == region_name)
+    return [s for s in iter_stmts(region.body)
+            if isinstance(s, For) and s.parallel]
+
+
+class TestDelinearize:
+    def test_quotient_remainder_pair_merges(self):
+        ref = aref("a", v("t") // v("cols"), v("t") % v("cols"))
+        merged = delinearize(ref.indices)
+        assert len(merged) == 1
+        assert merged[0].key() == v("t").key()
+
+    def test_mismatched_divisors_do_not_merge(self):
+        ref = aref("a", v("t") // v("cols"), v("t") % v("rows"))
+        assert len(delinearize(ref.indices)) == 2
+
+    def test_mismatched_numerators_do_not_merge(self):
+        ref = aref("a", v("t") // v("cols"), v("u") % v("cols"))
+        assert len(delinearize(ref.indices)) == 2
+
+    def test_plain_indices_untouched(self):
+        ref = aref("a", v("i"), v("j"))
+        assert len(delinearize(ref.indices)) == 2
+
+
+class TestRefPair:
+    def test_same_subscript_is_loop_independent(self):
+        a = aref("a", v("i"), v("j"))
+        assert ref_pair(a, a, "i").independent
+
+    def test_strong_siv_distance(self):
+        w = aref("a", v("i"))
+        r = aref("a", v("i") - 1)
+        verdict = ref_pair(w, r, "i")
+        assert verdict.carried and verdict.distance == -1
+
+    def test_gcd_disproves_interleaved(self):
+        w = aref("a", v("i") * 2)
+        r = aref("a", v("i") * 2 + 1)
+        assert ref_pair(w, r, "i").independent
+
+    def test_flat_stencil_neighbor_is_carried(self):
+        # collapsed 2-D: writing t, reading t+1 — a real carried dep
+        w = aref("a", v("t") // v("c"), v("t") % v("c"))
+        r = aref("a", (v("t") + 1) // v("c"), (v("t") + 1) % v("c"))
+        verdict = ref_pair(w, r, "t")
+        assert verdict.carried and verdict.distance == 1
+
+    def test_flat_stencil_same_cell_independent(self):
+        w = aref("a", v("t") // v("c"), v("t") % v("c"))
+        assert ref_pair(w, w, "t").independent
+
+    def test_coupled_antidiagonal_contradiction(self):
+        # NW: write (t+1, d-t+1), read (t, d-t): the row demands d=-1,
+        # the column demands d=+1 — contradictory, hence independent
+        w = aref("m", v("t") + 1, v("d") - v("t") + 1)
+        r = aref("m", v("t"), v("d") - v("t"))
+        assert ref_pair(w, r, "t").independent
+        # ...unless coupling is ignored (the R-Stream behaviour)
+        assert ref_pair(w, r, "t", coupled=False).unknown
+
+    def test_symbolic_stride_equal_forms_independent(self):
+        w = aref("a", v("i") * v("n") + v("k"))
+        assert ref_pair(w, w, "i").independent
+
+    def test_symbolic_stride_offset_unknown(self):
+        w = aref("a", v("i") * v("n") + v("k"))
+        r = aref("a", v("i") * v("n") + v("k") + 1)
+        assert ref_pair(w, r, "i").unknown
+
+    def test_fixed_slot_is_carried(self):
+        w = aref("s", 0)
+        assert ref_pair(w, w, "i").carried
+
+    def test_indirect_subscript_unknown(self):
+        w = aref("a", aref("idx", v("i")))
+        r = aref("a", v("i"))
+        assert ref_pair(w, r, "i").unknown
+
+    def test_rank_mismatch_unknown(self):
+        w = aref("a", v("i"))
+        r = aref("a", v("i"), v("j"))
+        assert ref_pair(w, r, "i").unknown
+
+
+class TestSelfCollision:
+    def test_affine_write_cannot_scatter(self):
+        assert not write_may_self_collide(
+            aref("a", v("t") // v("c"), v("t") % v("c")), "t")
+
+    def test_indirect_write_may_scatter(self):
+        assert write_may_self_collide(
+            aref("a", aref("idx", v("i"))), "i")
+
+
+class TestLoopLevel:
+    def test_private_local_arrays_excluded(self):
+        loop = pfor("i", 0, v("n"), [
+            local("tmp", shape=(4,)),
+            assign(aref("tmp", 0), aref("a", v("i"))),
+            assign(aref("b", v("i")), aref("tmp", 0))])
+        assert parallelization_safe(loop)
+
+    def test_private_clause_excluded(self):
+        loop = pfor("i", 0, v("n"), [
+            assign(aref("scratch", 0), aref("a", v("i"))),
+            assign(aref("b", v("i")), aref("scratch", 0))],
+                    private=("scratch",))
+        assert parallelization_safe(loop)
+
+    def test_reduction_slot_still_detected(self):
+        loop = pfor("i", 0, v("n"), accum(aref("s", 0), aref("a", v("i"))))
+        deps = loop_carried_dependences(loop)
+        assert any(d.array == "s" and d.carried_by == "i" for d in deps)
+
+
+class TestSuiteStencils:
+    def test_jacobi_stencil_proves_parallel(self):
+        program = get_benchmark("jacobi").program
+        for loop in parallel_loops(program, "stencil"):
+            assert parallelization_safe(loop)
+            assert loop_carried_dependences(loop) == []
+
+    def test_hotspot_steps_prove_parallel(self):
+        program = get_benchmark("hotspot").program
+        for region in ("step_ab", "step_ba"):
+            for loop in parallel_loops(program, region):
+                assert parallelization_safe(loop)
+
+    def test_nw_waves_parallel_only_when_coupled(self):
+        program = get_benchmark("nw").program
+        for region in ("wave_upper", "wave_lower"):
+            for loop in parallel_loops(program, region):
+                assert parallelization_safe(loop)
+                assert not parallelization_safe(loop, coupled=False)

@@ -1,0 +1,372 @@
+"""Targeted unit tests for the verifier rules.
+
+Every RACE/DATA/PERF rule gets at least one purpose-built *dirty*
+program that must trigger it and one *clean* program that must not.
+Compiled-scope rules go through the OpenACC compiler (explicit data
+clauses, no automatic loop transformations to disturb the shape under
+test).
+"""
+
+from repro.gpusim.memory import MemorySpace
+from repro.ir.builder import (accum, aref, assign, block, pfor,
+                              reduce_clause, sfor, v, wloop)
+from repro.ir.program import (ArrayDecl, ParallelRegion, Program,
+                              ScalarDecl)
+from repro.lint import Severity, run_lint
+from repro.models import DataRegionSpec, PortSpec, get_compiler
+from repro.models.base import RegionOptions
+
+
+def make_program(regions, arrays, name="p"):
+    return Program(name, arrays, [ScalarDecl("n", "int")], regions)
+
+
+def lint_compiled(program, model="OpenACC", data_regions=None,
+                  region_options=None):
+    port = PortSpec(model=model, program=program,
+                    data_regions=tuple(data_regions or ()),
+                    region_options=region_options or {})
+    compiled = get_compiler(model).compile_program(port)
+    return run_lint(program, compiled)
+
+
+def rules_of(report):
+    return {f.rule for f in report.findings}
+
+
+class TestRace001:
+    def test_dirty_recurrence_fires(self):
+        region = ParallelRegion(
+            "r", pfor("i", 1, v("n"),
+                      assign(aref("a", v("i")), aref("a", v("i") - 1))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="inout")])
+        report = run_lint(program)
+        hits = [f for f in report.findings if f.rule == "RACE001"]
+        assert hits and hits[0].severity is Severity.ERROR
+        assert hits[0].array == "a" and hits[0].loop == "i"
+
+    def test_clean_elementwise_silent(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      assign(aref("b", v("i")), aref("a", v("i")))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        assert not rules_of(run_lint(program)) & {"RACE001", "RACE002",
+                                                  "RACE003"}
+
+
+class TestRace002:
+    def test_dirty_unannotated_reduction(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      accum(aref("s", 0), aref("a", v("i")))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("s", (1,), intent="out")])
+        assert "RACE002" in rules_of(run_lint(program))
+
+    def test_clean_clause_covers_it(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      accum(aref("s", 0), aref("a", v("i"))),
+                      reductions=[reduce_clause("+", "s", is_array=True)]))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("s", (1,), intent="out")])
+        assert "RACE002" not in rules_of(run_lint(program))
+
+
+class TestRace003:
+    def test_dirty_indirect_scatter(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      assign(aref("a", aref("idx", v("i"))), 1.0)))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="out"),
+                       ArrayDecl("idx", ("n",), dtype="int", intent="in")])
+        assert "RACE003" in rules_of(run_lint(program))
+
+    def test_clean_affine_scatter(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      assign(aref("a", v("i") * 2), 1.0)))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n2",), intent="out")])
+        assert "RACE003" not in rules_of(run_lint(program))
+
+
+def _copy_program(w_intent="in"):
+    region = ParallelRegion(
+        "r", pfor("i", 0, v("n"),
+                  assign(aref("b", v("i")), aref("w", v("i")))))
+    return make_program(
+        [region], [ArrayDecl("w", ("n",), intent=w_intent),
+                   ArrayDecl("b", ("n",), intent="out")])
+
+
+class TestData001:
+    def test_dirty_created_array_read_first(self):
+        program = _copy_program()
+        spec = DataRegionSpec("d", regions=("r",), copyout=("b",),
+                              create=("w",))
+        report = lint_compiled(program, data_regions=[spec])
+        hits = [f for f in report.findings if f.rule == "DATA001"]
+        assert hits and hits[0].severity is Severity.ERROR
+        assert hits[0].array == "w"
+
+    def test_clean_copyin_feeds_the_read(self):
+        program = _copy_program()
+        spec = DataRegionSpec("d", regions=("r",), copyin=("w",),
+                              copyout=("b",))
+        assert "DATA001" not in rules_of(
+            lint_compiled(program, data_regions=[spec]))
+
+
+class TestData002:
+    def test_dirty_out_array_without_copyout(self):
+        program = _copy_program()
+        spec = DataRegionSpec("d", regions=("r",), copyin=("w",),
+                              create=("b",))
+        report = lint_compiled(program, data_regions=[spec])
+        hits = [f for f in report.findings if f.rule == "DATA002"]
+        assert hits and hits[0].severity is Severity.ERROR
+        assert hits[0].array == "b"
+
+    def test_clean_copyout_returns_it(self):
+        program = _copy_program()
+        spec = DataRegionSpec("d", regions=("r",), copyin=("w",),
+                              copyout=("b",))
+        assert "DATA002" not in rules_of(
+            lint_compiled(program, data_regions=[spec]))
+
+
+def _overwrite_then_read_program():
+    body = block(
+        assign(aref("y", v("i")), 0.0),
+        assign(aref("b", v("i")), aref("y", v("i")) + aref("w", v("i"))),
+    )
+    region = ParallelRegion("r", pfor("i", 0, v("n"), body))
+    return make_program(
+        [region], [ArrayDecl("w", ("n",), intent="in"),
+                   ArrayDecl("y", ("n",), intent="temp"),
+                   ArrayDecl("b", ("n",), intent="out")])
+
+
+class TestData003:
+    def test_dirty_dead_copyin(self):
+        program = _overwrite_then_read_program()
+        spec = DataRegionSpec("d", regions=("r",),
+                              copyin=("w", "y"), copyout=("b",))
+        report = lint_compiled(program, data_regions=[spec])
+        hits = [f for f in report.findings if f.rule == "DATA003"]
+        assert [f.array for f in hits] == ["y"]
+
+    def test_clean_consumed_copyin(self):
+        program = _copy_program()
+        spec = DataRegionSpec("d", regions=("r",), copyin=("w",),
+                              copyout=("b",))
+        assert "DATA003" not in rules_of(
+            lint_compiled(program, data_regions=[spec]))
+
+    def test_dirty_copyin_read_only_after_device_write(self):
+        # two regions: the first overwrites y on the device, the second
+        # reads it — the read consumes the kernel's value, so the
+        # incoming host copy is still dead (the SPMUL/OpenMPC case)
+        r1 = ParallelRegion(
+            "init", pfor("i", 0, v("n"), assign(aref("y", v("i")), 0.0)))
+        r2 = ParallelRegion(
+            "use", pfor("i", 0, v("n"),
+                        assign(aref("b", v("i")), aref("y", v("i")))))
+        program = make_program(
+            [r1, r2], [ArrayDecl("y", ("n",), intent="temp"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        spec = DataRegionSpec("d", regions=("init", "use"),
+                              copyin=("y",), copyout=("b",))
+        report = lint_compiled(program, data_regions=[spec])
+        assert any(f.rule == "DATA003" and f.array == "y"
+                   for f in report.findings)
+
+
+class TestData004:
+    def test_dirty_copyout_of_read_only_array(self):
+        program = _copy_program()
+        spec = DataRegionSpec("d", regions=("r",), copyin=("w",),
+                              copyout=("b", "w"))
+        report = lint_compiled(program, data_regions=[spec])
+        hits = [f for f in report.findings if f.rule == "DATA004"]
+        assert [f.array for f in hits] == ["w"]
+
+    def test_clean_copyout_of_written_array(self):
+        program = _copy_program()
+        spec = DataRegionSpec("d", regions=("r",), copyin=("w",),
+                              copyout=("b",))
+        assert "DATA004" not in rules_of(
+            lint_compiled(program, data_regions=[spec]))
+
+
+class TestData005:
+    def _two_region_program(self, second_body):
+        r1 = ParallelRegion(
+            "good", pfor("i", 0, v("n"),
+                         assign(aref("b", v("i")), aref("w", v("i")))))
+        r2 = ParallelRegion("bad", second_body)
+        return make_program(
+            [r1, r2], [ArrayDecl("w", ("n",), intent="in"),
+                       ArrayDecl("b", ("n",), intent="out")])
+
+    def test_dirty_host_fallback_in_scope(self):
+        # a while loop is untranslatable: the region falls back to the
+        # host inside the data scope and round-trips b
+        body = wloop(aref("b", 0).gt(0.0),
+                     assign(aref("b", 0), aref("b", 0) - 1.0))
+        program = self._two_region_program(body)
+        spec = DataRegionSpec("d", regions=("good", "bad"),
+                              copyin=("w",), copyout=("b",))
+        report = lint_compiled(program, data_regions=[spec])
+        assert any(f.rule == "DATA005" and f.region == "bad"
+                   for f in report.findings)
+
+    def test_clean_all_regions_translated(self):
+        body = pfor("i", 0, v("n"),
+                    assign(aref("b", v("i")), aref("b", v("i")) * 2.0))
+        program = self._two_region_program(body)
+        spec = DataRegionSpec("d", regions=("good", "bad"),
+                              copyin=("w",), copyout=("b",))
+        assert "DATA005" not in rules_of(
+            lint_compiled(program, data_regions=[spec]))
+
+
+def _matrix_program(row_major_thread=False):
+    """2-D copy; thread index on the slow dimension unless told otherwise."""
+    if row_major_thread:
+        body = assign(aref("b", v("j"), v("i")), aref("a", v("j"), v("i")))
+    else:
+        body = assign(aref("b", v("i"), v("j")), aref("a", v("i"), v("j")))
+    region = ParallelRegion(
+        "r", pfor("i", 0, v("n"), sfor("j", 0, v("n"), body),
+                  private=["j"]))
+    return make_program(
+        [region], [ArrayDecl("a", ("n", "n"), intent="in"),
+                   ArrayDecl("b", ("n", "n"), intent="out")])
+
+
+class TestPerf001:
+    def test_dirty_column_major_access(self):
+        report = lint_compiled(_matrix_program())
+        hits = [f for f in report.findings if f.rule == "PERF001"]
+        assert {f.array for f in hits} == {"a", "b"}
+
+    def test_clean_coalesced_access(self):
+        report = lint_compiled(_matrix_program(row_major_thread=True))
+        assert "PERF001" not in rules_of(report)
+
+
+class TestPerf002:
+    def test_dirty_gather(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      assign(aref("b", v("i")),
+                             aref("x", aref("col", v("i"))))))
+        program = make_program(
+            [region], [ArrayDecl("col", ("n",), dtype="int", intent="in"),
+                       ArrayDecl("x", ("n",), intent="in"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        report = lint_compiled(program)
+        assert any(f.rule == "PERF002" and f.array == "x"
+                   for f in report.findings)
+
+    def test_clean_direct(self):
+        program = _copy_program()
+        assert "PERF002" not in rules_of(lint_compiled(program))
+
+
+class TestPerf003:
+    def test_dirty_partial_warp_block(self):
+        program = _copy_program()
+        opts = {"r": RegionOptions(block_threads=48)}
+        report = lint_compiled(program, region_options=opts)
+        assert "PERF003" in rules_of(report)
+
+    def test_clean_full_block(self):
+        program = _copy_program()
+        opts = {"r": RegionOptions(block_threads=256)}
+        report = lint_compiled(program, region_options=opts)
+        assert "PERF003" not in rules_of(report)
+
+
+class TestPerf004:
+    def test_dirty_uniform_global_read(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      assign(aref("b", v("i")),
+                             aref("a", v("i")) * aref("c", 0))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("c", (1,), intent="in"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        report = lint_compiled(program)
+        assert any(f.rule == "PERF004" and f.array == "c"
+                   for f in report.findings)
+
+    def test_clean_constant_placement(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      assign(aref("b", v("i")),
+                             aref("a", v("i")) * aref("c", 0))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("c", (1,), intent="in"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        opts = {"r": RegionOptions(
+            placements={"c": MemorySpace.CONSTANT})}
+        report = lint_compiled(program, model="HMPP", region_options=opts)
+        assert not any(f.rule == "PERF004" and f.array == "c"
+                       for f in report.findings)
+
+
+class TestPerf005:
+    def test_dirty_untiled_stencil(self):
+        region = ParallelRegion(
+            "r", pfor("i", 1, v("n"),
+                      assign(aref("b", v("i")),
+                             aref("a", v("i") - 1) + aref("a", v("i"))
+                             + aref("a", v("i") + 1))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        report = lint_compiled(program)
+        assert any(f.rule == "PERF005" and f.array == "a"
+                   for f in report.findings)
+
+    def test_clean_two_reads_only(self):
+        region = ParallelRegion(
+            "r", pfor("i", 1, v("n"),
+                      assign(aref("b", v("i")),
+                             aref("a", v("i") - 1) + aref("a", v("i")))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        assert "PERF005" not in rules_of(lint_compiled(program))
+
+
+class TestEngine:
+    def test_family_filter(self):
+        program = _matrix_program()
+        report = lint_compiled(program)
+        full = rules_of(report)
+        assert any(r.startswith("PERF") for r in full)
+        port = PortSpec(model="OpenACC", program=program)
+        compiled = get_compiler("OpenACC").compile_program(port)
+        only_race = run_lint(program, compiled, families=("RACE",))
+        assert all(f.rule.startswith("RACE") for f in only_race.findings)
+
+    def test_report_json_roundtrip(self):
+        import json
+
+        report = lint_compiled(_matrix_program())
+        payload = json.loads(report.to_json())
+        assert payload["model"] == "OpenACC"
+        assert payload["counts"]["error"] == report.errors
+        assert len(payload["findings"]) == len(report)

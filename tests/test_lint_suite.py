@@ -1,0 +1,179 @@
+"""Suite-level snapshot of verifier findings over 13 benchmarks x 5 models.
+
+The snapshot pins the per-(benchmark, model) rule counts so any change
+to the dependence tester, the transfer-plan analysis, or a compiler's
+lowering that shifts findings shows up as an explicit diff here.  The
+suite must also stay free of error-severity findings — the CI gate runs
+``repro-harness lint --all --fail-on=error``.
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.lint import Severity, lint_suite
+from repro.metrics.lintstats import lint_density, render_lint_density
+
+SNAPSHOT = {
+    ("JACOBI", "PGI Accelerator"): {"PERF005": 1},
+    ("JACOBI", "OpenACC"): {"PERF005": 1},
+    ("JACOBI", "HMPP"): {"PERF005": 1},
+    ("JACOBI", "OpenMPC"): {"PERF005": 1},
+    ("JACOBI", "R-Stream"): {},
+    ("EP", "PGI Accelerator"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
+                                "RACE002": 3},
+    ("EP", "OpenACC"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
+                        "RACE002": 3},
+    ("EP", "HMPP"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
+                     "RACE002": 3},
+    ("EP", "OpenMPC"): {"PERF004": 3, "RACE002": 3},
+    ("EP", "R-Stream"): {"COV-NON-AFFINE": 1, "RACE002": 3},
+    ("SPMUL", "PGI Accelerator"): {"PERF002": 3, "PERF004": 2,
+                                   "RACE002": 1},
+    ("SPMUL", "OpenACC"): {"PERF002": 3, "PERF004": 2},
+    ("SPMUL", "HMPP"): {"PERF002": 3, "PERF004": 2},
+    ("SPMUL", "OpenMPC"): {"DATA003": 1, "PERF002": 1, "PERF004": 2},
+    ("SPMUL", "R-Stream"): {"COV-NON-AFFINE": 1, "PERF004": 2},
+    ("CG", "PGI Accelerator"): {"PERF002": 6, "PERF004": 9, "RACE002": 5},
+    ("CG", "OpenACC"): {"PERF002": 6, "PERF004": 9},
+    ("CG", "HMPP"): {"PERF002": 6, "PERF004": 9},
+    ("CG", "OpenMPC"): {"DATA003": 1, "PERF002": 2, "PERF004": 9},
+    ("CG", "R-Stream"): {"COV-NON-AFFINE": 2, "PERF004": 9},
+    ("FT", "PGI Accelerator"): {"PERF001": 8, "PERF004": 5, "RACE002": 1},
+    ("FT", "OpenACC"): {"PERF001": 8, "PERF004": 5},
+    ("FT", "HMPP"): {"PERF001": 8, "PERF004": 5},
+    ("FT", "OpenMPC"): {"PERF001": 8, "PERF004": 1},
+    ("FT", "R-Stream"): {"COV-NON-AFFINE": 6},
+    ("SRAD", "PGI Accelerator"): {"PERF001": 1, "PERF004": 5, "PERF005": 2,
+                                  "RACE002": 1},
+    ("SRAD", "OpenACC"): {"PERF001": 1, "PERF004": 5, "PERF005": 2},
+    ("SRAD", "HMPP"): {"PERF001": 1, "PERF004": 5, "PERF005": 2},
+    ("SRAD", "OpenMPC"): {"PERF004": 5, "PERF005": 2},
+    ("SRAD", "R-Stream"): {"COV-NON-AFFINE": 2, "PERF001": 3, "PERF004": 1},
+    ("CFD", "PGI Accelerator"): {"PERF001": 2, "PERF002": 2, "PERF004": 3,
+                                 "PERF005": 1, "RACE002": 1, "RACE003": 1},
+    ("CFD", "OpenACC"): {"PERF001": 2, "PERF002": 2, "PERF004": 3,
+                         "PERF005": 1, "RACE003": 1},
+    ("CFD", "HMPP"): {"PERF001": 2, "PERF002": 2, "PERF004": 3,
+                      "PERF005": 1, "RACE003": 1},
+    ("CFD", "OpenMPC"): {"DATA003": 2, "PERF001": 2, "PERF002": 2,
+                         "PERF004": 2, "PERF005": 1, "RACE003": 1},
+    ("CFD", "R-Stream"): {"COV-NON-AFFINE": 4, "PERF004": 1, "RACE003": 1},
+    ("BFS", "PGI Accelerator"): {"COV-CRITICAL-SECTION": 1, "DATA002": 2,
+                                 "DATA005": 1, "PERF002": 4, "RACE002": 1,
+                                 "RACE003": 2},
+    ("BFS", "OpenACC"): {"COV-CRITICAL-SECTION": 1, "DATA002": 2,
+                         "DATA005": 1, "PERF002": 4, "RACE002": 1,
+                         "RACE003": 2},
+    ("BFS", "HMPP"): {"COV-CRITICAL-SECTION": 1, "DATA002": 2,
+                      "DATA005": 1, "PERF002": 4, "RACE002": 1,
+                      "RACE003": 2},
+    ("BFS", "OpenMPC"): {"PERF002": 4, "RACE002": 1, "RACE003": 2},
+    ("BFS", "R-Stream"): {"COV-NON-AFFINE": 3, "RACE002": 1, "RACE003": 2},
+    ("HOTSPOT", "PGI Accelerator"): {"PERF005": 2},
+    ("HOTSPOT", "OpenACC"): {"PERF005": 2},
+    ("HOTSPOT", "HMPP"): {"PERF005": 2},
+    ("HOTSPOT", "OpenMPC"): {"PERF005": 2},
+    ("HOTSPOT", "R-Stream"): {"COV-NON-AFFINE": 2},
+    ("BACKPROP", "PGI Accelerator"): {"DATA002": 2, "PERF001": 5,
+                                      "PERF004": 7, "RACE002": 2},
+    ("BACKPROP", "OpenACC"): {"DATA002": 2, "PERF001": 5, "PERF004": 7},
+    ("BACKPROP", "HMPP"): {"DATA002": 2, "PERF001": 5, "PERF004": 7},
+    ("BACKPROP", "OpenMPC"): {"DATA003": 2, "PERF001": 1, "PERF004": 7},
+    ("BACKPROP", "R-Stream"): {"COV-POINTER-BASED-ALLOCATION": 5,
+                               "PERF004": 1},
+    ("KMEANS", "PGI Accelerator"): {"PERF001": 6, "PERF002": 1,
+                                    "PERF004": 5, "RACE002": 2},
+    ("KMEANS", "OpenACC"): {"PERF001": 6, "PERF002": 1, "PERF004": 5,
+                            "RACE002": 2},
+    ("KMEANS", "HMPP"): {"PERF001": 6, "PERF002": 1, "PERF004": 5,
+                         "RACE002": 2},
+    ("KMEANS", "OpenMPC"): {"DATA003": 2, "PERF001": 3, "PERF002": 3,
+                            "PERF004": 4, "RACE002": 4},
+    ("KMEANS", "R-Stream"): {"COV-NON-AFFINE": 3, "RACE002": 2},
+    ("NW", "PGI Accelerator"): {"PERF001": 8, "PERF002": 1, "PERF004": 1,
+                                "PERF005": 2},
+    ("NW", "OpenACC"): {"PERF001": 8, "PERF002": 1, "PERF004": 1,
+                        "PERF005": 2},
+    ("NW", "HMPP"): {"PERF001": 8, "PERF002": 1, "PERF004": 1,
+                     "PERF005": 2},
+    ("NW", "OpenMPC"): {"PERF001": 7, "PERF002": 1, "PERF004": 1,
+                        "PERF005": 2},
+    ("NW", "R-Stream"): {"COV-NO-PROVABLE-PARALLELISM": 2,
+                         "COV-NON-AFFINE": 1},
+    ("LUD", "PGI Accelerator"): {"PERF001": 5, "PERF004": 3, "PERF005": 1,
+                                 "RACE002": 1, "RACE003": 3},
+    ("LUD", "OpenACC"): {"PERF001": 5, "PERF004": 3, "PERF005": 1,
+                         "RACE003": 3},
+    ("LUD", "HMPP"): {"PERF001": 5, "PERF004": 3, "PERF005": 1,
+                      "RACE003": 3},
+    ("LUD", "OpenMPC"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
+                         "RACE003": 2},
+    ("LUD", "R-Stream"): {"COV-NON-AFFINE": 4, "RACE003": 2},
+}
+
+
+@pytest.fixture(scope="module")
+def suite_records():
+    return lint_suite()
+
+
+class TestSuiteSnapshot:
+    def test_every_pair_matches_snapshot(self, suite_records):
+        actual = {(rec.benchmark, rec.model): rec.report.by_rule()
+                  for rec in suite_records}
+        assert set(actual) == set(SNAPSHOT)
+        mismatches = {pair: (SNAPSHOT[pair], actual[pair])
+                      for pair in SNAPSHOT if SNAPSHOT[pair] != actual[pair]}
+        assert not mismatches
+
+    def test_suite_has_no_errors(self, suite_records):
+        # the CI gate: lint --all --fail-on=error must pass
+        offenders = [(rec.benchmark, rec.model, f)
+                     for rec in suite_records
+                     for f in rec.report.at_or_above(Severity.ERROR)]
+        assert offenders == []
+
+    def test_openmpc_flags_spmul_dead_copyin(self, suite_records):
+        # the paper's Section III-D2 example: OpenMPC's conservative
+        # array-name analysis transfers y although spmv overwrites it
+        rec = next(r for r in suite_records
+                   if (r.benchmark, r.model) == ("SPMUL", "OpenMPC"))
+        assert any(f.rule == "DATA003" and f.array == "y"
+                   for f in rec.report.findings)
+
+    def test_density_rows_cover_all_models(self, suite_records):
+        rows = lint_density(suite_records)
+        assert [row.model for row in rows] == [
+            "PGI Accelerator", "OpenACC", "HMPP", "OpenMPC", "R-Stream"]
+        assert all(row.ports == 13 and row.errors == 0 for row in rows)
+        table = render_lint_density(rows)
+        assert "Per-region" in table and "OpenMPC" in table
+
+    def test_rstream_density_lowest(self, suite_records):
+        # R-Stream translates the least (Table II), so it also accrues
+        # the fewest per-kernel findings
+        rows = {row.model: row for row in lint_density(suite_records)}
+        assert rows["R-Stream"].density == min(
+            row.density for row in rows.values())
+
+
+class TestCli:
+    def test_lint_json_single_port(self, capsys):
+        rc = cli_main(["lint", "jacobi", "openacc", "--json"])
+        assert rc == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["program"] == "jacobi"
+        assert payload["model"] == "OpenACC"
+        assert payload["counts"]["error"] == 0
+        assert all({"rule", "severity", "location"} <= set(f)
+                   for f in payload["findings"])
+
+    def test_lint_fail_on_warning_exits_nonzero(self, capsys):
+        rc = cli_main(["lint", "spmul", "openmpc", "--fail-on=warning"])
+        assert rc == 1  # the DATA003 warning trips the gate
+        assert "DATA003" in capsys.readouterr().out
+
+    def test_lint_requires_names_without_all(self, capsys):
+        assert cli_main(["lint"]) == 2
