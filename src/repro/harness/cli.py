@@ -7,8 +7,11 @@ Subcommands regenerate the paper's evaluation artifacts:
 * ``figure1`` — per-benchmark speedups for every model (text bars/CSV);
 * ``run BENCH MODEL`` — one functional run with validation and a trace;
 * ``lint [BENCH MODEL]`` — the directive verifier (``--all`` for the
-  whole suite, ``--json`` for machine-readable output, ``--fail-on`` to
-  gate CI);
+  whole suite, ``--json`` for machine-readable output, ``--sarif`` for
+  GitHub code scanning, ``--fail-on`` to gate CI);
+* ``tv [BENCH MODEL]`` — the translation validator: equivalence
+  certificates per lowered region (``--all`` for the suite matrix;
+  exits 1 on any REFUTED certificate);
 * ``all`` — everything (the EXPERIMENTS.md payload).
 """
 
@@ -56,9 +59,21 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    bench = get_benchmark(args.benchmark)
-    outcome = bench.run(args.model, args.variant, scale=args.scale,
-                        execute=True)
+    try:
+        bench = get_benchmark(args.benchmark)
+        known = bench.variants(args.model)
+        if args.variant != "best" and args.variant not in known:
+            print(f"run: unknown variant {args.variant!r} for "
+                  f"{bench.name}/{args.model}; known: {list(known)}",
+                  file=sys.stderr)
+            return 2
+        outcome = bench.run(args.model, args.variant, scale=args.scale,
+                            execute=True)
+    except KeyError as exc:
+        # unknown variant (bench/model are argparse-validated): exit
+        # cleanly instead of dumping a traceback
+        print(f"run: {exc.args[0]}", file=sys.stderr)
+        return 2
     print(outcome.speedup.summary())
     if outcome.validated is not None:
         print(f"validation: {'PASS' if outcome.validated else 'FAIL'}")
@@ -90,12 +105,24 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import Severity, lint_port, lint_suite
+    from repro.lint.sarif import report_to_sarif
     from repro.metrics.lintstats import lint_density, render_lint_density
 
+    if args.sarif and args.json:
+        print("lint: --sarif and --json are mutually exclusive",
+              file=sys.stderr)
+        return 2
     threshold = Severity.parse(args.fail_on) if args.fail_on else None
     if args.all_ports:
         records = lint_suite()
-        if args.json:
+        if args.sarif:
+            from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION
+            # one SARIF run per (benchmark, model) pair, single log
+            logs = [report_to_sarif(rec.report) for rec in records]
+            merged = {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION,
+                      "runs": [run for log in logs for run in log["runs"]]}
+            print(json.dumps(merged, indent=2))
+        elif args.json:
             payload = [{"benchmark": rec.benchmark, "model": rec.model,
                         "variant": rec.variant, "regions": rec.regions,
                         "findings": [f.to_dict()
@@ -124,7 +151,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         # these (aliases, per-benchmark variants), so fail cleanly here
         print(f"lint: {exc.args[0]}", file=sys.stderr)
         return 2
-    if args.json:
+    if args.sarif:
+        print(json.dumps(report_to_sarif(report), indent=2))
+    elif args.json:
         print(report.to_json())
     else:
         header = f"{report.program} / {report.model}"
@@ -137,6 +166,56 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     if threshold is not None and report.at_or_above(threshold):
         return 1
     return 0
+
+
+def _cmd_tv(args: argparse.Namespace) -> int:
+    from repro.metrics.tvstats import render_tv_matrix, tv_matrix
+    from repro.tv import CertStatus, validate_port, validate_suite
+
+    if args.all_ports:
+        records = validate_suite()
+        if args.json:
+            payload = [{"benchmark": rec.benchmark, "model": rec.model,
+                        "variant": rec.variant,
+                        "certificates": [c.to_dict()
+                                         for c in rec.certificates]}
+                       for rec in records]
+            print(json.dumps(payload, indent=2))
+        else:
+            print(render_tv_matrix(tv_matrix(records)))
+        refuted = [(rec, c) for rec in records for c in rec.certificates
+                   if c.status is CertStatus.REFUTED]
+        if refuted and not args.json:
+            print("\nREFUTED certificates:")
+            for rec, c in refuted:
+                print(f"  {rec.benchmark}/{rec.model}:{c.region}")
+                print(f"    {c.detail}")
+        return 1 if refuted else 0
+    if not args.benchmark or not args.model:
+        print("tv: BENCH and MODEL are required unless --all is given",
+              file=sys.stderr)
+        return 2
+    try:
+        record = validate_port(args.benchmark, args.model,
+                               variant=args.variant)
+    except KeyError as exc:
+        print(f"tv: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        payload = {"benchmark": record.benchmark, "model": record.model,
+                   "variant": record.variant,
+                   "certificates": [c.to_dict()
+                                    for c in record.certificates]}
+        print(json.dumps(payload, indent=2))
+    else:
+        header = f"{record.benchmark} / {record.model} ({record.variant})"
+        print(header)
+        print("-" * len(header))
+        for c in record.certificates:
+            print(f"{c.status.value:8s} {c.region}: {c.detail}")
+            if c.blocking:
+                print(f"         blocked by: {c.blocking}")
+    return 1 if record.count(CertStatus.REFUTED) else 0
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
@@ -203,6 +282,8 @@ def main(argv: list[str] | None = None) -> int:
                         help="port variant (default: the model's best)")
     p_lint.add_argument("--json", action="store_true",
                         help="machine-readable findings")
+    p_lint.add_argument("--sarif", action="store_true",
+                        help="SARIF 2.1.0 output (GitHub code scanning)")
     p_lint.add_argument("--all", action="store_true", dest="all_ports",
                         help="lint every benchmark x model pair and print "
                              "the per-model density table")
@@ -211,6 +292,22 @@ def main(argv: list[str] | None = None) -> int:
                         help="exit 1 if any finding is at/above "
                              "this severity")
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_tv = sub.add_parser(
+        "tv", help="translation validator: equivalence certificates for "
+                   "every lowered region")
+    p_tv.add_argument("benchmark", nargs="?", default=None,
+                      help="benchmark name (e.g. jacobi)")
+    p_tv.add_argument("model", nargs="?", default=None,
+                      help="model name or alias (e.g. openacc)")
+    p_tv.add_argument("--variant", default=None,
+                      help="port variant (default: the model's best)")
+    p_tv.add_argument("--json", action="store_true",
+                      help="machine-readable certificates")
+    p_tv.add_argument("--all", action="store_true", dest="all_ports",
+                      help="certify every benchmark x model pair and print "
+                           "the per-model certificate matrix")
+    p_tv.set_defaults(func=_cmd_tv)
 
     p_all = sub.add_parser("all", help="everything")
     p_all.add_argument("--scale", default="paper",

@@ -33,6 +33,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence
 
 from repro.ir.analysis.affine import affine_form
+from repro.ir.analysis.ranges import (SymRange, bindings_env, estimate_trips,
+                                      loop_range)
 from repro.ir.expr import ArrayRef, Const, Expr, Var
 from repro.ir.stmt import (Assign, Block, Critical, For, If, LocalDecl,
                            Stmt, While)
@@ -409,6 +411,9 @@ def summarize_accesses(body: Stmt, thread_vars: Sequence[str],
     local_arrays: set[str] = set()
     tset = set(thread_vars)
     loop_stack: list[str] = []
+    #: symbolic value ranges of bound scalars and enclosing loop
+    #: iterators — the trip-count estimator's environment.
+    range_env: dict[str, SymRange] = bindings_env(bindings)
     #: sequential loop indices whose bounds depend on the thread index
     #: (CSR row loops, frontier scans): addresses indexed by them are
     #: data-dependent across the warp — effectively indirect accesses.
@@ -507,28 +512,41 @@ def summarize_accesses(body: Stmt, thread_vars: Sequence[str],
                 record(expr, weight, None)
 
     def _scan_for(stmt: For, weight: float) -> None:
-        if stmt.var in thread_vars:
-            scan(stmt.body, weight)
-            return
-        lo = _const_value(stmt.lower, bindings)
-        hi = _const_value(stmt.upper, bindings)
-        step = _const_value(stmt.step, bindings) or 1.0
-        if lo is not None and hi is not None and step:
-            trips = max(0.0, math.ceil((hi - lo) / step))
-        else:
-            trips = DEFAULT_SEQ_TRIPS
-        # Bounds that depend on the thread index (directly or through an
-        # array lookup like row_ptr[i]) make this an irregular loop: its
-        # index produces data-dependent addresses across the warp.
-        bound_vars = (stmt.lower.free_vars() | stmt.upper.free_vars())
-        was_irregular = stmt.var in irregular_vars
-        if bound_vars & (tset | irregular_vars):
-            irregular_vars.add(stmt.var)
-        record(stmt.lower, weight, None)
-        record(stmt.upper, weight, None)
-        scan(stmt.body, weight * trips)
-        if not was_irregular:
-            irregular_vars.discard(stmt.var)
+        saved = range_env.get(stmt.var)
+        range_env[stmt.var] = loop_range(stmt, range_env)
+        try:
+            if stmt.var in thread_vars:
+                scan(stmt.body, weight)
+                return
+            lo = _const_value(stmt.lower, bindings)
+            hi = _const_value(stmt.upper, bindings)
+            step = _const_value(stmt.step, bindings) or 1.0
+            if lo is not None and hi is not None and step:
+                trips = max(0.0, math.ceil((hi - lo) / step))
+            else:
+                # value-range estimate (triangular/clamped bounds) before
+                # falling back to the legacy flat guess
+                est = estimate_trips(stmt.lower, stmt.upper, stmt.step,
+                                     range_env)
+                trips = est if est is not None else DEFAULT_SEQ_TRIPS
+            # Bounds that depend on the thread index (directly or through
+            # an array lookup like row_ptr[i]) make this an irregular
+            # loop: its index produces data-dependent addresses across
+            # the warp.
+            bound_vars = (stmt.lower.free_vars() | stmt.upper.free_vars())
+            was_irregular = stmt.var in irregular_vars
+            if bound_vars & (tset | irregular_vars):
+                irregular_vars.add(stmt.var)
+            record(stmt.lower, weight, None)
+            record(stmt.upper, weight, None)
+            scan(stmt.body, weight * trips)
+            if not was_irregular:
+                irregular_vars.discard(stmt.var)
+        finally:
+            if saved is None:
+                range_env.pop(stmt.var, None)
+            else:
+                range_env[stmt.var] = saved
 
     scan(body, 1.0)
     return summary

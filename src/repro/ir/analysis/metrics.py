@@ -13,6 +13,8 @@ from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
 from repro.ir.analysis.access import DEFAULT_SEQ_TRIPS, _const_value
+from repro.ir.analysis.ranges import (SymRange, bindings_env, estimate_trips,
+                                      loop_range)
 from repro.ir.expr import (INTRINSIC_FLOP_COST, ArrayRef, BinOp, Call, Cast,
                            Const, Expr, Ternary, UnOp, Var)
 from repro.ir.stmt import (Assign, Block, Critical, For, If, LocalDecl,
@@ -77,6 +79,7 @@ def body_work(body: Stmt, thread_vars: Sequence[str],
     """Estimate per-thread flops and divergence for a kernel body."""
     bindings = dict(bindings or {})
     est = WorkEstimate()
+    range_env: dict[str, SymRange] = bindings_env(bindings)
 
     def scan(stmt: Stmt, weight: float, divergent: bool) -> None:
         if isinstance(stmt, Block):
@@ -98,20 +101,31 @@ def body_work(body: Stmt, thread_vars: Sequence[str],
         elif isinstance(stmt, For):
             est.flops += (_expr_flops_clean(stmt.lower)
                           + _expr_flops_clean(stmt.upper)) * weight
-            if stmt.var in thread_vars:
-                scan(stmt.body, weight, divergent)
-            else:
-                lo = _const_value(stmt.lower, bindings)
-                hi = _const_value(stmt.upper, bindings)
-                step = _const_value(stmt.step, bindings) or 1.0
-                if lo is not None and hi is not None and step:
-                    trips = max(0.0, math.ceil((hi - lo) / step))
+            saved = range_env.get(stmt.var)
+            range_env[stmt.var] = loop_range(stmt, range_env)
+            try:
+                if stmt.var in thread_vars:
+                    scan(stmt.body, weight, divergent)
                 else:
-                    trips = DEFAULT_SEQ_TRIPS
-                    # data-dependent trip counts diverge across the warp
-                    est.divergence = min(1.0, est.divergence + 0.25)
-                est.flops += trips * weight  # loop bookkeeping
-                scan(stmt.body, weight * trips, divergent)
+                    lo = _const_value(stmt.lower, bindings)
+                    hi = _const_value(stmt.upper, bindings)
+                    step = _const_value(stmt.step, bindings) or 1.0
+                    if lo is not None and hi is not None and step:
+                        trips = max(0.0, math.ceil((hi - lo) / step))
+                    else:
+                        ranged = estimate_trips(stmt.lower, stmt.upper,
+                                                stmt.step, range_env)
+                        trips = (ranged if ranged is not None
+                                 else DEFAULT_SEQ_TRIPS)
+                        # data-dependent trip counts diverge across the warp
+                        est.divergence = min(1.0, est.divergence + 0.25)
+                    est.flops += trips * weight  # loop bookkeeping
+                    scan(stmt.body, weight * trips, divergent)
+            finally:
+                if saved is None:
+                    range_env.pop(stmt.var, None)
+                else:
+                    range_env[stmt.var] = saved
         elif isinstance(stmt, While):
             est.divergence = min(1.0, est.divergence + 0.3)
             est.flops += _expr_flops_clean(stmt.cond) * weight * DEFAULT_SEQ_TRIPS

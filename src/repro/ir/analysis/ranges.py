@@ -1,0 +1,496 @@
+"""Interval / value-range abstract interpretation over the loop-nest IR.
+
+The domain is an interval whose endpoints are *symbolic affine forms*
+(:class:`~repro.ir.analysis.affine.AffineForm`), so ranges stay exact
+across parametric bounds: the iterator of ``for i in [1, n-1)`` has the
+range ``[1, n-2]``, and comparisons such as ``n-2 <= n-1`` discharge by
+looking at the constant term of the difference.  Three consumers:
+
+* the translation validator (:mod:`repro.tv`) uses :func:`guard_implied`
+  to discharge kernel guards against the iteration domain;
+* the ``BNDS-*`` lint family proves out-of-bounds subscripts and empty
+  (negative-trip) loops;
+* :func:`estimate_trips` replaces the simulator's ad-hoc
+  ``DEFAULT_SEQ_TRIPS`` guess for sequential loops whose bounds resolve
+  to a finite *range* even when they do not resolve to a point
+  (triangular nests, clamped bounds).
+
+An endpoint of ``None`` means unbounded on that side.  All comparisons
+are three-valued: ``True`` / ``False`` only when provable, else ``None``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Mapping, Optional, Union
+
+from repro.ir.analysis.affine import AffineForm
+from repro.ir.expr import (ArrayRef, BinOp, Call, Cast, Const, Expr,
+                           Ternary, UnOp, Var)
+from repro.ir.stmt import For
+
+# ---------------------------------------------------------------------------
+# Affine-form arithmetic (endpoints)
+# ---------------------------------------------------------------------------
+
+def af_const(value: float) -> AffineForm:
+    return AffineForm({}, float(value))
+
+
+def af_var(name: str) -> AffineForm:
+    return AffineForm({name: 1.0}, 0.0)
+
+
+def af_add(a: AffineForm, b: AffineForm) -> AffineForm:
+    coeffs = dict(a.coeffs)
+    for name, cv in b.coeffs.items():
+        coeffs[name] = coeffs.get(name, 0.0) + cv
+    return AffineForm({n: c for n, c in coeffs.items() if c != 0},
+                      a.const + b.const)
+
+
+def af_neg(a: AffineForm) -> AffineForm:
+    return AffineForm({n: -c for n, c in a.coeffs.items()}, -a.const)
+
+
+def af_sub(a: AffineForm, b: AffineForm) -> AffineForm:
+    return af_add(a, af_neg(b))
+
+
+def af_scale(a: AffineForm, k: float) -> AffineForm:
+    if k == 0:
+        return af_const(0.0)
+    return AffineForm({n: k * c for n, c in a.coeffs.items()}, k * a.const)
+
+
+def af_is_const(a: AffineForm) -> bool:
+    return not a.coeffs
+
+
+def af_le(a: Optional[AffineForm], b: Optional[AffineForm],
+          assume_min: Optional[Mapping[str, float]] = None,
+          default_min: float = -math.inf) -> Optional[bool]:
+    """Is ``a <= b`` provable, assuming each symbol ``p >= min(p)``?
+
+    With no assumptions (the default) the comparison is decidable only
+    when the symbolic parts cancel.  Passing ``default_min`` (e.g. 1.0
+    for "size parameters are at least one") widens what is provable.
+    Returns ``None`` when undecidable.
+    """
+    if a is None or b is None:
+        return None
+    d = af_sub(b, a)  # prove d >= 0 (True) or d < 0 (False)
+    lows = assume_min or {}
+
+    def low(name: str) -> float:
+        return lows.get(name, default_min)
+
+    if all(c > 0 for c in d.coeffs.values()) or not d.coeffs:
+        dmin = d.const + sum(c * low(n) for n, c in d.coeffs.items())
+        if not math.isinf(dmin) and dmin >= 0:
+            return True
+    if all(c < 0 for c in d.coeffs.values()) and d.coeffs:
+        dmax = d.const + sum(c * low(n) for n, c in d.coeffs.items())
+        if not math.isinf(dmax) and dmax < 0:
+            return False
+    if not d.coeffs:
+        return d.const >= 0
+    return None
+
+
+# ---------------------------------------------------------------------------
+# The symbolic interval
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SymRange:
+    """``[lo, hi]`` with affine endpoints; ``None`` = unbounded."""
+
+    lo: Optional[AffineForm]
+    hi: Optional[AffineForm]
+
+    @staticmethod
+    def top() -> "SymRange":
+        return SymRange(None, None)
+
+    @staticmethod
+    def point(form: AffineForm) -> "SymRange":
+        return SymRange(form, form)
+
+    @staticmethod
+    def of_const(value: float) -> "SymRange":
+        return SymRange.point(af_const(value))
+
+    def is_point(self) -> bool:
+        return (self.lo is not None and self.hi is not None
+                and self.lo == self.hi)
+
+    def const_bounds(self) -> tuple[float, float]:
+        """Numeric ``(lo, hi)`` with ±inf for unbounded/symbolic ends."""
+        lo = (self.lo.const if self.lo is not None and af_is_const(self.lo)
+              else -math.inf)
+        hi = (self.hi.const if self.hi is not None and af_is_const(self.hi)
+              else math.inf)
+        return lo, hi
+
+    def join(self, other: "SymRange") -> "SymRange":
+        lo = self.lo if (self.lo is not None and other.lo is not None
+                         and af_le(self.lo, other.lo) is True) else (
+            other.lo if (self.lo is not None and other.lo is not None
+                         and af_le(other.lo, self.lo) is True) else None)
+        hi = self.hi if (self.hi is not None and other.hi is not None
+                         and af_le(other.hi, self.hi) is True) else (
+            other.hi if (self.hi is not None and other.hi is not None
+                         and af_le(self.hi, other.hi) is True) else None)
+        return SymRange(lo, hi)
+
+
+def _add(a: SymRange, b: SymRange) -> SymRange:
+    lo = af_add(a.lo, b.lo) if a.lo is not None and b.lo is not None else None
+    hi = af_add(a.hi, b.hi) if a.hi is not None and b.hi is not None else None
+    return SymRange(lo, hi)
+
+
+def _neg(a: SymRange) -> SymRange:
+    return SymRange(af_neg(a.hi) if a.hi is not None else None,
+                    af_neg(a.lo) if a.lo is not None else None)
+
+
+def _scale(a: SymRange, k: float) -> SymRange:
+    if k == 0:
+        return SymRange.of_const(0.0)
+    scaled = SymRange(af_scale(a.lo, k) if a.lo is not None else None,
+                      af_scale(a.hi, k) if a.hi is not None else None)
+    return scaled if k > 0 else SymRange(scaled.hi, scaled.lo)
+
+
+def eval_range(expr: Expr, env: Mapping[str, SymRange]) -> SymRange:
+    """Abstractly evaluate ``expr`` under variable ranges.
+
+    Variables absent from ``env`` are *symbolic parameters*: their range
+    is the exact point ``[v, v]``.  Array loads, data-dependent selects
+    and most intrinsics evaluate to top.
+    """
+    if isinstance(expr, Const):
+        return SymRange.of_const(float(expr.value))
+    if isinstance(expr, Var):
+        rng = env.get(expr.name)
+        return rng if rng is not None else SymRange.point(af_var(expr.name))
+    if isinstance(expr, Cast):
+        return eval_range(expr.operand, env)
+    if isinstance(expr, UnOp):
+        if expr.op == "-":
+            return _neg(eval_range(expr.operand, env))
+        if expr.op == "!":
+            return SymRange(af_const(0.0), af_const(1.0))
+        return SymRange.top()
+    if isinstance(expr, Ternary):
+        return eval_range(expr.if_true, env).join(
+            eval_range(expr.if_false, env))
+    if isinstance(expr, Call):
+        if expr.func == "fabs":
+            inner = eval_range(expr.args[0], env)
+            lo_nonneg = (inner.lo is not None
+                         and af_le(af_const(0.0), inner.lo) is True)
+            if lo_nonneg:
+                return inner
+            return SymRange(af_const(0.0), None)
+        if expr.func in ("floor", "ceil", "round"):
+            inner = eval_range(expr.args[0], env)
+            # widen by one to absorb the rounding either way
+            lo = af_add(inner.lo, af_const(-1.0)) if inner.lo is not None else None
+            hi = af_add(inner.hi, af_const(1.0)) if inner.hi is not None else None
+            return SymRange(lo, hi)
+        return SymRange.top()
+    if isinstance(expr, BinOp):
+        op = expr.op
+        if op in ("+", "-"):
+            left, right = eval_range(expr.left, env), eval_range(expr.right, env)
+            return _add(left, right if op == "+" else _neg(right))
+        if op == "*":
+            left, right = eval_range(expr.left, env), eval_range(expr.right, env)
+            if left.is_point() and af_is_const(left.lo):
+                return _scale(right, left.lo.const)
+            if right.is_point() and af_is_const(right.lo):
+                return _scale(left, right.lo.const)
+            return SymRange.top()
+        if op in ("/", "//"):
+            left, right = eval_range(expr.left, env), eval_range(expr.right, env)
+            if right.is_point() and af_is_const(right.lo) and right.lo.const > 0:
+                k = right.lo.const
+                scaled = _scale(left, 1.0 / k)
+                if op == "//":
+                    # floor division: widen the low end by (k-1)/k
+                    lo = (af_add(scaled.lo, af_const(-(k - 1) / k))
+                          if scaled.lo is not None else None)
+                    return SymRange(lo, scaled.hi)
+                return scaled
+            return SymRange.top()
+        if op == "%":
+            right = eval_range(expr.right, env)
+            if right.is_point() and af_is_const(right.lo) and right.lo.const > 0:
+                return SymRange(af_const(0.0), af_const(right.lo.const - 1.0))
+            return SymRange.top()
+        if op in ("min", "max"):
+            left, right = eval_range(expr.left, env), eval_range(expr.right, env)
+            if op == "min":
+                # any upper bound of either side bounds the min above;
+                # a lower bound must hold for both sides.
+                if left.hi is not None and right.hi is not None:
+                    cmp = af_le(left.hi, right.hi)
+                    hi = left.hi if cmp is True else (
+                        right.hi if cmp is False else left.hi)
+                else:
+                    hi = left.hi if left.hi is not None else right.hi
+                if left.lo is not None and right.lo is not None:
+                    cmp = af_le(left.lo, right.lo)
+                    lo = left.lo if cmp is True else (
+                        right.lo if cmp is False else None)
+                else:
+                    lo = None
+                return SymRange(lo, hi)
+            if left.lo is not None and right.lo is not None:
+                cmp = af_le(left.lo, right.lo)
+                lo = right.lo if cmp is True else (
+                    left.lo if cmp is False else left.lo)
+            else:
+                lo = left.lo if left.lo is not None else right.lo
+            if left.hi is not None and right.hi is not None:
+                cmp = af_le(left.hi, right.hi)
+                hi = right.hi if cmp is True else (
+                    left.hi if cmp is False else None)
+            else:
+                hi = None
+            return SymRange(lo, hi)
+        if op in ("<", "<=", ">", ">=", "==", "!=", "&&", "||"):
+            return SymRange(af_const(0.0), af_const(1.0))
+        return SymRange.top()
+    # ArrayRef and anything else: data-dependent.
+    return SymRange.top()
+
+
+# ---------------------------------------------------------------------------
+# Loop ranges and trip counts
+# ---------------------------------------------------------------------------
+
+def loop_range(loop: For, env: Mapping[str, SymRange]) -> SymRange:
+    """Range of a loop's iterator: ``[lower, upper-1]`` (positive step)."""
+    lower = eval_range(loop.lower, env)
+    upper = eval_range(loop.upper, env)
+    hi = af_add(upper.hi, af_const(-1.0)) if upper.hi is not None else None
+    return SymRange(lower.lo, hi)
+
+
+def bindings_env(bindings: Mapping[str, float]) -> dict[str, SymRange]:
+    """An evaluation environment pinning scalars to point ranges."""
+    return {name: SymRange.of_const(float(value))
+            for name, value in bindings.items()}
+
+
+def trip_range(lower: Expr, upper: Expr, step: Expr,
+               env: Mapping[str, SymRange]) -> Optional[tuple[float, float]]:
+    """Numeric ``(min_trips, max_trips)`` when both ends are finite."""
+    step_rng = eval_range(step, env)
+    if not (step_rng.is_point() and af_is_const(step_rng.lo)):
+        return None
+    step_val = step_rng.lo.const
+    if step_val <= 0:
+        return None
+    span = _add(eval_range(upper, env), _neg(eval_range(lower, env)))
+    lo, hi = span.const_bounds()
+    if math.isinf(lo) or math.isinf(hi):
+        return None
+    return (max(0.0, math.ceil(lo / step_val)),
+            max(0.0, math.ceil(hi / step_val)))
+
+
+def estimate_trips(lower: Expr, upper: Expr, step: Expr,
+                   env: Mapping[str, SymRange]) -> Optional[float]:
+    """Best-effort trip count from the value-range analysis.
+
+    Exact when the trip range is a single value; the range midpoint
+    otherwise (a triangular loop ``for j in [i, n)`` under ``i in
+    [0, n)`` averages to n/2 trips, which is the true mean).  ``None``
+    when the range analysis cannot bound the span — callers fall back
+    to their legacy guess.
+    """
+    rng = trip_range(lower, upper, step, env)
+    if rng is None:
+        return None
+    lo, hi = rng
+    return lo if lo == hi else (lo + hi) / 2.0
+
+
+# ---------------------------------------------------------------------------
+# Guards: three-valued comparison and narrowing
+# ---------------------------------------------------------------------------
+
+_NEGATED = {"<": ">=", "<=": ">", ">": "<=", ">=": "<", "==": "!=", "!=": "=="}
+_CMP_OPS = frozenset(_NEGATED)
+
+
+def compare(op: str, left: Expr, right: Expr,
+            env: Mapping[str, SymRange],
+            assume_min: Optional[Mapping[str, float]] = None,
+            default_min: float = -math.inf) -> Optional[bool]:
+    """Decide ``left op right`` under the ranges, or ``None``."""
+    a = eval_range(left, env)
+    b = eval_range(right, env)
+
+    def le(x: Optional[AffineForm], y: Optional[AffineForm]) -> Optional[bool]:
+        return af_le(x, y, assume_min, default_min)
+
+    def lt(x: Optional[AffineForm], y: Optional[AffineForm]) -> Optional[bool]:
+        # strict: x <= y - 1 suffices for the integer-valued bound
+        # expressions this analysis sees; fall back to !(y <= x).
+        if x is None or y is None:
+            return None
+        if le(x, af_add(y, af_const(-1.0))) is True:
+            return True
+        if le(y, x) is True:
+            return False
+        return None
+
+    if op == "<":
+        out = lt(a.hi, b.lo)
+        if out is not None:
+            return out
+        if le(b.hi, a.lo) is True:
+            return False
+        return None
+    if op == "<=":
+        if le(a.hi, b.lo) is True:
+            return True
+        if lt(b.hi, a.lo) is True:
+            return False
+        return None
+    if op == ">":
+        return compare("<", right, left, env, assume_min, default_min)
+    if op == ">=":
+        return compare("<=", right, left, env, assume_min, default_min)
+    if op == "==":
+        if (a.is_point() and b.is_point() and a.lo == b.lo):
+            return True
+        if compare("<", left, right, env, assume_min, default_min) is True:
+            return False
+        if compare(">", left, right, env, assume_min, default_min) is True:
+            return False
+        return None
+    if op == "!=":
+        eq = compare("==", left, right, env, assume_min, default_min)
+        return None if eq is None else not eq
+    return None
+
+
+def guard_implied(cond: Expr, env: Mapping[str, SymRange],
+                  polarity: bool = True,
+                  assume_min: Optional[Mapping[str, float]] = None,
+                  default_min: float = -math.inf) -> bool:
+    """True when ``cond`` (or its negation, ``polarity=False``) is
+    provably satisfied by every point of ``env`` — the guard-discharge
+    query the translation validator asks about kernel guards."""
+    if isinstance(cond, UnOp) and cond.op == "!":
+        return guard_implied(cond.operand, env, not polarity,
+                             assume_min, default_min)
+    if isinstance(cond, BinOp):
+        if cond.op == "&&":
+            if polarity:
+                return (guard_implied(cond.left, env, True, assume_min, default_min)
+                        and guard_implied(cond.right, env, True, assume_min, default_min))
+            return (guard_implied(cond.left, env, False, assume_min, default_min)
+                    or guard_implied(cond.right, env, False, assume_min, default_min))
+        if cond.op == "||":
+            if polarity:
+                return (guard_implied(cond.left, env, True, assume_min, default_min)
+                        or guard_implied(cond.right, env, True, assume_min, default_min))
+            return (guard_implied(cond.left, env, False, assume_min, default_min)
+                    and guard_implied(cond.right, env, False, assume_min, default_min))
+        if cond.op in _CMP_OPS:
+            op = cond.op if polarity else _NEGATED[cond.op]
+            return compare(op, cond.left, cond.right, env,
+                           assume_min, default_min) is True
+    return False
+
+
+def narrow(cond: Expr, env: Mapping[str, SymRange],
+           polarity: bool = True) -> dict[str, SymRange]:
+    """Refine ``env`` with the knowledge that ``cond`` holds (or fails).
+
+    Handles comparisons with a bare variable on either side, plus the
+    boolean connectives: under ``polarity`` the conjuncts of ``&&`` both
+    narrow; a disjunction narrows as the join of its branches.
+    """
+    out = dict(env)
+
+    def clamp_hi(name: str, bound: Optional[AffineForm]) -> None:
+        if bound is None:
+            return
+        cur = out.get(name, SymRange.point(af_var(name)))
+        if cur.hi is None or af_le(bound, cur.hi) is True:
+            out[name] = SymRange(cur.lo, bound)
+
+    def clamp_lo(name: str, bound: Optional[AffineForm]) -> None:
+        if bound is None:
+            return
+        cur = out.get(name, SymRange.point(af_var(name)))
+        if cur.lo is None or af_le(cur.lo, bound) is True:
+            out[name] = SymRange(bound, cur.hi)
+
+    if isinstance(cond, UnOp) and cond.op == "!":
+        return narrow(cond.operand, env, not polarity)
+    if isinstance(cond, BinOp) and cond.op in ("&&", "||"):
+        conj = (cond.op == "&&") == polarity
+        if conj and cond.op == "&&":
+            return narrow(cond.right, narrow(cond.left, env, polarity), polarity)
+        if conj and cond.op == "||":
+            # !(a || b): both negations hold
+            return narrow(cond.right, narrow(cond.left, env, polarity), polarity)
+        # disjunctive information: join the two narrowings
+        a = narrow(cond.left, env, polarity)
+        b = narrow(cond.right, env, polarity)
+        joined = dict(env)
+        for name in set(a) | set(b):
+            ra = a.get(name, env.get(name, SymRange.point(af_var(name))))
+            rb = b.get(name, env.get(name, SymRange.point(af_var(name))))
+            joined[name] = ra.join(rb)
+        return joined
+    if not (isinstance(cond, BinOp) and cond.op in _CMP_OPS):
+        return out
+    op = cond.op if polarity else _NEGATED[cond.op]
+    left, right = cond.left, cond.right
+    # normalize so a bare Var faces an evaluable side
+    if isinstance(right, Var) and not isinstance(left, Var):
+        left, right = right, left
+        op = {"<": ">", "<=": ">=", ">": "<", ">=": "<=",
+              "==": "==", "!=": "!="}[op]
+    if not isinstance(left, Var):
+        return out
+    rng = eval_range(right, env)
+    name = left.name
+    if op == "<":
+        clamp_hi(name, af_add(rng.hi, af_const(-1.0)) if rng.hi is not None else None)
+    elif op == "<=":
+        clamp_hi(name, rng.hi)
+    elif op == ">":
+        clamp_lo(name, af_add(rng.lo, af_const(1.0)) if rng.lo is not None else None)
+    elif op == ">=":
+        clamp_lo(name, rng.lo)
+    elif op == "==":
+        clamp_lo(name, rng.lo)
+        clamp_hi(name, rng.hi)
+    elif op == "!=":
+        # excluding a point value tightens the range only at its edges
+        if rng.lo is not None and rng.lo == rng.hi:
+            cur = out.get(name, SymRange.point(af_var(name)))
+            if cur.lo is not None and af_le(cur.lo, rng.lo) is True \
+                    and af_le(rng.lo, cur.lo) is True:
+                out[name] = SymRange(af_add(cur.lo, af_const(1.0)), cur.hi)
+            elif cur.hi is not None and af_le(cur.hi, rng.hi) is True \
+                    and af_le(rng.hi, cur.hi) is True:
+                out[name] = SymRange(cur.lo, af_add(cur.hi, af_const(-1.0)))
+    return out
+
+
+#: ``Union`` re-export kept for annotation compatibility in consumers.
+RangeEnv = Mapping[str, SymRange]

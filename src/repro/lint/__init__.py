@@ -5,21 +5,28 @@ Rule families:
 * ``RACE``: loop-carried write conflicts (:mod:`repro.lint.race`);
 * ``DATA``: transfer-plan defects (:mod:`repro.lint.data`);
 * ``PERF``: memory/occupancy smells (:mod:`repro.lint.perf`);
+* ``BNDS``: value-range violations — out-of-bounds subscripts, dead
+  loops (:mod:`repro.lint.bounds`);
+* ``TV``: translation-validation verdicts from :mod:`repro.tv`
+  (:mod:`repro.lint.tv`);
 * ``COV-*``: model coverage limitations, folded in from the compilers'
   :class:`~repro.models.base.Diagnostic` records.
 
 See ``docs/lint.md`` for the full rule catalog.
 """
 
-from repro.lint import data, perf, race  # noqa: F401  (register rules)
+from repro.lint import bounds, data, perf, race, tv  # noqa: F401  (register)
 from repro.lint.engine import (CHECKERS, RULES, Checker, LintContext, Rule,
                                checker, declare, run_lint)
 from repro.lint.findings import Finding, LintReport, Severity
-from repro.lint.suite import SuiteRecord, lint_port, lint_suite
+from repro.lint.sarif import report_to_sarif
+from repro.lint.suite import (SuiteRecord, clear_compile_cache, compile_port,
+                              lint_port, lint_suite)
 
 __all__ = [
     "Severity", "Finding", "LintReport",
     "Rule", "Checker", "RULES", "CHECKERS", "declare", "checker",
-    "LintContext", "run_lint",
+    "LintContext", "run_lint", "report_to_sarif",
     "SuiteRecord", "lint_port", "lint_suite",
+    "compile_port", "clear_compile_cache",
 ]

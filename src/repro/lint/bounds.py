@@ -1,0 +1,186 @@
+"""BNDS rules: value-range checks on subscripts and trip counts.
+
+Backed by the interval abstract interpretation in
+:mod:`repro.ir.analysis.ranges`.  Ranges are propagated through the
+loop nest (loop bounds bound their iterators, ``if`` guards and ternary
+conditions narrow them).  Symbols that appear as array extents are
+assumed to be at least 1 — a zero-sized array is its own bug, not this
+family's concern — while ordinary value scalars carry no assumption.
+
+* ``BNDS001`` (error): an affine array subscript is provably outside
+  the declared extent for *every* executed iteration.
+* ``BNDS002`` (warning): the subscript's proven range reaches past the
+  declared extent (or below zero) at the iteration-domain boundary —
+  the classic off-by-one.
+* ``BNDS003`` (warning): a loop's trip count is provably zero or
+  negative under the size assumptions; its body is dead code.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.ir.analysis.ranges import (AffineForm, SymRange, af_add, af_const,
+                                      af_le, af_var, eval_range, loop_range,
+                                      narrow)
+from repro.ir.expr import (ArrayRef, BinOp, Call, Cast, Expr, Ternary, UnOp)
+from repro.ir.stmt import (Block, Critical, For, If, Stmt, While)
+from repro.lint.engine import LintContext, checker, declare
+from repro.lint.findings import Finding, Severity
+
+declare("BNDS001", Severity.ERROR,
+        "array subscript provably out of bounds on every executed "
+        "iteration (value-range analysis, array extents assumed >= 1)")
+declare("BNDS002", Severity.WARNING,
+        "array subscript range reaches past the declared extent at the "
+        "iteration-domain boundary (likely off-by-one)")
+declare("BNDS003", Severity.WARNING,
+        "loop trip count provably zero or negative: the body is dead")
+
+
+def _extent_form(extent) -> Optional[AffineForm]:
+    if isinstance(extent, int):
+        return af_const(float(extent))
+    if isinstance(extent, str):
+        return af_var(extent)
+    return None
+
+
+def _size_assumptions(program) -> dict[str, float]:
+    """Symbols used as array extents are sizes: assume each >= 1."""
+    sizes: dict[str, float] = {}
+    for decl in program.arrays.values():
+        for extent in decl.shape:
+            if isinstance(extent, str):
+                sizes[extent] = 1.0
+    return sizes
+
+
+def _check_subscript(idx_range: SymRange, extent: AffineForm,
+                     sizes: Mapping[str, float]) -> Optional[str]:
+    """Classify one subscript range against one extent.
+
+    Returns ``"always"`` (provably OOB everywhere), ``"boundary"``
+    (provably OOB at the range edge), or None (in bounds / unprovable).
+    """
+    lo, hi = idx_range.lo, idx_range.hi
+    # every access at or past the extent, or every access negative
+    if lo is not None and af_le(extent, lo, assume_min=sizes):
+        return "always"
+    if hi is not None and af_le(hi, af_const(-1.0), assume_min=sizes):
+        return "always"
+    # the attained maximum exceeds extent-1, or the minimum dips below 0
+    last = af_add(extent, af_const(-1.0))
+    if hi is not None and af_le(hi, last, assume_min=sizes) is False:
+        return "boundary"
+    if lo is not None and af_le(af_const(0.0), lo,
+                                assume_min=sizes) is False:
+        return "boundary"
+    return None
+
+
+@checker("BNDS001", "BNDS002", "BNDS003", scope="program")
+def check_bounds(ctx: LintContext) -> list[Finding]:
+    program = ctx.program
+    sizes = _size_assumptions(program)
+    out: list[Finding] = []
+    seen: set[tuple] = set()
+
+    def report(rule: str, message: str, *, region: str, array: str = "",
+               loop: str = "") -> None:
+        key = (rule, region, array, loop, message)
+        if key not in seen:
+            seen.add(key)
+            out.append(ctx.finding(rule, message, region=region,
+                                   array=array, loop=loop))
+
+    def check_ref(node: ArrayRef, env: Mapping[str, SymRange],
+                  region: str) -> None:
+        decl = program.arrays.get(node.name)
+        if decl is None:
+            return
+        for dim, (extent, idx) in enumerate(zip(decl.shape, node.indices)):
+            ext = _extent_form(extent)
+            if ext is None:
+                continue
+            verdict = _check_subscript(eval_range(idx, env), ext, sizes)
+            if verdict == "always":
+                report("BNDS001",
+                       f"subscript {idx!r} of {node.name!r} (dim {dim}, "
+                       f"extent {extent}) is out of bounds for every "
+                       "iteration", region=region, array=node.name)
+            elif verdict == "boundary":
+                report("BNDS002",
+                       f"subscript {idx!r} of {node.name!r} (dim {dim}, "
+                       f"extent {extent}) exceeds the extent at the "
+                       "domain boundary", region=region, array=node.name)
+
+    def check_expr(expr: Expr, env: Mapping[str, SymRange],
+                   region: str) -> None:
+        # manual descent so ternary conditions narrow their branches
+        if isinstance(expr, Ternary):
+            check_expr(expr.cond, env, region)
+            check_expr(expr.if_true, narrow(expr.cond, env, True), region)
+            check_expr(expr.if_false, narrow(expr.cond, env, False), region)
+            return
+        if isinstance(expr, ArrayRef):
+            check_ref(expr, env, region)
+            for idx in expr.indices:
+                check_expr(idx, env, region)
+            return
+        if isinstance(expr, BinOp):
+            check_expr(expr.left, env, region)
+            check_expr(expr.right, env, region)
+        elif isinstance(expr, UnOp):
+            check_expr(expr.operand, env, region)
+        elif isinstance(expr, Cast):
+            check_expr(expr.operand, env, region)
+        elif isinstance(expr, Call):
+            for a in expr.args:
+                check_expr(a, env, region)
+
+    def scan(stmt: Stmt, env: dict[str, SymRange], region: str) -> None:
+        if isinstance(stmt, Block):
+            for s in stmt.stmts:
+                scan(s, env, region)
+            return
+        if isinstance(stmt, For):
+            lo_r = eval_range(stmt.lower, env)
+            up_r = eval_range(stmt.upper, env)
+            if (lo_r.lo is not None and up_r.hi is not None
+                    and af_le(up_r.hi, lo_r.lo, assume_min=sizes)):
+                report("BNDS003",
+                       f"loop over {stmt.var!r} runs [{stmt.lower!r}, "
+                       f"{stmt.upper!r}): provably empty",
+                       region=region, loop=stmt.var)
+            check_expr(stmt.lower, env, region)
+            check_expr(stmt.upper, env, region)
+            saved = env.get(stmt.var)
+            env[stmt.var] = loop_range(stmt, env)
+            try:
+                scan(stmt.body, env, region)
+            finally:
+                if saved is None:
+                    env.pop(stmt.var, None)
+                else:
+                    env[stmt.var] = saved
+            return
+        if isinstance(stmt, If):
+            check_expr(stmt.cond, env, region)
+            scan(stmt.then_body, narrow(stmt.cond, env, True), region)
+            if stmt.else_body is not None:
+                scan(stmt.else_body, narrow(stmt.cond, env, False), region)
+            return
+        if isinstance(stmt, While):
+            check_expr(stmt.cond, env, region)
+            scan(stmt.body, narrow(stmt.cond, env, True), region)
+            return
+        if isinstance(stmt, Critical):
+            scan(stmt.body, env, region)
+            return
+        for expr in stmt.exprs():
+            check_expr(expr, env, region)
+
+    for reg in program.regions:
+        scan(reg.body, {}, reg.name)
+    return out

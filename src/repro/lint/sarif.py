@@ -1,0 +1,89 @@
+"""SARIF 2.1.0 serialization of lint reports.
+
+``repro-harness lint --sarif`` emits one SARIF log per run so findings
+can be uploaded to GitHub code scanning (or any SARIF consumer).  Rule
+metadata comes from the verifier's catalog (:data:`repro.lint.engine.
+RULES`); ``COV-*`` rules are synthesized on the fly since their IDs are
+derived from each model's diagnostic feature names.
+
+Findings have no physical file locations — the "source" is an in-memory
+IR — so each result carries a logical location
+(``program/model:region`` plus the finest anchor available), which
+SARIF models as ``logicalLocations``.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.findings import Finding, LintReport, Severity
+
+#: SARIF levels for the verifier's severities
+_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning",
+          Severity.INFO: "note"}
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+
+def _rule_descriptor(rule_id: str) -> dict:
+    from repro.lint.engine import RULES
+    spec = RULES.get(rule_id)
+    if spec is not None:
+        summary = spec.summary
+        level = _LEVEL[spec.severity]
+    else:  # dynamic COV-* IDs from model diagnostics
+        summary = f"model coverage limitation ({rule_id})"
+        level = "note"
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": summary},
+        "defaultConfiguration": {"level": level},
+    }
+
+
+def _result(finding: Finding) -> dict:
+    return {
+        "ruleId": finding.rule,
+        "level": _LEVEL[finding.severity],
+        "message": {"text": finding.message},
+        "locations": [{
+            "logicalLocations": [{
+                "fullyQualifiedName": finding.location(),
+                "kind": "member",
+            }],
+        }],
+        "properties": {
+            "program": finding.program, "model": finding.model,
+            "region": finding.region, "array": finding.array,
+            "loop": finding.loop, "kernel": finding.kernel,
+        },
+    }
+
+
+def report_to_sarif(report: LintReport, *, tool_version: str = "0") -> dict:
+    """Build the SARIF 2.1.0 log object for one lint report."""
+    rule_ids = sorted({f.rule for f in report})
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-directive-verifier",
+                    "informationUri":
+                        "https://example.invalid/repro-harness",
+                    "version": tool_version,
+                    "rules": [_rule_descriptor(r) for r in rule_ids],
+                },
+            },
+            "results": [_result(f) for f in report.sorted()],
+            "properties": {"program": report.program,
+                           "model": report.model},
+        }],
+    }
+
+
+def sarif_json(report: LintReport, *, indent: int = 2) -> str:
+    return json.dumps(report_to_sarif(report), indent=indent)

@@ -4,6 +4,12 @@
 :func:`lint_suite` sweeps the paper's 13 benchmarks × 5 directive
 models, producing the records the per-model lint-density table
 (:mod:`repro.metrics.lintstats`) aggregates alongside Table II.
+
+Compilation is memoized in :func:`compile_port`: a suite sweep and the
+translation validator both touch every (benchmark, model) pair, and a
+port compiles identically every time, so each pair is lowered once per
+process.  :func:`clear_compile_cache` resets the table (tests that
+monkeypatch compilers need it).
 """
 
 from __future__ import annotations
@@ -20,6 +26,39 @@ from repro.models import DIRECTIVE_MODELS, get_compiler, resolve_model
 # benchmarks pulls in repro.metrics, whose lintstats module imports this
 # package, so a module-level import would be circular.
 
+#: (benchmark, model, variant) → (port, compiled)
+_COMPILE_CACHE: dict = {}
+
+
+def compile_port(benchmark: str, model: str, variant: Optional[str] = None):
+    """Resolve, compile, and cache one port.
+
+    Returns ``(port, compiled, chosen_variant)``.  Raises KeyError for
+    unknown benchmarks, models, variants, or missing ports — the CLI
+    maps these to exit code 2.
+    """
+    from repro.benchmarks import get_benchmark
+
+    bench = get_benchmark(benchmark)
+    model = resolve_model(model)
+    chosen = variant or bench.variants(model)[0]
+    if chosen not in bench.variants(model):
+        raise KeyError(
+            f"unknown variant {chosen!r} for {bench.name}/{model}; "
+            f"known: {bench.variants(model)}")
+    key = (bench.name, model, chosen)
+    if key not in _COMPILE_CACHE:
+        port = bench.port(model, chosen)
+        compiled = get_compiler(model).compile_program(port)
+        _COMPILE_CACHE[key] = (port, compiled)
+    port, compiled = _COMPILE_CACHE[key]
+    return port, compiled, chosen
+
+
+def clear_compile_cache() -> None:
+    """Drop every memoized compilation (for tests)."""
+    _COMPILE_CACHE.clear()
+
 
 @dataclass
 class SuiteRecord:
@@ -35,17 +74,7 @@ class SuiteRecord:
 def lint_port(benchmark: str, model: str, variant: Optional[str] = None,
               device: DeviceSpec = TESLA_M2090) -> LintReport:
     """Compile the named port and lint program + compilation together."""
-    from repro.benchmarks import get_benchmark
-
-    bench = get_benchmark(benchmark)
-    model = resolve_model(model)
-    chosen = variant or bench.variants(model)[0]
-    if chosen not in bench.variants(model):
-        raise KeyError(
-            f"unknown variant {chosen!r} for {bench.name}/{model}; "
-            f"known: {bench.variants(model)}")
-    port = bench.port(model, chosen)
-    compiled = get_compiler(model).compile_program(port)
+    port, compiled, _ = compile_port(benchmark, model, variant)
     return run_lint(port.program, compiled, device=device)
 
 
@@ -53,17 +82,14 @@ def lint_suite(models: Sequence[str] = DIRECTIVE_MODELS,
                benchmarks: Optional[Sequence[str]] = None,
                device: DeviceSpec = TESLA_M2090) -> list[SuiteRecord]:
     """Lint every benchmark × model pair, in table order."""
-    from repro.benchmarks import BENCHMARK_ORDER, get_benchmark
+    from repro.benchmarks import BENCHMARK_ORDER
 
     records: list[SuiteRecord] = []
     for bench_name in benchmarks if benchmarks is not None \
             else BENCHMARK_ORDER:
-        bench = get_benchmark(bench_name)
         for model in models:
             model = resolve_model(model)
-            chosen = bench.variants(model)[0]
-            port = bench.port(model, chosen)
-            compiled = get_compiler(model).compile_program(port)
+            port, compiled, chosen = compile_port(bench_name, model)
             report = run_lint(port.program, compiled, device=device)
             records.append(SuiteRecord(
                 benchmark=bench_name, model=model, variant=chosen,

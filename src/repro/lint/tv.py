@@ -1,0 +1,52 @@
+"""TV rules: translation-validation certificates as lint findings.
+
+The translation validator (:mod:`repro.tv`) certifies every lowered
+region against its source loop nest.  Its verdicts surface here so one
+``repro-harness lint`` run shows correctness evidence next to the RACE/
+DATA/PERF analyses:
+
+* ``TV001`` (error): the certificate was REFUTED — the lowered kernels
+  provably diverge from the source region, and the finding carries the
+  concrete divergent store (iteration point, sizes, both stored
+  values).
+* ``TV002`` (warning): the certificate is UNKNOWN — the summaries
+  differ or contain a construct outside the validator's theory; the
+  finding names the blocking construct.
+
+PROVED regions are silent (the certificate matrix in
+:mod:`repro.metrics.tvstats` reports them), and SKIPPED regions are
+already covered by the ``COV-*`` diagnostics.
+"""
+
+from __future__ import annotations
+
+from repro.lint.engine import LintContext, checker, declare
+from repro.lint.findings import Finding, Severity
+
+declare("TV001", Severity.ERROR,
+        "translation refuted: the lowered kernels provably diverge from "
+        "the source region (concrete divergent store attached)")
+declare("TV002", Severity.WARNING,
+        "translation unverified: equivalence proof blocked by a construct "
+        "outside the validator's theory")
+
+
+@checker("TV001", "TV002", scope="compiled")
+def check_translation(ctx: LintContext) -> list[Finding]:
+    # deferred import: repro.tv pulls in the model machinery
+    from repro.tv.certify import CertStatus, validate_compiled
+
+    assert ctx.compiled is not None
+    out: list[Finding] = []
+    for cert in validate_compiled(ctx.program, ctx.compiled):
+        if cert.status is CertStatus.REFUTED:
+            out.append(ctx.finding(
+                "TV001",
+                f"lowered kernels diverge from source: {cert.detail}",
+                region=cert.region))
+        elif cert.status is CertStatus.UNKNOWN:
+            out.append(ctx.finding(
+                "TV002",
+                f"equivalence not proved: {cert.blocking}",
+                region=cert.region))
+    return out

@@ -6,10 +6,12 @@ from repro.metrics.coverage import CoverageReport, coverage_for
 from repro.metrics.lintstats import (LintDensityRow, lint_density,
                                      render_lint_density)
 from repro.metrics.speedup import BenchmarkSpeedups, SpeedupResult
+from repro.metrics.tvstats import TvMatrixRow, render_tv_matrix, tv_matrix
 
 __all__ = [
     "CoverageReport", "coverage_for",
     "CodeSizeEntry", "CodeSizeReport", "codesize_for",
     "SpeedupResult", "BenchmarkSpeedups",
     "LintDensityRow", "lint_density", "render_lint_density",
+    "TvMatrixRow", "tv_matrix", "render_tv_matrix",
 ]

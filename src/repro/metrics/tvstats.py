@@ -1,0 +1,82 @@
+"""Per-model certificate matrix: what the translation validator proved.
+
+Table II counts how many regions each model *accepted*; this table says
+how many of those accepted lowerings are provably equivalent to their
+source loop nests.  One row per model: regions proved / refuted /
+unknown / skipped, plus the proved share of accepted (non-skipped)
+regions — the paper-level claim is that a directive compiler earns
+trust only for the regions it can certify, so this column sits
+naturally next to the coverage counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.tv.certify import CertStatus
+from repro.tv.suite import TvRecord
+
+
+@dataclass(frozen=True)
+class TvMatrixRow:
+    """Aggregated certificates for one model across the suite."""
+
+    model: str
+    ports: int
+    proved: int
+    refuted: int
+    unknown: int
+    skipped: int
+
+    @property
+    def accepted(self) -> int:
+        """Regions the model translated (certificates attempted)."""
+        return self.proved + self.refuted + self.unknown
+
+    @property
+    def proved_share(self) -> float:
+        """Fraction of accepted regions with a PROVED certificate."""
+        return self.proved / self.accepted if self.accepted else 0.0
+
+
+def tv_matrix(records: Sequence[TvRecord]) -> list[TvMatrixRow]:
+    """Aggregate suite certificates into one row per model."""
+    order: list[str] = []
+    buckets: dict[str, list[TvRecord]] = {}
+    for rec in records:
+        if rec.model not in buckets:
+            order.append(rec.model)
+            buckets[rec.model] = []
+        buckets[rec.model].append(rec)
+    rows = []
+    for model in order:
+        recs = buckets[model]
+        rows.append(TvMatrixRow(
+            model=model, ports=len(recs),
+            proved=sum(r.count(CertStatus.PROVED) for r in recs),
+            refuted=sum(r.count(CertStatus.REFUTED) for r in recs),
+            unknown=sum(r.count(CertStatus.UNKNOWN) for r in recs),
+            skipped=sum(r.count(CertStatus.SKIPPED) for r in recs)))
+    return rows
+
+
+def render_tv_matrix(rows: Sequence[TvMatrixRow]) -> str:
+    """Aligned text table of the per-model certificate matrix."""
+    headers = ["Model", "Ports", "Proved", "Refuted", "Unknown", "Skipped",
+               "Proved/accepted"]
+    body = [[row.model, str(row.ports), str(row.proved), str(row.refuted),
+             str(row.unknown), str(row.skipped),
+             f"{row.proved_share:.0%}"]
+            for row in rows]
+    widths = [max(len(headers[i]), *(len(r[i]) for r in body))
+              if body else len(headers[i]) for i in range(len(headers))]
+
+    def fmt(cells: Sequence[str]) -> str:
+        first = cells[0].ljust(widths[0])
+        rest = "  ".join(c.rjust(w) for c, w in zip(cells[1:], widths[1:]))
+        return f"{first}  {rest}"
+
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(r) for r in body)
+    return "\n".join(lines)

@@ -1,0 +1,208 @@
+"""Expression normalization for equivalence certificates.
+
+Two lowered expressions should compare equal whenever they differ only
+by commutativity, associativity of ``+``/``*``, constant folding,
+orientation of comparisons, or unary-minus placement — the algebraic
+noise that inlining and loop transformations introduce.  The normal form
+is deterministic: n-ary sums/products are flattened, constant parts
+folded, and operands ordered by their structural key.
+
+Semantics-changing rewrites (reassociating ``/``, distributing over
+``min``/``max``, folding floating intrinsics) are deliberately absent:
+the validator must never prove two programs equal that real arithmetic
+can tell apart, beyond the reassociation of commutative chains.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.ir.expr import (ArrayRef, BinOp, Call, Cast, Const, Expr,
+                           Ternary, UnOp, Var)
+
+#: commutative operators whose operand order is canonicalized
+_COMMUTATIVE = frozenset({"+", "*", "min", "max", "==", "!=", "&&", "||",
+                          "&", "|", "^"})
+#: comparison spellings rewritten so only ``<`` / ``<=`` remain
+_FLIPPED = {">": "<", ">=": "<="}
+
+
+def _const(e: Expr) -> bool:
+    return isinstance(e, Const)
+
+
+def _flatten(op: str, e: Expr) -> list[Expr]:
+    if isinstance(e, BinOp) and e.op == op:
+        return _flatten(op, e.left) + _flatten(op, e.right)
+    return [e]
+
+
+def _rebuild(op: str, terms: list[Expr]) -> Expr:
+    out = terms[0]
+    for t in terms[1:]:
+        out = BinOp(op, out, t)
+    return out
+
+
+def _sum_normal(e: BinOp) -> Expr:
+    """Normalize a ``+``/``-`` chain: fold constants, sort terms."""
+    terms: list[Expr] = []
+
+    def collect(node: Expr, sign: int) -> None:
+        if isinstance(node, BinOp) and node.op in ("+", "-"):
+            collect(node.left, sign)
+            collect(node.right, sign if node.op == "+" else -sign)
+            return
+        if isinstance(node, UnOp) and node.op == "-":
+            collect(node.operand, -sign)
+            return
+        terms.append(node if sign > 0 else UnOp("-", node))
+
+    collect(e, 1)
+    const_part = 0.0
+    rest: list[Expr] = []
+    for t in terms:
+        if _const(t):
+            const_part += t.value
+        elif isinstance(t, UnOp) and t.op == "-" and _const(t.operand):
+            const_part -= t.operand.value
+        else:
+            rest.append(t)
+    rest.sort(key=lambda x: x.key())
+    if const_part:
+        c = Const(int(const_part) if float(const_part).is_integer()
+                  else const_part)
+        rest.append(c)
+    if not rest:
+        return Const(0)
+    return _rebuild("+", rest)
+
+
+def _prod_normal(e: BinOp) -> Expr:
+    factors = _flatten("*", e)
+    const_part = 1.0
+    rest: list[Expr] = []
+    for f in factors:
+        if _const(f):
+            const_part *= f.value
+        else:
+            rest.append(f)
+    rest.sort(key=lambda x: x.key())
+    if const_part == 0:
+        return Const(0)
+    if const_part != 1.0 or not rest:
+        c = Const(int(const_part) if float(const_part).is_integer()
+                  else const_part)
+        rest.insert(0, c)
+    return _rebuild("*", rest)
+
+
+def normalize(e: Expr) -> Expr:
+    """The deterministic normal form (idempotent)."""
+    if isinstance(e, Const):
+        return e
+    if isinstance(e, Var):
+        return e
+    if isinstance(e, Cast):
+        return Cast(e.dtype, normalize(e.operand))
+    if isinstance(e, ArrayRef):
+        return ArrayRef(e.name, tuple(normalize(i) for i in e.indices))
+    if isinstance(e, Call):
+        return Call(e.func, tuple(normalize(a) for a in e.args))
+    if isinstance(e, Ternary):
+        return Ternary(normalize(e.cond), normalize(e.if_true),
+                       normalize(e.if_false))
+    if isinstance(e, UnOp):
+        inner = normalize(e.operand)
+        if e.op == "-":
+            if isinstance(inner, Const):
+                v = -inner.value
+                return Const(int(v) if float(v).is_integer() else v)
+            if isinstance(inner, UnOp) and inner.op == "-":
+                return inner.operand
+            return _sum_normal(BinOp("-", Const(0), inner))
+        return UnOp(e.op, inner)
+    if isinstance(e, BinOp):
+        left, right = normalize(e.left), normalize(e.right)
+        op = e.op
+        if op in _FLIPPED:
+            op, left, right = _FLIPPED[op], right, left
+        if _const(left) and _const(right):
+            folded = _fold(op, left.value, right.value)
+            if folded is not None:
+                return folded
+        node = BinOp(op, left, right)
+        if op in ("+", "-"):
+            return _sum_normal(node)
+        if op == "*":
+            return _prod_normal(node)
+        if op in _COMMUTATIVE:
+            terms = sorted(_flatten(op, node), key=lambda x: x.key())
+            return _rebuild(op, terms)
+        return node
+    return e
+
+
+def _fold(op: str, a: float, b: float) -> Expr | None:
+    try:
+        if op == "+":
+            v = a + b
+        elif op == "-":
+            v = a - b
+        elif op == "*":
+            v = a * b
+        elif op == "/":
+            v = a / b
+        elif op == "//":
+            v = float(a // b)
+        elif op == "%":
+            v = float(a % b)
+        elif op == "min":
+            v = min(a, b)
+        elif op == "max":
+            v = max(a, b)
+        elif op in ("<", "<=", ">", ">=", "==", "!="):
+            v = float({"<": a < b, "<=": a <= b, ">": a > b,
+                       ">=": a >= b, "==": a == b, "!=": a != b}[op])
+        else:
+            return None
+    except (ZeroDivisionError, OverflowError, ValueError):
+        return None
+    return Const(int(v) if float(v).is_integer() else v)
+
+
+class _Renamer:
+    """Rename scalar variables and array names throughout an expression."""
+
+    def __init__(self, var_map: Mapping[str, str],
+                 array_map: Mapping[str, str]) -> None:
+        self.var_map = dict(var_map)
+        self.array_map = dict(array_map)
+
+    def visit(self, e: Expr) -> Expr:
+        if isinstance(e, Var):
+            new = self.var_map.get(e.name)
+            return Var(new) if new is not None else e
+        if isinstance(e, ArrayRef):
+            name = self.array_map.get(e.name, e.name)
+            return ArrayRef(name, tuple(self.visit(i) for i in e.indices))
+        if isinstance(e, Const):
+            return e
+        if isinstance(e, BinOp):
+            return BinOp(e.op, self.visit(e.left), self.visit(e.right))
+        if isinstance(e, UnOp):
+            return UnOp(e.op, self.visit(e.operand))
+        if isinstance(e, Call):
+            return Call(e.func, tuple(self.visit(a) for a in e.args))
+        if isinstance(e, Ternary):
+            return Ternary(self.visit(e.cond), self.visit(e.if_true),
+                           self.visit(e.if_false))
+        if isinstance(e, Cast):
+            return Cast(e.dtype, self.visit(e.operand))
+        return e
+
+
+def rename_expr(e: Expr, var_map: Mapping[str, str],
+                array_map: Mapping[str, str]) -> Expr:
+    """Apply scalar/array renamings to one expression tree."""
+    return _Renamer(var_map, array_map).visit(e)

@@ -1,0 +1,65 @@
+"""Translation validation over the whole benchmark suite.
+
+:func:`validate_port` certifies every region of one (benchmark, model,
+variant) port; :func:`validate_suite` sweeps 13 benchmarks × all six
+models (the five directive models plus the hand-written CUDA baseline),
+reusing the memoized compilations from :mod:`repro.lint.suite`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.tv.certify import Certificate, CertStatus, validate_compiled
+
+def _models() -> tuple[str, ...]:
+    # the hand-written baseline is certified too — its "lowering" is the
+    # manually restructured CUDA, the hardest case for the validator
+    from repro.models import DIRECTIVE_MODELS
+    return tuple(DIRECTIVE_MODELS) + ("Hand-Written CUDA",)
+
+
+@dataclass
+class TvRecord:
+    """All certificates of one (benchmark, model) port."""
+
+    benchmark: str
+    model: str
+    variant: str
+    certificates: list[Certificate] = field(default_factory=list)
+
+    def count(self, status: CertStatus) -> int:
+        return sum(1 for c in self.certificates if c.status is status)
+
+
+def validate_port(benchmark: str, model: str,
+                  variant: Optional[str] = None) -> TvRecord:
+    """Certify every region of one compiled port."""
+    from repro.benchmarks import get_benchmark
+    from repro.lint.suite import compile_port
+
+    port, compiled, chosen = compile_port(benchmark, model, variant)
+    certs = validate_compiled(port.program, compiled)
+    return TvRecord(benchmark=get_benchmark(benchmark).name,
+                    model=compiled.model, variant=chosen,
+                    certificates=certs)
+
+
+def validate_suite(models: Optional[Sequence[str]] = None,
+                   benchmarks: Optional[Sequence[str]] = None
+                   ) -> list[TvRecord]:
+    """Certificates for every available benchmark × model pair."""
+    from repro.benchmarks import BENCHMARK_ORDER, get_benchmark
+    from repro.models import resolve_model
+
+    records: list[TvRecord] = []
+    for bench_name in benchmarks if benchmarks is not None \
+            else BENCHMARK_ORDER:
+        bench = get_benchmark(bench_name)
+        for model in models if models is not None else _models():
+            model = resolve_model(model)
+            if not bench.variants(model):
+                continue
+            records.append(validate_port(bench_name, model))
+    return records

@@ -1,0 +1,272 @@
+"""Symbolic store summaries of IR regions and lowered kernels.
+
+A *store fact* is one observable effect of a region: "under iteration
+domain D and guards G, location ``A[e1]..[ek]`` receives ``value`` (or
+``old op value`` for a reduction)".  The summary of a region body — or
+of the concatenated kernel bodies lowered from it — is its ordered list
+of store facts.  Scalar stores to program-visible scalars are 0-d facts
+(reduction results are observable); stores to thread-local temporaries
+are kept too (tagged ``is_local``) so a miscompiled intermediate cannot
+hide behind a structurally matching final store.
+
+Canonicalization (:func:`canonicalize`) renames loop iterators per fact
+by first appearance in (indices, value, guards) — which absorbs loop
+interchange, since the domain is compared as a set — renames local
+temporaries by first appearance across the whole summary — which absorbs
+the inliner's ``__inlN`` suffixes — normalizes every expression through
+:mod:`repro.tv.normalize`, and discharges guards implied by the
+iteration domain via the value-range analysis
+(:mod:`repro.ir.analysis.ranges`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import TransformError
+from repro.ir.analysis.ranges import (SymRange, af_add, af_const,
+                                      eval_range, guard_implied)
+from repro.ir.expr import ArrayRef, Const, Expr, Var
+from repro.ir.program import Program
+from repro.ir.stmt import (Assign, Barrier, Block, CallStmt, Critical, For,
+                           If, LocalDecl, PointerArith, Return, Stmt, While)
+from repro.ir.transforms.inline import inline_calls
+from repro.tv.normalize import normalize, rename_expr
+
+
+@dataclass(frozen=True)
+class LoopDom:
+    """One enclosing loop of a store fact (raw, un-renamed)."""
+
+    var: str
+    lower: Expr
+    upper: Expr
+    step: Expr
+
+
+@dataclass
+class StoreFact:
+    """One store as found in the IR (before canonicalization)."""
+
+    target: str
+    indices: tuple[Expr, ...]  # () for a scalar store
+    value: Expr
+    op: Optional[str]
+    loops: tuple[LoopDom, ...]  # outermost first
+    guards: tuple[tuple[Expr, bool], ...]
+    in_critical: bool
+    is_local: bool
+    seq: int
+
+
+@dataclass
+class RegionSummary:
+    """All store facts of one body, plus proof-blocking constructs."""
+
+    facts: list[StoreFact] = field(default_factory=list)
+    #: human-readable names of constructs that block a PROVED verdict
+    blocking: list[str] = field(default_factory=list)
+
+
+def summarize_stores(body: Stmt, program: Program) -> RegionSummary:
+    """Collect the ordered store facts of ``body``.
+
+    User calls are inlined first (interprocedural summaries); callees
+    the inliner cannot handle are recorded as blocking constructs.
+    """
+    summary = RegionSummary()
+    try:
+        body, _ = inline_calls(body, program, require_inlinable=False)
+    except TransformError as exc:
+        summary.blocking.append(f"user function call ({exc})")
+    visible = set(program.arrays) | set(program.scalars)
+    loops: list[LoopDom] = []
+    guards: list[tuple[Expr, bool]] = []
+    state = {"critical": 0, "seq": 0}
+
+    def emit(target: str, indices: tuple[Expr, ...], value: Expr,
+             op: Optional[str]) -> None:
+        summary.facts.append(StoreFact(
+            target=target, indices=indices, value=value, op=op,
+            loops=tuple(loops), guards=tuple(guards),
+            in_critical=state["critical"] > 0,
+            is_local=target not in visible, seq=state["seq"]))
+        state["seq"] += 1
+
+    def scan(stmt: Stmt) -> None:
+        if isinstance(stmt, Block):
+            for s in stmt.stmts:
+                scan(s)
+        elif isinstance(stmt, Assign):
+            if isinstance(stmt.target, ArrayRef):
+                emit(stmt.target.name, stmt.target.indices, stmt.value,
+                     stmt.op)
+            else:
+                emit(stmt.target.name, (), stmt.value, stmt.op)
+        elif isinstance(stmt, LocalDecl):
+            if stmt.init is not None and not stmt.shape:
+                emit(stmt.name, (), stmt.init, None)
+        elif isinstance(stmt, For):
+            loops.append(LoopDom(stmt.var, stmt.lower, stmt.upper,
+                                 stmt.step))
+            scan(stmt.body)
+            loops.pop()
+        elif isinstance(stmt, If):
+            guards.append((stmt.cond, True))
+            scan(stmt.then_body)
+            guards.pop()
+            if stmt.else_body is not None:
+                guards.append((stmt.cond, False))
+                scan(stmt.else_body)
+                guards.pop()
+        elif isinstance(stmt, Critical):
+            state["critical"] += 1
+            scan(stmt.body)
+            state["critical"] -= 1
+        elif isinstance(stmt, While):
+            summary.blocking.append(
+                f"while loop (condition {stmt.cond!r}: statically "
+                "unbounded iteration)")
+            guards.append((stmt.cond, True))
+            scan(stmt.body)
+            guards.pop()
+        elif isinstance(stmt, CallStmt):
+            summary.blocking.append(
+                f"un-inlined user call to {stmt.func!r}")
+        elif isinstance(stmt, PointerArith):
+            summary.blocking.append(
+                f"pointer arithmetic ({stmt.kind} on "
+                f"{', '.join(stmt.operands)})")
+        elif isinstance(stmt, Barrier):
+            pass  # ordering is checked per-array by the matcher
+        elif isinstance(stmt, Return):
+            summary.blocking.append("early return inside region body")
+        # other statements carry no stores
+
+    scan(body)
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# Canonical facts
+# ---------------------------------------------------------------------------
+
+@dataclass
+class CanonFact:
+    """A store fact after renaming, normalization, and guard discharge."""
+
+    target: str  # canonical name (program name, or l0/l1/... for locals)
+    indices: tuple[Expr, ...]
+    value: Expr
+    op: Optional[str]
+    #: canonical loops in nesting order: (iterator, lower, upper, step)
+    loops: tuple[tuple[str, Expr, Expr, Expr], ...]
+    guards: tuple[tuple[Expr, bool], ...]
+    in_critical: bool
+    is_local: bool
+    seq: int
+
+    def domain_key(self) -> frozenset:
+        return frozenset((v, lo.key(), up.key(), st.key())
+                         for v, lo, up, st in self.loops)
+
+    def guards_key(self) -> frozenset:
+        return frozenset((cond.key(), pol) for cond, pol in self.guards)
+
+    def match_key(self) -> tuple:
+        return (self.target, tuple(i.key() for i in self.indices), self.op,
+                self.value.key(), self.domain_key(), self.guards_key(),
+                self.in_critical)
+
+    def describe(self) -> str:
+        subs = "".join(f"[{i!r}]" for i in self.indices)
+        eq = f"{self.op}=" if self.op else "="
+        dom = ", ".join(f"{v} in [{lo!r}, {up!r})"
+                        for v, lo, up, _ in self.loops)
+        out = f"{self.target}{subs} {eq} {self.value!r}"
+        if dom:
+            out += f"  over {dom}"
+        if self.guards:
+            conds = " && ".join(
+                f"{'' if pol else '!'}({cond!r})" for cond, pol in self.guards)
+            out += f"  when {conds}"
+        return out
+
+
+def _first_appearance_order(fact: StoreFact) -> list[Expr]:
+    exprs: list[Expr] = list(fact.indices)
+    exprs.append(fact.value)
+    exprs.extend(cond for cond, _ in fact.guards)
+    for dom in fact.loops:
+        exprs.extend((dom.lower, dom.upper, dom.step))
+    return exprs
+
+
+def canonicalize(summary: RegionSummary, program: Program) -> list[CanonFact]:
+    """Rename and normalize every fact of one side's summary.
+
+    The local-temporary renaming table is shared across facts (first
+    appearance in summary order), so matching positions on the source
+    and kernel sides receive matching canonical names even when the
+    inliner numbered them differently.
+    """
+    visible = set(program.arrays) | set(program.scalars)
+    local_map: dict[str, str] = {}
+    out: list[CanonFact] = []
+    for fact in summary.facts:
+        iter_names = [dom.var for dom in fact.loops]
+        iter_map: dict[str, str] = {}
+        for expr in _first_appearance_order(fact):
+            for node in expr.walk():
+                if isinstance(node, Var) and node.name in iter_names \
+                        and node.name not in iter_map:
+                    iter_map[node.name] = f"t{len(iter_map)}"
+                if isinstance(node, Var) and node.name not in visible \
+                        and node.name not in iter_names \
+                        and node.name not in local_map:
+                    local_map[node.name] = f"l{len(local_map)}"
+                if isinstance(node, ArrayRef) and node.name not in visible \
+                        and node.name not in local_map:
+                    local_map[node.name] = f"l{len(local_map)}"
+        # iterators the fact never mentions get names in a nest-order-
+        # independent order (sorted by their raw bound keys), so loop
+        # interchange cannot skew the naming of loop-invariant facts
+        leftover = sorted(
+            (dom for dom in fact.loops if dom.var not in iter_map),
+            key=lambda d: (d.lower.key(), d.upper.key(), d.step.key(),
+                           d.var))
+        for dom in leftover:
+            iter_map[dom.var] = f"t{len(iter_map)}"
+        var_map = dict(iter_map)
+        var_map.update(local_map)
+
+        def canon(e: Expr) -> Expr:
+            return normalize(rename_expr(e, var_map, local_map))
+
+        loops_canon = tuple(
+            (iter_map[dom.var], canon(dom.lower), canon(dom.upper),
+             canon(dom.step))
+            for dom in fact.loops)
+        # iteration-domain ranges for guard discharge
+        env: dict[str, SymRange] = {}
+        for var, lower, upper, _step in loops_canon:
+            lo = eval_range(lower, env).lo
+            up = eval_range(upper, env).hi
+            env[var] = SymRange(
+                lo, af_add(up, af_const(-1.0)) if up is not None else None)
+        guards_canon = tuple(
+            (cond, pol) for cond, pol in
+            ((canon(cond), pol) for cond, pol in fact.guards)
+            if not guard_implied(cond, env, pol))
+        target = fact.target if fact.target in visible \
+            else local_map.setdefault(fact.target,
+                                      f"l{len(local_map)}")
+        out.append(CanonFact(
+            target=target,
+            indices=tuple(canon(i) for i in fact.indices),
+            value=canon(fact.value), op=fact.op,
+            loops=loops_canon, guards=guards_canon,
+            in_critical=fact.in_critical, is_local=fact.is_local,
+            seq=fact.seq))
+    return out

@@ -1,0 +1,355 @@
+"""Concrete divergence witnesses for refuted equivalence certificates.
+
+A certificate is only REFUTED when we can exhibit a *concrete divergent
+store*: an assignment of integer values to the canonical loop iterators
+(plus deterministic values for size parameters and memory) under which
+the source region and the lowered kernels demonstrably write different
+values to the same location, or one side stores and the other provably
+never touches the target.  Structural mismatches that we cannot
+concretize stay UNKNOWN — the validator never cries miscompile on
+normalization noise.
+
+All sampled values are derived from CRC32 of the symbol name, so runs
+are reproducible and independent of hash randomization.
+"""
+
+from __future__ import annotations
+
+import math
+import zlib
+from dataclasses import dataclass
+from itertools import product
+from typing import Mapping, Optional, Sequence
+
+from repro.ir.expr import (ArrayRef, BinOp, Call, Cast, Const, Expr,
+                           Ternary, UnOp, Var)
+from repro.ir.program import Program
+from repro.tv.summary import CanonFact
+
+#: relative tolerance for "these two stored values differ"
+_RTOL = 1e-9
+#: per-loop sample positions (offsets into the trip space)
+_SAMPLES_PER_LOOP = 3
+#: cap on total sampled iteration points per fact
+_MAX_POINTS = 96
+
+
+def oracle(name: str, indices: tuple[int, ...] = ()) -> float:
+    """Deterministic nonzero pseudo-value for a memory cell or symbol."""
+    key = f"{name}|{','.join(str(i) for i in indices)}"
+    return float(zlib.crc32(key.encode()) % 13 + 1)
+
+
+def scalar_bindings(program: Program) -> dict[str, float]:
+    """Small positive sizes for every program scalar (deterministic)."""
+    return {name: float(zlib.crc32(name.encode()) % 5 + 5)
+            for name in program.scalars}
+
+
+def eval_expr(e: Expr, env: Mapping[str, float]) -> Optional[float]:
+    """Numeric evaluation; unknown symbols and memory read the oracle.
+
+    Returns None when the expression cannot be evaluated at this point
+    (domain error, unsupported intrinsic).
+    """
+    if isinstance(e, Const):
+        return float(e.value)
+    if isinstance(e, Var):
+        v = env.get(e.name)
+        return v if v is not None else oracle(e.name)
+    if isinstance(e, ArrayRef):
+        idxs = []
+        for i in e.indices:
+            v = eval_expr(i, env)
+            if v is None:
+                return None
+            idxs.append(int(round(v)))
+        return oracle(e.name, tuple(idxs))
+    if isinstance(e, Cast):
+        v = eval_expr(e.operand, env)
+        if v is None:
+            return None
+        return float(int(v)) if e.dtype == "int" else v
+    if isinstance(e, UnOp):
+        v = eval_expr(e.operand, env)
+        if v is None:
+            return None
+        if e.op == "-":
+            return -v
+        if e.op == "!":
+            return 0.0 if v else 1.0
+        if e.op == "~":
+            return float(~int(v))
+        return None
+    if isinstance(e, Ternary):
+        c = eval_expr(e.cond, env)
+        if c is None:
+            return None
+        return eval_expr(e.if_true if c else e.if_false, env)
+    if isinstance(e, Call):
+        args = []
+        for a in e.args:
+            v = eval_expr(a, env)
+            if v is None:
+                return None
+            args.append(v)
+        try:
+            return _eval_intrinsic(e.func, args)
+        except (ValueError, OverflowError, ZeroDivisionError):
+            return None
+    if isinstance(e, BinOp):
+        a = eval_expr(e.left, env)
+        b = eval_expr(e.right, env)
+        if a is None or b is None:
+            return None
+        return _eval_binop(e.op, a, b)
+    return None
+
+
+def _eval_intrinsic(func: str, args: list[float]) -> Optional[float]:
+    table = {
+        "sqrt": lambda x: math.sqrt(abs(x)),
+        "fabs": abs, "abs": abs,
+        "exp": lambda x: math.exp(min(x, 60.0)),
+        "log": lambda x: math.log(abs(x) + 1e-12),
+        "sin": math.sin, "cos": math.cos, "tan": math.tan,
+        "floor": math.floor, "ceil": math.ceil, "round": round,
+        "pow": lambda x, y: math.pow(abs(x) + 1e-12, y),
+        "fmod": math.fmod,
+    }
+    fn = table.get(func)
+    if fn is None:
+        return None
+    return float(fn(*args))
+
+
+def _eval_binop(op: str, a: float, b: float) -> Optional[float]:
+    try:
+        if op == "+":
+            return a + b
+        if op == "-":
+            return a - b
+        if op == "*":
+            return a * b
+        if op == "/":
+            return a / b if b else None
+        if op == "//":
+            return float(math.floor(a / b)) if b else None
+        if op == "%":
+            return float(a - b * math.floor(a / b)) if b else None
+        if op == "min":
+            return min(a, b)
+        if op == "max":
+            return max(a, b)
+        if op == "<":
+            return float(a < b)
+        if op == "<=":
+            return float(a <= b)
+        if op == ">":
+            return float(a > b)
+        if op == ">=":
+            return float(a >= b)
+        if op == "==":
+            return float(a == b)
+        if op == "!=":
+            return float(a != b)
+        if op == "&&":
+            return float(bool(a) and bool(b))
+        if op == "||":
+            return float(bool(a) or bool(b))
+        if op == "&":
+            return float(int(a) & int(b))
+        if op == "|":
+            return float(int(a) | int(b))
+        if op == "^":
+            return float(int(a) ^ int(b))
+        if op == "<<":
+            return float(int(a) << min(int(b), 62))
+        if op == ">>":
+            return float(int(a) >> min(int(b), 62))
+    except (OverflowError, ValueError):
+        return None
+    return None
+
+
+def domain_points(fact: CanonFact,
+                  bindings: Mapping[str, float]) -> list[dict[str, int]]:
+    """Sample integer iteration points of a fact's canonical domain.
+
+    Bounds may reference outer canonical iterators, so points are built
+    nest-outward; each loop contributes its first, second, middle, and
+    last trips (deduplicated).
+    """
+    points: list[dict[str, int]] = [{}]
+    for var, lower, upper, step in fact.loops:
+        nxt: list[dict[str, int]] = []
+        for pt in points:
+            env = dict(bindings)
+            env.update({k: float(v) for k, v in pt.items()})
+            lo = eval_expr(lower, env)
+            hi = eval_expr(upper, env)
+            st = eval_expr(step, env)
+            if lo is None or hi is None or not st or st <= 0:
+                continue
+            lo_i, hi_i, st_i = int(round(lo)), int(round(hi)), int(round(st))
+            trips = max(0, math.ceil((hi_i - lo_i) / st_i))
+            if trips == 0:
+                continue
+            picks = sorted({0, 1, trips // 2, trips - 1} & set(range(trips)))
+            for k in picks[:_SAMPLES_PER_LOOP + 1]:
+                sub = dict(pt)
+                sub[var] = lo_i + k * st_i
+                nxt.append(sub)
+        points = nxt[:_MAX_POINTS]
+        if not points:
+            break
+    return points
+
+
+def _guards_hold(fact: CanonFact, env: Mapping[str, float]) -> Optional[bool]:
+    for cond, polarity in fact.guards:
+        v = eval_expr(cond, env)
+        if v is None:
+            return None
+        if bool(v) != polarity:
+            return False
+    return True
+
+
+def _store_at(fact: CanonFact,
+              env: Mapping[str, float]) -> Optional[tuple]:
+    """Evaluate one fact at one point → (indices, op, stored value)."""
+    idxs = []
+    for i in fact.indices:
+        v = eval_expr(i, env)
+        if v is None:
+            return None
+        idxs.append(int(round(v)))
+    val = eval_expr(fact.value, env)
+    if val is None:
+        return None
+    return (tuple(idxs), fact.op, val)
+
+
+def _close(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=_RTOL, abs_tol=1e-12)
+
+
+@dataclass
+class Witness:
+    """A concrete divergent store: the refutation evidence."""
+
+    target: str
+    point: dict[str, int]
+    bindings: dict[str, float]
+    source_store: str
+    kernel_store: str
+    detail: str
+
+    def describe(self) -> str:
+        pt = ", ".join(f"{k}={v}" for k, v in sorted(self.point.items()))
+        sizes = ", ".join(f"{k}={int(v)}"
+                          for k, v in sorted(self.bindings.items()))
+        lines = [f"divergent store to '{self.target}' at ({pt})"
+                 + (f" with {sizes}" if sizes else ""),
+                 f"  source: {self.source_store}",
+                 f"  kernels: {self.kernel_store}",
+                 f"  {self.detail}"]
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        return {"target": self.target, "point": dict(self.point),
+                "bindings": {k: int(v) for k, v in self.bindings.items()},
+                "source_store": self.source_store,
+                "kernel_store": self.kernel_store, "detail": self.detail}
+
+
+def _render(idxs: tuple[int, ...], op: Optional[str], val: float,
+            target: str) -> str:
+    subs = "".join(f"[{i}]" for i in idxs)
+    eq = f"{op}=" if op else "="
+    return f"{target}{subs} {eq} {val:.6g}"
+
+
+def find_divergence(src: CanonFact, ker: Optional[CanonFact],
+                    ker_group: Sequence[CanonFact],
+                    program: Program) -> Optional[Witness]:
+    """Look for a concrete point where src and kernel stores disagree.
+
+    Only two confirmable shapes yield a witness (everything else is the
+    caller's UNKNOWN):
+
+    * ``ker_group`` is empty — the kernels never write the target at
+      all, so any enabled source store diverges.
+    * ``ker`` pairs with ``src`` on identical indices and domain but a
+      different op or value — evaluate both at shared points until the
+      stored numbers differ.
+    """
+    bindings = scalar_bindings(program)
+    if ker is None and ker_group:
+        return None  # can't attribute the miss to a concrete store
+    for pt in domain_points(src, bindings):
+        env: dict[str, float] = dict(bindings)
+        env.update({k: float(v) for k, v in pt.items()})
+        if _guards_hold(src, env) is not True:
+            continue
+        s = _store_at(src, env)
+        if s is None:
+            continue
+        s_idx, s_op, s_val = s
+        if ker is None:
+            # kernels never store this target: the source store is lost
+            return Witness(
+                target=src.target, point=pt, bindings=bindings,
+                source_store=_render(s_idx, s_op, s_val, src.target),
+                kernel_store="(no store to this location)",
+                detail="lowered kernels never write this target")
+        if (src.domain_key() != ker.domain_key()
+                or tuple(i.key() for i in src.indices)
+                != tuple(i.key() for i in ker.indices)):
+            continue  # iterator correspondence not established
+        kg = _guards_hold(ker, env)
+        if kg is None:
+            continue
+        if kg is False:
+            return Witness(
+                target=src.target, point=pt, bindings=bindings,
+                source_store=_render(s_idx, s_op, s_val, src.target),
+                kernel_store="(guard suppresses the store)",
+                detail="kernel guard disables an iteration the source "
+                       "executes")
+        k = _store_at(ker, env)
+        if k is None:
+            continue
+        k_idx, k_op, k_val = k
+        if k_idx != s_idx:
+            continue  # same-location premise broken; not confirmable
+        old = oracle(src.target, s_idx)
+        s_eff = _apply_op(s_op, old, s_val)
+        k_eff = _apply_op(k_op, old, k_val)
+        if s_eff is None or k_eff is None:
+            continue
+        if not _close(s_eff, k_eff):
+            return Witness(
+                target=src.target, point=pt, bindings=bindings,
+                source_store=_render(s_idx, s_op, s_eff, src.target),
+                kernel_store=_render(k_idx, k_op, k_eff, src.target),
+                detail=f"with prior cell value {old:.6g} the stored "
+                       f"results differ: {s_eff:.6g} vs {k_eff:.6g}")
+    return None
+
+
+def _apply_op(op: Optional[str], old: float, val: float) -> Optional[float]:
+    if op is None:
+        return val
+    if op == "+":
+        return old + val
+    if op == "*":
+        return old * val
+    if op == "min":
+        return min(old, val)
+    if op == "max":
+        return max(old, val)
+    if op == "-":
+        return old - val
+    return None

@@ -1,0 +1,178 @@
+"""Targeted unit tests for the BNDS value-range lint family.
+
+Each rule gets a dirty program that must fire and clean programs that
+must not — including the narrowing cases (ternary guards, if guards,
+value scalars used as subscripts) that produced false positives while
+the family was being tuned against the real suite.
+"""
+
+from repro.ir.builder import (assign, aref, block, iff, pfor, sfor,
+                              ternary, v)
+from repro.ir.program import (ArrayDecl, ParallelRegion, Program,
+                              ScalarDecl)
+from repro.lint import Severity, run_lint
+
+
+def make_program(regions, arrays, scalars=("n",), name="p"):
+    return Program(name, arrays,
+                   [ScalarDecl(s, "int") for s in scalars], regions)
+
+
+def rules_of(report):
+    return {f.rule for f in report.findings}
+
+
+def findings(report, rule):
+    return [f for f in report.findings if f.rule == rule]
+
+
+class TestBnds001:
+    def test_dirty_subscript_past_extent_everywhere(self):
+        # a[i + n] over i in [0, n): every access lands at or past n
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      assign(aref("a", v("i") + v("n")), 0.0)))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="out")])
+        hits = findings(run_lint(program), "BNDS001")
+        assert hits and hits[0].severity is Severity.ERROR
+        assert hits[0].array == "a"
+
+    def test_dirty_negative_subscript_everywhere(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      assign(aref("a", -v("i") - 1), 0.0)))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="out")])
+        assert "BNDS001" in rules_of(run_lint(program))
+
+    def test_clean_exact_domain(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"), assign(aref("a", v("i")), 0.0)))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="out")])
+        assert not rules_of(run_lint(program)) & {"BNDS001", "BNDS002"}
+
+    def test_clean_scalar_subscript_not_assumed_positive(self):
+        # a value scalar used as a subscript carries no >= 1 assumption,
+        # so znorm[zero] must stay silent even though extent is 1
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      assign(aref("s", v("zero")), aref("a", v("i")),
+                             op="+")))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("s", (1,), intent="out")],
+            scalars=("n", "zero"))
+        assert not rules_of(run_lint(program)) & {"BNDS001", "BNDS002"}
+
+
+class TestBnds002:
+    def test_dirty_inclusive_upper_bound(self):
+        # the classic off-by-one: i runs [0, n] against extent n
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n") + 1, assign(aref("a", v("i")), 0.0)))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="out")])
+        hits = findings(run_lint(program), "BNDS002")
+        assert hits and hits[0].severity is Severity.WARNING
+        assert "BNDS001" not in rules_of(run_lint(program))
+
+    def test_dirty_reads_one_below_zero(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      assign(aref("b", v("i")), aref("a", v("i") - 1))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        assert "BNDS002" in rules_of(run_lint(program))
+
+    def test_clean_if_guard_narrows(self):
+        # the same i-1 access guarded by i > 0 is in bounds
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      iff(v("i").gt(0),
+                          assign(aref("b", v("i")), aref("a", v("i") - 1)))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        assert "BNDS002" not in rules_of(run_lint(program))
+
+    def test_clean_ternary_guard_narrows(self):
+        # (j == 0) ? 1.0 : a[j-1] — the false branch implies j >= 1
+        region = ParallelRegion(
+            "r", pfor("j", 0, v("n"),
+                      assign(aref("b", v("j")),
+                             ternary(v("j").eq(0), 1.0,
+                                     aref("a", v("j") - 1)))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        assert "BNDS002" not in rules_of(run_lint(program))
+
+    def test_clean_shifted_domain(self):
+        # stencil-style interior domain [1, n-1) with i-1 / i+1 reads
+        region = ParallelRegion(
+            "r", pfor("i", 1, v("n") - 1,
+                      assign(aref("b", v("i")),
+                             aref("a", v("i") - 1) + aref("a", v("i") + 1))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="in"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        assert not rules_of(run_lint(program)) & {"BNDS001", "BNDS002"}
+
+
+class TestBnds003:
+    def test_dirty_constant_empty_loop(self):
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"), block(
+                sfor("j", 5, 5, assign(aref("a", v("i")), 0.0)),
+                assign(aref("b", v("i")), 0.0))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="out"),
+                       ArrayDecl("b", ("n",), intent="out")])
+        hits = findings(run_lint(program), "BNDS003")
+        assert hits and hits[0].severity is Severity.WARNING
+        assert hits[0].loop == "j"
+
+    def test_dirty_reversed_bounds(self):
+        region = ParallelRegion(
+            "r", sfor("j", 7, 3, assign(aref("a", 0), 0.0)))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="out")])
+        assert "BNDS003" in rules_of(run_lint(program))
+
+    def test_clean_parametric_loop(self):
+        # [0, n) under the size assumption n >= 1 is non-empty; and even
+        # without it, emptiness is not *provable*, so no finding
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"), assign(aref("a", v("i")), 0.0)))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="out")])
+        assert "BNDS003" not in rules_of(run_lint(program))
+
+    def test_clean_triangular_loop(self):
+        # for j in [i, n) may be empty at i = n-1's edge only when the
+        # span hits zero — not provably empty for all iterations
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n"),
+                      sfor("j", v("i"), v("n"),
+                           assign(aref("a", v("j")), 0.0))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n",), intent="out")])
+        assert "BNDS003" not in rules_of(run_lint(program))
+
+
+class TestBndsMultiDim:
+    def test_dirty_only_offending_dimension_reported(self):
+        # row index overruns, column index is exact: one finding, dim 0
+        region = ParallelRegion(
+            "r", pfor("i", 0, v("n") + 1,
+                      sfor("j", 0, v("m"),
+                           assign(aref("a", v("i"), v("j")), 0.0))))
+        program = make_program(
+            [region], [ArrayDecl("a", ("n", "m"), intent="out")],
+            scalars=("n", "m"))
+        hits = findings(run_lint(program), "BNDS002")
+        assert len(hits) == 1
+        assert "dim 0" in hits[0].message

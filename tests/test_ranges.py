@@ -1,0 +1,179 @@
+"""Unit tests for the value-range analysis (repro.ir.analysis.ranges).
+
+The interval domain with affine endpoints underpins three consumers
+(the translation validator's guard discharge, the BNDS lint family,
+and the simulator's trip-count estimates), so its algebra is pinned
+here directly: three-valued comparison, abstract evaluation, loop
+ranges, narrowing, and trip estimation.
+"""
+
+import math
+
+from repro.ir.analysis.ranges import (SymRange, af_add, af_const, af_le,
+                                      af_var, bindings_env, compare,
+                                      estimate_trips, eval_range,
+                                      guard_implied, loop_range, narrow,
+                                      trip_range)
+from repro.ir.builder import aref, assign, c, sfor, ternary, v
+
+
+class TestAfLe:
+    def test_constant_decidable(self):
+        assert af_le(af_const(2.0), af_const(3.0)) is True
+        assert af_le(af_const(3.0), af_const(2.0)) is False
+
+    def test_symbolic_cancellation(self):
+        # n - 2 <= n - 1 holds for every n: the symbols cancel
+        n_minus_2 = af_add(af_var("n"), af_const(-2.0))
+        n_minus_1 = af_add(af_var("n"), af_const(-1.0))
+        assert af_le(n_minus_2, n_minus_1) is True
+        assert af_le(n_minus_1, n_minus_2) is False
+
+    def test_incomparable_symbols(self):
+        assert af_le(af_var("n"), af_var("m")) is None
+
+    def test_assume_min_widens_provability(self):
+        # 1 <= n is unprovable in general but holds once n >= 1
+        one, n = af_const(1.0), af_var("n")
+        assert af_le(one, n) is None
+        assert af_le(one, n, assume_min={"n": 1.0}) is True
+
+    def test_none_endpoint_is_undecidable(self):
+        assert af_le(None, af_const(0.0)) is None
+        assert af_le(af_const(0.0), None) is None
+
+
+class TestEvalRange:
+    def test_const_and_env_var(self):
+        env = {"i": SymRange(af_const(0.0), af_const(9.0))}
+        rng = eval_range(v("i") + 1, env)
+        assert rng.lo == af_const(1.0) and rng.hi == af_const(10.0)
+
+    def test_free_var_is_symbolic_point(self):
+        rng = eval_range(v("n"), {})
+        assert rng.is_point() and rng.lo == af_var("n")
+
+    def test_negation_flips_endpoints(self):
+        env = {"i": SymRange(af_const(1.0), af_const(5.0))}
+        rng = eval_range(-v("i"), env)
+        assert rng.lo == af_const(-5.0) and rng.hi == af_const(-1.0)
+
+    def test_scale_by_negative_const(self):
+        env = {"i": SymRange(af_const(0.0), af_const(4.0))}
+        rng = eval_range(v("i") * c(-2), env)
+        assert rng.lo == af_const(-8.0) and rng.hi == af_const(0.0)
+
+    def test_mod_by_positive_const(self):
+        rng = eval_range(v("i") % c(8), {})
+        assert rng.lo == af_const(0.0) and rng.hi == af_const(7.0)
+
+    def test_array_load_is_top(self):
+        rng = eval_range(aref("a", v("i")), {})
+        assert rng.lo is None and rng.hi is None
+
+    def test_ternary_joins_branches(self):
+        env = {"j": SymRange(af_const(0.0), af_const(9.0))}
+        rng = eval_range(ternary(v("j").eq(0), c(1), c(3)), env)
+        assert rng.lo == af_const(1.0) and rng.hi == af_const(3.0)
+
+
+class TestLoopRange:
+    def test_half_open_bound(self):
+        loop = sfor("i", 1, v("n") - 1, assign(aref("a", v("i")), 0.0))
+        rng = loop_range(loop, {})
+        assert rng.lo == af_const(1.0)
+        assert rng.hi == af_add(af_var("n"), af_const(-2.0))
+
+
+class TestNarrow:
+    def test_less_than_clamps_hi(self):
+        env = {"i": SymRange(af_const(0.0), None)}
+        out = narrow(v("i").lt(v("n")), env, True)
+        assert out["i"].hi == af_add(af_var("n"), af_const(-1.0))
+
+    def test_negated_ge_clamps_hi(self):
+        env = {"i": SymRange(af_const(0.0), None)}
+        out = narrow(v("i").ge(v("n")), env, False)  # i.e. i < n
+        assert out["i"].hi == af_add(af_var("n"), af_const(-1.0))
+
+    def test_ne_excludes_point_at_lower_edge(self):
+        # negating (j == 0) under j in [0, n-1] lifts the low edge to 1
+        env = {"j": SymRange(af_const(0.0),
+                             af_add(af_var("n"), af_const(-1.0)))}
+        out = narrow(v("j").eq(0), env, False)
+        assert out["j"].lo == af_const(1.0)
+        assert out["j"].hi == env["j"].hi
+
+    def test_ne_excludes_point_at_upper_edge(self):
+        env = {"j": SymRange(af_const(0.0), af_const(9.0))}
+        out = narrow(v("j").ne(9), env, True)
+        assert out["j"].hi == af_const(8.0)
+
+    def test_ne_interior_point_is_noop(self):
+        env = {"j": SymRange(af_const(0.0), af_const(9.0))}
+        out = narrow(v("j").ne(4), env, True)
+        assert out["j"] == env["j"]
+
+    def test_conjunction_narrows_both_sides(self):
+        env = {"i": SymRange(None, None)}
+        out = narrow(v("i").ge(0).logical_and(v("i").lt(10)), env, True)
+        assert out["i"].lo == af_const(0.0)
+        assert out["i"].hi == af_const(9.0)
+
+
+class TestCompareAndGuards:
+    def test_compare_within_domain(self):
+        env = {"i": SymRange(af_const(0.0),
+                             af_add(af_var("n"), af_const(-2.0)))}
+        assert compare("<", v("i"), v("n") - 1, env) is True
+        assert compare(">=", v("i"), c(0), env) is True
+        # i = n-2 is in the domain, so i < n-2 must not be proved
+        assert compare("<", v("i"), v("n") - 2, env) is not True
+
+    def test_guard_implied_by_loop_domain(self):
+        # the canonical tv query: is a kernel bounds guard redundant?
+        env = {"i": SymRange(af_const(0.0),
+                             af_add(af_var("n"), af_const(-1.0)))}
+        assert guard_implied(v("i").lt(v("n")), env, True)
+        assert guard_implied(v("i").ge(0).logical_and(v("i").lt(v("n"))), env, True)
+        assert not guard_implied(v("i").lt(v("n") - 1), env, True)
+
+    def test_guard_negation_polarity(self):
+        env = {"i": SymRange(af_const(0.0), af_const(9.0))}
+        # !(i >= 10) holds everywhere on [0, 9]
+        assert guard_implied(v("i").ge(10), env, False)
+
+    def test_opaque_condition_never_implied(self):
+        env = {"i": SymRange(af_const(0.0), af_const(9.0))}
+        assert not guard_implied(aref("mask", v("i")).gt(0), env, True)
+
+
+class TestTripEstimates:
+    def test_exact_constant_trips(self):
+        assert estimate_trips(c(0), c(8), c(2), {}) == 4.0
+
+    def test_exact_parametric_trips_with_bindings(self):
+        env = bindings_env({"n": 100.0})
+        assert estimate_trips(c(0), v("n"), c(1), env) == 100.0
+
+    def test_triangular_midpoint(self):
+        # for j in [i, n) under i in [0, n): spans 1..n, mean ~ n/2
+        env = bindings_env({"n": 10.0})
+        env["i"] = SymRange(af_const(0.0), af_const(9.0))
+        est = estimate_trips(v("i"), v("n"), c(1), env)
+        assert est == 5.5  # midpoint of [1, 10]
+
+    def test_negative_span_clamps_to_zero(self):
+        assert trip_range(c(5), c(5), c(1), {}) == (0.0, 0.0)
+        assert estimate_trips(c(7), c(3), c(1), {}) == 0.0
+
+    def test_unbounded_span_returns_none(self):
+        # n unbound: the span has no finite numeric bounds
+        assert estimate_trips(c(0), v("n"), c(1), {}) is None
+
+    def test_symbolic_step_returns_none(self):
+        assert estimate_trips(c(0), c(8), v("s"), {}) is None
+
+    def test_const_bounds_helper(self):
+        lo, hi = SymRange(af_const(1.0), af_var("n")).const_bounds()
+        assert lo == 1.0 and math.isinf(hi)
