@@ -31,6 +31,7 @@ from repro.metrics.speedup import SpeedupResult
 from repro.models.base import (CompiledProgram, ExecutableProgram, PortSpec,
                                ScheduleStep)
 from repro.models import get_compiler
+from repro.obs import tracer as obs
 
 Value = Union[int, float]
 
@@ -118,9 +119,32 @@ class Benchmark(abc.ABC):
             device: DeviceSpec = TESLA_M2090,
             timing: Optional[TimingConfig] = None,
             host: HostSpec = KEENELAND_HOST,
-            validate: Optional[bool] = None) -> "RunOutcome":
-        """Compile, execute (optionally functionally), and price a run."""
-        compiled = self.compile(model, variant)
+            validate: Optional[bool] = None,
+            compiled: Optional[CompiledProgram] = None) -> "RunOutcome":
+        """Compile, execute (optionally functionally), and price a run.
+
+        ``compiled`` lets callers that memoize compilation (the harness
+        sweeps, the profiler) pass the lowered program in instead of
+        recompiling; it must come from this benchmark's
+        ``port(model, variant)``.
+        """
+        with obs.span("bench.run", category="harness", benchmark=self.name,
+                      model=model, variant=variant, scale=scale):
+            outcome = self._run(model, variant, scale, seed, execute, device,
+                                timing, host, validate, compiled)
+            obs.set_attr("speedup", round(outcome.speedup.speedup, 4))
+            obs.set_attr("gpu_time_s", outcome.speedup.gpu_time_s)
+            if outcome.validated is not None:
+                obs.set_attr("validated", outcome.validated)
+            return outcome
+
+    def _run(self, model: str, variant: str, scale: str, seed: int,
+             execute: bool, device: DeviceSpec,
+             timing: Optional[TimingConfig], host: HostSpec,
+             validate: Optional[bool],
+             compiled: Optional[CompiledProgram]) -> "RunOutcome":
+        if compiled is None:
+            compiled = self.compile(model, variant)
         wl = self.workload(scale=scale, seed=seed)
         rt = CudaRuntime(spec=device, timing=timing, execute=execute)
         ex = ExecutableProgram(compiled, runtime=rt, host=host)

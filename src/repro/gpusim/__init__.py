@@ -13,13 +13,15 @@ from repro.gpusim.memory import DeviceBuffer, MemoryManager, MemorySpace
 from repro.gpusim.occupancy import (Occupancy, block_shape_occupancy,
                                     compute_occupancy,
                                     latency_hiding_factor)
-from repro.gpusim.profiler import LaunchRecord, Profiler, TransferRecord
+from repro.gpusim.profiler import (LaunchRecord, Profiler, TransferRecord,
+                                   chrome_trace_document, dump_chrome_trace)
 from repro.gpusim.reference import ScalarExecutor, execute_kernel_scalar
 from repro.gpusim.codegen import (compiled_program_to_cuda, expr_to_c,
                                   kernel_to_cuda)
 from repro.gpusim.multigpu import (KEENELAND_IB, Interconnect,
                                    ScalingPoint, ScalingSweep,
-                                   scaling_sweep)
+                                   device_timelines, scaling_sweep,
+                                   sweep_chrome_document)
 from repro.gpusim.runtime import CudaRuntime
 from repro.gpusim.trace import (AuditRow, MemoryTrace, TracingExecutor,
                                 audit_kernel, render_audit)
@@ -38,10 +40,11 @@ __all__ = [
     "ScalarExecutor", "execute_kernel_scalar",
     "KernelTiming", "TimingConfig", "price_kernel", "price_transfer",
     "Profiler", "LaunchRecord", "TransferRecord",
+    "chrome_trace_document", "dump_chrome_trace",
     "CudaRuntime",
     "kernel_to_cuda", "compiled_program_to_cuda", "expr_to_c",
     "Interconnect", "KEENELAND_IB", "ScalingPoint", "ScalingSweep",
-    "scaling_sweep",
+    "scaling_sweep", "device_timelines", "sweep_chrome_document",
     "MemoryTrace", "TracingExecutor", "AuditRow", "audit_kernel",
     "render_audit",
 ]

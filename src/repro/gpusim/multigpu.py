@@ -24,6 +24,8 @@ from typing import Mapping, Optional, Sequence
 from repro.errors import GpuSimError
 from repro.gpusim.device import TESLA_M2090, DeviceSpec
 from repro.gpusim.kernel import Kernel
+from repro.gpusim.profiler import (LaunchRecord, Profiler, TransferRecord,
+                                   chrome_trace_document)
 from repro.gpusim.timing import TimingConfig, price_kernel, price_transfer
 
 
@@ -134,3 +136,68 @@ def scaling_sweep(kernel: Kernel, bindings: Mapping[str, float],
         points.append(ScalingPoint(devices=p, kernel_s=kernel_s,
                                    halo_s=halo_s))
     return ScalingSweep(mode=mode, points=points)
+
+
+def device_timelines(kernel: Kernel, bindings: Mapping[str, float],
+                     array_extents: Mapping[str, Sequence[Optional[int]]],
+                     domain_symbol: str, halo_bytes: int,
+                     devices: int, steps: int = 1,
+                     mode: str = "strong",
+                     spec: DeviceSpec = TESLA_M2090,
+                     link: Interconnect = KEENELAND_IB,
+                     timing: Optional[TimingConfig] = None) -> list[Profiler]:
+    """Per-device :class:`Profiler` timelines for one device count.
+
+    Builds one profiler per simulated device, each carrying its kernel
+    launches and the PCIe legs of its halo exchanges, so
+    :func:`repro.gpusim.profiler.chrome_trace_document` renders the
+    MPI+X step on one row pair per GPU.  Edge devices exchange one
+    boundary, interior devices two; the fabric leg appears as the gap
+    between a device's halo send and its matching receive.
+    """
+    if mode not in ("strong", "weak"):
+        raise GpuSimError(f"unknown scaling mode {mode!r}")
+    if devices < 1:
+        raise GpuSimError("need at least one device")
+    local = dict(bindings)
+    if mode == "strong":
+        local[domain_symbol] = max(
+            1.0, math.ceil(float(bindings[domain_symbol]) / devices))
+    desc = kernel.describe(local, array_extents)
+    kt = price_kernel(desc, spec, timing)
+    pcie_s = price_transfer(halo_bytes, spec)
+    fabric_s = link.time(halo_bytes)
+    profilers = [Profiler(device=i, device_name=f"{spec.name} #{i}")
+                 for i in range(devices)]
+    for prof in profilers:
+        neighbors = (prof.device > 0) + (prof.device < devices - 1)
+        clock = 0.0
+        for _ in range(steps):
+            prof.record_launch(LaunchRecord(
+                kernel=kernel.name, timing=kt, start_s=clock))
+            clock += kt.time_s
+            for side in range(neighbors):
+                prof.record_transfer(TransferRecord(
+                    array=f"halo[{side}]", nbytes=halo_bytes,
+                    direction="dtoh", time_s=pcie_s, start_s=clock))
+                clock += pcie_s + fabric_s
+                prof.record_transfer(TransferRecord(
+                    array=f"halo[{side}]", nbytes=halo_bytes,
+                    direction="htod", time_s=pcie_s, start_s=clock))
+                clock += pcie_s
+    return profilers
+
+
+def sweep_chrome_document(kernel: Kernel, bindings: Mapping[str, float],
+                          array_extents: Mapping[str, Sequence[Optional[int]]],
+                          domain_symbol: str, halo_bytes: int,
+                          devices: int, steps: int = 1,
+                          mode: str = "strong",
+                          spec: DeviceSpec = TESLA_M2090,
+                          link: Interconnect = KEENELAND_IB,
+                          timing: Optional[TimingConfig] = None) -> dict:
+    """A merged multi-GPU Chrome-trace document for one scaling point."""
+    return chrome_trace_document(device_timelines(
+        kernel, bindings, array_extents, domain_symbol, halo_bytes,
+        devices, steps=steps, mode=mode, spec=spec, link=link,
+        timing=timing))

@@ -3,14 +3,33 @@
 Records every kernel launch and host<->device transfer with its simulated
 cost, exactly like a ``cudaprof`` trace.  The metrics layer reads these
 records to compute the speedups of Figure 1 and to explain them (time in
-kernels vs. time in PCIe transfers is the data-region story)."""
+kernels vs. time in PCIe transfers is the data-region story); the
+observability layer (:mod:`repro.obs`) reads the per-launch simulated
+counters for bottleneck attribution.
+
+Chrome-trace export: each profiler owns one *device* (``device`` index,
+``device_name``), rendered as one process with a kernel row and a PCIe
+row.  :func:`chrome_trace_document` merges any number of profilers (the
+multi-GPU timelines of :mod:`repro.gpusim.multigpu`) into a single
+``chrome://tracing`` document with ``displayTimeUnit`` and per-device
+``process_name`` / ``thread_name`` metadata, so every GPU renders on its
+own rows.
+"""
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import TYPE_CHECKING, Iterator, Optional, Sequence
 
 from repro.gpusim.timing import KernelTiming
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.obs.counters import KernelCounters
+
+#: chrome-trace thread ids within one device's process
+TID_KERNEL = 0
+TID_PCIE = 1
 
 
 @dataclass(frozen=True)
@@ -20,6 +39,8 @@ class LaunchRecord:
     kernel: str
     timing: KernelTiming
     start_s: float
+    #: simulated hardware counters (attached by the runtime)
+    counters: Optional["KernelCounters"] = None
 
     @property
     def time_s(self) -> float:
@@ -38,9 +59,12 @@ class TransferRecord:
 
 
 class Profiler:
-    """Accumulates the simulated timeline."""
+    """Accumulates the simulated timeline of one device."""
 
-    def __init__(self) -> None:
+    def __init__(self, device: int = 0,
+                 device_name: Optional[str] = None) -> None:
+        self.device = device
+        self.device_name = device_name or f"GPU {device}"
         self.launches: list[LaunchRecord] = []
         self.transfers: list[TransferRecord] = []
 
@@ -85,36 +109,53 @@ class Profiler:
         self.transfers.clear()
 
     def to_chrome_trace(self) -> list[dict]:
-        """The timeline as Chrome-trace events (``chrome://tracing``).
+        """The timeline as Chrome-trace duration events.
 
-        Kernels go on the "GPU" row, transfers on "PCIe"; durations are
-        the simulated times in microseconds.
+        Kernels go on this device's kernel row, transfers on its PCIe
+        row; durations are the simulated times in microseconds.  The
+        row-naming metadata lives in :meth:`metadata_events` /
+        :func:`chrome_trace_document`.
         """
         events: list[dict] = []
         for r in self.launches:
+            args = {"bound": r.timing.bound,
+                    "occupancy": round(r.timing.occupancy, 3),
+                    "dram_mb": round(r.timing.dram_bytes / 1e6, 3)}
+            if r.counters is not None:
+                args.update(r.counters.to_dict())
             events.append({
                 "name": r.kernel, "ph": "X", "cat": "kernel",
                 "ts": r.start_s * 1e6, "dur": r.time_s * 1e6,
-                "pid": 0, "tid": "GPU",
-                "args": {"bound": r.timing.bound,
-                         "occupancy": round(r.timing.occupancy, 3),
-                         "dram_mb": round(r.timing.dram_bytes / 1e6, 3)},
+                "pid": self.device, "tid": TID_KERNEL,
+                "args": args,
             })
         for t in self.transfers:
             events.append({
                 "name": f"{t.direction} {t.array}", "ph": "X",
                 "cat": "transfer", "ts": t.start_s * 1e6,
-                "dur": t.time_s * 1e6, "pid": 0, "tid": "PCIe",
+                "dur": t.time_s * 1e6, "pid": self.device, "tid": TID_PCIE,
                 "args": {"bytes": t.nbytes},
             })
         return events
 
-    def dump_chrome_trace(self, path: str) -> None:
-        """Write the timeline as a Chrome-trace JSON file."""
-        import json
+    def metadata_events(self) -> list[dict]:
+        """Process/thread naming so each device gets its own rows."""
+        pid = self.device
+        return [
+            {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"name": f"{self.device_name} (simulated)"}},
+            {"name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
+             "args": {"sort_index": pid}},
+            {"name": "thread_name", "ph": "M", "pid": pid,
+             "tid": TID_KERNEL, "args": {"name": "GPU"}},
+            {"name": "thread_name", "ph": "M", "pid": pid,
+             "tid": TID_PCIE, "args": {"name": "PCIe"}},
+        ]
 
+    def dump_chrome_trace(self, path: str) -> None:
+        """Write this device's timeline as a Chrome-trace JSON file."""
         with open(path, "w") as handle:
-            json.dump({"traceEvents": self.to_chrome_trace()}, handle)
+            json.dump(chrome_trace_document([self]), handle)
 
     def report(self) -> str:
         """Human-readable trace summary."""
@@ -130,3 +171,29 @@ class Profiler:
                               key=lambda kv: -kv[1]):
             lines.append(f"  {name}: {t * 1e3:.3f} ms")
         return "\n".join(lines)
+
+
+def chrome_trace_document(profilers: Sequence[Profiler],
+                          extra_events: Sequence[dict] = ()) -> dict:
+    """A complete ``chrome://tracing`` document for several devices.
+
+    Each profiler becomes one process (its ``device`` index is the pid)
+    with named GPU/PCIe rows; ``extra_events`` lets callers append
+    host-side span events (see :meth:`repro.obs.tracer.Tracer
+    .chrome_events`) — those use a wall clock while device rows use the
+    simulated clock, so they are emitted as separate processes.
+    """
+    events: list[dict] = []
+    for prof in profilers:
+        events.extend(prof.metadata_events())
+    for prof in profilers:
+        events.extend(prof.to_chrome_trace())
+    events.extend(extra_events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def dump_chrome_trace(path: str, profilers: Sequence[Profiler],
+                      extra_events: Sequence[dict] = ()) -> None:
+    """Write a merged multi-device Chrome-trace file."""
+    with open(path, "w") as handle:
+        json.dump(chrome_trace_document(profilers, extra_events), handle)

@@ -28,6 +28,13 @@ from repro.gpusim.profiler import LaunchRecord, Profiler, TransferRecord
 from repro.gpusim.timing import (KernelTiming, TimingConfig, price_kernel,
                                  price_transfer)
 from repro.ir.program import Function
+from repro.obs import tracer as obs
+
+# NOTE: repro.obs.counters is imported lazily inside launch()/
+# _record_transfer() — counters itself imports gpusim analysis modules,
+# so a module-level import here would be circular when repro.obs is
+# imported before repro.gpusim.  repro.obs.tracer is dependency-free
+# and always safe.
 
 Value = Union[int, float]
 
@@ -42,7 +49,7 @@ class CudaRuntime:
         self.timing = timing or TimingConfig()
         self.execute = execute
         self.mem = MemoryManager(spec)
-        self.profiler = Profiler()
+        self.profiler = Profiler(device_name=spec.name)
         self.clock_s = 0.0
         self.host_arrays: dict[str, np.ndarray] = {}
         self.buffers: dict[str, DeviceBuffer] = {}
@@ -97,12 +104,7 @@ class CudaRuntime:
                     f"htod {name!r}: host shape {host.shape} != device "
                     f"shape {buf.data.shape}")
             np.copyto(buf.data, host)
-        t = price_transfer(buf.nbytes, self.spec)
-        self.profiler.record_transfer(TransferRecord(
-            array=name, nbytes=buf.nbytes, direction="htod",
-            time_s=t, start_s=self.clock_s))
-        self.clock_s += t
-        return t
+        return self._record_transfer(name, buf.nbytes, "htod")
 
     def dtoh(self, name: str) -> float:
         """Copy device → host; returns the simulated transfer time."""
@@ -111,10 +113,21 @@ class CudaRuntime:
         host = self.host(name)
         if self.execute:
             np.copyto(host, buf.data)
-        t = price_transfer(buf.nbytes, self.spec)
+        return self._record_transfer(name, buf.nbytes, "dtoh")
+
+    def _record_transfer(self, name: str, nbytes: int,
+                         direction: str) -> float:
+        t = price_transfer(nbytes, self.spec)
         self.profiler.record_transfer(TransferRecord(
-            array=name, nbytes=buf.nbytes, direction="dtoh",
+            array=name, nbytes=nbytes, direction=direction,
             time_s=t, start_s=self.clock_s))
+        if obs.current_tracer() is not None:
+            from repro.obs.counters import transfer_counters
+            with obs.span(f"{direction} {name}", "gpu.transfer",
+                          array=name, sim_start_s=self.clock_s,
+                          sim_time_s=t):
+                obs.add_counters(transfer_counters(
+                    nbytes, direction, t, self.spec).to_dict())
         self.clock_s += t
         return t
 
@@ -146,7 +159,9 @@ class CudaRuntime:
                     f"{private_bytes} B for {desc.total_threads} threads; "
                     f"{free} B free on device — strip-mine the parallel "
                     f"loop to reduce the iteration space")
+        from repro.obs.counters import derive_counters
         timing = price_kernel(desc, self.spec, self.timing)
+        counters = derive_counters(desc, self.spec)
         if self.execute:
             execute_kernel(kernel, device_views, dict(scalars), functions)
             # pointer swaps may have replaced entries: write back
@@ -154,7 +169,13 @@ class CudaRuntime:
                 if device_views[name] is not self.buffers[name].data:
                     self.buffers[name].data = device_views[name]
         self.profiler.record_launch(LaunchRecord(
-            kernel=kernel.name, timing=timing, start_s=self.clock_s))
+            kernel=kernel.name, timing=timing, start_s=self.clock_s,
+            counters=counters))
+        if obs.current_tracer() is not None:
+            with obs.span(kernel.name, "gpu.launch", kernel=kernel.name,
+                          sim_start_s=self.clock_s,
+                          sim_time_s=timing.time_s, bound=timing.bound):
+                obs.add_counters(counters.to_dict())
         self.clock_s += timing.time_s
         return timing
 

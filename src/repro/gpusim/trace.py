@@ -65,10 +65,20 @@ class MemoryTrace:
     def transactions(self, array: str, elem_bytes: int,
                      spec: DeviceSpec = TESLA_M2090,
                      stores: Optional[bool] = None) -> float:
-        """Average real transactions per warp access for ``array``."""
-        per_warp: list[float] = []
+        """Average real transactions per warp access for ``array``.
+
+        One warp access costs as many transactions as the number of
+        distinct 128-byte segments its lanes touch; the average is over
+        every (event, warp) pair.  Counted with one grouped
+        ``np.unique`` per event — distinct ``(warp, segment)`` pairs
+        over distinct warps — instead of a Python loop over warps,
+        which is what makes auditing paper-scale kernels affordable
+        (see ``tests/test_trace_vectorized.py`` for the equivalence).
+        """
         seg = spec.transaction_bytes
         w = spec.warp_size
+        total_txns = 0
+        total_warps = 0
         for ev in self.events:
             if ev.array != array:
                 continue
@@ -77,14 +87,17 @@ class MemoryTrace:
             if ev.lanes.size == 0:
                 continue
             warps = ev.lane_ids // w
-            addresses = ev.lanes * elem_bytes
-            segments = addresses // seg
-            for wid in np.unique(warps):
-                sel = warps == wid
-                per_warp.append(float(np.unique(segments[sel]).size))
-        if not per_warp:
+            segments = (ev.lanes * elem_bytes) // seg
+            # distinct (warp, segment) pairs via a combined key: segment
+            # ids are dense enough that warp * (max_seg + 1) + segment
+            # cannot collide across warps
+            span = int(segments.max()) - int(segments.min()) + 1
+            key = (warps - warps.min()) * span + (segments - segments.min())
+            total_txns += int(np.unique(key).size)
+            total_warps += int(np.unique(warps).size)
+        if total_warps == 0:
             return 0.0
-        return float(np.mean(per_warp))
+        return total_txns / total_warps
 
     def arrays(self) -> set[str]:
         return {ev.array for ev in self.events}

@@ -12,6 +12,11 @@ Subcommands regenerate the paper's evaluation artifacts:
 * ``tv [BENCH MODEL]`` — the translation validator: equivalence
   certificates per lowered region (``--all`` for the suite matrix;
   exits 1 on any REFUTED certificate);
+* ``profile [BENCH MODEL]`` — per-kernel simulated counters with
+  bottleneck attribution (``--all`` sweeps the Figure-1 matrix;
+  ``--jsonl``/``--chrome`` write the trace artifacts);
+* ``baseline record|check`` — the perf-regression gate over the
+  committed baseline (``check`` exits 2 on regression/drift);
 * ``all`` — everything (the EXPERIMENTS.md payload).
 """
 
@@ -218,7 +223,84 @@ def _cmd_tv(args: argparse.Namespace) -> int:
     return 1 if record.count(CertStatus.REFUTED) else 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.gpusim.profiler import chrome_trace_document
+    from repro.obs.profile import (profile_run, profile_suite,
+                                   render_run_profile,
+                                   render_suite_profiles)
+    from repro.obs.tracer import Tracer, make_manifest, tracing
+    from repro.gpusim.device import TESLA_M2090
+    from repro.gpusim.timing import TimingConfig
+
+    if not args.all_ports and (not args.benchmark or not args.model):
+        print("profile: BENCH and MODEL are required unless --all is given",
+              file=sys.stderr)
+        return 2
+    try:
+        if args.all_ports:
+            profiles, tracer = profile_suite(scale=args.scale)
+        else:
+            tracer = Tracer(manifest=make_manifest(
+                TESLA_M2090, TimingConfig(), args.scale))
+            with tracing(tracer):
+                profiles = [profile_run(args.benchmark, args.model,
+                                        variant=args.variant,
+                                        scale=args.scale)]
+    except KeyError as exc:
+        print(f"profile: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps([p.to_dict() for p in profiles], indent=2))
+    elif args.all_ports:
+        print(render_suite_profiles(profiles))
+    else:
+        print(render_run_profile(profiles[0]))
+    if args.jsonl:
+        tracer.write_jsonl(args.jsonl)
+        print(f"wrote {len(tracer.spans)} spans to {args.jsonl}",
+              file=sys.stderr)
+    if args.chrome:
+        with open(args.chrome, "w") as handle:
+            json.dump(chrome_trace_document(
+                [], extra_events=tracer.chrome_events(pid=1000)), handle)
+        print(f"wrote Chrome trace to {args.chrome}", file=sys.stderr)
+    return 0
+
+
+def _cmd_baseline(args: argparse.Namespace) -> int:
+    from repro.obs.baseline import (DEFAULT_BASELINE_PATH, check_baseline,
+                                    record_baseline)
+
+    path = args.baseline or DEFAULT_BASELINE_PATH
+    benchmarks = args.benchmarks or None
+    try:
+        if args.action == "record":
+            from repro.obs.baseline import DEFAULT_TOLERANCE
+            doc = record_baseline(path, benchmarks=benchmarks,
+                                  scale=args.scale,
+                                  tolerance=args.tolerance
+                                  if args.tolerance is not None
+                                  else DEFAULT_TOLERANCE)
+            n = sum(len(m) for m in doc["entries"].values())
+            print(f"recorded {n} entries to {path} "
+                  f"(config {doc['manifest']['config_hash']})")
+            return 0
+        diff = check_baseline(path, tolerance=args.tolerance)
+        print(diff.render())
+        return 2 if diff.failed else 0
+    except FileNotFoundError:
+        print(f"baseline: no baseline at {path!r} — run "
+              f"'repro-harness baseline record' first", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"baseline: {exc.args[0]}", file=sys.stderr)
+        return 2
+
+
 def _cmd_all(args: argparse.Namespace) -> int:
+    from repro.harness.report import render_bottleneck_section
+    from repro.obs.profile import profile_suite
+
     print("Table I")
     print(render_table1())
     print()
@@ -226,6 +308,9 @@ def _cmd_all(args: argparse.Namespace) -> int:
     print()
     speedups = run_speedups(scale=args.scale)
     print(render_figure1(speedups))
+    print()
+    profiles, _ = profile_suite(scale=args.scale)
+    print(render_bottleneck_section(profiles))
     return 0
 
 
@@ -308,6 +393,44 @@ def main(argv: list[str] | None = None) -> int:
                       help="certify every benchmark x model pair and print "
                            "the per-model certificate matrix")
     p_tv.set_defaults(func=_cmd_tv)
+
+    p_prof = sub.add_parser(
+        "profile", help="per-kernel simulated counters and bottleneck "
+                        "attribution for one port or --all")
+    p_prof.add_argument("benchmark", nargs="?", default=None,
+                        help="benchmark name (e.g. jacobi)")
+    p_prof.add_argument("model", nargs="?", default=None,
+                        help="model name or alias (e.g. openacc)")
+    p_prof.add_argument("--variant", default=None,
+                        help="port variant (default: the model's best)")
+    p_prof.add_argument("--scale", default="paper",
+                        choices=("test", "paper"))
+    p_prof.add_argument("--all", action="store_true", dest="all_ports",
+                        help="profile every benchmark x Figure-1 model pair")
+    p_prof.add_argument("--json", action="store_true",
+                        help="machine-readable profiles")
+    p_prof.add_argument("--jsonl", default=None, metavar="PATH",
+                        help="write the span trace as JSONL")
+    p_prof.add_argument("--chrome", default=None, metavar="PATH",
+                        help="write a chrome://tracing document")
+    p_prof.set_defaults(func=_cmd_profile)
+
+    p_base = sub.add_parser(
+        "baseline", help="record or check the perf-regression baseline")
+    p_base.add_argument("action", choices=("record", "check"))
+    p_base.add_argument("--baseline", default=None, metavar="PATH",
+                        help="baseline file (default: "
+                             "benchmarks/baselines/figure1-paper.json)")
+    p_base.add_argument("--scale", default="paper",
+                        choices=("test", "paper"),
+                        help="workload scale for 'record'")
+    p_base.add_argument("--benchmarks", nargs="*", default=None,
+                        metavar="BENCH",
+                        help="restrict 'record' to these benchmarks")
+    p_base.add_argument("--tolerance", type=float, default=None,
+                        help="relative tolerance (default: the baseline's "
+                             "own, 2%%)")
+    p_base.set_defaults(func=_cmd_baseline)
 
     p_all = sub.add_parser("all", help="everything")
     p_all.add_argument("--scale", default="paper",

@@ -108,6 +108,19 @@ def render_figure1_csv(speedups: Mapping[str, Mapping[str, BenchmarkSpeedups]],
     return "\n".join(rows)
 
 
+def render_bottleneck_section(profiles: Sequence) -> str:
+    """The per-model bottleneck distribution, as a figure companion.
+
+    ``profiles`` are :class:`~repro.obs.profile.RunProfile` rows from a
+    ``profile --all`` sweep; the table explains the speedup gaps of
+    Figure 1 in counter terms (which models leave kernels
+    latency-bound, whose timelines PCIe dominates).
+    """
+    from repro.metrics.profstats import profile_stats, render_profile_stats
+
+    return render_profile_stats(profile_stats(profiles))
+
+
 def render_all(results: EvaluationResults) -> str:
     parts = ["Table I: feature matrix (transcribed and model-verified)",
              render_table1(), "", render_table2(results)]

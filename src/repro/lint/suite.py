@@ -5,11 +5,9 @@
 models, producing the records the per-model lint-density table
 (:mod:`repro.metrics.lintstats`) aggregates alongside Table II.
 
-Compilation is memoized in :func:`compile_port`: a suite sweep and the
-translation validator both touch every (benchmark, model) pair, and a
-port compiles identically every time, so each pair is lowered once per
-process.  :func:`clear_compile_cache` resets the table (tests that
-monkeypatch compilers need it).
+Compilation is memoized in :func:`repro.models.cache.compile_port` —
+shared with the harness sweeps and the translation validator, and
+re-exported here for backward compatibility.
 """
 
 from __future__ import annotations
@@ -20,44 +18,11 @@ from typing import Optional, Sequence
 from repro.gpusim.device import TESLA_M2090, DeviceSpec
 from repro.lint.engine import run_lint
 from repro.lint.findings import LintReport
-from repro.models import DIRECTIVE_MODELS, get_compiler, resolve_model
+from repro.models import DIRECTIVE_MODELS, resolve_model
+from repro.models.cache import clear_compile_cache, compile_port
 
-# NOTE: repro.benchmarks is imported inside the functions below —
-# benchmarks pulls in repro.metrics, whose lintstats module imports this
-# package, so a module-level import would be circular.
-
-#: (benchmark, model, variant) → (port, compiled)
-_COMPILE_CACHE: dict = {}
-
-
-def compile_port(benchmark: str, model: str, variant: Optional[str] = None):
-    """Resolve, compile, and cache one port.
-
-    Returns ``(port, compiled, chosen_variant)``.  Raises KeyError for
-    unknown benchmarks, models, variants, or missing ports — the CLI
-    maps these to exit code 2.
-    """
-    from repro.benchmarks import get_benchmark
-
-    bench = get_benchmark(benchmark)
-    model = resolve_model(model)
-    chosen = variant or bench.variants(model)[0]
-    if chosen not in bench.variants(model):
-        raise KeyError(
-            f"unknown variant {chosen!r} for {bench.name}/{model}; "
-            f"known: {bench.variants(model)}")
-    key = (bench.name, model, chosen)
-    if key not in _COMPILE_CACHE:
-        port = bench.port(model, chosen)
-        compiled = get_compiler(model).compile_program(port)
-        _COMPILE_CACHE[key] = (port, compiled)
-    port, compiled = _COMPILE_CACHE[key]
-    return port, compiled, chosen
-
-
-def clear_compile_cache() -> None:
-    """Drop every memoized compilation (for tests)."""
-    _COMPILE_CACHE.clear()
+__all__ = ["SuiteRecord", "compile_port", "clear_compile_cache",
+           "lint_port", "lint_suite"]
 
 
 @dataclass

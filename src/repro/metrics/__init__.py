@@ -5,6 +5,8 @@ from repro.metrics.codesize import (CodeSizeEntry, CodeSizeReport,
 from repro.metrics.coverage import CoverageReport, coverage_for
 from repro.metrics.lintstats import (LintDensityRow, lint_density,
                                      render_lint_density)
+from repro.metrics.profstats import (ProfStatsRow, profile_stats,
+                                     render_profile_stats)
 from repro.metrics.speedup import BenchmarkSpeedups, SpeedupResult
 from repro.metrics.tvstats import TvMatrixRow, render_tv_matrix, tv_matrix
 
@@ -14,4 +16,5 @@ __all__ = [
     "SpeedupResult", "BenchmarkSpeedups",
     "LintDensityRow", "lint_density", "render_lint_density",
     "TvMatrixRow", "tv_matrix", "render_tv_matrix",
+    "ProfStatsRow", "profile_stats", "render_profile_stats",
 ]

@@ -1,0 +1,78 @@
+"""Bottleneck-distribution statistics over a profiling sweep.
+
+Aggregates :class:`~repro.obs.profile.RunProfile` rows into a per-model
+view of *where the time goes*: how many kernels each model produces in
+each bottleneck class (memory / compute / latency / transfer-bound runs)
+and how much simulated kernel time the class accounts for.  This is the
+quantitative companion to the paper's Section V narratives — e.g. the
+directive models' untuned ports skewing latency-bound where the manual
+CUDA versions are memory-bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.obs.profile import RunProfile
+
+#: presentation order of kernel bottleneck classes
+BOTTLENECK_KINDS = ("memory", "compute", "latency")
+
+
+@dataclass
+class ProfStatsRow:
+    """One model's bottleneck distribution."""
+
+    model: str
+    #: kernels per bottleneck kind
+    kernels: dict[str, int] = field(default_factory=dict)
+    #: summed simulated kernel seconds per bottleneck kind
+    time_s: dict[str, float] = field(default_factory=dict)
+    #: runs whose timeline the PCIe transfers dominate
+    transfer_bound_runs: int = 0
+    runs: int = 0
+
+    @property
+    def total_kernels(self) -> int:
+        return sum(self.kernels.values())
+
+    @property
+    def total_time_s(self) -> float:
+        return sum(self.time_s.values())
+
+    def share(self, kind: str) -> float:
+        """Fraction of this model's kernel time in ``kind``-bound code."""
+        total = self.total_time_s
+        return self.time_s.get(kind, 0.0) / total if total else 0.0
+
+
+def profile_stats(profiles: Sequence[RunProfile]) -> list[ProfStatsRow]:
+    """One row per model, in first-seen order."""
+    rows: dict[str, ProfStatsRow] = {}
+    for p in profiles:
+        row = rows.setdefault(p.model, ProfStatsRow(model=p.model))
+        row.runs += 1
+        if p.run_bound == "transfer":
+            row.transfer_bound_runs += 1
+        for k in p.kernels:
+            kind = k.bottleneck.kind
+            row.kernels[kind] = row.kernels.get(kind, 0) + 1
+            row.time_s[kind] = row.time_s.get(kind, 0.0) + k.time_s
+    return list(rows.values())
+
+
+def render_profile_stats(rows: Sequence[ProfStatsRow]) -> str:
+    """The per-model bottleneck distribution table."""
+    header = (f"{'model':<19}{'kernels':>8}"
+              + "".join(f"{k + ' (time%)':>17}" for k in BOTTLENECK_KINDS)
+              + f"{'xfer-bound runs':>17}")
+    lines = ["Bottleneck distribution (simulated counters)", header,
+             "-" * len(header)]
+    for row in rows:
+        cells = "".join(
+            f"{row.kernels.get(k, 0):>9} ({row.share(k) * 100:4.0f}%)"
+            for k in BOTTLENECK_KINDS)
+        lines.append(f"{row.model:<19}{row.total_kernels:>8}{cells}"
+                     f"{row.transfer_bound_runs:>10}/{row.runs:<6}")
+    return "\n".join(lines)

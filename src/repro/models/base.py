@@ -38,6 +38,7 @@ from repro.ir.analysis.features import RegionFeatures, scan_region
 from repro.ir.program import ParallelRegion, Program
 from repro.ir.stmt import Block, For, LocalDecl, Stmt
 from repro.ir.transforms.tiling import TilingDecision
+from repro.obs import tracer as obs
 
 Value = Union[int, float]
 
@@ -227,13 +228,18 @@ class DirectiveCompiler(abc.ABC):
             raise CompileError(
                 f"port targets model {port.model!r}, compiler is {self.name!r}")
         program = port.program
-        results: dict[str, RegionResult] = {}
-        for region in program.regions:
-            results[region.name] = self.compile_region(region, program, port)
-        compiled = CompiledProgram(model=self.name, program=program,
-                                   port=port, results=results,
-                                   data_regions=tuple(port.data_regions))
-        self.plan_data(compiled)
+        with obs.span("compile.program", category="compile",
+                      model=self.name, program=program.name):
+            results: dict[str, RegionResult] = {}
+            for region in program.regions:
+                results[region.name] = self.compile_region(region, program,
+                                                           port)
+            compiled = CompiledProgram(model=self.name, program=program,
+                                       port=port, results=results,
+                                       data_regions=tuple(port.data_regions))
+            self.plan_data(compiled)
+            obs.set_attr("regions_total", compiled.regions_total)
+            obs.set_attr("regions_translated", compiled.regions_translated)
         return compiled
 
     def plan_data(self, compiled: CompiledProgram) -> None:
@@ -244,14 +250,26 @@ class DirectiveCompiler(abc.ABC):
         """Check acceptance, then lower; never raises on model limits."""
         feats = scan_region(region, program)
         reads, writes = region_arrays(region, program)
-        try:
-            self.check_region(region, feats, program, port)
-            kernels, applied = self.lower_region(region, feats, program, port)
-        except UnsupportedFeatureError as exc:
-            return RegionResult(
-                region=region.name, translated=False,
-                diagnostics=[Diagnostic.from_unsupported(region.name, exc)],
-                reads=reads, writes=writes)
+        with obs.span("compile.region", category="compile",
+                      model=self.name, region=region.name):
+            try:
+                self.check_region(region, feats, program, port)
+                kernels, applied = self.lower_region(region, feats, program,
+                                                     port)
+            except UnsupportedFeatureError as exc:
+                diag = Diagnostic.from_unsupported(region.name, exc)
+                obs.set_attr("translated", False)
+                obs.set_attr("feature", diag.feature)
+                obs.set_attr("rule", diag.rule)
+                obs.set_attr("message", diag.message)
+                return RegionResult(
+                    region=region.name, translated=False,
+                    diagnostics=[diag],
+                    reads=reads, writes=writes)
+            obs.set_attr("translated", True)
+            obs.set_attr("kernels", len(kernels))
+            if applied:
+                obs.set_attr("applied", list(applied))
         return RegionResult(region=region.name, translated=True,
                             kernels=kernels, applied=applied,
                             reads=reads, writes=writes)

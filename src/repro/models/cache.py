@@ -1,0 +1,52 @@
+"""Memoized port compilation, shared by every sweep.
+
+Introduced for the lint/tv suites (PR 2) and since promoted here: the
+harness sweeps (``figure1``, ``table2``, ``profile --all``, the baseline
+gate), the linter, and the translation validator all touch every
+(benchmark, model) pair, and a port compiles identically every time, so
+each pair is lowered once per process.  :func:`clear_compile_cache`
+resets the table (tests that monkeypatch compilers need it).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.models import get_compiler, resolve_model
+
+# NOTE: repro.benchmarks is imported inside the function below —
+# benchmarks itself imports repro.models, so a module-level import
+# would be circular.
+
+#: (benchmark, model, variant) → (port, compiled)
+_COMPILE_CACHE: dict = {}
+
+
+def compile_port(benchmark: str, model: str, variant: Optional[str] = None):
+    """Resolve, compile, and cache one port.
+
+    Returns ``(port, compiled, chosen_variant)``.  Raises KeyError for
+    unknown benchmarks, models, variants, or missing ports — the CLI
+    maps these to exit code 2.
+    """
+    from repro.benchmarks import get_benchmark
+
+    bench = get_benchmark(benchmark)
+    model = resolve_model(model)
+    chosen = variant or bench.variants(model)[0]
+    if chosen not in bench.variants(model):
+        raise KeyError(
+            f"unknown variant {chosen!r} for {bench.name}/{model}; "
+            f"known: {bench.variants(model)}")
+    key = (bench.name, model, chosen)
+    if key not in _COMPILE_CACHE:
+        port = bench.port(model, chosen)
+        compiled = get_compiler(model).compile_program(port)
+        _COMPILE_CACHE[key] = (port, compiled)
+    port, compiled = _COMPILE_CACHE[key]
+    return port, compiled, chosen
+
+
+def clear_compile_cache() -> None:
+    """Drop every memoized compilation (for tests)."""
+    _COMPILE_CACHE.clear()

@@ -1,0 +1,98 @@
+"""Per-kernel bottleneck attribution: *why* is this kernel slow?
+
+The paper explains Figure 1 qualitatively — coalescing, PCIe volume,
+occupancy, special memories.  This module makes the same argument
+mechanically, from the timing components and the simulated counters:
+
+``memory``
+    the roofline's memory term dominates and the launch can actually
+    saturate DRAM (latency hiding >= 0.5).  Dominant counter: the load
+    or store side with more transactions, named by its efficiency when
+    coalescing is the problem.
+``latency``
+    the memory term dominates but the launch cannot hide latency
+    (latency hiding < 0.5): too few resident warps or too few blocks —
+    the HOTSPOT "not enough threads" story.  Dominant counter: achieved
+    occupancy plus its limiter.
+``compute``
+    the compute term dominates.  Dominant counter: branch divergence
+    when SIMT serialization is significant, otherwise raw flops.
+``transfer``
+    run-level only (kernels never wait on PCIe in the model): the
+    timeline spends more time in PCIe copies than in kernels — the
+    missing-data-region story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.gpusim.timing import KernelTiming
+from repro.obs.counters import KernelCounters
+
+#: latency-hiding factor below which a memory-bound launch is really
+#: latency-bound (cannot saturate DRAM; Fermi needs ~half the maximal
+#: resident warps, see :func:`repro.gpusim.occupancy.latency_hiding_factor`)
+LATENCY_HIDING_THRESHOLD = 0.5
+
+#: divergence above which a compute-bound kernel is charged to SIMT
+#: serialization rather than raw arithmetic volume
+DIVERGENCE_THRESHOLD = 0.3
+
+#: coalescing efficiency below which the dominant counter is the
+#: efficiency itself (the access pattern, not the data volume)
+EFFICIENCY_THRESHOLD = 0.5
+
+
+@dataclass(frozen=True)
+class Bottleneck:
+    """One kernel's attribution: the bound and the counter that names it."""
+
+    kind: str            # "memory" | "latency" | "compute" | "transfer"
+    dominant_counter: str
+    detail: str
+
+    def summary(self) -> str:
+        return f"{self.kind}-bound ({self.dominant_counter}: {self.detail})"
+
+
+def classify_kernel(timing: KernelTiming,
+                    counters: KernelCounters) -> Bottleneck:
+    """Attribute one launch to memory / latency / compute."""
+    if timing.memory_s >= timing.compute_s:
+        if counters.latency_hiding < LATENCY_HIDING_THRESHOLD:
+            return Bottleneck(
+                kind="latency",
+                dominant_counter="achieved_occupancy",
+                detail=(f"{counters.achieved_occupancy:.2f} "
+                        f"(limited by {counters.occupancy_limiter}, "
+                        f"hiding {counters.latency_hiding:.2f} of latency)"))
+        if counters.gld_transactions >= counters.gst_transactions:
+            side, eff = "gld", counters.gld_efficiency
+        else:
+            side, eff = "gst", counters.gst_efficiency
+        if eff < EFFICIENCY_THRESHOLD:
+            return Bottleneck(
+                kind="memory", dominant_counter=f"{side}_efficiency",
+                detail=f"{eff * 100:.0f}% coalesced "
+                       f"({getattr(counters, side + '_transactions'):.0f} "
+                       f"transactions)")
+        return Bottleneck(
+            kind="memory", dominant_counter=f"{side}_transactions",
+            detail=f"{getattr(counters, side + '_transactions'):.3g} "
+                   f"transactions, {counters.dram_bytes / 1e6:.1f} MB DRAM")
+    if counters.branch_divergence >= DIVERGENCE_THRESHOLD:
+        return Bottleneck(
+            kind="compute", dominant_counter="branch_divergence",
+            detail=f"{counters.branch_divergence:.2f} serialization factor")
+    return Bottleneck(
+        kind="compute", dominant_counter="flops",
+        detail=f"{counters.flops / 1e6:.1f} MFLOP at "
+               f"occ {counters.achieved_occupancy:.2f}")
+
+
+def classify_run(kernel_time_s: float, transfer_time_s: float) -> str:
+    """Run-level verdict: transfer-bound when PCIe dominates the timeline."""
+    if transfer_time_s > kernel_time_s:
+        return "transfer"
+    return "kernel"

@@ -1,0 +1,180 @@
+"""Simulated hardware counters, nvprof-style, per kernel launch.
+
+Real directive-model evaluations attribute performance with profiler
+counters (gld/gst efficiency, achieved occupancy, divergence, replays).
+Our timing model already *contains* every ingredient — the coalescing
+classification, the occupancy calculator, the divergence estimate, the
+tiling decisions — so this module derives the counter set a profiler
+would report from the same :class:`~repro.gpusim.kernel.KernelDescriptor`
+the pricing consumes.  Nothing here feeds back into timing: counters are
+a *read-only view* of the model, which is what makes them trustworthy
+for bottleneck attribution (:mod:`repro.obs.bottleneck`).
+
+Counter definitions (see ``docs/observability.md`` for the derivations):
+
+``gld_transactions`` / ``gst_transactions``
+    total 128-byte global load/store transactions: per-warp transactions
+    from the Fermi coalescing rules x executions per thread x warps.
+    Loads the port placed in constant/texture memory are excluded (they
+    appear in ``cached_special_transactions`` instead).
+``gld_efficiency`` / ``gst_efficiency``
+    useful bytes / transferred bytes, in [0, 1] — the nvprof definition.
+``branch_divergence``
+    the kernel's SIMT serialization estimate in [0, 1] (from
+    :func:`repro.ir.analysis.metrics.body_work`).
+``shared_bank_conflicts``
+    worst-case conflict *ways* for a column access into any shared-memory
+    tile (gcd of the tile row length in 4-byte words with the 32 banks);
+    0.0 when the kernel tiles nothing.  Diagnostic only.
+``achieved_occupancy`` / ``occupancy_limiter``
+    resident-warp ratio and the resource that capped it
+    ("threads" | "blocks" | "smem" | "regs" | "grid").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.gpusim.coalescing import transactions_per_warp
+from repro.gpusim.device import TESLA_M2090, DeviceSpec
+from repro.gpusim.kernel import KernelDescriptor
+from repro.gpusim.memory import MemorySpace
+from repro.gpusim.occupancy import compute_occupancy, latency_hiding_factor
+from repro.ir.analysis.access import AccessPattern
+from repro.ir.program import numpy_dtype
+
+#: shared-memory banks on compute capability 2.x
+SMEM_BANKS = 32
+
+
+@dataclass(frozen=True)
+class KernelCounters:
+    """The simulated counter set for one kernel launch."""
+
+    gld_transactions: float
+    gst_transactions: float
+    gld_efficiency: float
+    gst_efficiency: float
+    cached_special_transactions: float
+    branch_divergence: float
+    shared_bank_conflicts: float
+    achieved_occupancy: float
+    occupancy_limiter: str
+    latency_hiding: float
+    warps: int
+    flops: float
+    dram_bytes: float
+
+    def to_dict(self) -> dict:
+        return {
+            "gld_transactions": round(self.gld_transactions, 3),
+            "gst_transactions": round(self.gst_transactions, 3),
+            "gld_efficiency": round(self.gld_efficiency, 4),
+            "gst_efficiency": round(self.gst_efficiency, 4),
+            "cached_special_transactions":
+                round(self.cached_special_transactions, 3),
+            "branch_divergence": round(self.branch_divergence, 4),
+            "shared_bank_conflicts": round(self.shared_bank_conflicts, 2),
+            "achieved_occupancy": round(self.achieved_occupancy, 4),
+            "occupancy_limiter": self.occupancy_limiter,
+            "latency_hiding": round(self.latency_hiding, 4),
+            "warps": self.warps,
+            "flops": round(self.flops, 1),
+            "dram_bytes": round(self.dram_bytes, 1),
+        }
+
+
+def _bank_conflict_ways(tile_dims: tuple[int, ...], elem_bytes: int) -> float:
+    """Conflict ways of a column access into a row-major shared tile."""
+    if not tile_dims:
+        return 0.0
+    words = max(1, elem_bytes // 4)
+    row_words = max(1, int(tile_dims[-1])) * words
+    return float(math.gcd(row_words, SMEM_BANKS))
+
+
+def derive_counters(desc: KernelDescriptor,
+                    spec: DeviceSpec = TESLA_M2090) -> KernelCounters:
+    """Compute the counter set for one launch of ``desc`` on ``spec``."""
+    occ = compute_occupancy(spec, desc.block_threads, desc.grid_blocks,
+                            smem_per_block=desc.smem_per_block,
+                            regs_per_thread=desc.regs_per_thread)
+    warps = max(1, -(-desc.total_threads // spec.warp_size))
+    elem = numpy_dtype(desc.dtype).itemsize
+    tbytes = spec.transaction_bytes
+
+    gld = gst = special = 0.0
+    gld_useful = gld_moved = 0.0
+    gst_useful = gst_moved = 0.0
+    for ref, count in desc.access.refs:
+        txns = transactions_per_warp(ref, elem, spec)
+        useful = (elem if ref.pattern is AccessPattern.UNIFORM
+                  else spec.warp_size * elem)
+        total_txns = txns * count * warps
+        space = desc.placements.get(ref.array, MemorySpace.GLOBAL)
+        if not ref.is_store and space in (MemorySpace.CONSTANT,
+                                          MemorySpace.TEXTURE):
+            special += total_txns
+            continue
+        if ref.is_store:
+            gst += total_txns
+            gst_useful += useful * count * warps
+            gst_moved += txns * tbytes * count * warps
+        else:
+            gld += total_txns
+            gld_useful += useful * count * warps
+            gld_moved += txns * tbytes * count * warps
+
+    conflicts = 0.0
+    for t in desc.tiling:
+        conflicts = max(conflicts, _bank_conflict_ways(tuple(t.tile_dims),
+                                                       elem))
+
+    dram_bytes = gld_moved + gst_moved
+    return KernelCounters(
+        gld_transactions=gld,
+        gst_transactions=gst,
+        gld_efficiency=(min(1.0, gld_useful / gld_moved)
+                        if gld_moved > 0 else 1.0),
+        gst_efficiency=(min(1.0, gst_useful / gst_moved)
+                        if gst_moved > 0 else 1.0),
+        cached_special_transactions=special,
+        branch_divergence=desc.divergence,
+        shared_bank_conflicts=conflicts,
+        achieved_occupancy=occ.occupancy,
+        occupancy_limiter=occ.limited_by,
+        latency_hiding=latency_hiding_factor(occ),
+        warps=warps,
+        flops=desc.flops_per_thread * desc.total_threads,
+        dram_bytes=dram_bytes,
+    )
+
+
+@dataclass(frozen=True)
+class TransferCounters:
+    """PCIe counters for one host<->device copy."""
+
+    pcie_bytes: int
+    direction: str
+    pcie_utilization: float  # achieved / peak link bandwidth, in (0, 1]
+
+    def to_dict(self) -> dict:
+        return {"pcie_bytes": self.pcie_bytes, "direction": self.direction,
+                "pcie_utilization": round(self.pcie_utilization, 4)}
+
+
+def transfer_counters(nbytes: int, direction: str, time_s: float,
+                      spec: DeviceSpec = TESLA_M2090) -> TransferCounters:
+    """Counters for one transfer priced at ``time_s`` on ``spec``.
+
+    Utilization below 1.0 is pure latency overhead: the fixed PCIe setup
+    cost dominating a small copy (the per-region-transfer story).
+    """
+    if time_s <= 0 or nbytes <= 0:
+        util = 0.0
+    else:
+        util = min(1.0, (nbytes / spec.pcie_bytes_per_s) / time_s)
+    return TransferCounters(pcie_bytes=int(nbytes), direction=direction,
+                            pcie_utilization=util)

@@ -1,0 +1,145 @@
+"""Tracer core: span nesting, ambient helpers, JSONL round-trip."""
+
+import json
+
+import pytest
+
+from repro.gpusim.device import TESLA_C2050, TESLA_M2090
+from repro.gpusim.timing import TimingConfig
+from repro.obs.tracer import (JSONL_SCHEMA, Span, Tracer, add_counter,
+                              add_counters, config_hash, current_tracer,
+                              make_manifest, read_jsonl, set_attr, span,
+                              tracing)
+
+
+class TestSpanTree:
+    def test_nesting_and_order(self):
+        tr = Tracer()
+        with tr.span("outer", "a"):
+            with tr.span("first", "b"):
+                pass
+            with tr.span("second", "b"):
+                with tr.span("leaf", "c"):
+                    pass
+        # document order is start order
+        assert [s.name for s in tr.spans] == ["outer", "first", "second",
+                                              "leaf"]
+        outer, first, second, leaf = tr.spans
+        assert outer.parent_id is None
+        assert first.parent_id == outer.span_id
+        assert second.parent_id == outer.span_id
+        assert leaf.parent_id == second.span_id
+        assert tr.children_of(outer) == [first, second]
+
+    def test_durations_closed_and_contained(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner"):
+                pass
+        outer, inner = tr.spans
+        assert outer.dur_s is not None and inner.dur_s is not None
+        assert inner.t0_s >= outer.t0_s
+        assert inner.t0_s + inner.dur_s <= outer.t0_s + outer.dur_s + 1e-9
+
+    def test_attrs_and_counters_go_to_innermost(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            tr.set_attr("who", "outer")
+            with tr.span("inner"):
+                tr.set_attr("who", "inner")
+                tr.add_counter("n", 3)
+        outer, inner = tr.spans
+        assert outer.attrs["who"] == "outer"
+        assert inner.attrs["who"] == "inner"
+        assert inner.counters == {"n": 3}
+
+    def test_find_by_name_and_category(self):
+        tr = Tracer()
+        with tr.span("a", "x"):
+            with tr.span("b", "y"):
+                pass
+        assert [s.name for s in tr.find(category="y")] == ["b"]
+        assert len(tr.find(name="a", category="x")) == 1
+
+
+class TestAmbientHelpers:
+    def test_noop_without_tracer(self):
+        assert current_tracer() is None
+        with span("anything", "cat") as sp:
+            assert sp is None
+        set_attr("k", 1)       # must not raise
+        add_counter("c", 2)
+        add_counters({"d": 3})
+
+    def test_tracing_installs_and_restores(self):
+        tr = Tracer()
+        with tracing(tr):
+            assert current_tracer() is tr
+            with span("op", "cat", tag=7):
+                set_attr("extra", True)
+                add_counters({"n": 1, "m": 2})
+        assert current_tracer() is None
+        (sp,) = tr.spans
+        assert sp.attrs == {"tag": 7, "extra": True}
+        assert sp.counters == {"n": 1, "m": 2}
+
+
+class TestJsonlSink:
+    def _traced(self):
+        tr = Tracer(manifest=make_manifest(TESLA_M2090, TimingConfig(),
+                                           "test", note="unit"))
+        with tr.span("outer", "harness", benchmark="JACOBI"):
+            with tr.span("launch", "gpu.launch"):
+                tr.add_counter("gld_transactions", 42.0)
+        return tr
+
+    def test_round_trip(self, tmp_path):
+        tr = self._traced()
+        path = tmp_path / "trace.jsonl"
+        tr.write_jsonl(str(path))
+        doc = read_jsonl(str(path))
+        assert doc.manifest is not None
+        assert doc.manifest.device == "Tesla M2090"
+        assert doc.manifest.scale == "test"
+        assert doc.manifest.extra == {"note": "unit"}
+        assert [s.name for s in doc.spans] == [s.name for s in tr.spans]
+        launch = doc.find(name="launch", category="gpu.launch")[0]
+        assert launch.counters["gld_transactions"] == 42.0
+        assert launch.parent_id == doc.spans[0].span_id
+
+    def test_schema_of_lines(self, tmp_path):
+        tr = self._traced()
+        path = tmp_path / "trace.jsonl"
+        tr.write_jsonl(str(path))
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines() if line]
+        assert lines[0]["type"] == "manifest"
+        assert lines[0]["schema"] == JSONL_SCHEMA
+        assert lines[0]["config_hash"] == config_hash(TESLA_M2090,
+                                                      TimingConfig())
+        for rec in lines[1:]:
+            assert rec["type"] == "span"
+            assert {"id", "parent", "name", "cat", "t0_us", "dur_us",
+                    "attrs", "counters"} <= set(rec)
+
+    def test_chrome_events(self):
+        tr = self._traced()
+        events = tr.chrome_events(pid=1000)
+        flames = [e for e in events if e["ph"] == "X"]
+        assert len(flames) == len(tr.spans)
+        assert all(e["pid"] == 1000 for e in events)
+        assert any(e["name"] == "process_name" for e in events)
+        launch = next(e for e in flames if e["name"] == "launch")
+        assert launch["args"]["gld_transactions"] == 42.0
+
+
+class TestConfigHash:
+    def test_deterministic(self):
+        assert config_hash(TESLA_M2090, TimingConfig()) == \
+            config_hash(TESLA_M2090, TimingConfig())
+
+    def test_sensitive_to_device_and_timing(self):
+        base = config_hash(TESLA_M2090, TimingConfig())
+        assert config_hash(TESLA_C2050, TimingConfig()) != base
+        assert config_hash(TESLA_M2090,
+                           TimingConfig(model_coalescing=False)) != base

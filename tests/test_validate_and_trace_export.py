@@ -82,4 +82,40 @@ class TestChromeTrace:
         path = tmp_path / "trace.json"
         rt.profiler.dump_chrome_trace(str(path))
         data = json.loads(path.read_text())
-        assert len(data["traceEvents"]) == 3
+        assert data["displayTimeUnit"] == "ms"
+        events = data["traceEvents"]
+        duration = [e for e in events if e["ph"] == "X"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        assert len(duration) == 3  # htod + kernel + dtoh
+        names = {e["name"] for e in metadata}
+        assert {"process_name", "thread_name"} <= names
+        # kernel and PCIe rows are distinct tids within the device's pid
+        tids = {(e["pid"], e["tid"]) for e in duration}
+        assert len(tids) == 2
+
+    def test_kernel_event_carries_counters(self):
+        rt = self._run()
+        kernel = next(e for e in rt.profiler.to_chrome_trace()
+                      if e["cat"] == "kernel")
+        assert "gld_transactions" in kernel["args"]
+        assert "achieved_occupancy" in kernel["args"]
+
+    def test_multigpu_devices_get_distinct_pids(self):
+        from repro.gpusim.profiler import (Profiler, chrome_trace_document,
+                                           LaunchRecord)
+        from repro.gpusim.timing import KernelTiming
+        timing = KernelTiming(name="k", time_s=1e-4, compute_s=1e-4,
+                              memory_s=5e-5, launch_s=5e-6, occupancy=0.5,
+                              dram_bytes=1000, flops=1000, bound="compute")
+        profs = []
+        for d in range(3):
+            p = Profiler(device=d)
+            p.record_launch(LaunchRecord(kernel="k", timing=timing,
+                                         start_s=0.0))
+            profs.append(p)
+        doc = chrome_trace_document(profs)
+        kernel_events = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert {e["pid"] for e in kernel_events} == {0, 1, 2}
+        proc_names = [e for e in doc["traceEvents"]
+                      if e["name"] == "process_name"]
+        assert len({e["pid"] for e in proc_names}) == 3
