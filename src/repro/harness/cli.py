@@ -15,9 +15,18 @@ Subcommands regenerate the paper's evaluation artifacts:
 * ``profile [BENCH MODEL]`` — per-kernel simulated counters with
   bottleneck attribution (``--all`` sweeps the Figure-1 matrix;
   ``--jsonl``/``--chrome`` write the trace artifacts);
+* ``passes [BENCH MODEL]`` — the pass-pipeline report: per-pass state
+  diffs and, for untranslated regions, which pass rejected them
+  (``--all`` for the one-line-per-region suite smoke);
 * ``baseline record|check`` — the perf-regression gate over the
   committed baseline (``check`` exits 2 on regression/drift);
 * ``all`` — everything (the EXPERIMENTS.md payload).
+
+Exit-code contract (pinned by ``tests/test_cli_errors.py``): 0 clean,
+1 on gated findings, 2 on usage errors.  Usage errors — unknown
+benchmark/model/variant, contradictory flags — are raised as
+:class:`UsageError` anywhere in a subcommand and mapped to a stderr
+message plus exit 2 in exactly one place (:func:`main`).
 """
 
 from __future__ import annotations
@@ -34,6 +43,29 @@ from repro.harness.report import (render_figure1, render_figure1_csv,
 from repro.harness.runner import (run_coverage_and_codesize, run_speedups)
 from repro.harness.validate import validate_suite
 from repro.models.features import render_table1
+
+
+class UsageError(Exception):
+    """A CLI usage error: message goes to stderr, process exits 2."""
+
+
+def _require_port_args(cmd: str, args: argparse.Namespace) -> None:
+    """BENCH and MODEL are mandatory for port subcommands without --all."""
+    if getattr(args, "all_ports", False):
+        return
+    if not args.benchmark or not args.model:
+        raise UsageError(
+            f"{cmd}: BENCH and MODEL are required unless --all is given")
+
+
+def _resolve_port(cmd: str, fn, *fn_args, **fn_kwargs):
+    """Run a port-resolving callable, mapping the KeyErrors the model /
+    benchmark / variant lookups raise (argparse cannot pre-validate
+    aliases or per-benchmark variants) to :class:`UsageError`."""
+    try:
+        return fn(*fn_args, **fn_kwargs)
+    except KeyError as exc:
+        raise UsageError(f"{cmd}: {exc.args[0]}") from exc
 
 
 def _cmd_table1(_args: argparse.Namespace) -> int:
@@ -64,21 +96,13 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    try:
-        bench = get_benchmark(args.benchmark)
-        known = bench.variants(args.model)
-        if args.variant != "best" and args.variant not in known:
-            print(f"run: unknown variant {args.variant!r} for "
-                  f"{bench.name}/{args.model}; known: {list(known)}",
-                  file=sys.stderr)
-            return 2
-        outcome = bench.run(args.model, args.variant, scale=args.scale,
-                            execute=True)
-    except KeyError as exc:
-        # unknown variant (bench/model are argparse-validated): exit
-        # cleanly instead of dumping a traceback
-        print(f"run: {exc.args[0]}", file=sys.stderr)
-        return 2
+    bench = _resolve_port("run", get_benchmark, args.benchmark)
+    known = _resolve_port("run", bench.variants, args.model)
+    if args.variant != "best" and args.variant not in known:
+        raise UsageError(f"run: unknown variant {args.variant!r} for "
+                         f"{bench.name}/{args.model}; known: {list(known)}")
+    outcome = _resolve_port("run", bench.run, args.model, args.variant,
+                            scale=args.scale, execute=True)
     print(outcome.speedup.summary())
     if outcome.validated is not None:
         print(f"validation: {'PASS' if outcome.validated else 'FAIL'}")
@@ -114,9 +138,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.metrics.lintstats import lint_density, render_lint_density
 
     if args.sarif and args.json:
-        print("lint: --sarif and --json are mutually exclusive",
-              file=sys.stderr)
-        return 2
+        raise UsageError("lint: --sarif and --json are mutually exclusive")
     threshold = Severity.parse(args.fail_on) if args.fail_on else None
     if args.all_ports:
         records = lint_suite()
@@ -145,17 +167,9 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             for rec, f in over:
                 print(f"  {f.rule} {f.severity} {f.location()}: {f.message}")
         return 1 if over else 0
-    if not args.benchmark or not args.model:
-        print("lint: BENCH and MODEL are required unless --all is given",
-              file=sys.stderr)
-        return 2
-    try:
-        report = lint_port(args.benchmark, args.model, variant=args.variant)
-    except KeyError as exc:
-        # unknown benchmark/model/variant: argparse can't pre-validate
-        # these (aliases, per-benchmark variants), so fail cleanly here
-        print(f"lint: {exc.args[0]}", file=sys.stderr)
-        return 2
+    _require_port_args("lint", args)
+    report = _resolve_port("lint", lint_port, args.benchmark, args.model,
+                           variant=args.variant)
     if args.sarif:
         print(json.dumps(report_to_sarif(report), indent=2))
     elif args.json:
@@ -196,16 +210,9 @@ def _cmd_tv(args: argparse.Namespace) -> int:
                 print(f"  {rec.benchmark}/{rec.model}:{c.region}")
                 print(f"    {c.detail}")
         return 1 if refuted else 0
-    if not args.benchmark or not args.model:
-        print("tv: BENCH and MODEL are required unless --all is given",
-              file=sys.stderr)
-        return 2
-    try:
-        record = validate_port(args.benchmark, args.model,
-                               variant=args.variant)
-    except KeyError as exc:
-        print(f"tv: {exc.args[0]}", file=sys.stderr)
-        return 2
+    _require_port_args("tv", args)
+    record = _resolve_port("tv", validate_port, args.benchmark, args.model,
+                           variant=args.variant)
     if args.json:
         payload = {"benchmark": record.benchmark, "model": record.model,
                    "variant": record.variant,
@@ -232,23 +239,17 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.gpusim.device import TESLA_M2090
     from repro.gpusim.timing import TimingConfig
 
-    if not args.all_ports and (not args.benchmark or not args.model):
-        print("profile: BENCH and MODEL are required unless --all is given",
-              file=sys.stderr)
-        return 2
-    try:
-        if args.all_ports:
-            profiles, tracer = profile_suite(scale=args.scale)
-        else:
-            tracer = Tracer(manifest=make_manifest(
-                TESLA_M2090, TimingConfig(), args.scale))
-            with tracing(tracer):
-                profiles = [profile_run(args.benchmark, args.model,
-                                        variant=args.variant,
-                                        scale=args.scale)]
-    except KeyError as exc:
-        print(f"profile: {exc.args[0]}", file=sys.stderr)
-        return 2
+    _require_port_args("profile", args)
+    if args.all_ports:
+        profiles, tracer = profile_suite(scale=args.scale)
+    else:
+        tracer = Tracer(manifest=make_manifest(
+            TESLA_M2090, TimingConfig(), args.scale))
+        with tracing(tracer):
+            profiles = [_resolve_port("profile", profile_run,
+                                      args.benchmark, args.model,
+                                      variant=args.variant,
+                                      scale=args.scale)]
     if args.json:
         print(json.dumps([p.to_dict() for p in profiles], indent=2))
     elif args.all_ports:
@@ -289,16 +290,42 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
         print(diff.render())
         return 2 if diff.failed else 0
     except FileNotFoundError:
-        print(f"baseline: no baseline at {path!r} — run "
-              f"'repro-harness baseline record' first", file=sys.stderr)
-        return 2
+        raise UsageError(f"baseline: no baseline at {path!r} — run "
+                         f"'repro-harness baseline record' first") from None
     except KeyError as exc:
-        print(f"baseline: {exc.args[0]}", file=sys.stderr)
-        return 2
+        raise UsageError(f"baseline: {exc.args[0]}") from exc
+
+
+def _cmd_passes(args: argparse.Namespace) -> int:
+    from repro.models import DIRECTIVE_MODELS
+    from repro.models.cache import compile_port
+    from repro.pipeline import render_pass_report, render_pass_summary
+
+    if args.all_ports:
+        # the suite smoke: one line per region, every Table-II port
+        rejected = 0
+        for bench_name in BENCHMARK_ORDER:
+            for model in DIRECTIVE_MODELS:
+                _, compiled, variant = compile_port(bench_name, model)
+                print(f"{compiled.program.name} / {model} ({variant}): "
+                      f"{compiled.regions_translated}/"
+                      f"{compiled.regions_total} regions")
+                print(render_pass_summary(compiled))
+                rejected += (compiled.regions_total
+                             - compiled.regions_translated)
+        print(f"\n{rejected} region(s) rejected across the suite "
+              "(expected: Table II's uncovered regions)")
+        return 0
+    _require_port_args("passes", args)
+    _, compiled, _ = _resolve_port("passes", compile_port, args.benchmark,
+                                   args.model, args.variant)
+    print(render_pass_report(compiled))
+    return 0
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
     from repro.harness.report import render_bottleneck_section
+    from repro.models.cache import cache_stats
     from repro.obs.profile import profile_suite
 
     print("Table I")
@@ -311,6 +338,11 @@ def _cmd_all(args: argparse.Namespace) -> int:
     print()
     profiles, _ = profile_suite(scale=args.scale)
     print(render_bottleneck_section(profiles))
+    stats = cache_stats()
+    print()
+    print(f"artifact store: {stats['entries']} compilations for "
+          f"{stats['hits'] + stats['misses']} requests "
+          f"({stats['hits']} hits, {stats['misses']} misses)")
     return 0
 
 
@@ -415,6 +447,20 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a chrome://tracing document")
     p_prof.set_defaults(func=_cmd_profile)
 
+    p_pass = sub.add_parser(
+        "passes", help="pass-pipeline report: per-pass state diffs and "
+                       "rejection attribution for one port or --all")
+    p_pass.add_argument("benchmark", nargs="?", default=None,
+                        help="benchmark name (e.g. jacobi)")
+    p_pass.add_argument("model", nargs="?", default=None,
+                        help="model name or alias (e.g. openacc)")
+    p_pass.add_argument("--variant", default=None,
+                        help="port variant (default: the model's best)")
+    p_pass.add_argument("--all", action="store_true", dest="all_ports",
+                        help="one summary line per region for every "
+                             "benchmark x model pair")
+    p_pass.set_defaults(func=_cmd_passes)
+
     p_base = sub.add_parser(
         "baseline", help="record or check the perf-regression baseline")
     p_base.add_argument("action", choices=("record", "check"))
@@ -438,7 +484,11 @@ def main(argv: list[str] | None = None) -> int:
     p_all.set_defaults(func=_cmd_all)
 
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except UsageError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -4,28 +4,27 @@ Produces the raw material for Table II and Figure 1.  Timing sweeps run
 at paper scale with functional execution off (the analytical model only
 needs shapes); coverage/code-size come straight from compilation.
 
-Compilation is memoized through :func:`repro.models.cache.compile_port`
-(shared with the lint/tv suites and the profiler), so a full evaluation
-lowers each registry port once even though the coverage, code-size, and
-speedup sweeps all visit it; benchmark instances that are not the
-registry's (test subclasses) fall back to direct compilation.
+Compilation goes through the shared artifact store
+(:mod:`repro.models.cache`), so a full evaluation lowers each registry
+port once even though the coverage, code-size, and speedup sweeps all
+visit it; benchmark instances that are not the registry's (test
+subclasses) are content-addressed by the store itself.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Mapping, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.benchmarks.base import Benchmark
-from repro.benchmarks.registry import BENCHMARK_ORDER, get_benchmark, \
-    iter_suite
+from repro.benchmarks.registry import iter_suite
 from repro.gpusim.device import TESLA_M2090, DeviceSpec
 from repro.gpusim.timing import TimingConfig
 from repro.metrics.codesize import CodeSizeReport
 from repro.metrics.coverage import CoverageReport
 from repro.metrics.speedup import BenchmarkSpeedups
-from repro.models import DIRECTIVE_MODELS, get_compiler
-from repro.models.cache import compile_port
+from repro.models import DIRECTIVE_MODELS
+from repro.models.cache import compile_bench
 from repro.obs import tracer as obs
 
 #: Figure 1's model set (R-Stream excluded, as in the paper, for its
@@ -48,20 +47,6 @@ class EvaluationResults:
         default_factory=dict)
 
 
-def _compile_cached(bench: Benchmark, model: str, variant: str):
-    """(port, compiled) via the shared memo when ``bench`` is the
-    registry's instance for its name; direct compilation otherwise."""
-    try:
-        registered = get_benchmark(bench.name)
-    except KeyError:
-        registered = None
-    if registered is not None and type(registered) is type(bench):
-        port, compiled, _ = compile_port(bench.name, model, variant)
-        return port, compiled
-    port = bench.port(model, variant)
-    return port, get_compiler(model).compile_program(port)
-
-
 def run_coverage_and_codesize(
         benchmarks: Optional[Sequence[Benchmark]] = None,
 ) -> EvaluationResults:
@@ -72,7 +57,7 @@ def run_coverage_and_codesize(
         cov = CoverageReport(model=model)
         size = CodeSizeReport(model=model)
         for bench in benches:
-            port, compiled = _compile_cached(bench, model, "best")
+            port, compiled = compile_bench(bench, model, "best")
             cov.add(compiled)
             size.add_port(bench.program, port)
         results.coverage[model] = cov
@@ -95,7 +80,7 @@ def run_speedups(benchmarks: Optional[Sequence[Benchmark]] = None,
             for model in models:
                 record = BenchmarkSpeedups(benchmark=bench.name, model=model)
                 for variant in bench.variants(model):
-                    _, compiled = _compile_cached(bench, model, variant)
+                    _, compiled = compile_bench(bench, model, variant)
                     outcome = bench.run(model, variant, scale=scale,
                                         execute=False, validate=False,
                                         device=device, timing=timing,

@@ -95,6 +95,26 @@ class LintContext:
     def model(self) -> str:
         return self.compiled.model if self.compiled is not None else ""
 
+    def pre_transform_ir(self, region_name: str):
+        """The region's work-sharing IR as the pipeline saw it *before*
+        the transform stage (loop swaps, collapses, inlining).
+
+        Rules that reason about what the programmer wrote — rather than
+        what the compiler made of it — should use this instead of the
+        kernels' loop nests.  Falls back to the region body when no
+        compiled program (or no pipeline snapshot) is available.
+        """
+        if self.compiled is not None:
+            result = self.compiled.results.get(region_name)
+            if result is not None:
+                snap = result.snapshot_before("transform")
+                if snap is not None:
+                    return snap
+        for region in self.program.regions:
+            if region.name == region_name:
+                return region.body
+        return None
+
     def finding(self, rule_id: str, message: str, *,
                 severity: Optional[Severity] = None, region: str = "",
                 array: str = "", loop: str = "", kernel: str = "",

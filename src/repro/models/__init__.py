@@ -61,12 +61,12 @@ def resolve_model(name: str) -> str:
 
 
 def get_compiler(name: str) -> DirectiveCompiler:
-    """Instantiate a compiler by its paper name (or alias)."""
-    try:
-        return COMPILERS[resolve_model(name)]()
-    except KeyError:
-        raise KeyError(
-            f"unknown model {name!r}; known: {sorted(COMPILERS)}") from None
+    """Instantiate a compiler by its paper name (or alias).
+
+    Unknown names raise :func:`resolve_model`'s ``KeyError`` — the one
+    place that error message (with the alias list) is composed.
+    """
+    return COMPILERS[resolve_model(name)]()
 
 
 __all__ = [

@@ -39,6 +39,8 @@ from repro.ir.program import ParallelRegion, Program
 from repro.ir.stmt import Block, For, LocalDecl, Stmt
 from repro.ir.transforms.tiling import TilingDecision
 from repro.obs import tracer as obs
+from repro.pipeline.core import PassManager, PassRecord, ProgramPass, RegionPass
+from repro.pipeline.passes import grid_nest, region_arrays
 
 Value = Union[int, float]
 
@@ -131,24 +133,26 @@ class Diagnostic:
     ``rule`` is the stable lint rule ID for this limitation — derived
     from the feature name (``"non-affine"`` → ``"COV-NON-AFFINE"``) so
     coverage accounting (Table II) and ``repro.lint`` consume one
-    format.
+    format.  ``pass_name`` attributes the rejection to the pipeline pass
+    that raised it (empty for diagnostics minted outside a pipeline).
     """
 
     region: str
     feature: str
     message: str
     rule: str = ""
+    pass_name: str = ""
 
     def __post_init__(self) -> None:
         if not self.rule:
             self.rule = "COV-" + self.feature.upper()
 
     @classmethod
-    def from_unsupported(cls, region: str,
-                         exc: UnsupportedFeatureError) -> "Diagnostic":
+    def from_unsupported(cls, region: str, exc: UnsupportedFeatureError,
+                         pass_name: str = "") -> "Diagnostic":
         """The one constructor every compiler's rejection path uses."""
         return cls(getattr(exc, "region", "") or region,
-                   exc.feature, str(exc))
+                   exc.feature, str(exc), pass_name=pass_name)
 
 
 @dataclass
@@ -164,6 +168,33 @@ class RegionResult:
     #: arrays this region reads / writes (for the transfer planner)
     reads: frozenset[str] = frozenset()
     writes: frozenset[str] = frozenset()
+    #: per-pass provenance records from the pipeline (what ran, what
+    #: changed, state snapshots) — consumed by lint, tv, and the
+    #: ``repro-harness passes`` report
+    passes: list[PassRecord] = field(default_factory=list)
+
+    def record(self, pass_name: str) -> Optional[PassRecord]:
+        """The record of the named pass, if it ran for this region."""
+        for rec in self.passes:
+            if rec.name == pass_name:
+                return rec
+        return None
+
+    def snapshot_before(self, stage: str) -> Optional[Block]:
+        """The region IR as it stood before the first pass of ``stage``
+        — e.g. ``snapshot_before("transform")`` is the pre-transform IR
+        lint rules may want to inspect.
+        """
+        from repro.pipeline.core import stage_index
+
+        limit = stage_index(stage)
+        best: Optional[Block] = None
+        for rec in self.passes:
+            if stage_index(rec.stage) >= limit:
+                break
+            if rec.ir is not None:
+                best = rec.ir
+        return best
 
 
 @dataclass
@@ -213,14 +244,31 @@ class CompiledProgram:
 class DirectiveCompiler(abc.ABC):
     """Base class of the model compilers.
 
-    Subclasses implement :meth:`check_region` (the model's applicability
-    limits — raising :class:`UnsupportedFeatureError`) and
-    :meth:`lower_region` (building the kernels, applying the model's
-    automatic and directive-driven transformations).
+    Each compiler is an ordered pass list: subclasses implement
+    :meth:`build_pipeline`, assembling passes from
+    :mod:`repro.pipeline.passes` (plus their own model-specific passes)
+    into the canonical stage order.  The shared
+    :class:`~repro.pipeline.core.PassManager` runs the list per region,
+    recording per-pass provenance; a pass that rejects the region raises
+    :class:`UnsupportedFeatureError` and becomes a pass-attributed
+    :class:`Diagnostic` (the coverage misses of Table II).
     """
 
     #: model name as it appears in the paper's tables
     name: str = "abstract"
+
+    @abc.abstractmethod
+    def build_pipeline(self) -> Sequence[Union[RegionPass, ProgramPass]]:
+        """Assemble this model's ordered pass list."""
+
+    @property
+    def pipeline(self) -> PassManager:
+        """The model's pass manager (built once, then cached)."""
+        mgr = self.__dict__.get("_pipeline")
+        if mgr is None:
+            mgr = PassManager(self.name, self.build_pipeline())
+            self.__dict__["_pipeline"] = mgr
+        return mgr
 
     def compile_program(self, port: PortSpec) -> CompiledProgram:
         """Compile every parallel region of the port's program."""
@@ -237,141 +285,38 @@ class DirectiveCompiler(abc.ABC):
             compiled = CompiledProgram(model=self.name, program=program,
                                        port=port, results=results,
                                        data_regions=tuple(port.data_regions))
-            self.plan_data(compiled)
+            self.pipeline.run_program(compiled)
             obs.set_attr("regions_total", compiled.regions_total)
             obs.set_attr("regions_translated", compiled.regions_translated)
         return compiled
 
-    def plan_data(self, compiled: CompiledProgram) -> None:
-        """Hook: augment the transfer plan (interprocedural compilers)."""
-
     def compile_region(self, region: ParallelRegion, program: Program,
                        port: PortSpec) -> RegionResult:
-        """Check acceptance, then lower; never raises on model limits."""
-        feats = scan_region(region, program)
-        reads, writes = region_arrays(region, program)
+        """Run the region pipeline; never raises on model limits."""
         with obs.span("compile.region", category="compile",
                       model=self.name, region=region.name):
-            try:
-                self.check_region(region, feats, program, port)
-                kernels, applied = self.lower_region(region, feats, program,
-                                                     port)
-            except UnsupportedFeatureError as exc:
-                diag = Diagnostic.from_unsupported(region.name, exc)
+            comp = self.pipeline.run_region(region, program, port)
+            if not comp.translated:
+                diag = Diagnostic.from_unsupported(
+                    region.name, comp.error, pass_name=comp.failed_pass)
                 obs.set_attr("translated", False)
                 obs.set_attr("feature", diag.feature)
                 obs.set_attr("rule", diag.rule)
                 obs.set_attr("message", diag.message)
+                obs.set_attr("failed_pass", comp.failed_pass)
                 return RegionResult(
                     region=region.name, translated=False,
                     diagnostics=[diag],
-                    reads=reads, writes=writes)
+                    reads=comp.reads, writes=comp.writes,
+                    passes=comp.records)
             obs.set_attr("translated", True)
-            obs.set_attr("kernels", len(kernels))
-            if applied:
-                obs.set_attr("applied", list(applied))
+            obs.set_attr("kernels", len(comp.kernels))
+            if comp.applied:
+                obs.set_attr("applied", list(comp.applied))
         return RegionResult(region=region.name, translated=True,
-                            kernels=kernels, applied=applied,
-                            reads=reads, writes=writes)
-
-    def reject(self, region: ParallelRegion, feature: str, detail: str,
-               cause: Optional[BaseException] = None) -> None:
-        """Reject ``region``: raise the model-limit error all five
-        compilers funnel through, tagged with the region name so the
-        resulting :class:`Diagnostic` (and its ``COV-*`` lint rule ID)
-        is built in exactly one place."""
-        exc = UnsupportedFeatureError(feature, detail, region=region.name)
-        if cause is not None:
-            raise exc from cause
-        raise exc
-
-    @abc.abstractmethod
-    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec) -> None:
-        """Raise :class:`UnsupportedFeatureError` if the model rejects it."""
-
-    @abc.abstractmethod
-    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec,
-                     ) -> tuple[list[Kernel], list[str]]:
-        """Build kernels for an accepted region."""
-
-    # -- shared lowering helpers -----------------------------------------
-    def kernels_from_worksharing(self, region: ParallelRegion,
-                                 program: Program, port: PortSpec,
-                                 transform: Optional[Callable[[For], tuple[For, list[str]]]] = None,
-                                 extra_pattern_overrides: Optional[Mapping[str, object]] = None,
-                                 extra_private_orientations: Optional[Mapping[str, str]] = None,
-                                 default_private_orientation: Optional[str] = None,
-                                 extra_tiling: Sequence[TilingDecision] = (),
-                                 ) -> tuple[list[Kernel], list[str]]:
-        """One kernel per outermost work-sharing loop.
-
-        ``transform`` optionally rewrites each loop (auto optimizations)
-        and reports what it did.  The ``extra_*`` mappings are the
-        compiler's own decisions, merged over the port's options.
-        ``default_private_orientation`` applies to private arrays neither
-        the port nor the compiler placed (PGI-style row expansion).
-        """
-        opts = port.options_for(region.name)
-        kernels: list[Kernel] = []
-        applied: list[str] = []
-        loops = region.worksharing_loops()
-        if not loops:
-            self.reject(region, "no-worksharing-loop",
-                        f"region {region.name!r} has no work-sharing loop")
-        reads, writes = region_arrays(region, program)
-        arrays = sorted(reads | writes)
-        scalars = sorted(program.scalars)
-        overrides = dict(opts.pattern_overrides)
-        overrides.update(extra_pattern_overrides or {})
-        monotone = tuple(sorted(
-            name for name, decl in program.arrays.items()
-            if decl.monotone_content))
-        orientations = dict(opts.private_orientations)
-        orientations.update(extra_private_orientations or {})
-        tiling = tuple(opts.tiling) + tuple(extra_tiling)
-        for n, loop in enumerate(loops):
-            body: For = loop
-            if transform is not None:
-                body, notes = transform(loop)
-                applied.extend(notes)
-            if default_private_orientation is not None:
-                for stmt in body.walk():
-                    if isinstance(stmt, LocalDecl) and stmt.shape:
-                        orientations.setdefault(stmt.name,
-                                                default_private_orientation)
-            nest = grid_nest(body)
-            kernels.append(Kernel(
-                name=f"{program.name}_{region.name}_k{n}",
-                body=body, thread_vars=nest, arrays=arrays, scalars=scalars,
-                block_threads=opts.block_threads or DEFAULT_BLOCK,
-                placements=dict(opts.placements),
-                tiling=tiling,
-                regs_per_thread=opts.regs_per_thread,
-                indirect_carriers=opts.indirect_carriers,
-                monotone_carriers=monotone,
-                pattern_overrides=overrides,
-                private_orientations=orientations))
-        return kernels, applied
-
-
-def grid_nest(loop: For, max_dims: int = 3) -> list[str]:
-    """The contiguous outermost parallel nest of ``loop`` (grid mapping)."""
-    nest = [loop.var]
-    node = loop
-    while len(nest) < max_dims:
-        inner = [s for s in node.body.stmts if isinstance(s, For) and s.parallel]
-        others = [s for s in node.body.stmts
-                  if not isinstance(s, (For, LocalDecl))]
-        seq = [s for s in node.body.stmts
-               if isinstance(s, For) and not s.parallel]
-        if len(inner) == 1 and not others and not seq:
-            nest.append(inner[0].var)
-            node = inner[0]
-        else:
-            break
-    return nest
+                            kernels=comp.kernels, applied=comp.applied,
+                            reads=comp.reads, writes=comp.writes,
+                            passes=comp.records)
 
 
 def auto_data_region(compiled: CompiledProgram, name: str) -> Optional[DataRegionSpec]:
@@ -403,37 +348,6 @@ def auto_data_region(compiled: CompiledProgram, name: str) -> Optional[DataRegio
                           copyin=tuple(sorted(copyin)),
                           copyout=tuple(sorted(copyout)),
                           create=tuple(sorted(create)))
-
-
-def region_arrays(region: ParallelRegion,
-                  program: Program) -> tuple[frozenset[str], frozenset[str]]:
-    """(reads, writes) of program-level arrays for one region.
-
-    Uses the region's explicit summaries when present, otherwise derives
-    them from the body (plus called functions' bodies).
-    """
-    from repro.ir.visitors import read_arrays, written_arrays
-
-    if region._arrays_read is not None and region._arrays_written is not None:
-        return frozenset(region._arrays_read), frozenset(region._arrays_written)
-    reads = read_arrays(region.body)
-    writes = written_arrays(region.body)
-    for stmt in region.body.walk():
-        from repro.ir.stmt import CallStmt
-        if isinstance(stmt, CallStmt) and stmt.func in program.functions:
-            func = program.functions[stmt.func]
-            # map param names to argument arrays
-            param_map = {}
-            for param, arg in zip(func.params, stmt.args):
-                from repro.ir.expr import Var
-                if param.is_array and isinstance(arg, Var):
-                    param_map[param.name] = arg.name
-            for name in read_arrays(func.body):
-                reads.add(param_map.get(name, name))
-            for name in written_arrays(func.body):
-                writes.add(param_map.get(name, name))
-    declared = set(program.arrays)
-    return frozenset(reads & declared), frozenset(writes & declared)
 
 
 # ---------------------------------------------------------------------------

@@ -1,29 +1,158 @@
-"""Memoized port compilation, shared by every sweep.
+"""The content-addressed compile-artifact store, shared by every sweep.
 
-Introduced for the lint/tv suites (PR 2) and since promoted here: the
-harness sweeps (``figure1``, ``table2``, ``profile --all``, the baseline
-gate), the linter, and the translation validator all touch every
+Introduced for the lint/tv suites (PR 2) as a plain memo table and since
+grown into an artifact store: the harness sweeps (``figure1``,
+``table2``, ``profile --all``, the baseline gate), the linter, the
+translation validator, and the ``passes`` report all touch every
 (benchmark, model) pair, and a port compiles identically every time, so
-each pair is lowered once per process.  :func:`clear_compile_cache`
-resets the table (tests that monkeypatch compilers need it).
+each pair is lowered once per process.  Each artifact carries the full
+:class:`~repro.models.base.CompiledProgram` — including the per-pass
+records and state snapshots the pipeline produced — keyed by
+
+    ``(bench, model, variant, config_hash)``
+
+where ``config_hash`` digests the serialized input program, the port's
+annotations, and the compiler's pass list.  Registry benchmarks take a
+fast-key path (name triple → key, no re-hashing per call); non-registry
+instances (test subclasses, ablation clones) are content-addressed, so
+two instances carrying identical programs and ports share one artifact
+while a subclass that overrides the port hashes differently and gets
+its own.  :func:`clear_compile_cache` resets the table (tests that
+monkeypatch compilers need it).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import hashlib
+import json
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional
 
 from repro.models import get_compiler, resolve_model
 
-# NOTE: repro.benchmarks is imported inside the function below —
+if TYPE_CHECKING:
+    from repro.benchmarks.base import Benchmark
+    from repro.models.base import CompiledProgram, PortSpec
+
+# NOTE: repro.benchmarks is imported inside the functions below —
 # benchmarks itself imports repro.models, so a module-level import
 # would be circular.
 
-#: (benchmark, model, variant) → (port, compiled)
-_COMPILE_CACHE: dict = {}
+
+@dataclass(frozen=True)
+class ArtifactKey:
+    """Identity of one compile artifact."""
+
+    bench: str
+    model: str
+    variant: str
+    config_hash: str
+
+
+@dataclass
+class Artifact:
+    """One cached compilation: the port and its compiled program (whose
+    region results carry the per-pass provenance records)."""
+
+    key: ArtifactKey
+    port: "PortSpec"
+    compiled: "CompiledProgram"
+
+
+def _config_hash(model: str, variant: str, port: "PortSpec",
+                 compiler) -> str:
+    """Digest everything that determines the compilation's output: the
+    input program, the port's annotations, and the compiler's pass
+    list (a monkeypatched or subclassed compiler hashes differently)."""
+    h = hashlib.sha256()
+    h.update(model.encode())
+    h.update(variant.encode())
+    try:
+        from repro.ir.serialize import program_to_dict
+        h.update(json.dumps(program_to_dict(port.program),
+                            sort_keys=True).encode())
+    except Exception:
+        # unserializable test programs fall back to identity addressing:
+        # no cross-instance sharing, but still cached per program object
+        h.update(f"unserializable:{id(port.program)}".encode())
+    h.update(repr((port.directive_lines, port.restructured_lines,
+                   port.data_regions, sorted(port.region_options.items()),
+                   port.notes)).encode())
+    h.update(type(compiler).__qualname__.encode())
+    h.update(repr(compiler.pipeline.pass_names()).encode())
+    return h.hexdigest()
+
+
+class ArtifactStore:
+    """In-process artifact store with hit/miss accounting."""
+
+    def __init__(self) -> None:
+        self._artifacts: dict[ArtifactKey, Artifact] = {}
+        #: registry fast path: (bench, model, variant) → ArtifactKey,
+        #: valid because a registry benchmark's port is deterministic
+        #: per (model, variant) within a process
+        self._fast: dict[tuple[str, str, str], ArtifactKey] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # -- core ------------------------------------------------------------
+    def _compile(self, key: ArtifactKey, port: "PortSpec",
+                 compiler) -> Artifact:
+        artifact = self._artifacts.get(key)
+        if artifact is not None:
+            self.hits += 1
+            return artifact
+        self.misses += 1
+        artifact = Artifact(key=key, port=port,
+                            compiled=compiler.compile_program(port))
+        self._artifacts[key] = artifact
+        return artifact
+
+    def registry_artifact(self, bench: "Benchmark", model: str,
+                          variant: str) -> Artifact:
+        """The fast-key path: hash once, then hit by name triple."""
+        fast = (bench.name, model, variant)
+        key = self._fast.get(fast)
+        if key is not None:
+            self.hits += 1
+            return self._artifacts[key]
+        port = bench.port(model, variant)
+        compiler = get_compiler(model)
+        key = ArtifactKey(bench.name, model, variant,
+                          _config_hash(model, variant, port, compiler))
+        artifact = self._compile(key, port, compiler)
+        self._fast[fast] = key
+        return artifact
+
+    def instance_artifact(self, bench: "Benchmark", model: str,
+                          variant: str) -> Artifact:
+        """The content-hash path for non-registry benchmark instances:
+        identical content shares the registry's artifact; divergent
+        content (an overridden port) gets its own entry."""
+        port = bench.port(model, variant)
+        compiler = get_compiler(model)
+        key = ArtifactKey(bench.name, model, variant,
+                          _config_hash(model, variant, port, compiler))
+        return self._compile(key, port, compiler)
+
+    # -- bookkeeping -----------------------------------------------------
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self._artifacts)}
+
+    def clear(self) -> None:
+        self._artifacts.clear()
+        self._fast.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+#: the process-wide store every consumer shares
+STORE = ArtifactStore()
 
 
 def compile_port(benchmark: str, model: str, variant: Optional[str] = None):
-    """Resolve, compile, and cache one port.
+    """Resolve, compile, and cache one registry port.
 
     Returns ``(port, compiled, chosen_variant)``.  Raises KeyError for
     unknown benchmarks, models, variants, or missing ports — the CLI
@@ -38,15 +167,40 @@ def compile_port(benchmark: str, model: str, variant: Optional[str] = None):
         raise KeyError(
             f"unknown variant {chosen!r} for {bench.name}/{model}; "
             f"known: {bench.variants(model)}")
-    key = (bench.name, model, chosen)
-    if key not in _COMPILE_CACHE:
-        port = bench.port(model, chosen)
-        compiled = get_compiler(model).compile_program(port)
-        _COMPILE_CACHE[key] = (port, compiled)
-    port, compiled = _COMPILE_CACHE[key]
-    return port, compiled, chosen
+    artifact = STORE.registry_artifact(bench, model, chosen)
+    return artifact.port, artifact.compiled, chosen
+
+
+def compile_bench(bench: "Benchmark", model: str, variant: str):
+    """``(port, compiled)`` for an in-hand benchmark *instance*.
+
+    Registry instances route through the fast-key path; anything else
+    (test subclasses, ablation clones) is content-addressed, so repeat
+    compilations of an identical instance still hit the store.
+    """
+    from repro.benchmarks import get_benchmark
+
+    model = resolve_model(model)
+    try:
+        registered = get_benchmark(bench.name)
+    except KeyError:
+        registered = None
+    if registered is not None and type(registered) is type(bench):
+        if variant not in bench.variants(model):
+            raise KeyError(
+                f"unknown variant {variant!r} for {bench.name}/{model}; "
+                f"known: {bench.variants(model)}")
+        artifact = STORE.registry_artifact(bench, model, variant)
+    else:
+        artifact = STORE.instance_artifact(bench, model, variant)
+    return artifact.port, artifact.compiled
+
+
+def cache_stats() -> dict[str, int]:
+    """Hit/miss/entry counts for the shared store (harness rollup)."""
+    return STORE.stats()
 
 
 def clear_compile_cache() -> None:
     """Drop every memoized compilation (for tests)."""
-    _COMPILE_CACHE.clear()
+    STORE.clear()

@@ -8,15 +8,16 @@ reductions, linearized arrays) plus explicit launch configuration,
 memory-space placement, tiling, and pattern facts — and this "compiler"
 simply trusts all of it.  Nothing is rejected: a CUDA programmer can
 always express the construct somehow (BFS's poor speedup is a property
-of its port, not of translatability).
+of its port, not of translatability).  The pipeline is accordingly the
+minimal one — no legality stage at all.
 """
 
 from __future__ import annotations
 
-from repro.gpusim.kernel import Kernel
-from repro.ir.analysis.features import RegionFeatures
-from repro.ir.program import ParallelRegion, Program
-from repro.models.base import DirectiveCompiler, PortSpec
+from repro.models.base import DirectiveCompiler
+from repro.pipeline.passes import (BuildKernels,
+                                   DefaultPrivateOrientation, FeatureScan,
+                                   Intake, Note)
 
 
 class ManualCudaCompiler(DirectiveCompiler):
@@ -24,15 +25,12 @@ class ManualCudaCompiler(DirectiveCompiler):
 
     name = "Hand-Written CUDA"
 
-    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec) -> None:
-        return  # everything is expressible by hand
-
-    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec,
-                     ) -> tuple[list[Kernel], list[str]]:
-        kernels, applied = self.kernels_from_worksharing(
-            region, program, port,
-            default_private_orientation="register")
-        applied.append("hand-tuned kernel configuration")
-        return kernels, applied
+    def build_pipeline(self) -> list:
+        return [
+            Intake(),
+            FeatureScan(),
+            DefaultPrivateOrientation("register"),
+            BuildKernels(),
+            Note("hand-tuned-note", "codegen",
+                 "hand-tuned kernel configuration"),
+        ]

@@ -133,6 +133,10 @@ class ModelCapabilities:
     interprocedural_calls: bool
     #: restricted to affine (extended static control) regions
     affine_only: bool
+    #: arrays referenced by offloaded code must be contiguous (OpenACC
+    #: data clauses, OpenMPC's single-layout rule, R-Stream's rejection
+    #: of pointer-to-pointer rows)
+    contiguous_data_required: bool = False
 
 
 CAPABILITIES: Mapping[str, ModelCapabilities] = {
@@ -149,7 +153,7 @@ CAPABILITIES: Mapping[str, ModelCapabilities] = {
         automatic_data_plan=False, explicit_thread_batching=True,
         scalar_reduction_clause=True, array_reduction_clause=False,
         critical_reductions=False, interprocedural_calls=False,
-        affine_only=False),
+        affine_only=False, contiguous_data_required=True),
     "HMPP": ModelCapabilities(
         name="HMPP",
         explicit_special_memories=True, explicit_loop_transforms=True,
@@ -163,14 +167,28 @@ CAPABILITIES: Mapping[str, ModelCapabilities] = {
         automatic_data_plan=True, explicit_thread_batching=True,
         scalar_reduction_clause=True, array_reduction_clause=True,
         critical_reductions=True, interprocedural_calls=True,
-        affine_only=False),
+        affine_only=False, contiguous_data_required=True),
     "R-Stream": ModelCapabilities(
         name="R-Stream",
         explicit_special_memories=False, explicit_loop_transforms=False,
         automatic_data_plan=True, explicit_thread_batching=True,
         scalar_reduction_clause=False, array_reduction_clause=False,
         critical_reductions=False, interprocedural_calls=False,
-        affine_only=True),
+        affine_only=True, contiguous_data_required=True),
+    "hiCUDA": ModelCapabilities(
+        name="hiCUDA",
+        explicit_special_memories=True, explicit_loop_transforms=False,
+        automatic_data_plan=False, explicit_thread_batching=True,
+        scalar_reduction_clause=False, array_reduction_clause=False,
+        critical_reductions=False, interprocedural_calls=False,
+        affine_only=False),
+    "Hand-Written CUDA": ModelCapabilities(
+        name="Hand-Written CUDA",
+        explicit_special_memories=True, explicit_loop_transforms=True,
+        automatic_data_plan=False, explicit_thread_batching=True,
+        scalar_reduction_clause=True, array_reduction_clause=True,
+        critical_reductions=True, interprocedural_calls=True,
+        affine_only=False),
 }
 
 

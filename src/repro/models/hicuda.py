@@ -25,12 +25,46 @@ Explicit-everything semantics implemented:
 
 from __future__ import annotations
 
-from repro.gpusim.kernel import Kernel
-from repro.ir.analysis.features import RegionFeatures
-from repro.ir.program import ParallelRegion, Program
-from repro.ir.stmt import Block, For
-from repro.ir.transforms.inline import inline_calls
-from repro.models.base import DirectiveCompiler, PortSpec
+from typing import Optional
+
+from repro.models.base import DirectiveCompiler
+from repro.pipeline.core import PassContext
+from repro.pipeline.passes import (BuildKernels, Check,
+                                   DefaultPrivateOrientation, FeatureScan,
+                                   InlineCalls, Intake, Note,
+                                   check_calls_inlinable, check_loops_only,
+                                   check_no_critical,
+                                   check_no_pointer_arith,
+                                   check_worksharing)
+
+
+def _reductions(ctx: PassContext) -> Optional[str]:
+    feats = ctx.feats
+    if (feats.scalar_reductions or feats.array_reductions
+            or feats.explicit_reduction_clauses):
+        return ("hiCUDA has no reduction support; restructure the "
+                "computation (two-level reduction by hand)")
+    return None
+
+
+def _thread_batching(ctx: PassContext) -> Optional[str]:
+    if ctx.opts.block_threads is None:
+        return (f"region {ctx.region.name!r}: hiCUDA requires an explicit "
+                "tblock/thread geometry in the port")
+    return None
+
+
+def _data_movement(ctx: PassContext) -> Optional[str]:
+    covered: set[str] = set()
+    for dr in ctx.port.data_regions:
+        if ctx.region.name in dr.regions:
+            covered |= set(dr.copyin) | set(dr.copyout) | set(dr.create)
+    missing = sorted((ctx.feats.arrays_referenced
+                      | ctx.feats.arrays_written) - covered)
+    if missing:
+        return (f"region {ctx.region.name!r}: arrays {missing} lack "
+                "explicit global alloc/copy directives")
+    return None
 
 
 class HiCudaCompiler(DirectiveCompiler):
@@ -38,72 +72,27 @@ class HiCudaCompiler(DirectiveCompiler):
 
     name = "hiCUDA"
 
-    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec) -> None:
-        opts = port.options_for(region.name)
-        if feats.worksharing_loops == 0:
-            self.reject(
-                region,
-                "no-worksharing-loop",
-                f"region {region.name!r} contains no parallel loop")
-        if feats.stmts_outside_worksharing:
-            self.reject(
-                region,
+    def build_pipeline(self) -> list:
+        return [
+            Intake(),
+            FeatureScan(),
+            check_worksharing(),
+            check_loops_only(
                 "general-structured-block",
-                "hiCUDA kernels are loop nests; hoist the serial code")
-        if feats.has_critical:
-            self.reject(
-                region,
-                "critical-section", "no critical-section support")
-        if feats.has_pointer_arith:
-            self.reject(
-                region,
-                "pointer-arithmetic", "no pointer manipulation in kernels")
-        if feats.has_call and not feats.calls_all_inlinable:
-            self.reject(
-                region,
-                "function-call", "callees must be manually inlinable")
-        if (feats.scalar_reductions or feats.array_reductions
-                or feats.explicit_reduction_clauses):
-            self.reject(
-                region,
-                "reduction",
-                "hiCUDA has no reduction support; restructure the "
-                "computation (two-level reduction by hand)")
-        if opts.block_threads is None:
-            self.reject(
-                region,
-                "thread-batching-unspecified",
-                f"region {region.name!r}: hiCUDA requires an explicit "
-                "tblock/thread geometry in the port")
-        covered = set()
-        for dr in port.data_regions:
-            if region.name in dr.regions:
-                covered |= set(dr.copyin) | set(dr.copyout) | set(dr.create)
-        missing = sorted((feats.arrays_referenced | feats.arrays_written)
-                         - covered)
-        if missing:
-            self.reject(
-                region,
-                "data-movement-unspecified",
-                f"region {region.name!r}: arrays {missing} lack explicit "
-                "global alloc/copy directives")
-
-    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec,
-                     ) -> tuple[list[Kernel], list[str]]:
-        def transform(loop: For) -> tuple[For, list[str]]:
-            if not feats.has_call:
-                return loop, []
-            inlined, names = inline_calls(Block([loop]), program)
-            inner = [s for s in inlined.stmts if isinstance(s, For)]
-            if len(inner) == 1:
-                return inner[0], [f"manually inlined: {', '.join(names)}"]
-            return loop, []
-
-        kernels, applied = self.kernels_from_worksharing(
-            region, program, port, transform=transform,
-            default_private_orientation="register")
-        applied.append("explicit geometry and data directives honored "
-                       "verbatim")
-        return kernels, applied
+                "hiCUDA kernels are loop nests; hoist the serial code"),
+            check_no_critical(template="no critical-section support"),
+            check_no_pointer_arith(
+                template="no pointer manipulation in kernels"),
+            check_calls_inlinable("callees must be manually inlinable"),
+            Check("check-reductions", "reduction", _reductions),
+            Check("check-thread-batching", "thread-batching-unspecified",
+                  _thread_batching),
+            Check("check-data-movement", "data-movement-unspecified",
+                  _data_movement),
+            InlineCalls(note_prefix="manually inlined"),
+            DefaultPrivateOrientation("register"),
+            BuildKernels(),
+            Note("hicuda-verbatim", "codegen",
+                 "explicit geometry and data directives honored "
+                 "verbatim"),
+        ]

@@ -11,7 +11,10 @@ HMPP's codelet model:
 * a rich set of **codelet generator directives** gives explicit control
   over loop transformations (``permute``, ``tile``, ``blocksize``) and
   CUDA special memories — so HMPP ports express loop-swap and tiling as
-  directives where PGI/OpenACC ports had to restructure the input;
+  directives where PGI/OpenACC ports had to restructure the input; in
+  the pipeline these are the :class:`DirectiveLoopSwap` /
+  :class:`DirectiveCollapse` transform passes, present because the
+  model's capabilities say ``explicit_loop_transforms``;
 * data-transfer optimization uses codelet *groups* with
   ``advancedload``/``delegatedstore`` — mapped to our
   :class:`~repro.models.base.DataRegionSpec`, at a higher directive-line
@@ -20,16 +23,35 @@ HMPP's codelet model:
 
 from __future__ import annotations
 
-from repro.errors import TransformError
-from repro.gpusim.kernel import Kernel
-from repro.ir.analysis.features import RegionFeatures
-from repro.ir.program import ParallelRegion, Program
-from repro.ir.stmt import Block, For
-from repro.ir.transforms.collapse import promote_inner_parallel
-from repro.ir.transforms.inline import inline_calls
-from repro.ir.transforms.interchange import parallel_loop_swap
-from repro.models.base import DirectiveCompiler, PortSpec
+from typing import Optional
+
+from repro.models.base import DirectiveCompiler
+from repro.models.features import CAPABILITIES
 from repro.models.pgi import MAX_NEST_DEPTH
+from repro.pipeline.core import PassContext
+from repro.pipeline.passes import (BuildKernels, Check,
+                                   DefaultPrivateOrientation,
+                                   DirectiveCollapse, DirectiveLoopSwap,
+                                   FeatureScan, InlineCalls, Intake,
+                                   check_calls_inlinable, check_loops_only,
+                                   check_nest_depth, check_no_critical,
+                                   check_no_pointer_arith,
+                                   check_worksharing)
+
+
+def _array_reduction(ctx: PassContext) -> Optional[str]:
+    if ctx.feats.explicit_array_reduction_clauses or \
+            ctx.feats.array_reductions:
+        return "only scalar reduction variables are supported"
+    return None
+
+
+def _complex_reduction(ctx: PassContext) -> Optional[str]:
+    if ctx.feats.complex_reductions and \
+            not ctx.feats.explicit_reduction_clauses:
+        return ("complex reduction patterns need explicit reduction "
+                "directives")
+    return None
 
 
 class HMPPCompiler(DirectiveCompiler):
@@ -37,90 +59,43 @@ class HMPPCompiler(DirectiveCompiler):
 
     name = "HMPP"
 
-    # -- acceptance -----------------------------------------------------
-    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec) -> None:
-        if feats.worksharing_loops == 0:
-            self.reject(
-                region,
-                "no-worksharing-loop",
-                f"region {region.name!r} contains no parallel loop")
-        if feats.stmts_outside_worksharing:
-            self.reject(
-                region,
+    def build_pipeline(self) -> list:
+        caps = CAPABILITIES[self.name]
+        passes: list = [
+            Intake(),
+            FeatureScan(),
+            check_worksharing(),
+            check_loops_only(
                 "codelet-purity",
-                f"region {region.name!r} has statements outside parallel "
-                "loops; a codelet body must be the computation itself")
-        if feats.has_critical:
-            self.reject(
-                region,
-                "critical-section",
-                "codelets cannot contain critical sections")
-        if feats.has_pointer_arith:
-            self.reject(
-                region,
-                "pointer-arithmetic",
-                "codelets are pure functions; no pointer manipulation")
-        if feats.has_call and not feats.calls_all_inlinable:
-            self.reject(
-                region,
-                "function-call",
-                "codelets may only call functions the generator can inline")
-        if feats.max_nest_depth > MAX_NEST_DEPTH:
-            self.reject(
-                region,
-                "nest-depth-limit",
-                f"loop nest of depth {feats.max_nest_depth} exceeds the "
-                "codelet generator's limit")
-        if feats.explicit_array_reduction_clauses or feats.array_reductions:
-            self.reject(
-                region,
-                "array-reduction",
-                "only scalar reduction variables are supported")
-        if feats.complex_reductions and not feats.explicit_reduction_clauses:
-            self.reject(
-                region,
-                "complex-reduction",
-                "complex reduction patterns need explicit reduction "
-                "directives")
-
-    # -- lowering ---------------------------------------------------------
-    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec,
-                     ) -> tuple[list[Kernel], list[str]]:
-        opts = port.options_for(region.name)
-
-        def transform(loop: For) -> tuple[For, list[str]]:
-            notes: list[str] = []
-            body: For = loop
-            if feats.has_call:
-                inlined_block, names = inline_calls(Block([body]), program)
-                inner = [s for s in inlined_block.stmts if isinstance(s, For)]
-                if len(inner) == 1:
-                    body = inner[0]
-                    notes.append(f"inlined: {', '.join(names)}")
-            if opts.request_loop_swap:
-                try:
-                    body = parallel_loop_swap(body)
-                    notes.append("directive-driven loop permutation "
-                                 "(hmppcg permute)")
-                except TransformError as exc:
-                    self.reject(region, "loop-permute",
-                                f"cannot permute: {exc}", cause=exc)
-            if opts.request_collapse:
-                try:
-                    body = promote_inner_parallel(body)
-                    notes.append("directive-driven loop gridification "
-                                 "(hmppcg gridify)")
-                except TransformError as exc:
-                    self.reject(region, "loop-collapse",
-                                f"cannot gridify: {exc}", cause=exc)
-            return body, notes
-
-        # HMPP honors explicit special-memory placements and tilings from
-        # the port (Table I row 'utilization of special memories':
-        # explicit); private arrays default to row-wise expansion like the
-        # other non-OpenMPC models unless the port overrides.
-        return self.kernels_from_worksharing(
-            region, program, port, transform=transform,
-            default_private_orientation="row")
+                "region {name!r} has statements outside parallel "
+                "loops; a codelet body must be the computation itself"),
+            check_no_critical(
+                template="codelets cannot contain critical sections"),
+            check_no_pointer_arith(
+                template="codelets are pure functions; no pointer "
+                         "manipulation"),
+            check_calls_inlinable(
+                "codelets may only call functions the generator can "
+                "inline"),
+            check_nest_depth(
+                MAX_NEST_DEPTH,
+                "loop nest of depth {depth} exceeds the codelet "
+                "generator's limit"),
+            Check("check-array-reduction", "array-reduction",
+                  _array_reduction),
+            Check("check-complex-reduction", "complex-reduction",
+                  _complex_reduction),
+            InlineCalls(),
+        ]
+        if caps.explicit_loop_transforms:
+            # hmppcg permute / gridify honor the port's requests
+            passes += [DirectiveLoopSwap(), DirectiveCollapse()]
+        passes += [
+            # HMPP honors explicit special-memory placements and tilings
+            # from the port (Table I 'utilization of special memories':
+            # explicit); private arrays default to row-wise expansion
+            # like the other non-OpenMPC models unless the port overrides
+            DefaultPrivateOrientation("row"),
+            BuildKernels(),
+        ]
+        return passes

@@ -17,54 +17,78 @@ literally built on the PGI compiler), with the standard's extensions:
 * the OpenACC-specific **contiguity requirement**: arrays named in data
   clauses must be contiguous in memory, or the port must repack them.
 
-Everything else (no critical sections, inline-only calls, no
-loop-transformation directives, row-wise private expansion, automatic
-tiling) behaves as in :class:`repro.models.pgi.PGICompiler`.
+Structurally the compiler *is* the PGI pipeline
+(:func:`repro.models.pgi.pgi_family_passes` under OpenACC's capability
+flags — which flip the scalar-reduction-clause and contiguity passes)
+with two construct-validation passes spliced in at the head of the
+legality stage and a provenance note after codegen.  No subclassing:
+the delta is explicit in the pass list.
 """
 
 from __future__ import annotations
 
-from repro.gpusim.kernel import Kernel
-from repro.ir.analysis.features import RegionFeatures
-from repro.ir.program import ParallelRegion, Program
-from repro.models.base import PortSpec
-from repro.models.pgi import PGICompiler
+from repro.models.base import DirectiveCompiler
+from repro.models.features import CAPABILITIES
+from repro.models.pgi import pgi_family_passes
+from repro.pipeline.core import PassContext, RegionPass
 
 
-class OpenACCCompiler(PGICompiler):
+def _check_construct(ctx: PassContext) -> None:
+    construct = ctx.opts.construct
+    if construct not in ("kernels", "parallel"):
+        ctx.reject(
+            "unknown-construct",
+            f"region {ctx.region.name!r}: construct must be 'kernels' or "
+            f"'parallel', got {construct!r}")
+
+
+def _check_parallel_single_kernel(ctx: PassContext) -> None:
+    if ctx.opts.construct == "parallel" and ctx.feats.worksharing_loops > 1:
+        ctx.reject(
+            "parallel-construct-single-kernel",
+            f"region {ctx.region.name!r} has {ctx.feats.worksharing_loops} "
+            "work-sharing nests; the parallel construct compiles the "
+            "whole region into one kernel — use kernels, or split "
+            "the region")
+
+
+class _ConstructCheck(RegionPass):
+    stage = "legality"
+
+    def __init__(self, name: str, fn) -> None:
+        self.name = name
+        self._fn = fn
+
+    def run(self, ctx: PassContext) -> None:
+        self._fn(ctx)
+
+
+class ConstructNote(RegionPass):
+    """Record which OpenACC compute construct lowered the region."""
+
+    name = "acc-construct-note"
+    stage = "codegen"
+
+    def run(self, ctx: PassContext) -> None:
+        construct = ctx.opts.construct
+        detail = ("one kernel per loop nest" if construct == "kernels"
+                  else "single-kernel region")
+        ctx.note(f"{construct} construct ({detail})")
+
+
+class OpenACCCompiler(DirectiveCompiler):
     """OpenACC 1.0 via the PGI 12.6 implementation."""
 
     name = "OpenACC"
 
-    accepts_scalar_reduction_clause = True
-    accepts_array_reduction_clause = False
-    requires_contiguous_arrays = True
-
-    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec) -> None:
-        opts = port.options_for(region.name)
-        if opts.construct not in ("kernels", "parallel"):
-            self.reject(
-                region,
-                "unknown-construct",
-                f"region {region.name!r}: construct must be 'kernels' or "
-                f"'parallel', got {opts.construct!r}")
-        if opts.construct == "parallel" and feats.worksharing_loops > 1:
-            self.reject(
-                region,
-                "parallel-construct-single-kernel",
-                f"region {region.name!r} has {feats.worksharing_loops} "
-                "work-sharing nests; the parallel construct compiles the "
-                "whole region into one kernel — use kernels, or split "
-                "the region")
-        super().check_region(region, feats, program, port)
-
-    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec,
-                     ) -> tuple[list[Kernel], list[str]]:
-        kernels, applied = super().lower_region(region, feats, program,
-                                                port)
-        construct = port.options_for(region.name).construct
-        applied.append(f"{construct} construct "
-                       f"({'one kernel per loop nest' if construct == 'kernels' else 'single-kernel region'})")
-        return kernels, applied
+    def build_pipeline(self) -> list:
+        base = pgi_family_passes(self.name, CAPABILITIES[self.name])
+        delta = [
+            _ConstructCheck("check-construct", _check_construct),
+            _ConstructCheck("check-parallel-construct",
+                            _check_parallel_single_kernel),
+        ]
+        # the construct checks run before the inherited legality list
+        # (III-B validates the construct before anything else)
+        head = next(i for i, p in enumerate(base) if p.stage == "legality")
+        return base[:head] + delta + base[head:] + [ConstructNote()]

@@ -24,7 +24,8 @@ carry almost no restructuring (Table II: +5.2%).  Implemented behaviour:
 
 * **Interprocedural data-flow transfer optimization**: the compiler
   synthesizes a whole-program data scope (copy each array in before its
-  first GPU use, out after its last) with no user data clauses.
+  first GPU use, out after its last) with no user data clauses — the
+  :class:`~repro.pipeline.passes.AutoDataPlan` transfer pass.
 """
 
 from __future__ import annotations
@@ -32,18 +33,23 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.errors import TransformError
-from repro.gpusim.kernel import Kernel
 from repro.ir.analysis.access import AccessPattern, summarize_accesses
 from repro.ir.analysis.affine import is_affine_in
-from repro.ir.analysis.features import RegionFeatures
 from repro.ir.analysis.liveness import analyze_split
 from repro.ir.expr import ArrayRef
 from repro.ir.program import ParallelRegion, Program
-from repro.ir.stmt import Barrier, Block, For, LocalDecl, Stmt
+from repro.ir.stmt import Barrier, For, LocalDecl, Stmt
 from repro.ir.transforms.collapse import promote_inner_parallel
 from repro.ir.transforms.interchange import parallel_loop_swap
-from repro.models.base import (CompiledProgram, DataRegionSpec,
-                               DirectiveCompiler, PortSpec, grid_nest)
+from repro.models.base import DirectiveCompiler
+from repro.models.features import CAPABILITIES
+from repro.pipeline.core import PassContext, RegionPass
+from repro.pipeline.passes import (AutoDataPlan, BuildKernels, Check,
+                                   DefaultPrivateOrientation, FeatureScan,
+                                   Intake, LoopTransform, Note,
+                                   OrientationNote, check_contiguity,
+                                   check_no_pointer_arith,
+                                   check_worksharing)
 
 
 def _split_at_barriers(region: ParallelRegion) -> list[list[Stmt]]:
@@ -57,110 +63,72 @@ def _split_at_barriers(region: ParallelRegion) -> list[list[Stmt]]:
     return [p for p in pieces if p]
 
 
-class OpenMPCCompiler(DirectiveCompiler):
-    """OpenMPC 0.31."""
-
-    name = "OpenMPC"
-
-    # -- acceptance -------------------------------------------------------
-    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec) -> None:
-        if feats.worksharing_loops == 0:
-            self.reject(
-                region,
-                "no-worksharing-loop",
-                f"region {region.name!r} has no work-sharing construct; "
-                "sub-regions without one execute on the host")
-        if feats.has_critical and not feats.criticals_are_reductions:
-            self.reject(
-                region,
-                "non-reduction-critical",
-                "critical sections are accepted only when they match a "
+def _non_reduction_critical(ctx: PassContext) -> Optional[str]:
+    if ctx.feats.has_critical and not ctx.feats.criticals_are_reductions:
+        return ("critical sections are accepted only when they match a "
                 "reduction pattern")
-        if feats.has_pointer_arith:
-            self.reject(
-                region,
-                "pointer-type",
-                "pointer-type variables must be converted to arrays "
-                "(outline the parallel region)")
-        for name in sorted(feats.arrays_referenced):
-            if name in program.arrays and not program.arrays[name].contiguous:
-                self.reject(
-                region,
-                    "non-contiguous-data",
-                    f"multi-dimensional array {name!r} must be allocated "
-                    "as one continuous layout")
-        if feats.has_barrier:
-            pieces = _split_at_barriers(region)
-            for cut in range(1, len(pieces)):
-                prefix = [s for piece in pieces[:cut] for s in piece]
-                suffix = [s for piece in pieces[cut:] for s in piece]
-                report = analyze_split(prefix, suffix, region.private)
-                if not report.safe:
-                    self.reject(
-                region,
-                        "upward-exposed-private",
-                        f"splitting region {region.name!r} at a barrier "
-                        f"exposes private variables "
-                        f"{sorted(report.upward_exposed)}; restructure "
-                        "the code manually")
+    return None
 
-    # -- lowering -----------------------------------------------------------
-    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec,
-                     ) -> tuple[list[Kernel], list[str]]:
-        opts = port.options_for(region.name)
-        auto = not opts.disable_auto_transforms
-        applied: list[str] = []
 
-        def transform(loop: For) -> tuple[For, list[str]]:
-            notes: list[str] = []
-            body: For = loop
-            if (loop.collapse > 1 or opts.request_collapse):
-                try:
-                    body = promote_inner_parallel(body)
-                    notes.append("collapse clause honored (2-D grid)")
-                except TransformError:
-                    pass
-            if auto:
-                swapped = self._try_loop_swap(body, program)
-                if swapped is not None:
-                    body = swapped
-                    notes.append("automatic parallel loop-swap")
-            return body, notes
+class BarrierSplitLegality(RegionPass):
+    """Validate every barrier split: a cut that leaves private scalars
+    upward-exposed is flagged for manual restructuring (III-D2)."""
 
-        overrides: dict[str, AccessPattern] = {}
-        if auto:
-            for loop in region.worksharing_loops():
-                collapsed = self._collapsible_irregular_arrays(loop)
-                if collapsed:
-                    for name in collapsed:
-                        overrides[name] = AccessPattern.COALESCED
-                    applied.append(
-                        "loop collapsing of irregular inner loop "
-                        f"(coalesced: {', '.join(sorted(collapsed))})")
+    name = "check-barrier-split"
+    stage = "legality"
 
-        kernels, notes = self.kernels_from_worksharing(
-            region, program, port, transform=transform,
-            default_private_orientation="column" if auto else "row",
-            extra_pattern_overrides=overrides)
-        applied.extend(notes)
-        if auto and any(k.private_orientations.get(n) == "column"
-                        for k in kernels for n in k.private_orientations):
-            applied.append("matrix-transpose (column-wise) private-array "
-                           "expansion")
-        if feats.has_critical:
-            applied.append("critical-section reduction converted to "
-                           "two-level tree reduction")
-        if feats.has_call:
-            applied.append("interprocedural translation with selective "
-                           "procedure cloning")
-        return kernels, applied
+    def run(self, ctx: PassContext) -> None:
+        if not ctx.feats.has_barrier:
+            return
+        region = ctx.region
+        pieces = _split_at_barriers(region)
+        for cut in range(1, len(pieces)):
+            prefix = [s for piece in pieces[:cut] for s in piece]
+            suffix = [s for piece in pieces[cut:] for s in piece]
+            report = analyze_split(prefix, suffix, region.private)
+            if not report.safe:
+                ctx.reject(
+                    "upward-exposed-private",
+                    f"splitting region {region.name!r} at a barrier "
+                    f"exposes private variables "
+                    f"{sorted(report.upward_exposed)}; restructure "
+                    "the code manually")
 
-    # -- automatic transforms ---------------------------------------------
-    def _try_loop_swap(self, loop: For, program: Program) -> Optional[For]:
-        """Swap a perfect (parallel, sequential) 2-deep nest when the
-        access analysis says the swap converts strided to coalesced."""
+
+class CollapseClause(LoopTransform):
+    """Honor OpenMP-3.0 ``collapse`` clauses (and directive requests)
+    structurally — a 2-D grid instead of the outer loop alone."""
+
+    name = "collapse-clause"
+
+    def rewrite(self, ctx: PassContext, loop: For) -> For:
+        if not (loop.collapse > 1 or ctx.opts.request_collapse):
+            return loop
+        try:
+            promoted = promote_inner_parallel(loop)
+        except TransformError:
+            return loop
+        ctx.note("collapse clause honored (2-D grid)")
+        return promoted
+
+
+class AutoLoopSwap(LoopTransform):
+    """Swap a perfect (parallel, sequential) 2-deep nest when the access
+    analysis says the swap converts strided to coalesced."""
+
+    name = "auto-loop-swap"
+
+    def rewrite(self, ctx: PassContext, loop: For) -> For:
+        if ctx.opts.disable_auto_transforms:
+            return loop
+        swapped = self._try_loop_swap(loop, ctx.program)
+        if swapped is None:
+            return loop
+        ctx.note("automatic parallel loop-swap")
+        return swapped
+
+    @staticmethod
+    def _try_loop_swap(loop: For, program: Program) -> Optional[For]:
         inner = [s for s in loop.body.stmts if isinstance(s, For)]
         others = [s for s in loop.body.stmts
                   if not isinstance(s, (For, LocalDecl))]
@@ -193,7 +161,30 @@ class OpenMPCCompiler(DirectiveCompiler):
             return swapped
         return None
 
-    def _collapsible_irregular_arrays(self, loop: For) -> set[str]:
+
+class IrregularLoopCollapse(RegionPass):
+    """CSR-style loop collapsing, modeled as an access-pattern decision:
+    arrays subscripted affinely by the collapsed inner index become
+    coalesced (SPMUL, CG).  Scans the *original* work-sharing loops —
+    the analysis predates the structural transforms."""
+
+    name = "irregular-loop-collapse"
+    stage = "placement"
+
+    def run(self, ctx: PassContext) -> None:
+        if ctx.opts.disable_auto_transforms:
+            return
+        for loop in ctx.region.worksharing_loops():
+            collapsed = self._collapsible_irregular_arrays(loop)
+            if collapsed:
+                for name in collapsed:
+                    ctx.pattern_overrides[name] = AccessPattern.COALESCED
+                ctx.note(
+                    "loop collapsing of irregular inner loop "
+                    f"(coalesced: {', '.join(sorted(collapsed))})")
+
+    @staticmethod
+    def _collapsible_irregular_arrays(loop: For) -> set[str]:
         """Arrays the CSR-style loop collapsing would make coalesced.
 
         Looks for a sequential inner loop whose bounds depend on the
@@ -227,13 +218,67 @@ class OpenMPCCompiler(DirectiveCompiler):
         scan(loop.body, {loop.var})
         return result
 
-    # -- data planning ---------------------------------------------------
-    def plan_data(self, compiled: CompiledProgram) -> None:
-        """Interprocedural transfer optimization: one program-wide scope."""
-        from repro.models.base import auto_data_region
 
-        if compiled.port.data_regions:
-            return  # the port's explicit clauses win
-        auto = auto_data_region(compiled, "__openmpc_interprocedural__")
-        if auto is not None:
-            compiled.data_regions = (auto,)
+class TransposedOrientation(DefaultPrivateOrientation):
+    """Matrix-transpose (column-wise) private-array expansion when the
+    automatic optimizations are on; plain row-wise otherwise (EP)."""
+
+    name = "private-orientation"
+
+    def __init__(self) -> None:
+        super().__init__("column")
+
+    def pick(self, ctx: PassContext) -> str:
+        return "row" if ctx.opts.disable_auto_transforms else "column"
+
+
+class OpenMPCCompiler(DirectiveCompiler):
+    """OpenMPC 0.31."""
+
+    name = "OpenMPC"
+
+    def build_pipeline(self) -> list:
+        caps = CAPABILITIES[self.name]
+        passes: list = [
+            Intake(),
+            FeatureScan(),
+            check_worksharing(
+                template="region {name!r} has no work-sharing construct; "
+                         "sub-regions without one execute on the host"),
+            Check("check-critical-reduction", "non-reduction-critical",
+                  _non_reduction_critical),
+            check_no_pointer_arith(
+                feature="pointer-type",
+                template="pointer-type variables must be converted to "
+                         "arrays (outline the parallel region)"),
+        ]
+        if caps.contiguous_data_required:
+            passes.append(check_contiguity(
+                "non-contiguous-data",
+                "multi-dimensional array {array!r} must be allocated "
+                "as one continuous layout"))
+        passes += [
+            BarrierSplitLegality(),
+            CollapseClause(),
+            AutoLoopSwap(),
+            IrregularLoopCollapse(),
+            TransposedOrientation(),
+            BuildKernels(),
+            OrientationNote(
+                "column",
+                "matrix-transpose (column-wise) private-array expansion",
+                when=lambda ctx: not ctx.opts.disable_auto_transforms),
+            Note("critical-reduction-note", "codegen",
+                 "critical-section reduction converted to two-level "
+                 "tree reduction",
+                 when=lambda ctx: ctx.feats.has_critical),
+            Note("interprocedural-note", "codegen",
+                 "interprocedural translation with selective procedure "
+                 "cloning",
+                 when=lambda ctx: ctx.feats.has_call),
+        ]
+        if caps.automatic_data_plan:
+            # interprocedural transfer optimization: one program-wide
+            # scope (explicit port data clauses win)
+            passes.append(AutoDataPlan("__openmpc_interprocedural__"))
+        return passes

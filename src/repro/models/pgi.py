@@ -20,22 +20,29 @@ Automatic behaviour implemented (III-A1 and the Section V stories):
   is exactly what makes the PGI EP version uncoalesced;
 * data regions (from the port's directives) define transfer scopes; the
   compiler has no interprocedural transfer planning of its own.
+
+The compiler is the pass list built by :func:`pgi_family_passes`,
+parameterized by the model's :class:`ModelCapabilities` — OpenACC reuses
+the same list with its own capability flags plus delta passes.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.errors import TransformError
-from repro.gpusim.kernel import Kernel
-from repro.ir.analysis.affine import region_is_affine
-from repro.ir.analysis.features import RegionFeatures
-from repro.ir.program import ParallelRegion, Program
-from repro.ir.stmt import Block, For, LocalDecl
-from repro.ir.transforms.inline import inline_calls
 from repro.ir.transforms.tiling import TilingDecision
-from repro.models.base import (DirectiveCompiler, PortSpec, RegionOptions,
-                               grid_nest)
+from repro.models.base import DirectiveCompiler
+from repro.models.features import CAPABILITIES, ModelCapabilities
+from repro.pipeline.core import PassContext, RegionPass
+from repro.pipeline.passes import (BuildKernels, DefaultPrivateOrientation,
+                                   FeatureScan, InlineCalls, Intake,
+                                   OrientationNote, ReductionLegality,
+                                   check_calls_inlinable, check_contiguity,
+                                   check_loops_only, check_nest_depth,
+                                   check_no_critical,
+                                   check_no_pointer_arith,
+                                   check_no_transform_directives,
+                                   check_worksharing, grid_nest)
 
 #: implementation-specific limit on loop-nest depth (III-A2)
 MAX_NEST_DEPTH = 4
@@ -44,141 +51,27 @@ MAX_NEST_DEPTH = 4
 AUTO_TILE = 16
 
 
-class PGICompiler(DirectiveCompiler):
-    """PGI Accelerator C, as evaluated with PGI 12.6."""
+class PgiAutoTiling(RegionPass):
+    """Tile affine 2-D parallel stencil nests for shared memory —
+    "the PGI compiler automatically applies tiling transformation"."""
 
-    name = "PGI Accelerator"
+    name = "pgi-auto-tiling"
+    stage = "tiling"
 
-    #: subclass hooks (OpenACC overrides)
-    accepts_scalar_reduction_clause = False
-    accepts_array_reduction_clause = False
-    requires_contiguous_arrays = False
+    def run(self, ctx: PassContext) -> None:
+        if ctx.opts.disable_auto_transforms or ctx.opts.tiling:
+            return
+        decision = self._auto_tiling(ctx)
+        if decision is not None:
+            ctx.tiling.append(decision)
+            ctx.note(f"automatic {AUTO_TILE}x{AUTO_TILE} "
+                     "shared-memory tiling")
 
-    # -- acceptance -------------------------------------------------------
-    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec) -> None:
-        opts = port.options_for(region.name)
-        if opts.request_loop_swap or opts.request_collapse:
-            self.reject(
-                region,
-                "no-loop-transformation-directives",
-                f"{self.name} has no directives for loop transformations; "
-                "restructure the input code instead")
-        if feats.worksharing_loops == 0:
-            self.reject(
-                region,
-                "no-worksharing-loop",
-                f"region {region.name!r} contains no parallel loop")
-        if feats.stmts_outside_worksharing:
-            self.reject(
-                region,
-                "general-structured-block",
-                f"region {region.name!r} has statements outside parallel "
-                "loops; the compute-region model offloads loops only")
-        if feats.has_critical:
-            self.reject(
-                region,
-                "critical-section",
-                f"region {region.name!r} contains an OpenMP critical "
-                "section, which the model cannot express")
-        if feats.has_pointer_arith:
-            self.reject(
-                region,
-                "pointer-arithmetic",
-                "pointer arithmetic is not allowed in offloaded loops")
-        if feats.has_call and not feats.calls_all_inlinable:
-            self.reject(
-                region,
-                "function-call",
-                f"region {region.name!r} calls functions the compiler "
-                "cannot inline automatically")
-        if feats.max_nest_depth > MAX_NEST_DEPTH:
-            self.reject(
-                region,
-                "nest-depth-limit",
-                f"loop nest of depth {feats.max_nest_depth} exceeds the "
-                f"implementation limit of {MAX_NEST_DEPTH}")
-        self._check_reductions(region, feats)
-        if self.requires_contiguous_arrays:
-            for name in sorted(feats.arrays_referenced):
-                if name in program.arrays and not program.arrays[name].contiguous:
-                    self.reject(
-                region,
-                        "non-contiguous-data",
-                        f"array {name!r} is not contiguous in memory; "
-                        "data clauses require contiguous data")
-
-    def _check_reductions(self, region: ParallelRegion,
-                          feats: RegionFeatures) -> None:
-        if feats.explicit_array_reduction_clauses:
-            self.reject(
-                region,
-                "array-reduction-clause",
-                "reduction clauses accept scalar variables only")
-        if feats.explicit_reduction_clauses and \
-                not self.accepts_scalar_reduction_clause:
-            self.reject(
-                region,
-                "reduction-clause",
-                f"{self.name} has no reduction clause; reductions must be "
-                "implicitly detectable")
-        if feats.array_reductions:
-            self.reject(
-                region,
-                "array-reduction",
-                "only scalar reductions can be handled; decompose the "
-                "array reduction manually")
-        clause_covered = feats.explicit_reduction_clauses > 0 and \
-            self.accepts_scalar_reduction_clause
-        if feats.complex_reductions and not clause_covered:
-            self.reject(
-                region,
-                "complex-reduction",
-                "the implicit reduction detector only recognizes simple "
-                "scalar patterns")
-
-    # -- lowering -----------------------------------------------------------
-    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec,
-                     ) -> tuple[list[Kernel], list[str]]:
-        opts = port.options_for(region.name)
-        applied: list[str] = []
-
-        def transform(loop: For) -> tuple[For, list[str]]:
-            notes: list[str] = []
-            body: For = loop
-            if feats.has_call:
-                inlined_block, names = inline_calls(Block([body]), program)
-                inner = [s for s in inlined_block.stmts if isinstance(s, For)]
-                if len(inner) == 1:
-                    body = inner[0]
-                    notes.append(f"inlined: {', '.join(names)}")
-            return body, notes
-
-        extra_tiling: list[TilingDecision] = []
-        if not opts.disable_auto_transforms and not opts.tiling:
-            tiling = self._auto_tiling(region, feats)
-            if tiling is not None:
-                extra_tiling.append(tiling)
-                applied.append(
-                    f"automatic {AUTO_TILE}x{AUTO_TILE} shared-memory tiling")
-
-        kernels, notes = self.kernels_from_worksharing(
-            region, program, port, transform=transform,
-            default_private_orientation="row",
-            extra_tiling=extra_tiling)
-        applied.extend(notes)
-        if any(k.private_orientations.get(n) == "row"
-               for k in kernels for n in k.private_orientations):
-            applied.append("row-wise private-array expansion")
-        return kernels, applied
-
-    def _auto_tiling(self, region: ParallelRegion,
-                     feats: RegionFeatures) -> Optional[TilingDecision]:
-        """Tile affine 2-D parallel stencil nests for shared memory."""
+    def _auto_tiling(self, ctx: PassContext) -> Optional[TilingDecision]:
+        feats = ctx.feats
         if not feats.is_affine:
             return None
-        loops = region.worksharing_loops()
+        loops = ctx.region.worksharing_loops()
         if len(loops) != 1:
             return None
         nest = grid_nest(loops[0])
@@ -193,3 +86,57 @@ class PGICompiler(DirectiveCompiler):
             reuse_factor=3.0,
             smem_bytes_per_block=halo * halo * 8,
             arrays=arrays)
+
+
+def pgi_family_passes(model: str, caps: ModelCapabilities) -> list:
+    """The PGI Accelerator pipeline, parameterized by capabilities.
+
+    OpenACC builds on this list (Section III-B: the tested OpenACC
+    implementation *is* the PGI compiler): its capability flags switch
+    the reduction-clause acceptance and the contiguity requirement, and
+    :mod:`repro.models.openacc` splices its construct checks in.
+    """
+    passes: list = [
+        Intake(),
+        FeatureScan(),
+        # legality, in the documented III-A2 order: the first failing
+        # check names the Table II diagnostic
+        check_no_transform_directives(model),
+        check_worksharing(),
+        check_loops_only(
+            "general-structured-block",
+            "region {name!r} has statements outside parallel "
+            "loops; the compute-region model offloads loops only"),
+        check_no_critical(),
+        check_no_pointer_arith(),
+        check_calls_inlinable(
+            "region {name!r} calls functions the compiler "
+            "cannot inline automatically"),
+        check_nest_depth(
+            MAX_NEST_DEPTH,
+            "loop nest of depth {depth} exceeds the "
+            "implementation limit of {limit}"),
+        ReductionLegality(model, caps.scalar_reduction_clause),
+    ]
+    if caps.contiguous_data_required:
+        passes.append(check_contiguity(
+            "non-contiguous-data",
+            "array {array!r} is not contiguous in memory; "
+            "data clauses require contiguous data"))
+    passes += [
+        InlineCalls(),
+        DefaultPrivateOrientation("row"),
+        PgiAutoTiling(),
+        BuildKernels(),
+        OrientationNote("row", "row-wise private-array expansion"),
+    ]
+    return passes
+
+
+class PGICompiler(DirectiveCompiler):
+    """PGI Accelerator C, as evaluated with PGI 12.6."""
+
+    name = "PGI Accelerator"
+
+    def build_pipeline(self) -> list:
+        return pgi_family_passes(self.name, CAPABILITIES[self.name])

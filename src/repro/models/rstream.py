@@ -14,24 +14,79 @@ re-derives parallelism), multi-dimensional grid mapping, hierarchical
 tiling into shared memory, and per-region transfer management.  Cross-
 region transfer optimization is *not* performed (the regions would have
 to be merged into one mappable function, III-E2), so R-Stream programs
-pay per-invocation transfers like untuned PGI ports.
+pay per-invocation transfers like untuned PGI ports — in the pipeline:
+:class:`~repro.pipeline.passes.AutoDataPlan` with
+``require_full_coverage`` set.
 """
 
 from __future__ import annotations
 
 from typing import Optional
 
-from repro.gpusim.kernel import Kernel
 from repro.ir.analysis.deps import parallelization_safe
-from repro.ir.analysis.features import RegionFeatures
-from repro.ir.program import ParallelRegion, Program
-from repro.ir.stmt import For
 from repro.ir.transforms.tiling import TilingDecision
-from repro.models.base import (CompiledProgram, DataRegionSpec,
-                               DirectiveCompiler, PortSpec, grid_nest)
+from repro.models.base import DirectiveCompiler
+from repro.models.features import CAPABILITIES
+from repro.pipeline.core import PassContext, RegionPass
+from repro.pipeline.passes import (AutoDataPlan, BuildKernels, Check,
+                                   DefaultPrivateOrientation, FeatureScan,
+                                   Intake, Note, check_contiguity,
+                                   check_nest_depth, check_worksharing,
+                                   grid_nest)
 
 #: tile edge chosen by the hierarchical mapper for stencil nests
 AUTO_TILE = 32
+
+#: practical limit on mapping complexity (III-E2)
+MAX_MAPPING_DEPTH = 5
+
+
+def _non_affine(ctx: PassContext) -> Optional[str]:
+    feats = ctx.feats
+    if not feats.is_affine:
+        return (f"region {ctx.region.name!r} is not an extended static "
+                f"control program: {'; '.join(feats.affine_violations[:3])}"
+                " (blackboxing not yet supported for GPU targets)")
+    return None
+
+
+def _no_provable_parallelism(ctx: PassContext) -> Optional[str]:
+    # The polyhedral mapper must *prove* parallelism; annotation is
+    # not trusted.  Loops it cannot prove parallel run sequentially,
+    # and a region with no provably parallel loop is not mapped.
+    # coupled=False: R-Stream tests subscript dimensions in
+    # isolation, so NW's coupled anti-diagonals stay unproven
+    # (Table II reports the wavefront regions unmapped).
+    if not any(parallelization_safe(loop, coupled=False)
+               or loop.reductions  # reductions are handled specially
+               for loop in ctx.region.worksharing_loops()):
+        return (f"dependence analysis finds no parallel loop in "
+                f"{ctx.region.name!r}")
+    return None
+
+
+class HierarchicalTiling(RegionPass):
+    """The mapper's hierarchical tiling of stencil nests into shared
+    memory (III-E1)."""
+
+    name = "hierarchical-tiling"
+    stage = "tiling"
+
+    def run(self, ctx: PassContext) -> None:
+        loops = ctx.region.worksharing_loops()
+        if not (len(loops) == 1 and len(grid_nest(loops[0])) >= 2):
+            return
+        read_only = tuple(sorted(ctx.feats.arrays_referenced
+                                 - ctx.feats.arrays_written))
+        if not read_only:
+            return
+        halo = AUTO_TILE + 2
+        ctx.tiling.append(TilingDecision(
+            tile_dims=(AUTO_TILE, AUTO_TILE),
+            reuse_factor=4.0,
+            smem_bytes_per_block=min(halo * halo * 8, 34 * 34 * 8),
+            arrays=read_only))
+        ctx.note("hierarchical tiling into shared memory")
 
 
 class RStreamCompiler(DirectiveCompiler):
@@ -39,90 +94,44 @@ class RStreamCompiler(DirectiveCompiler):
 
     name = "R-Stream"
 
-    def check_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec) -> None:
-        for name in sorted(feats.arrays_referenced):
-            decl = program.arrays.get(name)
-            if decl is not None and not decl.contiguous:
-                self.reject(
-                region,
-                    "pointer-based-allocation",
-                    f"array {name!r} is allocated as pointer-to-pointer "
-                    "rows; the polyhedral mapper needs one dense linear "
-                    "layout")
-        if not feats.is_affine:
-            self.reject(
-                region,
-                "non-affine",
-                f"region {region.name!r} is not an extended static "
-                f"control program: {'; '.join(feats.affine_violations[:3])}"
-                " (blackboxing not yet supported for GPU targets)")
-        if feats.worksharing_loops == 0:
-            self.reject(
-                region,
-                "no-loop",
-                f"region {region.name!r} has no mappable loop")
-        # The polyhedral mapper must *prove* parallelism; annotation is
-        # not trusted.  Loops it cannot prove parallel run sequentially,
-        # and a region with no provably parallel loop is not mapped.
-        # coupled=False: R-Stream tests subscript dimensions in
-        # isolation, so NW's coupled anti-diagonals stay unproven
-        # (Table II reports the wavefront regions unmapped).
-        if not any(parallelization_safe(loop, coupled=False)
-                   or loop.reductions  # reductions are handled specially
-                   for loop in region.worksharing_loops()):
-            self.reject(
-                region,
-                "no-provable-parallelism",
-                f"dependence analysis finds no parallel loop in "
-                f"{region.name!r}")
-        # practical limit on mapping complexity (III-E2)
-        if feats.max_nest_depth > 5:
-            self.reject(
-                region,
-                "mapping-complexity",
-                f"nest depth {feats.max_nest_depth} exceeds the practical "
-                "mapping limit")
-
-    def lower_region(self, region: ParallelRegion, feats: RegionFeatures,
-                     program: Program, port: PortSpec,
-                     ) -> tuple[list[Kernel], list[str]]:
-        applied = ["polyhedral dependence analysis and automatic mapping"]
-        extra_tiling: list[TilingDecision] = []
-        loops = region.worksharing_loops()
-        if len(loops) == 1 and len(grid_nest(loops[0])) >= 2:
-            read_only = tuple(sorted(feats.arrays_referenced
-                                     - feats.arrays_written))
-            if read_only:
-                halo = AUTO_TILE + 2
-                extra_tiling.append(TilingDecision(
-                    tile_dims=(AUTO_TILE, AUTO_TILE),
-                    reuse_factor=4.0,
-                    smem_bytes_per_block=min(halo * halo * 8, 34 * 34 * 8),
-                    arrays=read_only))
-                applied.append("hierarchical tiling into shared memory")
-        kernels, notes = self.kernels_from_worksharing(
-            region, program, port,
-            default_private_orientation="column",  # the mapper interleaves
-            extra_tiling=extra_tiling)
-        applied.extend(notes)
-        return kernels, applied
-
-    def plan_data(self, compiled: CompiledProgram) -> None:
-        """Automatic whole-program transfer management — but only when
-        *every* region is mappable.
-
-        Cross-region transfer optimization requires merging the mappable
-        regions into one function (III-E2); unmappable code between them
-        blocks the merge (blackboxing unsupported), leaving the naive
-        per-invocation transfer pattern.
-        """
-        from repro.models.base import auto_data_region
-
-        if compiled.port.data_regions:
-            return
-        if not all(res.translated for res in compiled.results.values()):
-            return
-        auto = auto_data_region(compiled, "__rstream_merged__")
-        if auto is not None:
-            compiled.data_regions = (auto,)
+    def build_pipeline(self) -> list:
+        caps = CAPABILITIES[self.name]
+        passes: list = [
+            Intake(),
+            FeatureScan(),
+            check_contiguity(
+                "pointer-based-allocation",
+                "array {array!r} is allocated as pointer-to-pointer "
+                "rows; the polyhedral mapper needs one dense linear "
+                "layout",
+                name="check-dense-layout"),
+        ]
+        if caps.affine_only:
+            passes.append(Check("check-static-control", "non-affine",
+                                _non_affine))
+        passes += [
+            check_worksharing(
+                feature="no-loop",
+                template="region {name!r} has no mappable loop"),
+            Check("check-provable-parallelism", "no-provable-parallelism",
+                  _no_provable_parallelism),
+            check_nest_depth(
+                MAX_MAPPING_DEPTH,
+                "nest depth {depth} exceeds the practical mapping limit",
+                feature="mapping-complexity"),
+            Note("polyhedral-mapping", "transform",
+                 "polyhedral dependence analysis and automatic mapping"),
+            DefaultPrivateOrientation("column"),  # the mapper interleaves
+            HierarchicalTiling(),
+            BuildKernels(),
+        ]
+        if caps.automatic_data_plan:
+            # automatic whole-program transfer management — but only
+            # when *every* region is mappable: cross-region transfer
+            # optimization requires merging the mappable regions into
+            # one function (III-E2); unmappable code between them
+            # blocks the merge, leaving the naive per-invocation
+            # transfer pattern
+            passes.append(AutoDataPlan("__rstream_merged__",
+                                       require_full_coverage=True))
+        return passes

@@ -1,0 +1,35 @@
+"""Staged pass-pipeline compiler architecture.
+
+Every model compiler is an ordered list of small passes grouped into the
+canonical stages
+
+    intake -> scan -> legality -> transform -> placement -> tiling
+           -> codegen -> transfer
+
+run by a :class:`PassManager`.  The manager records, per pass, an
+observability span, whether the pass changed the region IR or the
+accumulated lowering decisions, a snapshot of the state after each
+change, and — when a pass rejects the region — a diagnostic attributed
+to that pass.  The per-pass records ride on the compile results: lint
+rules can query the pre-transform IR, the translation validator can
+localize a divergence to the first diverging pass, and the
+``repro-harness passes`` subcommand prints the per-pass IR diff.
+
+The pass *library* (:mod:`repro.pipeline.passes`) holds the shared
+building blocks; each model module assembles its own ordered list from
+them, parameterized by its :class:`~repro.models.features.ModelCapabilities`
+descriptor.
+"""
+
+from repro.pipeline.core import (STAGES, PassContext, PassManager,
+                                 PassRecord, ProgramPass, RegionCompilation,
+                                 RegionPass, stage_index)
+from repro.pipeline.render import render_ir, render_state
+from repro.pipeline.report import (render_pass_report, render_pass_summary)
+
+__all__ = [
+    "STAGES", "stage_index", "PassContext", "PassManager", "PassRecord",
+    "ProgramPass", "RegionCompilation", "RegionPass",
+    "render_ir", "render_state", "render_pass_report",
+    "render_pass_summary",
+]

@@ -1,0 +1,107 @@
+"""Human-readable reports over per-pass records.
+
+Backs the ``repro-harness passes`` subcommand: a per-region pass table
+(stage, pass, whether it changed the region state, its provenance
+notes), unified diffs between consecutive state snapshots, and — for
+rejected regions — which pass rejected the region and why.
+
+This module must not import :mod:`repro.models.base` (the models import
+the pipeline package); it consumes any object shaped like
+:class:`~repro.models.base.CompiledProgram` whose region results carry
+``passes`` records.
+"""
+
+from __future__ import annotations
+
+import difflib
+from typing import Iterable
+
+from repro.pipeline.core import PassRecord
+
+
+def _change_marker(rec: PassRecord) -> str:
+    if rec.rejected:
+        return "!"
+    return "*" if rec.changed else "."
+
+
+def _pass_table(records: Iterable[PassRecord]) -> list[str]:
+    lines = ["  stage      pass                      changed  notes"]
+    for rec in records:
+        note = "; ".join(rec.notes)
+        lines.append(f"  {rec.stage:<10} {rec.name:<25} {_change_marker(rec):^7}"
+                     f"  {note}".rstrip())
+    return lines
+
+
+def _snapshot_diffs(records: Iterable[PassRecord]) -> list[str]:
+    lines: list[str] = []
+    prev_name = None
+    prev_text = None
+    for rec in records:
+        if rec.state_text is None:
+            continue
+        if prev_text is None:
+            prev_name, prev_text = rec.name, rec.state_text
+            continue
+        diff = list(difflib.unified_diff(
+            prev_text.splitlines(), rec.state_text.splitlines(),
+            fromfile=f"after {prev_name}", tofile=f"after {rec.name}",
+            lineterm=""))
+        if diff:
+            lines.append("")
+            lines.extend("  " + d for d in diff)
+        prev_name, prev_text = rec.name, rec.state_text
+    return lines
+
+
+def render_pass_report(compiled) -> str:
+    """The full per-pass report for one compiled program.
+
+    For every region: the pass table, then unified diffs between each
+    pair of consecutive state snapshots (so only passes that changed the
+    IR or the lowering decisions produce a hunk), then — when rejected —
+    the pass attribution of the diagnostic.
+    """
+    out: list[str] = [f"{compiled.program.name} / {compiled.model}: "
+                      f"{compiled.regions_translated}/{compiled.regions_total}"
+                      " regions translated"]
+    for region in compiled.program.regions:
+        res = compiled.results[region.name]
+        out.append("")
+        if res.translated:
+            out.append(f"region {region.name!r}: translated "
+                       f"({len(res.kernels)} kernel(s))")
+        else:
+            diag = res.diagnostics[0] if res.diagnostics else None
+            where = ""
+            if diag is not None and getattr(diag, "pass_name", ""):
+                rej = next((r for r in res.passes if r.rejected), None)
+                stage = f" (stage {rej.stage})" if rej is not None else ""
+                where = f" — rejected by pass {diag.pass_name!r}{stage}"
+            out.append(f"region {region.name!r}: NOT translated{where}")
+            if diag is not None:
+                out.append(f"  [{diag.rule}] {diag.message}")
+        out.extend(_pass_table(res.passes))
+        out.extend(_snapshot_diffs(res.passes))
+    return "\n".join(out)
+
+
+def render_pass_summary(compiled) -> str:
+    """One line per region — the ``passes --all`` smoke format."""
+    out: list[str] = []
+    for region in compiled.program.regions:
+        res = compiled.results[region.name]
+        if res.translated:
+            changed = [r.name for r in res.passes
+                       if r.changed and r.stage not in ("intake",)]
+            detail = ", ".join(changed) if changed else "no-op pipeline"
+            out.append(f"  {compiled.program.name}/{region.name}: "
+                       f"ok ({detail})")
+        else:
+            rej = next((r for r in res.passes if r.rejected), None)
+            name = rej.name if rej is not None else "?"
+            feature = res.diagnostics[0].feature if res.diagnostics else "?"
+            out.append(f"  {compiled.program.name}/{region.name}: "
+                       f"rejected by {name} ({feature})")
+    return "\n".join(out)

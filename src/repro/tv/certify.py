@@ -17,6 +17,11 @@ Certificate checking is intentionally one-sided: a PROVED verdict
 requires exact matching of observable effects, while REFUTED requires
 numeric evidence, so normalization gaps degrade to UNKNOWN rather than
 to a wrong verdict in either direction.
+
+Non-PROVED certificates are additionally *localized* against the
+pipeline's per-pass snapshots: a note names the first pass whose state
+snapshot changed the canonical store summary, so a refutation points at
+the transform that introduced it rather than at "the compiler".
 """
 
 from __future__ import annotations
@@ -76,6 +81,48 @@ def _group(facts: list[CanonFact]) -> dict[str, list[CanonFact]]:
     for f in facts:
         groups.setdefault(f.target, []).append(f)
     return groups
+
+
+def _first_diverging_pass(program: Program,
+                          result: RegionResult) -> Optional[tuple[str, str]]:
+    """Localize a divergence within the pipeline: the first pass whose
+    state snapshot changed the canonical store summary relative to the
+    pipeline's input (the intake snapshot).
+
+    Returns ``(pass_name, stage)`` or ``None`` when no snapshot changed
+    the summary — then the mismatch predates the pipeline (the port's
+    restructured source) or arose in kernel assembly.
+    """
+    base: Optional[list] = None
+    for rec in result.passes:
+        if rec.ir is None:
+            continue
+        try:
+            summary = summarize_stores(rec.ir, program)
+            keys = sorted(f.match_key()
+                          for f in canonicalize(summary, program))
+        except Exception:
+            continue  # a snapshot the summarizer cannot model
+        if base is None:
+            base = keys
+        elif keys != base:
+            return rec.name, rec.stage
+    return None
+
+
+def _localize(cert: Certificate, program: Program,
+              result: RegionResult) -> None:
+    """Attach the pass attribution of a non-PROVED verdict (notes only,
+    so PROVED certificates — the pinned suite output — are untouched)."""
+    hit = _first_diverging_pass(program, result)
+    if hit is not None:
+        name, stage = hit
+        cert.notes.append(f"store summary first diverges after pass "
+                          f"{name!r} (stage {stage})")
+    elif result.passes:
+        cert.notes.append("no pipeline pass changed the store summary; "
+                          "divergence originates in the port's "
+                          "restructured source or in kernel assembly")
 
 
 def validate_region(program: Program, model: str,
@@ -140,6 +187,7 @@ def validate_region(program: Program, model: str,
             cert.status = CertStatus.REFUTED
             cert.witness = witness
             cert.detail = witness.describe()
+            _localize(cert, program, result)
             return cert
 
     if unmatched_src or unmatched_ker:
@@ -152,6 +200,7 @@ def validate_region(program: Program, model: str,
         cert.detail = (f"{cert.matched}/{cert.stores_source} source stores "
                        f"matched; {len(unmatched_src)} source and "
                        f"{len(unmatched_ker)} kernel stores unmatched")
+        _localize(cert, program, result)
         return cert
 
     if blocking:

@@ -1,0 +1,74 @@
+"""The ``repro-harness passes`` subcommand.
+
+Same exit-code contract as the rest of the CLI (0 clean, 2 usage
+errors), a per-pass table with unified IR diffs for one port, and a
+one-line-per-region suite smoke under ``--all``.
+"""
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.models.cache import clear_compile_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+class TestSinglePort:
+    def test_shows_pass_table_and_ir_diff(self, capsys):
+        assert cli_main(["passes", "jacobi", "openacc"]) == 0
+        out = capsys.readouterr().out
+        assert "2/2 regions translated" in out
+        # the pass table
+        assert "stage" in out and "codegen" in out
+        assert "pgi-auto-tiling" in out
+        # the unified diff between consecutive snapshots
+        assert "--- after intake" in out
+        assert "+++ after codegen" in out
+        assert "+//   kernel jacobi_stencil_k0" in out
+
+    def test_rejection_attribution(self, capsys):
+        assert cli_main(["passes", "bfs", "rstream"]) == 0
+        out = capsys.readouterr().out
+        assert "NOT translated" in out
+        assert "rejected by pass 'check-static-control'" in out
+        assert "[COV-NON-AFFINE]" in out
+
+    def test_variant_flag(self, capsys):
+        assert cli_main(["passes", "jacobi", "openacc",
+                         "--variant", "naive"]) == 0
+        capsys.readouterr()
+
+
+class TestUsageErrors:
+    def test_missing_positional(self, capsys):
+        assert cli_main(["passes", "jacobi"]) == 2
+        assert "required" in capsys.readouterr().err
+
+    def test_unknown_benchmark(self, capsys):
+        assert cli_main(["passes", "nonesuch", "openacc"]) == 2
+        assert "nonesuch" in capsys.readouterr().err
+
+    def test_unknown_model(self, capsys):
+        assert cli_main(["passes", "jacobi", "nonesuch"]) == 2
+        assert "nonesuch" in capsys.readouterr().err
+
+    def test_unknown_variant(self, capsys):
+        assert cli_main(["passes", "jacobi", "openacc",
+                         "--variant", "bogus"]) == 2
+        assert "bogus" in capsys.readouterr().err
+
+
+class TestSuiteSmoke:
+    def test_all_covers_every_pair(self, capsys):
+        assert cli_main(["passes", "--all"]) == 0
+        out = capsys.readouterr().out
+        # 13 benchmarks x 5 directive models, one header line per pair
+        assert out.count(" regions\n") == 65
+        assert "rejected across the suite" in out
+        # R-Stream's non-affine rejections show up attributed
+        assert "rejected by check-static-control" in out

@@ -1,0 +1,288 @@
+"""Pass-pipeline invariants and the refactor's behaviour-preservation gate.
+
+Pins the architectural contract of :mod:`repro.pipeline`: the canonical
+stage order is enforced at construction time, every model compiler is a
+declarative pass list (OpenACC literally extends PGI's), snapshots and
+rejection attribution work, and — the gate the whole refactor hangs on —
+the committed 65-entry performance baseline reproduces *exactly*
+(tolerance zero), not merely within the drift gate's 2%.
+"""
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.errors import CompileError
+from repro.models import COMPILERS, DIRECTIVE_MODELS, get_compiler
+from repro.models.cache import clear_compile_cache, compile_port
+from repro.pipeline import (STAGES, PassManager, ProgramPass, RegionPass,
+                            render_pass_report, render_pass_summary,
+                            stage_index)
+from repro.pipeline.passes import BuildKernels, Intake
+
+
+class _Noop(RegionPass):
+    name = "noop"
+    stage = "legality"
+
+    def run(self, ctx):
+        pass
+
+
+class _NoopCodegen(RegionPass):
+    name = "noop-codegen"
+    stage = "codegen"
+
+    def run(self, ctx):
+        pass
+
+
+class _NoopProgram(ProgramPass):
+    name = "noop-program"
+    stage = "transfer"
+
+    def run(self, compiled):
+        pass
+
+
+class TestStageOrdering:
+    def test_canonical_stage_order(self):
+        assert STAGES == ("intake", "scan", "legality", "transform",
+                          "placement", "tiling", "codegen", "transfer")
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(CompileError):
+            stage_index("optimize")
+
+    def test_out_of_order_pipeline_rejected(self):
+        with pytest.raises(CompileError, match="out .f order|order"):
+            PassManager("test", [_NoopCodegen(), _Noop()])
+
+    def test_pipeline_requires_codegen(self):
+        with pytest.raises(CompileError, match="codegen"):
+            PassManager("test", [Intake(), _Noop()])
+
+    def test_region_pass_cannot_be_transfer(self):
+        class Bad(RegionPass):
+            name = "bad"
+            stage = "transfer"
+
+            def run(self, ctx):
+                pass
+
+        with pytest.raises(CompileError):
+            PassManager("test", [_NoopCodegen(), Bad()])
+
+    def test_program_pass_must_be_transfer(self):
+        class Bad(ProgramPass):
+            name = "bad"
+            stage = "codegen"
+
+            def run(self, compiled):
+                pass
+
+        with pytest.raises(CompileError):
+            PassManager("test", [Bad()])
+
+    def test_every_compiler_pipeline_is_stage_ordered(self):
+        for name, cls in COMPILERS.items():
+            pm = cls().pipeline
+            indices = [stage_index(stage) for stage, _ in pm.stage_list()]
+            assert indices == sorted(indices), name
+
+    def test_every_compiler_starts_with_intake_and_builds_kernels(self):
+        for name, cls in COMPILERS.items():
+            pm = cls().pipeline
+            assert pm.region_passes[0].name == "intake", name
+            assert any(isinstance(p, BuildKernels)
+                       for p in pm.region_passes), name
+
+
+class TestDeclarativePipelines:
+    def test_openacc_extends_pgi_pass_list(self):
+        """OpenACC is the PGI pipeline plus delta passes, not a copy:
+        PGI's pass names must appear in OpenACC's list *in order*."""
+        pgi = get_compiler("pgi").pipeline.pass_names()
+        acc = list(get_compiler("openacc").pipeline.pass_names())
+        it = iter(acc)
+        assert all(name in it for name in pgi), (pgi, acc)
+        # and the delta is real: the construct checks and the note
+        assert "check-construct" in acc and "acc-construct-note" in acc
+        assert "check-construct" not in pgi
+
+    def test_pipelines_reflect_capabilities(self):
+        # contiguity checking follows the capability bit
+        assert "check-contiguity" in \
+            get_compiler("openacc").pipeline.pass_names()
+        assert "check-contiguity" not in \
+            get_compiler("pgi").pipeline.pass_names()
+        # the manual baseline has no legality stage at all
+        manual = get_compiler("cuda").pipeline
+        assert not any(stage == "legality"
+                       for stage, _ in manual.stage_list())
+
+    def test_pass_names_are_unique_per_pipeline(self):
+        for name, cls in COMPILERS.items():
+            names = cls().pipeline.pass_names()
+            assert len(names) == len(set(names)), name
+
+
+class TestSnapshotsAndAttribution:
+    @pytest.fixture(autouse=True)
+    def _fresh_store(self):
+        clear_compile_cache()
+        yield
+        clear_compile_cache()
+
+    def test_intake_always_snapshots(self):
+        _, compiled, _ = compile_port("jacobi", "openacc")
+        for res in compiled.results.values():
+            rec = res.record("intake")
+            assert rec is not None and rec.state_text is not None
+            assert rec.ir is not None
+
+    def test_codegen_registers_a_state_change(self):
+        """Building kernels counts as a change, so every translated
+        region has at least two snapshots and the report has a diff."""
+        _, compiled, _ = compile_port("jacobi", "openacc")
+        res = compiled.results["stencil"]
+        rec = res.record("codegen")
+        assert rec is not None and rec.changed and rec.state_text
+        assert "kernel jacobi_stencil_k0" in rec.state_text
+
+    def test_report_contains_unified_diff(self):
+        _, compiled, _ = compile_port("jacobi", "openacc")
+        text = render_pass_report(compiled)
+        assert "--- after intake" in text
+        assert "+++ after codegen" in text
+        assert "regions translated" in text
+
+    def test_rejection_attributed_to_pass(self):
+        _, compiled, _ = compile_port("bfs", "rstream")
+        res = compiled.results["bfs_expand"]
+        assert not res.translated
+        assert res.diagnostics[0].pass_name == "check-static-control"
+        rejected = [r for r in res.passes if r.rejected]
+        assert [r.name for r in rejected] == ["check-static-control"]
+        # passes after the rejecting one never ran
+        assert res.passes[-1].name == "check-static-control"
+        text = render_pass_report(compiled)
+        assert "rejected by pass 'check-static-control'" in text
+        assert "(stage legality)" in text
+
+    def test_summary_one_line_per_region(self):
+        _, compiled, _ = compile_port("bfs", "rstream")
+        lines = render_pass_summary(compiled).splitlines()
+        assert len(lines) == len(compiled.program.regions)
+        assert all("rejected by check-static-control" in ln for ln in lines)
+
+    def test_snapshot_before_transform(self):
+        """The pre-transform IR query lint rules use: for a port whose
+        transform stage rewrites loops, the snapshot taken before the
+        transform stage differs from the final kernels' loops."""
+        _, compiled, _ = compile_port("jacobi", "openmpc")
+        res = compiled.results["stencil"]
+        snap = res.snapshot_before("transform")
+        assert snap is not None
+        # it is exactly the intake snapshot (nothing changes earlier)
+        assert snap is res.record("intake").ir
+
+    def test_lint_context_pre_transform_ir(self):
+        from repro.lint.engine import LintContext
+
+        _, compiled, _ = compile_port("jacobi", "openacc")
+        ctx = LintContext(program=compiled.program, compiled=compiled)
+        ir = ctx.pre_transform_ir("stencil")
+        assert ir is not None
+        # without a compiled program it degrades to the region body
+        bare = LintContext(program=compiled.program)
+        assert bare.pre_transform_ir("stencil") is \
+            compiled.program.region("stencil").body
+
+    def test_pass_spans_emitted(self):
+        from repro.obs.tracer import Tracer, tracing
+
+        bench = get_benchmark("jacobi")
+        port = bench.port("OpenACC", "best")
+        tracer = Tracer()
+        with tracing(tracer):
+            get_compiler("openacc").compile_program(port)
+        pipeline_spans = [s for s in tracer.spans
+                          if s.category == "pipeline"]
+        assert pipeline_spans, "per-pass spans missing"
+        names = {s.name for s in pipeline_spans}
+        assert "pass.intake" in names and "pass.codegen" in names
+        assert all(s.attrs.get("stage") for s in pipeline_spans)
+
+
+class TestTvPassLocalization:
+    def test_first_diverging_pass_found(self):
+        from repro.pipeline.core import PassRecord
+        from repro.tv.certify import _first_diverging_pass
+        from repro.models.base import RegionResult
+
+        program = get_benchmark("jacobi").program
+        stencil = program.region("stencil").body
+        copyback = program.region("copyback").body
+        result = RegionResult(region="stencil", translated=True, passes=[
+            PassRecord(name="intake", stage="intake", ir=stencil),
+            PassRecord(name="same", stage="legality", ir=stencil),
+            PassRecord(name="mutator", stage="transform", ir=copyback),
+        ])
+        assert _first_diverging_pass(program, result) == (
+            "mutator", "transform")
+
+    def test_no_divergence_when_snapshots_agree(self):
+        from repro.pipeline.core import PassRecord
+        from repro.tv.certify import _first_diverging_pass
+        from repro.models.base import RegionResult
+
+        program = get_benchmark("jacobi").program
+        stencil = program.region("stencil").body
+        result = RegionResult(region="stencil", translated=True, passes=[
+            PassRecord(name="intake", stage="intake", ir=stencil),
+            PassRecord(name="same", stage="codegen", ir=stencil),
+        ])
+        assert _first_diverging_pass(program, result) is None
+
+    def test_non_proved_certificate_carries_localization_note(self):
+        from repro.models.cache import compile_port as cp
+        from repro.models.base import RegionResult
+        from repro.tv.certify import CertStatus, validate_region
+
+        _, compiled, _ = cp("jacobi", "openacc")
+        good = compiled.results["stencil"]
+        # kernels from the *other* region: stores cannot match
+        wrong = compiled.results["copyback"]
+        broken = RegionResult(
+            region="stencil", translated=True,
+            kernels=list(wrong.kernels), applied=list(good.applied),
+            reads=good.reads, writes=good.writes,
+            passes=list(good.passes))
+        cert = validate_region(compiled.program, compiled.model, broken)
+        assert cert.status in (CertStatus.UNKNOWN, CertStatus.REFUTED)
+        assert any("diverg" in note for note in cert.notes)
+
+    def test_proved_certificates_have_no_localization_note(self):
+        from repro.models.cache import compile_port as cp
+        from repro.tv.certify import CertStatus, validate_compiled
+
+        _, compiled, _ = cp("jacobi", "openacc")
+        for cert in validate_compiled(compiled.program, compiled):
+            assert cert.status is CertStatus.PROVED
+            assert not any("diverg" in n for n in cert.notes)
+
+
+class TestBehaviourPreservation:
+    def test_baseline_reproduces_exactly(self):
+        """The refactor gate: all 65 committed baseline entries must
+        come out byte-identical — zero tolerance, not the 2% gate."""
+        from repro.obs.baseline import DEFAULT_BASELINE_PATH, check_baseline
+
+        diff = check_baseline(DEFAULT_BASELINE_PATH, tolerance=0.0)
+        assert diff.compared == 65
+        assert not diff.failed, diff.render()
+
+    def test_every_directive_port_compiles(self):
+        for model in DIRECTIVE_MODELS:
+            _, compiled, _ = compile_port("jacobi", model)
+            assert compiled.regions_total == 2
