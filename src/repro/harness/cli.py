@@ -20,7 +20,14 @@ Subcommands regenerate the paper's evaluation artifacts:
   (``--all`` for the one-line-per-region suite smoke);
 * ``baseline record|check`` — the perf-regression gate over the
   committed baseline (``check`` exits 2 on regression/drift);
-* ``all`` — everything (the EXPERIMENTS.md payload).
+* ``all`` — everything (the EXPERIMENTS.md payload); ``--json`` emits
+  the machine-readable rollup, ``--journal`` checkpoints the sharded
+  sweep for resume.
+
+Every sweep subcommand takes ``--jobs N`` (default 1 = the serial
+path).  ``N > 1`` shards the (benchmark, model) work-unit graph across
+worker processes (:mod:`repro.harness.parallel`) and merges results in
+registry order — output is independent of the worker count.
 
 Exit-code contract (pinned by ``tests/test_cli_errors.py``): 0 clean,
 1 on gated findings, 2 on usage errors.  Usage errors — unknown
@@ -49,6 +56,20 @@ class UsageError(Exception):
     """A CLI usage error: message goes to stderr, process exits 2."""
 
 
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for the sweep (default 1 = "
+                             "the serial path; results are identical for "
+                             "any value)")
+
+
+def _jobs(args: argparse.Namespace) -> int:
+    jobs = getattr(args, "jobs", 1)
+    if jobs < 1:
+        raise UsageError(f"--jobs must be >= 1 (got {jobs})")
+    return jobs
+
+
 def _require_port_args(cmd: str, args: argparse.Namespace) -> None:
     """BENCH and MODEL are mandatory for port subcommands without --all."""
     if getattr(args, "all_ports", False):
@@ -73,8 +94,28 @@ def _cmd_table1(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_table2(_args: argparse.Namespace) -> int:
-    results = run_coverage_and_codesize()
+def _parallel_evaluation(jobs: int, *, scale: str = "paper",
+                         coverage: bool = False, speedups: bool = False,
+                         profiles: bool = False,
+                         journal: str | None = None):
+    """One sharded sweep covering whatever the subcommand needs.
+
+    Returns ``(EvaluationResults, run_profiles, SweepResult)``; a
+    fused unit graph means each port is lowered exactly once even when
+    coverage, speedups, and profiles are all requested.
+    """
+    from repro.harness.parallel import (SweepContext, evaluation_units,
+                                        merge_evaluation, run_sweep)
+
+    units = evaluation_units(coverage=coverage, speedups=speedups,
+                             profiles=profiles)
+    sweep = run_sweep(units, jobs=jobs, journal=journal,
+                      context=SweepContext(scale=scale))
+    results, run_profiles = merge_evaluation(sweep.outcomes)
+    return results, run_profiles, sweep
+
+
+def _render_table2_text(results) -> None:
     print(render_table2(results))
     failures = []
     for model, cov in results.coverage.items():
@@ -83,11 +124,26 @@ def _cmd_table2(_args: argparse.Namespace) -> int:
     if failures:
         print("\nUntranslated regions:")
         print("\n".join(failures))
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    jobs = _jobs(args)
+    if jobs > 1:
+        results, _, _ = _parallel_evaluation(jobs, coverage=True)
+    else:
+        results = run_coverage_and_codesize()
+    _render_table2_text(results)
     return 0
 
 
 def _cmd_figure1(args: argparse.Namespace) -> int:
-    speedups = run_speedups(scale=args.scale)
+    jobs = _jobs(args)
+    if jobs > 1:
+        results, _, _ = _parallel_evaluation(jobs, scale=args.scale,
+                                             speedups=True)
+        speedups = results.speedups
+    else:
+        speedups = run_speedups(scale=args.scale)
     if args.csv:
         print(render_figure1_csv(speedups))
     else:
@@ -96,6 +152,7 @@ def _cmd_figure1(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    _jobs(args)
     bench = _resolve_port("run", get_benchmark, args.benchmark)
     known = _resolve_port("run", bench.variants, args.model)
     if args.variant != "best" and args.variant not in known:
@@ -141,7 +198,7 @@ def _cmd_lint(args: argparse.Namespace) -> int:
         raise UsageError("lint: --sarif and --json are mutually exclusive")
     threshold = Severity.parse(args.fail_on) if args.fail_on else None
     if args.all_ports:
-        records = lint_suite()
+        records = lint_suite(jobs=_jobs(args))
         if args.sarif:
             from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION
             # one SARIF run per (benchmark, model) pair, single log
@@ -192,7 +249,7 @@ def _cmd_tv(args: argparse.Namespace) -> int:
     from repro.tv import CertStatus, validate_port, validate_suite
 
     if args.all_ports:
-        records = validate_suite()
+        records = validate_suite(jobs=_jobs(args))
         if args.json:
             payload = [{"benchmark": rec.benchmark, "model": rec.model,
                         "variant": rec.variant,
@@ -241,7 +298,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
     _require_port_args("profile", args)
     if args.all_ports:
-        profiles, tracer = profile_suite(scale=args.scale)
+        profiles, tracer = profile_suite(scale=args.scale,
+                                         jobs=_jobs(args))
     else:
         tracer = Tracer(manifest=make_manifest(
             TESLA_M2090, TimingConfig(), args.scale))
@@ -274,6 +332,7 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
 
     path = args.baseline or DEFAULT_BASELINE_PATH
     benchmarks = args.benchmarks or None
+    jobs = _jobs(args)
     try:
         if args.action == "record":
             from repro.obs.baseline import DEFAULT_TOLERANCE
@@ -281,12 +340,13 @@ def _cmd_baseline(args: argparse.Namespace) -> int:
                                   scale=args.scale,
                                   tolerance=args.tolerance
                                   if args.tolerance is not None
-                                  else DEFAULT_TOLERANCE)
+                                  else DEFAULT_TOLERANCE,
+                                  jobs=jobs)
             n = sum(len(m) for m in doc["entries"].values())
             print(f"recorded {n} entries to {path} "
                   f"(config {doc['manifest']['config_hash']})")
             return 0
-        diff = check_baseline(path, tolerance=args.tolerance)
+        diff = check_baseline(path, tolerance=args.tolerance, jobs=jobs)
         print(diff.render())
         return 2 if diff.failed else 0
     except FileNotFoundError:
@@ -324,25 +384,56 @@ def _cmd_passes(args: argparse.Namespace) -> int:
 
 
 def _cmd_all(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.benchmarks.registry import iter_suite
     from repro.harness.report import render_bottleneck_section
+    from repro.harness.rollup import build_rollup, render_rollup
     from repro.models.cache import cache_stats
     from repro.obs.profile import profile_suite
+
+    jobs = _jobs(args)
+    sweep = None
+    if jobs > 1:
+        results, profiles, sweep = _parallel_evaluation(
+            jobs, scale=args.scale, coverage=True, speedups=True,
+            profiles=True, journal=args.journal)
+    else:
+        if args.journal:
+            raise UsageError("all: --journal requires --jobs > 1 "
+                             "(the serial path does not checkpoint)")
+        benches = list(iter_suite())
+        results = run_coverage_and_codesize(benches)
+        results.speedups = run_speedups(benches, scale=args.scale)
+        profiles, _ = profile_suite(scale=args.scale)
+
+    if args.json:
+        meta = {"jobs": jobs, "scale": args.scale,
+                "generated_unix": time.time()}
+        if sweep is not None:
+            meta["sweep"] = sweep.stats.to_dict()
+        else:
+            meta["store"] = cache_stats()
+        print(render_rollup(build_rollup(results, profiles, meta)))
+        return 0
 
     print("Table I")
     print(render_table1())
     print()
-    _cmd_table2(args)
+    _render_table2_text(results)
     print()
-    speedups = run_speedups(scale=args.scale)
-    print(render_figure1(speedups))
+    print(render_figure1(results.speedups))
     print()
-    profiles, _ = profile_suite(scale=args.scale)
     print(render_bottleneck_section(profiles))
-    stats = cache_stats()
     print()
-    print(f"artifact store: {stats['entries']} compilations for "
-          f"{stats['hits'] + stats['misses']} requests "
-          f"({stats['hits']} hits, {stats['misses']} misses)")
+    if sweep is not None:
+        print(sweep.stats.store_summary())
+        print(sweep.stats.shard_summary())
+    else:
+        stats = cache_stats()
+        print(f"artifact store: {stats['entries']} compilations for "
+              f"{stats['hits'] + stats['misses']} requests "
+              f"({stats['hits']} hits, {stats['misses']} misses)")
     return 0
 
 
@@ -355,13 +446,15 @@ def main(argv: list[str] | None = None) -> int:
 
     sub.add_parser("table1", help="feature matrix").set_defaults(
         func=_cmd_table1)
-    sub.add_parser("table2", help="coverage and code-size").set_defaults(
-        func=_cmd_table2)
+    p_t2 = sub.add_parser("table2", help="coverage and code-size")
+    _add_jobs(p_t2)
+    p_t2.set_defaults(func=_cmd_table2)
 
     p_fig = sub.add_parser("figure1", help="speedup sweep")
     p_fig.add_argument("--scale", default="paper",
                        choices=("test", "paper"))
     p_fig.add_argument("--csv", action="store_true")
+    _add_jobs(p_fig)
     p_fig.set_defaults(func=_cmd_figure1)
 
     p_run = sub.add_parser("run", help="run one benchmark functionally")
@@ -370,6 +463,9 @@ def main(argv: list[str] | None = None) -> int:
     p_run.add_argument("--variant", default="best")
     p_run.add_argument("--scale", default="test",
                        choices=("test", "paper"))
+    # a single run is one work unit; --jobs is accepted (and validated)
+    # for interface uniformity with the sweep subcommands
+    _add_jobs(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_val = sub.add_parser(
@@ -408,6 +504,7 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("error", "warning", "info"),
                         help="exit 1 if any finding is at/above "
                              "this severity")
+    _add_jobs(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
 
     p_tv = sub.add_parser(
@@ -424,6 +521,7 @@ def main(argv: list[str] | None = None) -> int:
     p_tv.add_argument("--all", action="store_true", dest="all_ports",
                       help="certify every benchmark x model pair and print "
                            "the per-model certificate matrix")
+    _add_jobs(p_tv)
     p_tv.set_defaults(func=_cmd_tv)
 
     p_prof = sub.add_parser(
@@ -445,6 +543,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="write the span trace as JSONL")
     p_prof.add_argument("--chrome", default=None, metavar="PATH",
                         help="write a chrome://tracing document")
+    _add_jobs(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
 
     p_pass = sub.add_parser(
@@ -476,11 +575,21 @@ def main(argv: list[str] | None = None) -> int:
     p_base.add_argument("--tolerance", type=float, default=None,
                         help="relative tolerance (default: the baseline's "
                              "own, 2%%)")
+    _add_jobs(p_base)
     p_base.set_defaults(func=_cmd_baseline)
 
     p_all = sub.add_parser("all", help="everything")
     p_all.add_argument("--scale", default="paper",
                        choices=("test", "paper"))
+    p_all.add_argument("--json", action="store_true",
+                       help="emit the machine-readable rollup (the "
+                            "'results' section is byte-identical for "
+                            "any --jobs value)")
+    p_all.add_argument("--journal", default=None, metavar="PATH",
+                       help="checkpoint/resume journal for the sharded "
+                            "sweep (requires --jobs > 1); an interrupted "
+                            "sweep restarts only the missing work units")
+    _add_jobs(p_all)
     p_all.set_defaults(func=_cmd_all)
 
     args = parser.parse_args(argv)

@@ -1,0 +1,599 @@
+"""Parallel sharded sweep engine with a deterministic merge.
+
+The full evaluation — Table II coverage/code-size, Figure 1 speedups,
+and the profile/baseline sweeps — is a graph of independent **work
+units**, one per (benchmark, model) pair (a unit owns every variant of
+its pair, so the unit set partitions the port set).  This module shards
+that graph across ``N`` worker processes and merges the results into
+exactly what the serial sweep produces:
+
+* **self-scheduling shards** — workers steal unit indices from one
+  shared task queue, so a slow unit (CFD at paper scale) never idles
+  the rest of the pool behind a static partition;
+* **compile once, anywhere** — each worker compiles through its own
+  process-local :data:`~repro.models.cache.STORE` and ships the delta
+  back as a picklable :class:`~repro.models.cache.StoreView` (artifacts
+  included), which the parent absorbs; because units partition the port
+  set, no port is lowered twice anywhere, and
+  :func:`~repro.models.cache.merge_view_stats` proves it (the
+  ``duplicates`` list stays empty);
+* **deterministic merge** — results are folded in registry order
+  (benchmark × model build order), *never* completion order, so any
+  ``jobs`` value yields structurally identical results and
+  byte-identical JSON rollups;
+* **obs merge** — every unit runs under its own tracer; span payloads
+  are merged in unit order (:mod:`repro.obs.merge`), keeping counter
+  totals independent of the worker count;
+* **checkpoint/resume** — each completed unit is journaled (JSONL, one
+  pickled envelope per line); re-running an interrupted sweep with the
+  same journal executes only the missing shards.
+
+``jobs=1`` callers never reach this module — the CLI and
+:func:`repro.harness.runner.run_full_evaluation` keep today's serial
+path byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import multiprocessing
+import os
+import pickle
+import queue as queue_mod
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+from repro.gpusim.device import TESLA_M2090, DeviceSpec
+from repro.gpusim.timing import TimingConfig
+from repro.models.cache import STORE, StoreView, merge_view_stats
+from repro.obs.tracer import Tracer, tracing
+
+JOURNAL_SCHEMA = 1
+
+
+class SweepError(RuntimeError):
+    """A worker failed (the offending unit and traceback are attached)."""
+
+
+# ---------------------------------------------------------------------------
+# Work units
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One shard of a sweep: everything owed for a (bench, model) pair.
+
+    ``flags`` select what an ``eval`` unit computes ("coverage",
+    "speedups", "profile"); ``seq`` is the unit's position in the
+    registry-order build sequence and is the merge sort key.
+    """
+
+    kind: str
+    bench: str
+    model: str
+    variant: str = ""
+    flags: tuple[str, ...] = ()
+    seq: int = 0
+
+    def key(self) -> tuple:
+        """Journal identity — stable across runs, excludes ``seq``."""
+        return (self.kind, self.bench, self.model, self.variant,
+                tuple(self.flags))
+
+    def label(self) -> str:
+        return f"{self.kind}:{self.bench}/{self.model}" + (
+            f"[{self.variant}]" if self.variant else "")
+
+
+def unit_sort_key(unit: WorkUnit) -> tuple:
+    """Registry build order — the only order results are merged in."""
+    return (unit.seq, unit.kind, unit.bench, unit.model, unit.variant)
+
+
+@dataclass(frozen=True)
+class SweepContext:
+    """Per-sweep knobs shipped to every worker (must stay picklable)."""
+
+    scale: str = "paper"
+    device: DeviceSpec = TESLA_M2090
+    timing: Optional[TimingConfig] = None
+    #: ship compiled artifacts back so the parent store is warm
+    ship_artifacts: bool = True
+    #: run each unit under its own tracer and ship the spans back
+    trace: bool = True
+
+
+@dataclass
+class UnitEnvelope:
+    """What one executed unit ships back to the parent."""
+
+    unit: WorkUnit
+    result: Any
+    spans: list[dict] = field(default_factory=list)
+    store: StoreView = field(default_factory=StoreView)
+
+
+@dataclass
+class UnitOutcome:
+    """An envelope plus where it came from."""
+
+    unit: WorkUnit
+    result: Any
+    spans: list[dict]
+    store: StoreView
+    worker: int = 0
+    from_journal: bool = False
+
+
+# ---------------------------------------------------------------------------
+# Unit runners (one per kind; all lazily import their layer)
+# ---------------------------------------------------------------------------
+
+UNIT_RUNNERS: dict[str, Callable[[WorkUnit, SweepContext], Any]] = {}
+
+
+def _unit_runner(kind: str):
+    def register(fn):
+        UNIT_RUNNERS[kind] = fn
+        return fn
+    return register
+
+
+@dataclass
+class EvalUnitResult:
+    """One (bench, model) pair's contribution to the full evaluation."""
+
+    bench: str
+    model: str
+    coverage: Any = None       # single-bench CoverageReport
+    codesize: Any = None       # single-bench CodeSizeReport
+    speedups: Any = None       # BenchmarkSpeedups (all variants)
+    profile: Any = None        # RunProfile
+
+
+@_unit_runner("eval")
+def _run_eval_unit(unit: WorkUnit, ctx: SweepContext) -> EvalUnitResult:
+    from repro.benchmarks.registry import get_benchmark
+    from repro.metrics.codesize import CodeSizeReport
+    from repro.metrics.coverage import CoverageReport
+    from repro.metrics.speedup import BenchmarkSpeedups
+    from repro.models.cache import compile_bench
+    from repro.obs.profile import profile_run
+
+    bench = get_benchmark(unit.bench)
+    flags = set(unit.flags)
+    out = EvalUnitResult(bench=bench.name, model=unit.model)
+    if "coverage" in flags:
+        port, compiled = compile_bench(bench, unit.model, "best")
+        cov = CoverageReport(model=unit.model)
+        cov.add(compiled)
+        size = CodeSizeReport(model=unit.model)
+        size.add_port(bench.program, port)
+        out.coverage, out.codesize = cov, size
+    if "speedups" in flags:
+        record = BenchmarkSpeedups(benchmark=bench.name, model=unit.model)
+        for variant in bench.variants(unit.model):
+            _, compiled = compile_bench(bench, unit.model, variant)
+            outcome = bench.run(unit.model, variant, scale=ctx.scale,
+                                execute=False, validate=False,
+                                device=ctx.device, timing=ctx.timing,
+                                compiled=compiled)
+            record.variants.append(outcome.speedup)
+        out.speedups = record
+    if "profile" in flags:
+        out.profile = profile_run(unit.bench, unit.model, scale=ctx.scale,
+                                  device=ctx.device, timing=ctx.timing)
+    return out
+
+
+@_unit_runner("lint")
+def _run_lint_unit(unit: WorkUnit, ctx: SweepContext):
+    from repro.lint.engine import run_lint
+    from repro.lint.suite import SuiteRecord
+    from repro.models.cache import compile_port
+
+    port, compiled, chosen = compile_port(unit.bench, unit.model,
+                                          unit.variant or None)
+    report = run_lint(port.program, compiled, device=ctx.device)
+    return SuiteRecord(benchmark=unit.bench, model=unit.model,
+                       variant=chosen, regions=compiled.regions_total,
+                       report=report)
+
+
+@_unit_runner("tv")
+def _run_tv_unit(unit: WorkUnit, ctx: SweepContext):
+    from repro.tv import validate_port
+
+    return validate_port(unit.bench, unit.model, unit.variant or None)
+
+
+@_unit_runner("baseline")
+def _run_baseline_unit(unit: WorkUnit, ctx: SweepContext):
+    from repro.obs.baseline import _entry_from_profile
+    from repro.obs.profile import profile_run
+
+    return _entry_from_profile(profile_run(
+        unit.bench, unit.model, scale=ctx.scale, device=ctx.device,
+        timing=ctx.timing))
+
+
+def execute_unit(unit: WorkUnit, ctx: SweepContext) -> UnitEnvelope:
+    """Run one unit with store accounting and (optional) span capture."""
+    runner = UNIT_RUNNERS.get(unit.kind)
+    if runner is None:
+        raise SweepError(f"unknown work-unit kind {unit.kind!r}; "
+                         f"known: {sorted(UNIT_RUNNERS)}")
+    before = STORE.view()
+    spans: list[dict] = []
+    if ctx.trace:
+        tracer = Tracer()
+        with tracing(tracer):
+            with tracer.span(unit.label(), "harness.unit",
+                             bench=unit.bench, model=unit.model,
+                             kind=unit.kind):
+                result = runner(unit, ctx)
+        spans = [sp.to_dict() for sp in tracer.spans]
+    else:
+        result = runner(unit, ctx)
+    delta = STORE.delta_view(before, include_artifacts=ctx.ship_artifacts)
+    return UnitEnvelope(unit=unit, result=result, spans=spans, store=delta)
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint journal
+# ---------------------------------------------------------------------------
+
+def _journal_key(unit: WorkUnit) -> list:
+    kind, bench, model, variant, flags = unit.key()
+    return [kind, bench, model, variant, list(flags)]
+
+
+def load_journal(path: Optional[str],
+                 units: Sequence[WorkUnit]) -> dict[tuple, UnitEnvelope]:
+    """Completed envelopes from a previous (interrupted) sweep.
+
+    Unknown or corrupt lines (e.g. a write cut off mid-crash) are
+    skipped — resume is best-effort, re-executing is always safe.
+    """
+    if not path or not os.path.exists(path):
+        return {}
+    wanted = {unit.key() for unit in units}
+    done: dict[tuple, UnitEnvelope] = {}
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+                if rec.get("schema") != JOURNAL_SCHEMA:
+                    continue
+                kind, bench, model, variant, flags = rec["key"]
+                key = (kind, bench, model, variant, tuple(flags))
+                if key not in wanted:
+                    continue
+                env = pickle.loads(base64.b64decode(rec["blob"]))
+            except Exception:
+                continue
+            done[key] = env
+    return done
+
+
+def append_journal(path: Optional[str], envelope: UnitEnvelope) -> None:
+    if not path:
+        return
+    blob = base64.b64encode(pickle.dumps(envelope)).decode("ascii")
+    with open(path, "a") as handle:
+        handle.write(json.dumps({"schema": JOURNAL_SCHEMA,
+                                 "key": _journal_key(envelope.unit),
+                                 "blob": blob}) + "\n")
+        handle.flush()
+
+
+# ---------------------------------------------------------------------------
+# The engine
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepStats:
+    """Shard-balance and artifact-store accounting for one sweep."""
+
+    jobs: int
+    units_total: int
+    units_executed: int = 0
+    units_from_journal: int = 0
+    #: worker id → units completed (the shard balance)
+    per_worker: dict[int, int] = field(default_factory=dict)
+    store: dict = field(default_factory=dict)
+    elapsed_s: float = 0.0
+
+    def shard_summary(self) -> str:
+        loads = "/".join(str(self.per_worker[w])
+                         for w in sorted(self.per_worker)) or "0"
+        line = (f"shards: {self.jobs} worker(s) — {loads} units"
+                f" ({self.units_executed} executed")
+        if self.units_from_journal:
+            line += f", {self.units_from_journal} resumed from journal"
+        return line + ")"
+
+    def store_summary(self) -> str:
+        s = self.store
+        dup = len(s.get("duplicates", ()))
+        return (f"artifact store: {s.get('entries', 0)} compilations for "
+                f"{s.get('hits', 0) + s.get('misses', 0)} requests "
+                f"({s.get('hits', 0)} hits, {s.get('misses', 0)} misses, "
+                f"{dup} duplicate lowerings)")
+
+    def to_dict(self) -> dict:
+        return {"jobs": self.jobs, "units_total": self.units_total,
+                "units_executed": self.units_executed,
+                "units_from_journal": self.units_from_journal,
+                "per_worker": {str(k): v
+                               for k, v in sorted(self.per_worker.items())},
+                "store": {**{k: v for k, v in self.store.items()
+                             if k != "duplicates"},
+                          "duplicates": len(self.store.get("duplicates",
+                                                           ()))},
+                "elapsed_s": self.elapsed_s}
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced, already in registry order."""
+
+    outcomes: list[UnitOutcome]
+    stats: SweepStats
+
+    def results(self) -> list[Any]:
+        return [o.result for o in self.outcomes]
+
+    def span_payloads(self) -> list[list[dict]]:
+        return [o.spans for o in self.outcomes]
+
+
+def _worker_main(worker_id: int, units: Sequence[WorkUnit],
+                 ctx: SweepContext, task_q, result_q) -> None:
+    """Worker loop: steal unit indices until the sentinel arrives."""
+    while True:
+        idx = task_q.get()
+        if idx is None:
+            break
+        try:
+            envelope = execute_unit(units[idx], ctx)
+            result_q.put((worker_id, idx, "ok", envelope))
+        except BaseException:
+            result_q.put((worker_id, idx, "error", traceback.format_exc()))
+            break
+
+
+def _pool_context():
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn")
+
+
+def run_sweep(units: Sequence[WorkUnit], jobs: int = 1,
+              context: Optional[SweepContext] = None,
+              journal: Optional[str] = None,
+              timeout_s: float = 3600.0) -> SweepResult:
+    """Execute every unit and merge outcomes in registry order.
+
+    ``jobs <= 1`` (or a single pending unit) runs in-process through the
+    exact same unit runners; ``jobs > 1`` shards across a process pool.
+    With ``journal``, completed units from a previous run are reused and
+    fresh completions are appended as they arrive.
+    """
+    t0 = time.perf_counter()
+    ctx = context or SweepContext()
+    ordered = sorted(units, key=unit_sort_key)
+    journaled = load_journal(journal, ordered)
+    pending = [i for i, u in enumerate(ordered)
+               if u.key() not in journaled]
+    stats = SweepStats(jobs=max(1, jobs), units_total=len(ordered),
+                       units_from_journal=len(ordered) - len(pending))
+    envelopes: dict[int, UnitEnvelope] = {}
+    workers_of: dict[int, int] = {}
+
+    if jobs <= 1 or len(pending) <= 1:
+        stats.jobs = 1
+        for idx in pending:
+            envelope = execute_unit(ordered[idx], ctx)
+            append_journal(journal, envelope)
+            envelopes[idx] = envelope
+            workers_of[idx] = 0
+    else:
+        n = min(jobs, len(pending))
+        stats.jobs = n
+        mp = _pool_context()
+        task_q = mp.Queue()
+        result_q = mp.Queue()
+        for idx in pending:
+            task_q.put(idx)
+        for _ in range(n):
+            task_q.put(None)
+        procs = [mp.Process(target=_worker_main,
+                            args=(wid, ordered, ctx, task_q, result_q),
+                            daemon=True)
+                 for wid in range(n)]
+        for p in procs:
+            p.start()
+        failure: Optional[tuple[WorkUnit, str]] = None
+        deadline = time.monotonic() + timeout_s
+        try:
+            remaining = len(pending)
+            while remaining and failure is None:
+                try:
+                    wid, idx, status, payload = result_q.get(timeout=5.0)
+                except queue_mod.Empty:
+                    if time.monotonic() > deadline:
+                        failure = (ordered[pending[0]],
+                                   f"sweep timed out after {timeout_s}s")
+                        break
+                    if not any(p.is_alive() for p in procs):
+                        failure = (ordered[pending[0]],
+                                   "all workers exited before finishing "
+                                   "the sweep")
+                        break
+                    continue
+                remaining -= 1
+                if status == "ok":
+                    append_journal(journal, payload)
+                    envelopes[idx] = payload
+                    workers_of[idx] = wid
+                else:
+                    failure = (ordered[idx], payload)
+        finally:
+            for p in procs:
+                if failure is not None and p.is_alive():
+                    p.terminate()
+            for p in procs:
+                p.join(timeout=30.0)
+        if failure is not None:
+            unit, detail = failure
+            raise SweepError(
+                f"work unit {unit.label()} failed in a worker:\n{detail}")
+
+    # fold journal entries back in (worker id -1 marks "not run now")
+    outcomes: list[UnitOutcome] = []
+    views: list[StoreView] = []
+    for idx, unit in enumerate(ordered):
+        if idx in envelopes:
+            env = envelopes[idx]
+            outcome = UnitOutcome(unit=unit, result=env.result,
+                                  spans=env.spans, store=env.store,
+                                  worker=workers_of.get(idx, 0))
+        else:
+            env = journaled[unit.key()]
+            outcome = UnitOutcome(unit=unit, result=env.result,
+                                  spans=env.spans, store=env.store,
+                                  worker=-1, from_journal=True)
+        outcomes.append(outcome)
+        views.append(env.store)
+        if ctx.ship_artifacts:
+            STORE.absorb(env.store)
+
+    stats.units_executed = len(envelopes)
+    for idx, wid in workers_of.items():
+        stats.per_worker[wid] = stats.per_worker.get(wid, 0) + 1
+    stats.store = merge_view_stats(views)
+    stats.elapsed_s = time.perf_counter() - t0
+    return SweepResult(outcomes=outcomes, stats=stats)
+
+
+# ---------------------------------------------------------------------------
+# Unit builders + mergers for the evaluation sweeps
+# ---------------------------------------------------------------------------
+
+def pair_units(kind: str,
+               pairs: Iterable[tuple[str, str]],
+               variant: str = "") -> list[WorkUnit]:
+    """Units for an already-ordered (bench, model) pair list."""
+    return [WorkUnit(kind=kind, bench=bench, model=model, variant=variant,
+                     seq=seq)
+            for seq, (bench, model) in enumerate(pairs)]
+
+
+def evaluation_units(benchmarks: Optional[Sequence[str]] = None,
+                     table2_models: Optional[Sequence[str]] = None,
+                     figure1_models: Optional[Sequence[str]] = None,
+                     *, coverage: bool = True, speedups: bool = True,
+                     profiles: bool = False) -> list[WorkUnit]:
+    """The (bench, model) work-unit graph of the full evaluation.
+
+    Unit order is the registry order the serial sweeps iterate in:
+    benchmarks in Figure 1 x-axis order, models in Table II column
+    order with the hand-written baseline appended.
+    """
+    from repro.benchmarks.registry import BENCHMARK_ORDER
+    from repro.harness.runner import FIGURE1_MODELS, TABLE2_MODELS
+
+    benches = list(benchmarks) if benchmarks is not None \
+        else list(BENCHMARK_ORDER)
+    t2 = list(table2_models if table2_models is not None
+              else TABLE2_MODELS) if coverage else []
+    f1 = list(figure1_models if figure1_models is not None
+              else FIGURE1_MODELS) if (speedups or profiles) else []
+    model_order = t2 + [m for m in f1 if m not in t2]
+    units: list[WorkUnit] = []
+    for bench in benches:
+        for model in model_order:
+            flags: list[str] = []
+            if coverage and model in t2:
+                flags.append("coverage")
+            if speedups and model in f1:
+                flags.append("speedups")
+            if profiles and model in f1:
+                flags.append("profile")
+            if flags:
+                units.append(WorkUnit(kind="eval", bench=bench, model=model,
+                                      flags=tuple(flags), seq=len(units)))
+    return units
+
+
+def merge_evaluation(outcomes: Sequence[UnitOutcome]):
+    """Fold eval-unit outcomes into ``(EvaluationResults, profiles)``.
+
+    Outcomes must already be in registry order (``run_sweep`` guarantees
+    it); the fold then reproduces the serial sweep's aggregation order
+    exactly — model-major for Table II, benchmark-major for Figure 1.
+    """
+    from repro.harness.runner import EvaluationResults
+    from repro.metrics.codesize import CodeSizeReport
+    from repro.metrics.coverage import CoverageReport
+
+    results = EvaluationResults()
+    model_order: list[str] = []
+    for o in outcomes:
+        if o.result.coverage is not None and o.unit.model not in model_order:
+            model_order.append(o.unit.model)
+    for model in model_order:
+        cov = CoverageReport(model=model)
+        size = CodeSizeReport(model=model)
+        for o in outcomes:
+            if o.unit.model != model or o.result.coverage is None:
+                continue
+            piece = o.result.coverage
+            cov.translated += piece.translated
+            cov.total += piece.total
+            cov.per_program.update(piece.per_program)
+            cov.failures.extend(piece.failures)
+            size.entries.extend(o.result.codesize.entries)
+        results.coverage[model] = cov
+        results.codesize[model] = size
+    profiles = []
+    for o in outcomes:
+        if o.result.speedups is not None:
+            results.speedups.setdefault(o.unit.bench, {})[o.unit.model] = \
+                o.result.speedups
+        if o.result.profile is not None:
+            profiles.append(o.result.profile)
+    return results, profiles
+
+
+def run_parallel_evaluation(scale: str = "paper", jobs: int = 2,
+                            *, profiles: bool = False,
+                            journal: Optional[str] = None,
+                            device: DeviceSpec = TESLA_M2090,
+                            timing: Optional[TimingConfig] = None):
+    """The parallel twin of :func:`~repro.harness.runner.run_full_evaluation`.
+
+    Returns ``(EvaluationResults, run_profiles, SweepResult)``.  If an
+    ambient tracer is installed, the merged per-unit spans are replayed
+    into it in unit order, so counter totals match a traced serial run.
+    """
+    from repro.obs.tracer import current_tracer
+
+    units = evaluation_units(coverage=True, speedups=True,
+                             profiles=profiles)
+    sweep = run_sweep(units, jobs=jobs, journal=journal,
+                      context=SweepContext(scale=scale, device=device,
+                                           timing=timing))
+    results, run_profiles = merge_evaluation(sweep.outcomes)
+    tracer = current_tracer()
+    if tracer is not None:
+        for payload in sweep.span_payloads():
+            tracer.absorb_spans(payload)
+    return results, run_profiles, sweep

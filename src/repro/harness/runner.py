@@ -91,8 +91,25 @@ def run_speedups(benchmarks: Optional[Sequence[Benchmark]] = None,
     return out
 
 
-def run_full_evaluation(scale: str = "paper") -> EvaluationResults:
-    """Coverage + code size + speedups over the whole suite."""
-    results = run_coverage_and_codesize()
-    results.speedups = run_speedups(scale=scale)
+def run_full_evaluation(scale: str = "paper",
+                        jobs: int = 1) -> EvaluationResults:
+    """Coverage + code size + speedups over the whole suite.
+
+    ``jobs=1`` is the serial path; ``jobs>1`` shards the (benchmark,
+    model) work-unit graph across a process pool
+    (:mod:`repro.harness.parallel`) and merges deterministically — the
+    results are structurally identical for any ``jobs`` value.
+
+    The suite is materialized once and shared by both sweeps, so the
+    coverage/code-size pass and the speedup pass see the *same*
+    benchmark instances (and therefore the same artifact-store fast
+    keys).
+    """
+    if jobs > 1:
+        from repro.harness.parallel import run_parallel_evaluation
+        results, _, _ = run_parallel_evaluation(scale=scale, jobs=jobs)
+        return results
+    benches = list(iter_suite())
+    results = run_coverage_and_codesize(benches)
+    results.speedups = run_speedups(benches, scale=scale)
     return results

@@ -45,15 +45,30 @@ def lint_port(benchmark: str, model: str, variant: Optional[str] = None,
 
 def lint_suite(models: Sequence[str] = DIRECTIVE_MODELS,
                benchmarks: Optional[Sequence[str]] = None,
-               device: DeviceSpec = TESLA_M2090) -> list[SuiteRecord]:
-    """Lint every benchmark × model pair, in table order."""
+               device: DeviceSpec = TESLA_M2090,
+               jobs: int = 1) -> list[SuiteRecord]:
+    """Lint every benchmark × model pair, in table order.
+
+    ``jobs>1`` shards the pair list across worker processes
+    (:mod:`repro.harness.parallel`); the records come back merged in
+    the same table order the serial path produces.
+    """
     from repro.benchmarks import BENCHMARK_ORDER
 
+    bench_list = list(benchmarks) if benchmarks is not None \
+        else list(BENCHMARK_ORDER)
+    model_list = [resolve_model(m) for m in models]
+    if jobs > 1:
+        from repro.harness.parallel import (SweepContext, pair_units,
+                                            run_sweep)
+        units = pair_units("lint", [(b, m) for b in bench_list
+                                    for m in model_list])
+        sweep = run_sweep(units, jobs=jobs,
+                          context=SweepContext(device=device, trace=False))
+        return sweep.results()
     records: list[SuiteRecord] = []
-    for bench_name in benchmarks if benchmarks is not None \
-            else BENCHMARK_ORDER:
-        for model in models:
-            model = resolve_model(model)
+    for bench_name in bench_list:
+        for model in model_list:
             port, compiled, chosen = compile_port(bench_name, model)
             report = run_lint(port.program, compiled, device=device)
             records.append(SuiteRecord(

@@ -25,8 +25,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import threading
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.models import get_compiler, resolve_model
 
@@ -83,8 +84,58 @@ def _config_hash(model: str, variant: str, port: "PortSpec",
     return h.hexdigest()
 
 
+@dataclass(frozen=True)
+class StoreView:
+    """A picklable snapshot (or delta) of an :class:`ArtifactStore`.
+
+    The parallel sweep engine ships these across process boundaries:
+    each worker exports the keys it compiled — optionally with the
+    artifacts themselves — and the parent absorbs them, so a port
+    lowered in one worker is never lowered again anywhere else, and the
+    merged hit/miss accounting still sums to the request count.
+    """
+
+    keys: tuple[ArtifactKey, ...] = ()
+    #: registry fast-path mappings covered by ``keys``
+    fast: tuple[tuple[tuple[str, str, str], ArtifactKey], ...] = ()
+    hits: int = 0
+    misses: int = 0
+    #: present only when exported with ``include_artifacts=True``
+    artifacts: tuple[Artifact, ...] = ()
+
+    def stats(self) -> dict[str, int]:
+        return {"hits": self.hits, "misses": self.misses,
+                "entries": len(self.keys)}
+
+
+def merge_view_stats(views: Iterable[StoreView]) -> dict:
+    """Fold per-worker store views into one stats dict.
+
+    ``duplicates`` lists any :class:`ArtifactKey` compiled by more than
+    one worker — always empty when the work-unit graph partitions the
+    port set correctly (the determinism tests assert exactly that).
+    """
+    hits = misses = 0
+    seen: dict[ArtifactKey, int] = {}
+    duplicates: list[ArtifactKey] = []
+    for view in views:
+        hits += view.hits
+        misses += view.misses
+        for key in view.keys:
+            seen[key] = seen.get(key, 0) + 1
+            if seen[key] == 2:
+                duplicates.append(key)
+    return {"hits": hits, "misses": misses, "entries": len(seen),
+            "duplicates": duplicates}
+
+
 class ArtifactStore:
-    """In-process artifact store with hit/miss accounting."""
+    """In-process artifact store with hit/miss accounting.
+
+    Thread-safe: a reentrant lock serializes lookup-or-compile, so
+    concurrent :func:`compile_bench` calls can never lower the same key
+    twice (the second caller blocks, then hits).
+    """
 
     def __init__(self) -> None:
         self._artifacts: dict[ArtifactKey, Artifact] = {}
@@ -94,6 +145,7 @@ class ArtifactStore:
         self._fast: dict[tuple[str, str, str], ArtifactKey] = {}
         self.hits = 0
         self.misses = 0
+        self._lock = threading.RLock()
 
     # -- core ------------------------------------------------------------
     def _compile(self, key: ArtifactKey, port: "PortSpec",
@@ -111,40 +163,90 @@ class ArtifactStore:
     def registry_artifact(self, bench: "Benchmark", model: str,
                           variant: str) -> Artifact:
         """The fast-key path: hash once, then hit by name triple."""
-        fast = (bench.name, model, variant)
-        key = self._fast.get(fast)
-        if key is not None:
-            self.hits += 1
-            return self._artifacts[key]
-        port = bench.port(model, variant)
-        compiler = get_compiler(model)
-        key = ArtifactKey(bench.name, model, variant,
-                          _config_hash(model, variant, port, compiler))
-        artifact = self._compile(key, port, compiler)
-        self._fast[fast] = key
-        return artifact
+        with self._lock:
+            fast = (bench.name, model, variant)
+            key = self._fast.get(fast)
+            if key is not None:
+                self.hits += 1
+                return self._artifacts[key]
+            port = bench.port(model, variant)
+            compiler = get_compiler(model)
+            key = ArtifactKey(bench.name, model, variant,
+                              _config_hash(model, variant, port, compiler))
+            artifact = self._compile(key, port, compiler)
+            self._fast[fast] = key
+            return artifact
 
     def instance_artifact(self, bench: "Benchmark", model: str,
                           variant: str) -> Artifact:
         """The content-hash path for non-registry benchmark instances:
         identical content shares the registry's artifact; divergent
         content (an overridden port) gets its own entry."""
-        port = bench.port(model, variant)
-        compiler = get_compiler(model)
-        key = ArtifactKey(bench.name, model, variant,
-                          _config_hash(model, variant, port, compiler))
-        return self._compile(key, port, compiler)
+        with self._lock:
+            port = bench.port(model, variant)
+            compiler = get_compiler(model)
+            key = ArtifactKey(bench.name, model, variant,
+                              _config_hash(model, variant, port, compiler))
+            return self._compile(key, port, compiler)
+
+    # -- cross-process views ---------------------------------------------
+    def view(self, include_artifacts: bool = False) -> StoreView:
+        """Snapshot the whole store as a picklable :class:`StoreView`."""
+        with self._lock:
+            keys = tuple(self._artifacts)
+            return StoreView(
+                keys=keys,
+                fast=tuple(self._fast.items()),
+                hits=self.hits, misses=self.misses,
+                artifacts=tuple(self._artifacts[k] for k in keys)
+                if include_artifacts else ())
+
+    def delta_view(self, since: StoreView,
+                   include_artifacts: bool = False) -> StoreView:
+        """What happened after ``since``: new keys (and optionally their
+        artifacts) plus the hit/miss increments."""
+        with self._lock:
+            before = set(since.keys)
+            before_fast = set(since.fast)
+            keys = tuple(k for k in self._artifacts if k not in before)
+            return StoreView(
+                keys=keys,
+                fast=tuple(item for item in self._fast.items()
+                           if item not in before_fast),
+                hits=self.hits - since.hits,
+                misses=self.misses - since.misses,
+                artifacts=tuple(self._artifacts[k] for k in keys)
+                if include_artifacts else ())
+
+    def absorb(self, view: StoreView) -> int:
+        """Install a view's shipped artifacts (idempotent; returns the
+        number actually added).  Absorption is free — it does not count
+        as hits or misses — but every absorbed key serves later requests
+        from memory, so a port lowered in a worker process is never
+        lowered again in the parent."""
+        added = 0
+        with self._lock:
+            for artifact in view.artifacts:
+                if artifact.key not in self._artifacts:
+                    self._artifacts[artifact.key] = artifact
+                    added += 1
+            for fast, key in view.fast:
+                if key in self._artifacts:
+                    self._fast.setdefault(fast, key)
+        return added
 
     # -- bookkeeping -----------------------------------------------------
     def stats(self) -> dict[str, int]:
-        return {"hits": self.hits, "misses": self.misses,
-                "entries": len(self._artifacts)}
+        with self._lock:
+            return {"hits": self.hits, "misses": self.misses,
+                    "entries": len(self._artifacts)}
 
     def clear(self) -> None:
-        self._artifacts.clear()
-        self._fast.clear()
-        self.hits = 0
-        self.misses = 0
+        with self._lock:
+            self._artifacts.clear()
+            self._fast.clear()
+            self.hits = 0
+            self.misses = 0
 
 
 #: the process-wide store every consumer shares

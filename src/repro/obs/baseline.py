@@ -66,9 +66,27 @@ def _entry_from_profile(p: RunProfile) -> dict:
 
 def collect_entries(benchmarks: Sequence[str], models: Sequence[str],
                     scale: str, device: DeviceSpec = TESLA_M2090,
-                    timing: Optional[TimingConfig] = None) -> dict:
-    """Run the baseline sweep (best variants, timing-only)."""
+                    timing: Optional[TimingConfig] = None,
+                    jobs: int = 1) -> dict:
+    """Run the baseline sweep (best variants, timing-only).
+
+    ``jobs>1`` shards the (benchmark, model) pairs across worker
+    processes; entries merge back in manifest order regardless of
+    completion order, so the gate's verdict is jobs-independent.
+    """
     entries: dict[str, dict] = {}
+    if jobs > 1:
+        from repro.harness.parallel import (SweepContext, pair_units,
+                                            run_sweep)
+        pairs = [(bench, model) for bench in benchmarks
+                 for model in models]
+        sweep = run_sweep(pair_units("baseline", pairs), jobs=jobs,
+                          context=SweepContext(scale=scale, device=device,
+                                               timing=timing, trace=False))
+        for outcome in sweep.outcomes:
+            entries.setdefault(outcome.unit.bench, {})[
+                outcome.unit.model] = outcome.result
+        return entries
     for bench in benchmarks:
         entries[bench] = {}
         for model in models:
@@ -84,7 +102,8 @@ def record_baseline(path: str,
                     scale: str = "paper",
                     device: DeviceSpec = TESLA_M2090,
                     timing: Optional[TimingConfig] = None,
-                    tolerance: float = DEFAULT_TOLERANCE) -> dict:
+                    tolerance: float = DEFAULT_TOLERANCE,
+                    jobs: int = 1) -> dict:
     """Sweep and write the baseline document to ``path``."""
     from repro.benchmarks import BENCHMARK_ORDER
     from repro.harness.runner import FIGURE1_MODELS
@@ -105,7 +124,7 @@ def record_baseline(path: str,
         },
         "tolerance": tolerance,
         "entries": collect_entries(bench_list, model_list, scale,
-                                   device=device, timing=timing),
+                                   device=device, timing=timing, jobs=jobs),
     }
     os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
     with open(path, "w") as handle:
@@ -188,7 +207,8 @@ def _compare_counter(diff: BaselineDiff, loc: str, name: str,
 
 def check_baseline(path: str, tolerance: Optional[float] = None,
                    device: DeviceSpec = TESLA_M2090,
-                   timing: Optional[TimingConfig] = None) -> BaselineDiff:
+                   timing: Optional[TimingConfig] = None,
+                   jobs: int = 1) -> BaselineDiff:
     """Re-run the baseline's sweep and diff against the stored numbers."""
     with open(path) as handle:
         doc = json.load(handle)
@@ -207,7 +227,8 @@ def check_baseline(path: str, tolerance: Optional[float] = None,
         return diff
 
     fresh = collect_entries(manifest["benchmarks"], manifest["models"],
-                            manifest["scale"], device=device, timing=timing)
+                            manifest["scale"], device=device, timing=timing,
+                            jobs=jobs)
     for bench, per_model in doc["entries"].items():
         for model, old in per_model.items():
             loc = f"{bench}/{model}"

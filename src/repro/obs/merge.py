@@ -1,0 +1,72 @@
+"""Deterministic merge of per-worker trace payloads into one document.
+
+A parallel sweep (:mod:`repro.harness.parallel`) runs every work unit
+under its own :class:`~repro.obs.tracer.Tracer` inside a worker process
+and ships the spans back as plain dicts.  This module folds those
+payloads into a single tracer — one manifest, one id space — in **work
+unit order**, never completion order, so a merged JSONL document is
+reproducible for any worker count.
+
+Span wall-clock fields (``t0_us``/``dur_us``) are worker-local and thus
+timing metadata; everything the determinism suite compares —
+span names, attributes, and :func:`counter_totals` — is identical for
+any ``jobs`` value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+from repro.obs.tracer import RunManifest, Span, Tracer
+
+
+def merge_span_payloads(payloads: Sequence[Sequence[Mapping[str, Any]]],
+                        manifest: Optional[RunManifest] = None,
+                        root_name: Optional[str] = None,
+                        root_category: str = "harness",
+                        **root_attrs: Any) -> Tracer:
+    """Fold ordered per-unit span payloads into one fresh tracer.
+
+    ``payloads`` must already be in deterministic unit order (the sweep
+    engine sorts outcomes by registry key before handing them over).
+    When ``root_name`` is given, a synthetic root span is opened and all
+    payload roots are re-parented under it — mirroring the enclosing
+    ``profile.suite`` span the serial sweep produces.
+    """
+    tracer = Tracer(manifest=manifest)
+    parent_id: Optional[int] = None
+    root: Optional[Span] = None
+    if root_name is not None:
+        root = Span(span_id=tracer._next_id, parent_id=None,
+                    name=root_name, category=root_category,
+                    t0_s=0.0, dur_s=None, attrs=dict(root_attrs))
+        tracer._next_id += 1
+        tracer.spans.append(root)
+        parent_id = root.span_id
+    total = 0.0
+    for payload in payloads:
+        for sp in tracer.absorb_spans(list(payload), parent_id=parent_id):
+            if sp.parent_id == parent_id and sp.dur_s is not None:
+                total += sp.dur_s
+    if root is not None:
+        # the synthetic root's duration is the sum of its children's
+        # worker-local durations (total work, not wall clock)
+        root.dur_s = total
+    return tracer
+
+
+def counter_totals(spans: Iterable[Span]) -> dict[str, float]:
+    """Sum every numeric counter across ``spans`` by key.
+
+    Non-numeric counters (e.g. an occupancy-limiter label) are skipped.
+    Because the simulator is deterministic and the work-unit graph
+    partitions the sweep, these totals are identical whether the spans
+    came from one serial process or were merged from N workers.
+    """
+    totals: dict[str, float] = {}
+    for sp in spans:
+        for key, value in sp.counters.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            totals[key] = totals.get(key, 0.0) + value
+    return totals

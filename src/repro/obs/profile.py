@@ -133,11 +133,15 @@ def profile_suite(models: Optional[Sequence[str]] = None,
                   scale: str = "paper",
                   device: DeviceSpec = TESLA_M2090,
                   timing: Optional[TimingConfig] = None,
+                  jobs: int = 1,
                   ) -> tuple[list[RunProfile], Tracer]:
     """Profile every benchmark x model pair under one tracer.
 
     Returns the per-run profiles and the tracer whose JSONL/Chrome
     sinks hold the full span tree (harness → run → launches/transfers).
+    ``jobs>1`` shards the pairs across worker processes and merges the
+    per-worker spans back — in registry order, never completion order —
+    under one ``profile.suite`` root with the same manifest.
     """
     from repro.benchmarks import BENCHMARK_ORDER
     from repro.harness.runner import FIGURE1_MODELS
@@ -145,10 +149,28 @@ def profile_suite(models: Optional[Sequence[str]] = None,
     model_list = list(models) if models is not None else list(FIGURE1_MODELS)
     bench_list = list(benchmarks) if benchmarks is not None \
         else list(BENCHMARK_ORDER)
-    tracer = Tracer(manifest=make_manifest(
-        device, timing or TimingConfig(), scale,
-        models=model_list, benchmarks=bench_list))
-    profiles: list[RunProfile] = []
+    manifest = make_manifest(device, timing or TimingConfig(), scale,
+                             models=model_list, benchmarks=bench_list)
+    if jobs > 1:
+        from repro.harness.parallel import (SweepContext, evaluation_units,
+                                            merge_evaluation, run_sweep)
+        from repro.obs.merge import merge_span_payloads
+
+        units = evaluation_units(benchmarks=bench_list,
+                                 figure1_models=model_list,
+                                 coverage=False, speedups=False,
+                                 profiles=True)
+        sweep = run_sweep(units, jobs=jobs,
+                          context=SweepContext(scale=scale, device=device,
+                                               timing=timing))
+        _, profiles = merge_evaluation(sweep.outcomes)
+        tracer = merge_span_payloads(sweep.span_payloads(),
+                                     manifest=manifest,
+                                     root_name="profile.suite",
+                                     scale=scale)
+        return profiles, tracer
+    tracer = Tracer(manifest=manifest)
+    profiles = []
     with tracing(tracer):
         with tracer.span("profile.suite", "harness", scale=scale):
             for bench_name in bench_list:

@@ -176,6 +176,32 @@ class Tracer:
         if self._stack:
             self._stack[-1].counters[key] = value
 
+    def absorb_spans(self, records: Sequence[Any],
+                     parent_id: Optional[int] = None) -> list[Span]:
+        """Append foreign spans (dicts or :class:`Span`) under fresh ids.
+
+        The parallel sweep engine merges per-worker traces with this:
+        worker-local span ids are remapped into this tracer's id space,
+        parent links inside the payload are preserved, and payload roots
+        are re-parented under ``parent_id`` (or stay roots).  Spans keep
+        their worker-local clocks — merged documents interleave, they do
+        not pretend one serial timeline.
+        """
+        mapping: dict[int, int] = {}
+        absorbed: list[Span] = []
+        for rec in records:
+            src = Span.from_dict(rec) if isinstance(rec, Mapping) else rec
+            sp = Span(span_id=self._next_id,
+                      parent_id=mapping.get(src.parent_id, parent_id),
+                      name=src.name, category=src.category,
+                      t0_s=src.t0_s, dur_s=src.dur_s,
+                      attrs=dict(src.attrs), counters=dict(src.counters))
+            self._next_id += 1
+            mapping[src.span_id] = sp.span_id
+            self.spans.append(sp)
+            absorbed.append(sp)
+        return absorbed
+
     # -- queries ---------------------------------------------------------
     def find(self, name: Optional[str] = None,
              category: Optional[str] = None) -> list[Span]:

@@ -47,13 +47,18 @@ def validate_port(benchmark: str, model: str,
 
 
 def validate_suite(models: Optional[Sequence[str]] = None,
-                   benchmarks: Optional[Sequence[str]] = None
-                   ) -> list[TvRecord]:
-    """Certificates for every available benchmark × model pair."""
+                   benchmarks: Optional[Sequence[str]] = None,
+                   jobs: int = 1) -> list[TvRecord]:
+    """Certificates for every available benchmark × model pair.
+
+    ``jobs>1`` shards the pairs across worker processes
+    (:mod:`repro.harness.parallel`) and merges the records back in
+    suite order.
+    """
     from repro.benchmarks import BENCHMARK_ORDER, get_benchmark
     from repro.models import resolve_model
 
-    records: list[TvRecord] = []
+    pairs: list[tuple[str, str]] = []
     for bench_name in benchmarks if benchmarks is not None \
             else BENCHMARK_ORDER:
         bench = get_benchmark(bench_name)
@@ -61,5 +66,12 @@ def validate_suite(models: Optional[Sequence[str]] = None,
             model = resolve_model(model)
             if not bench.variants(model):
                 continue
-            records.append(validate_port(bench_name, model))
-    return records
+            pairs.append((bench_name, model))
+    if jobs > 1:
+        from repro.harness.parallel import (SweepContext, pair_units,
+                                            run_sweep)
+        sweep = run_sweep(pair_units("tv", pairs), jobs=jobs,
+                          context=SweepContext(trace=False))
+        return sweep.results()
+    return [validate_port(bench_name, model)
+            for bench_name, model in pairs]

@@ -3,10 +3,13 @@
 These pin the *semantics* of the static machinery: an affine form must
 evaluate to the same number as the expression it decomposes; constant
 folding and loop normalization must preserve evaluation; coalescing
-costs must respect the obvious partial orders.
+costs must respect the obvious partial orders.  The final section pins
+the artifact store's concurrency contract — the invariant the parallel
+sweep engine's correctness rests on.
 """
 
 import math
+import threading
 
 import numpy as np
 import pytest
@@ -163,3 +166,111 @@ class TestExecutorAlgebra:
         execute_kernel(kern, data, {"n": len(values)})
         assert data["s"][0] == pytest.approx(a.sum(), rel=1e-9,
                                              abs=1e-9)
+
+
+# -- artifact-store concurrency -------------------------------------------
+
+_STORE_BENCHES = ("jacobi", "ep", "spmul")
+_STORE_MODELS = ("OpenACC", "OpenMPC")
+
+
+@st.composite
+def compile_requests(draw):
+    """A random batch of registry compile requests (with repeats)."""
+    return draw(st.lists(
+        st.tuples(st.sampled_from(_STORE_BENCHES),
+                  st.sampled_from(_STORE_MODELS)),
+        min_size=1, max_size=10))
+
+
+class TestArtifactStoreConcurrency:
+    """Random interleavings of concurrent ``compile_bench`` calls.
+
+    The invariants the parallel sweep engine relies on: a registry port
+    is never lowered twice (misses == distinct keys), accounting never
+    loses a request (hits + misses == requests), and content addressing
+    never crosses a config-hash boundary (a mutated port can't alias
+    the registry artifact).
+    """
+
+    @staticmethod
+    def _run_threads(requests, nthreads):
+        from repro.benchmarks.registry import get_benchmark
+        from repro.models.cache import compile_bench
+
+        results = [None] * len(requests)
+        barrier = threading.Barrier(nthreads)
+
+        def worker(tid):
+            barrier.wait()  # maximize interleaving
+            for i in range(tid, len(requests), nthreads):
+                bench, model = requests[i]
+                _, compiled = compile_bench(get_benchmark(bench),
+                                            model, "best")
+                results[i] = compiled
+        threads = [threading.Thread(target=worker, args=(t,))
+                   for t in range(nthreads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return results
+
+    @given(compile_requests(), st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_never_double_compiles(self, requests, nthreads):
+        from repro.models.cache import cache_stats, clear_compile_cache
+
+        clear_compile_cache()
+        results = self._run_threads(requests, min(nthreads, len(requests)))
+        stats = cache_stats()
+        distinct = len(set(requests))
+        assert stats["entries"] == distinct
+        assert stats["misses"] == distinct  # each key lowered exactly once
+        assert stats["hits"] + stats["misses"] == len(requests)
+        # every caller for the same key got the *same* artifact object
+        by_key = {}
+        for req, compiled in zip(requests, results):
+            assert compiled is by_key.setdefault(req, compiled)
+        clear_compile_cache()
+
+    @given(st.integers(2, 4))
+    @settings(max_examples=10, deadline=None)
+    def test_divergent_ports_never_alias_under_races(self, nthreads):
+        """Content addressing holds under concurrency: the registry
+        port and a mutated subclass port race to compile but must land
+        on different artifacts (different config hashes)."""
+        import dataclasses
+
+        from repro.benchmarks.registry import get_benchmark
+        from repro.models.cache import (cache_stats, clear_compile_cache,
+                                        compile_bench)
+
+        base_cls = type(get_benchmark("jacobi"))
+
+        class Mutated(base_cls):
+            def port(self, model, variant="best"):
+                spec = super().port(model, variant)
+                return dataclasses.replace(
+                    spec, directive_lines=spec.directive_lines + 1)
+
+        clear_compile_cache()
+        instances = [get_benchmark("jacobi"), Mutated()] * nthreads
+        outputs = [None] * len(instances)
+        barrier = threading.Barrier(len(instances))
+
+        def worker(i):
+            barrier.wait()
+            _, outputs[i] = compile_bench(instances[i], "OpenACC", "best")
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(len(instances))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        registry = {id(outputs[i]) for i in range(0, len(outputs), 2)}
+        mutated = {id(outputs[i]) for i in range(1, len(outputs), 2)}
+        assert len(registry) == 1 and len(mutated) == 1
+        assert registry != mutated
+        assert cache_stats()["entries"] == 2
+        clear_compile_cache()

@@ -1,0 +1,116 @@
+"""Autotuner edge cases (:mod:`repro.harness.tuner`).
+
+The happy path lives in ``test_extensions.py``; this file covers the
+failure surfaces: a sweep where *every* configuration is infeasible
+must raise :class:`~repro.errors.LaunchError` from ``best``/``worst``
+(never return a bogus point), and the skipped-configuration
+bookkeeping must partition the requested block sizes with a reason
+attached to every rejection.
+"""
+
+import pytest
+
+from repro.errors import LaunchError
+from repro.gpusim.kernel import Kernel
+from repro.harness.tuner import (DEFAULT_BLOCK_SIZES, TunePoint,
+                                 TuneResult, tune_kernel)
+from repro.ir.builder import aref, assign, pfor, sfor, v
+from repro.ir.transforms.tiling import TilingDecision
+
+
+def _stencil_kernel(**overrides):
+    body = assign(aref("b", v("i"), v("j")),
+                  aref("a", v("i"), v("j")) * 2.0)
+    nest = pfor("j", 1, v("cols") - 1,
+                sfor("i", 1, v("rows") - 1, body), private=["i"])
+    return Kernel("stencil", nest, ["j"], arrays=["a", "b"],
+                  scalars=["rows", "cols"], **overrides)
+
+
+_BINDINGS = {"rows": 2048.0, "cols": 2048.0}
+_EXTENTS = {"a": [None, None], "b": [None, None]}
+
+
+def _smem_hog():
+    """A kernel whose tiling demand makes most block sizes infeasible."""
+    tile = TilingDecision((16, 16), reuse_factor=2.0,
+                          smem_bytes_per_block=40 * 1024, arrays=("a",))
+    return _stencil_kernel(tiling=(tile,), regs_per_thread=63)
+
+
+class TestAllSkippedSurface:
+    def test_oversized_blocks_yield_no_points(self):
+        result = tune_kernel(_stencil_kernel(), _BINDINGS, _EXTENTS,
+                             block_sizes=(2048, 4096))
+        assert not result.points
+        assert [block for block, _ in result.skipped] == [2048, 4096]
+
+    def test_best_raises_launch_error(self):
+        result = tune_kernel(_stencil_kernel(), _BINDINGS, _EXTENTS,
+                             block_sizes=(2048,))
+        with pytest.raises(LaunchError, match="no feasible configuration"):
+            result.best
+
+    def test_worst_raises_launch_error(self):
+        result = tune_kernel(_stencil_kernel(), _BINDINGS, _EXTENTS,
+                             block_sizes=(2048,))
+        with pytest.raises(LaunchError, match="no feasible configuration"):
+            result.worst
+
+    def test_error_names_the_kernel(self):
+        with pytest.raises(LaunchError, match="stencil"):
+            TuneResult(kernel="stencil").best
+
+    def test_empty_block_list_is_all_skipped(self):
+        result = tune_kernel(_stencil_kernel(), _BINDINGS, _EXTENTS,
+                             block_sizes=())
+        assert not result.points and not result.skipped
+        with pytest.raises(LaunchError):
+            result.best
+
+
+class TestSkippedBookkeeping:
+    def test_points_and_skipped_partition_the_sweep(self):
+        result = tune_kernel(_smem_hog(), _BINDINGS, _EXTENTS)
+        evaluated = {p.block_threads for p in result.points}
+        rejected = {block for block, _ in result.skipped}
+        assert evaluated | rejected == set(DEFAULT_BLOCK_SIZES)
+        assert not evaluated & rejected
+        assert result.skipped  # the hog actually rejects something
+
+    def test_every_rejection_carries_a_reason(self):
+        result = tune_kernel(_smem_hog(), _BINDINGS, _EXTENTS)
+        for block, reason in result.skipped:
+            assert block in DEFAULT_BLOCK_SIZES
+            assert reason  # non-empty human-readable diagnosis
+
+    def test_report_lists_infeasible_configs(self):
+        result = tune_kernel(_smem_hog(), _BINDINGS, _EXTENTS)
+        report = result.report()
+        for block, _ in result.skipped:
+            assert f"block={block}" in report
+        assert "infeasible" in report
+
+    def test_feasible_points_unaffected_by_rejections(self):
+        """The same feasible block size prices identically whether the
+        sweep also contained infeasible configurations or not."""
+        full = tune_kernel(_smem_hog(), _BINDINGS, _EXTENTS)
+        assert full.points, "need at least one feasible point"
+        solo_block = full.points[0].block_threads
+        solo = tune_kernel(_smem_hog(), _BINDINGS, _EXTENTS,
+                           block_sizes=(solo_block,))
+        assert solo.points == [full.points[0]]
+
+    def test_tuning_gain_ignores_skipped(self):
+        result = tune_kernel(_smem_hog(), _BINDINGS, _EXTENTS)
+        assert result.tuning_gain == pytest.approx(
+            result.worst.time_s / result.best.time_s)
+        assert result.tuning_gain >= 1.0
+
+
+class TestTunePointSurface:
+    def test_summary_mentions_block_and_bound(self):
+        point = TunePoint(block_threads=128, time_s=1e-3,
+                          occupancy=0.75, bound="memory")
+        text = point.summary()
+        assert "block=128" in text and "memory" in text
