@@ -110,8 +110,12 @@ class Benchmark(abc.ABC):
         return ("best",)
 
     # -- execution ---------------------------------------------------------
-    def compile(self, model: str, variant: str = "best") -> CompiledProgram:
+    def compile(self, model: str, variant: str = "best",
+                elide_transfers: bool = False) -> CompiledProgram:
         port = self.port(model, variant)
+        if elide_transfers:
+            from dataclasses import replace
+            port = replace(port, elide_transfers=True)
         return get_compiler(model).compile_program(port)
 
     def run(self, model: str, variant: str = "best", scale: str = "test",
@@ -120,18 +124,22 @@ class Benchmark(abc.ABC):
             timing: Optional[TimingConfig] = None,
             host: HostSpec = KEENELAND_HOST,
             validate: Optional[bool] = None,
-            compiled: Optional[CompiledProgram] = None) -> "RunOutcome":
+            compiled: Optional[CompiledProgram] = None,
+            elide_transfers: bool = False) -> "RunOutcome":
         """Compile, execute (optionally functionally), and price a run.
 
         ``compiled`` lets callers that memoize compilation (the harness
         sweeps, the profiler) pass the lowered program in instead of
         recompiling; it must come from this benchmark's
-        ``port(model, variant)``.
+        ``port(model, variant)``.  ``elide_transfers`` compiles (when
+        ``compiled`` is not supplied) the elide-transfers flavour of the
+        port, whose runtime guards skip provably redundant transfers.
         """
         with obs.span("bench.run", category="harness", benchmark=self.name,
                       model=model, variant=variant, scale=scale):
             outcome = self._run(model, variant, scale, seed, execute, device,
-                                timing, host, validate, compiled)
+                                timing, host, validate, compiled,
+                                elide_transfers)
             obs.set_attr("speedup", round(outcome.speedup.speedup, 4))
             obs.set_attr("gpu_time_s", outcome.speedup.gpu_time_s)
             if outcome.validated is not None:
@@ -142,9 +150,11 @@ class Benchmark(abc.ABC):
              execute: bool, device: DeviceSpec,
              timing: Optional[TimingConfig], host: HostSpec,
              validate: Optional[bool],
-             compiled: Optional[CompiledProgram]) -> "RunOutcome":
+             compiled: Optional[CompiledProgram],
+             elide_transfers: bool = False) -> "RunOutcome":
         if compiled is None:
-            compiled = self.compile(model, variant)
+            compiled = self.compile(model, variant,
+                                    elide_transfers=elide_transfers)
         wl = self.workload(scale=scale, seed=seed)
         rt = CudaRuntime(spec=device, timing=timing, execute=execute)
         ex = ExecutableProgram(compiled, runtime=rt, host=host)

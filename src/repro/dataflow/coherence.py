@@ -1,0 +1,80 @@
+"""Per-array host/device validity state machine (a *must* analysis).
+
+Each array is tracked as a ``(host_valid, device_valid)`` flag pair:
+
+* ``(True, True)``  — **coherent**: both copies hold the latest values;
+* ``(True, False)`` — **stale-device**: the host copy is authoritative
+  (the entry state: nothing has shipped yet);
+* ``(False, True)`` — **stale-host**: a kernel wrote the array and the
+  result has not come back;
+* ``(False, False)`` — both sides stale (a dtoh of invalid device data
+  clobbered the host copy — always a bug upstream).
+
+Transfer events move the pair exactly as the runtime moves bytes:
+``htod`` makes the device mirror the host (``d := h``), ``dtoh`` the
+converse (``h := d``), a kernel write yields stale-host, a host write
+stale-device.  Reads don't change validity — they are where the
+*verdict* layer checks it.
+
+Confluence is the pointwise meet (logical AND per flag): a copy is
+certainly valid only if it is valid on **every** incoming path, which
+is what makes "this copyin is redundant" a safe claim.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, MutableMapping
+
+from repro.dataflow.cfg import (ALLOC, DEV_WRITE, DTOH, HOST_WRITE, HTOD,
+                                Event, XferCfg, XferNode)
+from repro.ir.analysis.dataflow import FORWARD, Analysis, pointwise_meet
+
+State = tuple[bool, bool]
+
+COHERENT: State = (True, True)
+STALE_DEV: State = (True, False)
+STALE_HOST: State = (False, True)
+DEAD: State = (False, False)
+
+
+def state_name(state: State) -> str:
+    return {COHERENT: "coherent", STALE_DEV: "stale-device",
+            STALE_HOST: "stale-host", DEAD: "incoherent"}[state]
+
+
+def apply_event(state: MutableMapping[str, State], ev: Event) -> None:
+    """Advance one array's validity pair across one event (in place)."""
+    h, d = state.get(ev.array, COHERENT)
+    if ev.kind == HTOD:
+        state[ev.array] = (h, h)
+    elif ev.kind == DTOH:
+        state[ev.array] = (d, d)
+    elif ev.kind == DEV_WRITE:
+        state[ev.array] = (False, True)
+    elif ev.kind == HOST_WRITE:
+        state[ev.array] = (True, False)
+    elif ev.kind == ALLOC:
+        # the simulated runtime zero-fills device allocations, and every
+        # shipped port's create/copyout arrays hold their initial host
+        # zeros at scope entry — allocation defines the device copy
+        state[ev.array] = (h, True)
+    # reads leave validity unchanged
+
+
+def coherence_analysis(xcfg: XferCfg) -> Analysis:
+    """The must-problem over the full array universe.
+
+    Identity is the empty map (= all-coherent top, the value
+    ``pointwise_meet`` ignores); the boundary pins every array to the
+    entry state: host data bound, device empty.
+    """
+    boundary = {name: STALE_DEV for name in sorted(xcfg.universe)}
+
+    def transfer(node: XferNode, state) -> dict:
+        out = dict(state)
+        for ev in node.events:
+            apply_event(out, ev)
+        return out
+
+    return Analysis(direction=FORWARD, join=pointwise_meet,
+                    identity={}, boundary=boundary, transfer=transfer)

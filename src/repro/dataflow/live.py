@@ -1,0 +1,88 @@
+"""Backward liveness of the device and host copies of each array.
+
+Two mirror-image *may* problems, both computed with the generic solver
+(direction ``BACKWARD``, union confluence, empty boundary at the exits):
+
+* **live-device** — the device copy of ``a`` is live when some later
+  kernel read or device-to-host copy may consume it before a kernel
+  write or host-to-device copy overwrites it.  An ``htod`` whose target
+  is *not* device-live afterwards moves dead data (the whole-program
+  generalization of DATA003's per-scope dead-copyin rule).
+
+* **live-host** — the host copy of ``a`` is live when some later host
+  read (fallback execution or the final output consumer) or
+  host-to-device copy may consume it before a host write or
+  device-to-host copy overwrites it.  A ``dtoh`` whose target is not
+  host-live afterwards is a dead copyout; one that is live *only*
+  through the final node is merely deferrable — the elision planner's
+  bread and butter.
+
+``live_host_analysis`` takes two knobs the planner needs: dropping the
+final node's generates isolates end-of-run consumers, and
+``htod_reads`` restricts which arrays' ``htod`` events count as host
+reads — an htod the elision pass will skip no longer consumes the host
+copy, which is what lets the matching dtoh be deferred too.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from repro.dataflow.cfg import (ALLOC, DEV_READ, DEV_WRITE, DTOH, HOST_READ,
+                                HOST_WRITE, HTOD, Event, XferCfg, XferNode)
+from repro.ir.analysis.dataflow import BACKWARD, Analysis, may_analysis
+
+
+def step_live_device(live: set, ev: Event) -> None:
+    """One backward step of device liveness (in place)."""
+    if ev.kind in (HTOD, DEV_WRITE, ALLOC):
+        live.discard(ev.array)
+    elif ev.kind in (DEV_READ, DTOH):
+        live.add(ev.array)
+
+
+def live_device_analysis(xcfg: XferCfg) -> Analysis:
+    def transfer(node: XferNode, after: frozenset) -> frozenset:
+        live = set(after)
+        for ev in reversed(node.events):
+            step_live_device(live, ev)
+        return frozenset(live)
+
+    return may_analysis(BACKWARD, transfer)
+
+
+def make_step_live_host(include_final: bool = True,
+                        htod_reads: Optional[Iterable[str]] = None):
+    """Build the one-event backward step for host liveness.
+
+    ``htod_reads`` limits which arrays' htod events read the host copy
+    (None = all of them); ``include_final=False`` ignores the final
+    node's output reads.
+    """
+    reads = None if htod_reads is None else frozenset(htod_reads)
+
+    def step(live: set, ev: Event) -> None:
+        if ev.kind in (DTOH, HOST_WRITE):
+            live.discard(ev.array)
+        elif ev.kind == HOST_READ:
+            if include_final or ev.origin != "final":
+                live.add(ev.array)
+        elif ev.kind == HTOD:
+            if reads is None or ev.array in reads:
+                live.add(ev.array)
+
+    return step
+
+
+def live_host_analysis(xcfg: XferCfg, include_final: bool = True,
+                       htod_reads: Optional[Iterable[str]] = None
+                       ) -> Analysis:
+    step = make_step_live_host(include_final, htod_reads)
+
+    def transfer(node: XferNode, after: frozenset) -> frozenset:
+        live = set(after)
+        for ev in reversed(node.events):
+            step(live, ev)
+        return frozenset(live)
+
+    return may_analysis(BACKWARD, transfer)

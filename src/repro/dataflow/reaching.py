@@ -1,0 +1,54 @@
+"""Reaching-transfers: which event established the current device copy.
+
+A forward *may* analysis over ``(array, site)`` pairs, where a site is
+the label of an event that (re)defined the device copy — an ``htod``
+or a kernel write.  A host write invalidates the association: whatever
+sat on the device no longer reflects the latest values, so no prior
+site "reaches" past it.
+
+The coherence machine answers *whether* a copyin is redundant; this
+analysis answers *why* — it names the earlier transfer/kernel that
+already put the data there, which is the concrete witness every XFER
+finding carries.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Tuple
+
+from repro.dataflow.cfg import (ALLOC, DEV_WRITE, HOST_WRITE, HTOD, XferCfg,
+                                XferNode)
+from repro.ir.analysis.dataflow import FORWARD, Analysis, may_analysis
+
+#: one element of the flow value: (array, establishing site label)
+Site = Tuple[str, str]
+
+
+def site_label(node: XferNode, kind: str, array: str) -> str:
+    return f"{kind} {array} @ {node.uid}"
+
+
+def apply_reaching(state: set, node: XferNode, ev) -> None:
+    """Advance the reaching set across one event (in place)."""
+    if ev.kind in (HTOD, DEV_WRITE, ALLOC):
+        stale = {s for s in state if s[0] == ev.array}
+        state.difference_update(stale)
+        state.add((ev.array, site_label(node, ev.kind, ev.array)))
+    elif ev.kind == HOST_WRITE:
+        stale = {s for s in state if s[0] == ev.array}
+        state.difference_update(stale)
+
+
+def device_sources(state: FrozenSet[Site], array: str) -> tuple[str, ...]:
+    """The site labels that may have produced the device copy of ``array``."""
+    return tuple(sorted(label for name, label in state if name == array))
+
+
+def reaching_analysis(xcfg: XferCfg) -> Analysis:
+    def transfer(node: XferNode, state: frozenset) -> frozenset:
+        out = set(state)
+        for ev in node.events:
+            apply_reaching(out, node, ev)
+        return frozenset(out)
+
+    return may_analysis(FORWARD, transfer)

@@ -1,0 +1,318 @@
+"""Verdicts and coherence problems derived from the fixpoint solutions.
+
+This is where the three analyses meet the rulebook: every transfer
+event gets a *verdict* (``required`` / ``redundant`` / ``dead`` /
+``deferrable``) with a concrete witness, and every stale read or
+missing update becomes a *problem* keyed by a ``COH`` rule ID.  The
+lint family (:mod:`repro.lint.xfer`), the ``repro-harness xfer``
+rollup, and the transfer-elision planner all consume this one report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (Callable, Iterable, Mapping, Optional, Sequence,
+                    TYPE_CHECKING)
+
+from repro.dataflow.cfg import (DEV_READ, DTOH, HOST_READ, HOST_WRITE,
+                                HTOD, XferCfg, XferNode, build_xfer_cfg)
+from repro.dataflow.coherence import (COHERENT, apply_event,
+                                      coherence_analysis, state_name)
+from repro.dataflow.live import (live_device_analysis, live_host_analysis,
+                                 make_step_live_host, step_live_device)
+from repro.dataflow.reaching import (apply_reaching, device_sources,
+                                     reaching_analysis)
+from repro.ir.analysis.dataflow import BACKWARD, solve
+
+if TYPE_CHECKING:
+    from repro.models.base import CompiledProgram, TransferElisionPlan
+
+#: verdicts, in the order the rollup reports them
+REQUIRED = "required"
+REDUNDANT = "redundant"
+DEAD = "dead"
+DEFERRABLE = "deferrable"
+
+#: COH rule severities (the lint layer re-declares these with the engine)
+COH_SEVERITY = {"COH001": "error", "COH002": "error", "COH003": "warning"}
+
+
+@dataclass(frozen=True)
+class TransferVerdict:
+    """One transfer event, judged."""
+
+    node: str
+    region: str
+    array: str
+    direction: str  # "htod" | "dtoh"
+    origin: str     # copyin | invocation | close
+    verdict: str
+    trips: int
+    nbytes: int
+    witness: str
+
+    def to_dict(self) -> dict:
+        return {"node": self.node, "region": self.region,
+                "array": self.array, "direction": self.direction,
+                "origin": self.origin, "verdict": self.verdict,
+                "trips": self.trips, "nbytes": self.nbytes,
+                "witness": self.witness}
+
+
+@dataclass(frozen=True)
+class CoherenceProblem:
+    """A stale read / missing update the state machine proves possible."""
+
+    rule: str
+    node: str
+    region: str
+    array: str
+    message: str
+
+    @property
+    def severity(self) -> str:
+        return COH_SEVERITY.get(self.rule, "warning")
+
+    def to_dict(self) -> dict:
+        return {"rule": self.rule, "severity": self.severity,
+                "node": self.node, "region": self.region,
+                "array": self.array, "message": self.message}
+
+
+@dataclass(frozen=True)
+class XferAnalysis:
+    """The whole-program transfer report for one compiled port."""
+
+    model: str
+    verdicts: tuple[TransferVerdict, ...]
+    problems: tuple[CoherenceProblem, ...]
+    outputs: tuple[str, ...]
+    node_count: int
+    iterations: int
+
+    def with_verdict(self, verdict: str) -> tuple[TransferVerdict, ...]:
+        return tuple(v for v in self.verdicts if v.verdict == verdict)
+
+    @property
+    def coh_errors(self) -> tuple[CoherenceProblem, ...]:
+        return tuple(p for p in self.problems if p.severity == "error")
+
+    def bytes_total(self) -> int:
+        """Bytes the default discipline moves (trips × transfer size)."""
+        return sum(v.nbytes * v.trips for v in self.verdicts)
+
+    def bytes_elidable(self) -> int:
+        """Upper estimate of bytes the elision pass can remove: all
+        trips of redundant/dead transfers, all but one flush of
+        deferrable copyouts."""
+        saved = 0
+        for v in self.verdicts:
+            if v.verdict in (REDUNDANT, DEAD):
+                saved += v.nbytes * v.trips
+            elif v.verdict == DEFERRABLE:
+                saved += v.nbytes * max(v.trips - 1, 0)
+        return saved
+
+    def to_dict(self) -> dict:
+        return {
+            "model": self.model,
+            "nodes": self.node_count,
+            "iterations": self.iterations,
+            "outputs": list(self.outputs),
+            "verdicts": [v.to_dict() for v in self.verdicts],
+            "problems": [p.to_dict() for p in self.problems],
+            "bytes_total": self.bytes_total(),
+            "bytes_elidable": self.bytes_elidable(),
+        }
+
+
+def _after_sets(events: Sequence, end_state: frozenset,
+                step: Callable) -> list[frozenset]:
+    """Per-event liveness *after* each event, from the node's end state."""
+    out: list[frozenset] = [frozenset()] * len(events)
+    cur = set(end_state)
+    for i in range(len(events) - 1, -1, -1):
+        out[i] = frozenset(cur)
+        step(cur, events[i])
+    return out
+
+
+def analyze_compiled(compiled: "CompiledProgram",
+                     schedule: Optional[Sequence] = None,
+                     outputs: Optional[Iterable[str]] = None,
+                     nbytes: Optional[Mapping[str, int]] = None,
+                     assume_skipped: frozenset = frozenset()
+                     ) -> XferAnalysis:
+    """Run all analyses over one compiled port and judge every transfer.
+
+    ``nbytes`` maps array → per-transfer byte size (omitted: zeros).
+    ``assume_skipped`` names arrays whose per-invocation htod the
+    elision pass will guard away — their htod events stop counting as
+    host reads, which is how the planner's second pass discovers the
+    copyouts that feed *only* those now-dead copyins.
+    """
+    xcfg = build_xfer_cfg(compiled, schedule, outputs)
+    sizes = nbytes or {}
+    coh = solve(xcfg.cfg, coherence_analysis(xcfg))
+    reach = solve(xcfg.cfg, reaching_analysis(xcfg))
+    dev_live = solve(xcfg.cfg, live_device_analysis(xcfg))
+    htod_reads = frozenset(xcfg.universe - assume_skipped)
+    host_full_an = live_host_analysis(xcfg, True, htod_reads)
+    host_nof_an = live_host_analysis(xcfg, False, htod_reads)
+    host_full = solve(xcfg.cfg, host_full_an)
+    host_nof = solve(xcfg.cfg, host_nof_an)
+    step_full = make_step_live_host(True, htod_reads)
+    step_nof = make_step_live_host(False, htod_reads)
+
+    verdicts: list[TransferVerdict] = []
+    problems: list[CoherenceProblem] = []
+
+    def problem(rule: str, node: XferNode, array: str, msg: str) -> None:
+        problems.append(CoherenceProblem(rule=rule, node=node.uid,
+                                         region=node.region, array=array,
+                                         message=msg))
+
+    for node in xcfg.nodes:
+        events = node.events
+        dev_after = _after_sets(events, dev_live.after(node, BACKWARD),
+                                step_live_device)
+        full_after = _after_sets(events, host_full.after(node, BACKWARD),
+                                 step_full)
+        nof_after = _after_sets(events, host_nof.after(node, BACKWARD),
+                                step_nof)
+        cstate = dict(coh.before(node))
+        rstate = set(reach.before(node))
+        host_written = {ev.array for ev in events
+                        if ev.kind == HOST_WRITE} \
+            if node.kind == "host" else set()
+        for i, ev in enumerate(events):
+            a = ev.array
+            h, d = cstate.get(a, COHERENT)
+            if ev.kind == HTOD and ev.origin in ("invocation", "copyin"):
+                if h and d:
+                    sources = device_sources(frozenset(rstate), a)
+                    witness = ("device copy already valid here; "
+                               "established by " + ", ".join(sources)
+                               if sources else
+                               "device copy already valid on every path")
+                    verdict = REDUNDANT
+                elif a not in dev_after[i]:
+                    witness = ("no kernel read or copyout consumes the "
+                               "shipped values before they are "
+                               "overwritten")
+                    verdict = DEAD
+                else:
+                    witness = "device copy needed and not valid here"
+                    verdict = REQUIRED
+                verdicts.append(TransferVerdict(
+                    node=node.uid, region=node.region, array=a,
+                    direction=HTOD, origin=ev.origin, verdict=verdict,
+                    trips=node.trips, nbytes=sizes.get(a, 0),
+                    witness=witness))
+                if not h:
+                    problem("COH001", node, a,
+                            f"htod at {node.uid} ships {a!r} from a "
+                            "stale host copy "
+                            f"({state_name((h, d))} on some path)")
+            elif ev.kind == HTOD and ev.origin == "fallback":
+                if a in host_written and a in dev_after[i]:
+                    problem("COH003", node, a,
+                            f"host fallback {node.region!r} updates "
+                            f"{a!r} and a later kernel consumes it; the "
+                            "simulator round-trips implicitly — a real "
+                            "port needs an update(to:) directive at "
+                            "re-entry")
+            elif ev.kind == DTOH:
+                if ev.origin in ("invocation", "close"):
+                    if a not in full_after[i]:
+                        verdict = DEAD
+                        witness = ("no host read, re-shipping copyin, or "
+                                   "program output consumes the host "
+                                   "copy on any path")
+                    elif (ev.origin == "invocation"
+                          and a not in nof_after[i]):
+                        verdict = DEFERRABLE
+                        witness = ("host copy consumed only by the "
+                                   "program-exit outputs "
+                                   f"({', '.join(xcfg.outputs)}); "
+                                   "intermediate copies can be deferred "
+                                   "to scope exit")
+                    else:
+                        verdict = REQUIRED
+                        witness = "host copy has an intermediate consumer"
+                    verdicts.append(TransferVerdict(
+                        node=node.uid, region=node.region, array=a,
+                        direction=DTOH, origin=ev.origin, verdict=verdict,
+                        trips=node.trips, nbytes=sizes.get(a, 0),
+                        witness=witness))
+                if not d:
+                    problem("COH002", node, a,
+                            f"dtoh at {node.uid} copies back {a!r} from "
+                            "an invalid device copy "
+                            f"({state_name((h, d))} on some path)")
+            elif ev.kind == DEV_READ:
+                if ev.origin == "plain" and not d:
+                    problem("COH002", node, a,
+                            f"kernel in {node.region!r} reads {a!r} from "
+                            "a stale or uninitialized device copy "
+                            f"({state_name((h, d))} on some path)")
+            elif ev.kind == HOST_READ:
+                if not h:
+                    what = ("program output validation"
+                            if ev.origin == "final"
+                            else f"host fallback {node.region!r}")
+                    problem("COH001", node, a,
+                            f"{what} reads {a!r} from a stale host copy "
+                            f"({state_name((h, d))} on some path)")
+            apply_event(cstate, ev)
+            apply_reaching(rstate, node, ev)
+
+    iterations = (coh.iterations + reach.iterations + dev_live.iterations
+                  + host_full.iterations + host_nof.iterations)
+    return XferAnalysis(model=compiled.model, verdicts=tuple(verdicts),
+                        problems=tuple(problems), outputs=xcfg.outputs,
+                        node_count=len(xcfg.nodes), iterations=iterations)
+
+
+def plan_elisions(compiled: "CompiledProgram",
+                  schedule: Optional[Sequence] = None,
+                  outputs: Optional[Iterable[str]] = None
+                  ) -> "TransferElisionPlan":
+    """Select the arrays the elision pass may guard, from the verdicts.
+
+    Two passes: (1) arrays with a provably redundant or dead
+    per-invocation copyin become skip candidates; (2) with those htods
+    no longer reading the host copy, copyouts that feed only them (or
+    only the program exit) become deferrable.  A deferred copyout
+    forces the matching copyin to be skippable too (``defer_dtoh ⊆
+    skip_htod``), or a pending deferral could be clobbered by an htod
+    of the now-stale host copy.
+
+    The runtime guard stays dynamically safe regardless of how well
+    this static prediction matches the concrete schedule: an htod is
+    skipped only while the device copy is valid, and deferred copyouts
+    flush at scope exit and before any host-fallback touch.
+    """
+    from repro.models.base import TransferElisionPlan
+
+    base = analyze_compiled(compiled, schedule=schedule, outputs=outputs)
+    skip = {v.array for v in base.verdicts
+            if v.direction == HTOD and v.origin == "invocation"
+            and v.verdict in (REDUNDANT, DEAD)}
+    adjusted = analyze_compiled(compiled, schedule=schedule,
+                                outputs=outputs,
+                                assume_skipped=frozenset(skip))
+    defer = {v.array for v in adjusted.verdicts
+             if v.direction == DTOH and v.origin == "invocation"
+             and v.verdict in (DEAD, DEFERRABLE)}
+    skip |= defer
+    notes = []
+    if skip:
+        notes.append("skip htod while device-valid: "
+                     + ", ".join(sorted(skip)))
+    if defer:
+        notes.append("defer dtoh to scope exit / host touch: "
+                     + ", ".join(sorted(defer)))
+    return TransferElisionPlan(skip_htod=tuple(sorted(skip)),
+                               defer_dtoh=tuple(sorted(defer)),
+                               notes=tuple(notes))

@@ -7,8 +7,12 @@ Subcommands regenerate the paper's evaluation artifacts:
 * ``figure1`` — per-benchmark speedups for every model (text bars/CSV);
 * ``run BENCH MODEL`` — one functional run with validation and a trace;
 * ``lint [BENCH MODEL]`` — the directive verifier (``--all`` for the
-  whole suite, ``--json`` for machine-readable output, ``--sarif`` for
-  GitHub code scanning, ``--fail-on`` to gate CI);
+  whole suite, ``--format json|sarif|github`` for machine-readable
+  output, code scanning, or workflow annotations, ``--fail-on`` to
+  gate CI);
+* ``xfer [BENCH MODEL]`` — the whole-program transfer coherence
+  analysis: a dataflow verdict per transfer (``--all`` for the
+  per-model rollup; exits 2 on any COH stale-read error);
 * ``tv [BENCH MODEL]`` — the translation validator: equivalence
   certificates per lowered region (``--all`` for the suite matrix;
   exits 1 on any REFUTED certificate);
@@ -177,7 +181,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
 def _cmd_validate(args: argparse.Namespace) -> int:
     names = args.benchmarks or None
-    matrix = validate_suite(benchmarks=names)
+    matrix = validate_suite(benchmarks=names,
+                            elide_transfers=args.elide_transfers)
     print(matrix.render())
     return 0 if matrix.passed else 1
 
@@ -189,37 +194,56 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_format(args: argparse.Namespace) -> str:
+    """Resolve --format against the legacy --json/--sarif switches."""
+    legacy = [name for name, flag in (("--sarif", args.sarif),
+                                      ("--json", args.json)) if flag]
+    if len(legacy) > 1:
+        raise UsageError("lint: --sarif and --json are mutually exclusive")
+    if args.format is not None:
+        if legacy:
+            raise UsageError(f"lint: --format and {legacy[0]} are "
+                             "mutually exclusive")
+        return args.format
+    if args.sarif:
+        return "sarif"
+    if args.json:
+        return "json"
+    return "text"
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.lint import Severity, lint_port, lint_suite
-    from repro.lint.sarif import report_to_sarif
+    from repro.lint.findings import github_annotations
+    from repro.lint.sarif import report_to_sarif, reports_to_sarif
     from repro.metrics.lintstats import lint_density, render_lint_density
 
-    if args.sarif and args.json:
-        raise UsageError("lint: --sarif and --json are mutually exclusive")
+    fmt = _lint_format(args)
     threshold = Severity.parse(args.fail_on) if args.fail_on else None
     if args.all_ports:
         records = lint_suite(jobs=_jobs(args))
-        if args.sarif:
-            from repro.lint.sarif import SARIF_SCHEMA, SARIF_VERSION
+        if fmt == "sarif":
             # one SARIF run per (benchmark, model) pair, single log
-            logs = [report_to_sarif(rec.report) for rec in records]
-            merged = {"$schema": SARIF_SCHEMA, "version": SARIF_VERSION,
-                      "runs": [run for log in logs for run in log["runs"]]}
+            merged = reports_to_sarif(rec.report for rec in records)
             print(json.dumps(merged, indent=2))
-        elif args.json:
+        elif fmt == "json":
             payload = [{"benchmark": rec.benchmark, "model": rec.model,
                         "variant": rec.variant, "regions": rec.regions,
                         "findings": [f.to_dict()
                                      for f in rec.report.sorted()]}
                        for rec in records]
             print(json.dumps(payload, indent=2))
+        elif fmt == "github":
+            out = github_annotations(*(rec.report for rec in records))
+            if out:
+                print(out)
         else:
             print(render_lint_density(lint_density(records)))
         if threshold is None:
             return 0
         over = [(rec, f) for rec in records
                 for f in rec.report.at_or_above(threshold)]
-        if over and not args.json:
+        if over and fmt == "text":
             print(f"\nFindings at or above {threshold}:")
             for rec, f in over:
                 print(f"  {f.rule} {f.severity} {f.location()}: {f.message}")
@@ -227,10 +251,14 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     _require_port_args("lint", args)
     report = _resolve_port("lint", lint_port, args.benchmark, args.model,
                            variant=args.variant)
-    if args.sarif:
+    if fmt == "sarif":
         print(json.dumps(report_to_sarif(report), indent=2))
-    elif args.json:
+    elif fmt == "json":
         print(report.to_json())
+    elif fmt == "github":
+        out = github_annotations(report)
+        if out:
+            print(out)
     else:
         header = f"{report.program} / {report.model}"
         print(header)
@@ -241,6 +269,52 @@ def _cmd_lint(args: argparse.Namespace) -> int:
             print(f"{f.rule} {f.severity} {f.location()}: {f.message}")
     if threshold is not None and report.at_or_above(threshold):
         return 1
+    return 0
+
+
+def _cmd_xfer(args: argparse.Namespace) -> int:
+    from repro.dataflow.suite import xfer_port, xfer_suite
+
+    if args.all_ports:
+        records = xfer_suite(models=ALL_MODELS, scale=args.scale,
+                             jobs=_jobs(args))
+    else:
+        _require_port_args("xfer", args)
+        records = [_resolve_port("xfer", xfer_port, args.benchmark,
+                                 args.model, variant=args.variant,
+                                 scale=args.scale)]
+    if args.json:
+        print(json.dumps([rec.to_dict() for rec in records], indent=2))
+    elif args.all_ports:
+        from repro.metrics.xferstats import render_xfer_rollup, xfer_rollup
+        print(render_xfer_rollup(xfer_rollup(records)))
+    else:
+        rec = records[0]
+        analysis = rec.analysis
+        header = (f"{rec.benchmark} / {rec.model} ({rec.variant}) — "
+                  f"{analysis.node_count} CFG nodes, "
+                  f"{analysis.iterations} solver iterations")
+        print(header)
+        print("-" * len(header))
+        for v in analysis.verdicts:
+            trips = f" x{v.trips}" if v.trips > 1 else ""
+            print(f"{v.verdict:<10} {v.direction} {v.array!r} "
+                  f"@ {v.node}{trips} [{v.origin}]")
+            print(f"           {v.witness}")
+        for p in analysis.problems:
+            print(f"{p.rule} [{p.severity}] {p.message}")
+        print(f"bytes moved: {analysis.bytes_total()}  "
+              f"statically elidable: {analysis.bytes_elidable()}")
+    errors = [(rec, p) for rec in records for p in rec.analysis.coh_errors]
+    if errors:
+        if not args.json:
+            print("\nCOH errors (stale reads the state machine proves "
+                  "possible):")
+            for rec, p in errors:
+                print(f"  {rec.benchmark}/{rec.model}: {p.rule} {p.message}")
+        # a COH error means the port's transfer discipline itself is
+        # unsound, not merely a gated finding — exit 2 like a usage error
+        return 2
     return 0
 
 
@@ -473,6 +547,10 @@ def main(argv: list[str] | None = None) -> int:
     p_val.add_argument("benchmarks", nargs="*", metavar="BENCH",
                        choices=BENCHMARK_ORDER + ("",) if False
                        else None)
+    p_val.add_argument("--elide-transfers", action="store_true",
+                       dest="elide_transfers",
+                       help="validate the analysis-guided transfer-elision "
+                            "flavour of every port")
     p_val.set_defaults(func=_cmd_validate)
 
     p_cmp = sub.add_parser("compare",
@@ -497,6 +575,11 @@ def main(argv: list[str] | None = None) -> int:
                         help="machine-readable findings")
     p_lint.add_argument("--sarif", action="store_true",
                         help="SARIF 2.1.0 output (GitHub code scanning)")
+    p_lint.add_argument("--format", default=None,
+                        choices=("text", "json", "sarif", "github"),
+                        help="output format; 'github' emits "
+                             "::error/::warning workflow annotations "
+                             "(--json/--sarif remain as aliases)")
     p_lint.add_argument("--all", action="store_true", dest="all_ports",
                         help="lint every benchmark x model pair and print "
                              "the per-model density table")
@@ -506,6 +589,27 @@ def main(argv: list[str] | None = None) -> int:
                              "this severity")
     _add_jobs(p_lint)
     p_lint.set_defaults(func=_cmd_lint)
+
+    p_x = sub.add_parser(
+        "xfer", help="whole-program transfer coherence analysis: a "
+                     "verdict per transfer for one port, or the per-model "
+                     "rollup with --all (exits 2 on any COH error)")
+    p_x.add_argument("benchmark", nargs="?", default=None,
+                     help="benchmark name (e.g. jacobi)")
+    p_x.add_argument("model", nargs="?", default=None,
+                     help="model name or alias (e.g. openacc)")
+    p_x.add_argument("--variant", default=None,
+                     help="port variant (default: the model's best)")
+    p_x.add_argument("--scale", default="test",
+                     choices=("test", "paper"),
+                     help="workload scale used for transfer byte sizes")
+    p_x.add_argument("--json", action="store_true",
+                     help="machine-readable verdicts with witnesses")
+    p_x.add_argument("--all", action="store_true", dest="all_ports",
+                     help="analyze every benchmark x model pair and print "
+                          "the per-model verdict rollup")
+    _add_jobs(p_x)
+    p_x.set_defaults(func=_cmd_xfer)
 
     p_tv = sub.add_parser(
         "tv", help="translation validator: equivalence certificates for "

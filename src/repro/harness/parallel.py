@@ -203,6 +203,14 @@ def _run_lint_unit(unit: WorkUnit, ctx: SweepContext):
                        report=report)
 
 
+@_unit_runner("xfer")
+def _run_xfer_unit(unit: WorkUnit, ctx: SweepContext):
+    from repro.dataflow.suite import xfer_port
+
+    return xfer_port(unit.bench, unit.model, unit.variant or None,
+                     scale=ctx.scale)
+
+
 @_unit_runner("tv")
 def _run_tv_unit(unit: WorkUnit, ctx: SweepContext):
     from repro.tv import validate_port

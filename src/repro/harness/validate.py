@@ -62,8 +62,15 @@ class ValidationMatrix:
 
 def validate_suite(benchmarks: Optional[Sequence[str]] = None,
                    models: Sequence[str] = ALL_MODELS,
-                   seed: int = 0) -> ValidationMatrix:
-    """Run the full functional sweep at test scale."""
+                   seed: int = 0,
+                   elide_transfers: bool = False) -> ValidationMatrix:
+    """Run the full functional sweep at test scale.
+
+    ``elide_transfers`` validates the analysis-guided transfer-elision
+    flavour of every port instead of the default transfer discipline —
+    the numeric half of the elision pass's certification (the tv layer
+    proves the kernels unchanged; this proves the answers are too).
+    """
     matrix = ValidationMatrix()
     names = list(benchmarks) if benchmarks else list(BENCHMARK_ORDER)
     for name in names:
@@ -73,14 +80,16 @@ def validate_suite(benchmarks: Optional[Sequence[str]] = None,
                 start = time.perf_counter()
                 try:
                     outcome = bench.run(model, variant, scale="test",
-                                        seed=seed)
+                                        seed=seed,
+                                        elide_transfers=elide_transfers)
                     passed = bool(outcome.validated)
                     errors = tuple(outcome.validation_errors)
                 except Exception as exc:  # surface, don't abort the sweep
                     passed = False
                     errors = (f"exception: {exc}",)
                 matrix.cells.append(ValidationCell(
-                    benchmark=name, model=model, variant=variant,
+                    benchmark=name, model=model,
+                    variant=variant + ("+elide" if elide_transfers else ""),
                     passed=passed,
                     seconds=time.perf_counter() - start,
                     errors=errors))

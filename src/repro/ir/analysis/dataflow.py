@@ -1,0 +1,237 @@
+"""Generic lattice-based iterative dataflow framework.
+
+The classic worklist fixpoint solver, packaged for the small
+region-sequence CFGs the transfer analyses run on (tens of nodes, not
+thousands).  Three pieces:
+
+* :class:`Cfg` — nodes in program order plus directed edges.  Nodes are
+  any hashable values; the first node is the entry, nodes without
+  successors are the exits.  Back edges (host driver loops re-entering
+  offload regions — the Jacobi/CG sweep pattern) are ordinary edges.
+* :class:`Analysis` — the problem statement: direction, a confluence
+  operator ``join`` with its ``identity``, the ``boundary`` value
+  holding at the entry (forward) or the exits (backward), and a
+  monotone ``transfer`` function per node.
+* :func:`solve` — the worklist iteration.  For a monotone transfer over
+  a finite-height lattice it terminates at the unique least fixpoint,
+  independent of visit order (``tests/test_property_based.py`` pins
+  both properties on random CFGs).
+
+Both *may* problems (join = union, identity = the empty set) and *must*
+problems (join = intersection / pointwise meet, identity = the lattice
+top) fit: the identity is whatever value ``join`` ignores, which is
+exactly the optimistic initial assumption for unvisited predecessors.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Hashable, Iterable, Mapping, Optional, Sequence
+
+from repro.errors import ReproError
+
+Node = Hashable
+State = Any
+
+FORWARD = "forward"
+BACKWARD = "backward"
+
+
+class DataflowError(ReproError):
+    """A malformed CFG/analysis, or a diverging (non-monotone) transfer."""
+
+
+@dataclass(frozen=True)
+class Cfg:
+    """A control-flow graph over hashable nodes.
+
+    ``nodes`` is the canonical (program) order; ``edges`` are directed
+    ``(src, dst)`` pairs.  Successor/predecessor maps are derived once
+    at construction.
+    """
+
+    nodes: tuple
+    edges: tuple = ()
+    succs: Mapping[Node, tuple] = field(init=False, repr=False)
+    preds: Mapping[Node, tuple] = field(init=False, repr=False)
+
+    def __init__(self, nodes: Sequence[Node],
+                 edges: Iterable[tuple[Node, Node]] = ()) -> None:
+        nodes = tuple(nodes)
+        edges = tuple(edges)
+        if not nodes:
+            raise DataflowError("a CFG needs at least one node")
+        if len(set(nodes)) != len(nodes):
+            raise DataflowError("CFG nodes must be unique")
+        known = set(nodes)
+        succs: dict[Node, list] = {n: [] for n in nodes}
+        preds: dict[Node, list] = {n: [] for n in nodes}
+        for src, dst in edges:
+            if src not in known or dst not in known:
+                raise DataflowError(f"edge ({src!r}, {dst!r}) references "
+                                    "an unknown node")
+            succs[src].append(dst)
+            preds[dst].append(src)
+        object.__setattr__(self, "nodes", nodes)
+        object.__setattr__(self, "edges", edges)
+        object.__setattr__(self, "succs",
+                           {n: tuple(s) for n, s in succs.items()})
+        object.__setattr__(self, "preds",
+                           {n: tuple(p) for n, p in preds.items()})
+
+    @property
+    def entry(self) -> Node:
+        return self.nodes[0]
+
+    @property
+    def exits(self) -> tuple:
+        """Nodes without successors (the last node if every node has one)."""
+        outs = tuple(n for n in self.nodes if not self.succs[n])
+        return outs or (self.nodes[-1],)
+
+
+@dataclass(frozen=True)
+class Analysis:
+    """One dataflow problem over a :class:`Cfg`.
+
+    ``join`` must be commutative/associative/idempotent with ``identity``
+    as its neutral element, and ``transfer`` monotone w.r.t. the order
+    ``join`` induces — then :func:`solve` reaches the unique fixpoint.
+    """
+
+    direction: str  # FORWARD | BACKWARD
+    join: Callable[[State, State], State]
+    identity: State
+    boundary: State
+    transfer: Callable[[Node, State], State]
+    #: state equality (fixpoint detection); ``==`` covers dict/frozenset
+    equals: Callable[[State, State], bool] = lambda a, b: a == b
+
+    def __post_init__(self) -> None:
+        if self.direction not in (FORWARD, BACKWARD):
+            raise DataflowError(f"bad direction {self.direction!r}; "
+                                f"expected {FORWARD!r} or {BACKWARD!r}")
+
+
+@dataclass
+class Solution:
+    """The fixpoint: per-node states on entry/exit of each node.
+
+    ``in_states``/``out_states`` are in *flow* order — for a backward
+    problem ``in_states[n]`` is the state *after* the node (where flow
+    enters it) and ``out_states[n]`` the state before it.
+    """
+
+    in_states: dict
+    out_states: dict
+    iterations: int
+
+    def before(self, node: Node, direction: str = FORWARD) -> State:
+        """The state holding at the node's *program-order* start."""
+        return (self.in_states if direction == FORWARD
+                else self.out_states)[node]
+
+    def after(self, node: Node, direction: str = FORWARD) -> State:
+        """The state holding at the node's *program-order* end."""
+        return (self.out_states if direction == FORWARD
+                else self.in_states)[node]
+
+
+def solve(cfg: Cfg, analysis: Analysis,
+          order: Optional[Sequence[Node]] = None,
+          max_steps: Optional[int] = None) -> Solution:
+    """Run the worklist iteration to its fixpoint.
+
+    ``order`` seeds the worklist (default: CFG node order); for a
+    monotone transfer the result is the same for every permutation.
+    ``max_steps`` bounds the iteration (default ``64 * |nodes|^2 + 64``)
+    so a non-monotone transfer raises instead of spinning.
+    """
+    forward = analysis.direction == FORWARD
+    flow_preds = cfg.preds if forward else cfg.succs
+    flow_succs = cfg.succs if forward else cfg.preds
+    starts = {cfg.entry} if forward else set(cfg.exits)
+
+    seed = list(order) if order is not None else list(cfg.nodes)
+    if set(seed) != set(cfg.nodes):
+        raise DataflowError("worklist order must be a permutation of "
+                            "the CFG's nodes")
+
+    in_states: dict = {n: analysis.identity for n in cfg.nodes}
+    out_states: dict = {}
+    worklist: deque = deque(seed)
+    queued = set(seed)
+    limit = max_steps if max_steps is not None \
+        else 64 * len(cfg.nodes) ** 2 + 64
+    steps = 0
+    while worklist:
+        steps += 1
+        if steps > limit:
+            raise DataflowError(
+                f"no fixpoint after {limit} steps — non-monotone transfer "
+                "or unbounded lattice?")
+        node = worklist.popleft()
+        queued.discard(node)
+        acc = analysis.boundary if node in starts else analysis.identity
+        for pred in flow_preds[node]:
+            if pred in out_states:
+                acc = analysis.join(acc, out_states[pred])
+        in_states[node] = acc
+        new_out = analysis.transfer(node, acc)
+        old_out = out_states.get(node, _MISSING)
+        if old_out is _MISSING or not analysis.equals(new_out, old_out):
+            out_states[node] = new_out
+            for succ in flow_succs[node]:
+                if succ not in queued:
+                    worklist.append(succ)
+                    queued.add(succ)
+    # unreachable nodes never transferred: give them identity out-states
+    for node in cfg.nodes:
+        out_states.setdefault(node, analysis.identity)
+    return Solution(in_states=in_states, out_states=out_states,
+                    iterations=steps)
+
+
+_MISSING = object()
+
+
+# ---------------------------------------------------------------------------
+# Common lattice helpers
+# ---------------------------------------------------------------------------
+
+def union_join(a: frozenset, b: frozenset) -> frozenset:
+    """Confluence of *may* problems (reaching, liveness)."""
+    return a | b
+
+
+def intersect_join(a: frozenset, b: frozenset) -> frozenset:
+    """Confluence of set-valued *must* problems (identity = universe)."""
+    return a & b
+
+
+def may_analysis(direction: str,
+                 transfer: Callable[[Node, frozenset], frozenset],
+                 boundary: frozenset = frozenset()) -> Analysis:
+    """A set-union problem: empty identity, union confluence."""
+    return Analysis(direction=direction, join=union_join,
+                    identity=frozenset(), boundary=frozenset(boundary),
+                    transfer=transfer)
+
+
+def pointwise_meet(a: Mapping, b: Mapping) -> dict:
+    """Per-key meet of two flag-tuple maps (missing key = top).
+
+    The coherence state machine's confluence: a flag is certain only if
+    it holds on *every* incoming path, so tuples meet componentwise by
+    logical AND.  Keys absent from one side keep the other side's value
+    (absence = the optimistic identity).
+    """
+    out = dict(a)
+    for key, flags in b.items():
+        mine = out.get(key)
+        if mine is None:
+            out[key] = flags
+        else:
+            out[key] = tuple(x and y for x, y in zip(mine, flags))
+    return out

@@ -14,7 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Mapping, Optional, Sequence
 
-from repro.ir.expr import ArrayRef, Var
+from repro.ir.expr import ArrayRef, Const, Var
 from repro.ir.stmt import (Assign, Block, Critical, For, If, LocalDecl,
                            Stmt, While)
 
@@ -56,8 +56,52 @@ def scalar_writes(stmt: Stmt) -> set[str]:
     return writes
 
 
+def _dim_matches(upper, dim) -> bool:
+    """Does a loop's exclusive upper bound span a declared dimension?"""
+    if isinstance(dim, str):
+        return isinstance(upper, Var) and upper.name == dim
+    return isinstance(upper, Const) and upper.value == dim
+
+
+def _covers_full_extent(target: ArrayRef, loops: Mapping[str, For],
+                        arrays: Optional[Mapping]) -> bool:
+    """Does ``a[i, j, ...]`` under the given unguarded loops write every
+    element of the declared array?
+
+    True only when each subscript is exactly the index of a distinct
+    enclosing unguarded loop running ``0 .. dim`` with step 1 over the
+    matching declared dimension.  Without declarations (``arrays`` is
+    None, or the name is undeclared — e.g. a callee's formal parameter)
+    we keep the historical name-granularity answer: any unguarded plain
+    store counts as a kill.
+    """
+    if arrays is None:
+        return True
+    decl = arrays.get(target.name)
+    if decl is None:
+        return True
+    if len(target.indices) != len(decl.shape):
+        return False
+    seen: set[str] = set()
+    for idx, dim in zip(target.indices, decl.shape):
+        if not isinstance(idx, Var) or idx.name in seen:
+            return False
+        seen.add(idx.name)
+        loop = loops.get(idx.name)
+        if loop is None:
+            return False
+        if not (isinstance(loop.lower, Const) and loop.lower.value == 0):
+            return False
+        if not (isinstance(loop.step, Const) and loop.step.value == 1):
+            return False
+        if not _dim_matches(loop.upper, dim):
+            return False
+    return True
+
+
 def _array_flow(stmt: Stmt, functions: Optional[Mapping] = None,
                 include_augmented_targets: bool = True,
+                arrays: Optional[Mapping] = None,
                 ) -> tuple[set[str], set[str]]:
     """(upward-exposed reads, unconditional kills) of arrays in ``stmt``."""
     from repro.ir.stmt import CallStmt
@@ -77,7 +121,7 @@ def _array_flow(stmt: Stmt, functions: Optional[Mapping] = None,
                 if isinstance(node, ArrayRef):
                     note_read(node.name)
 
-    def scan(s: Stmt, guarded: bool) -> None:
+    def scan(s: Stmt, guarded: bool, loops: Mapping[str, For]) -> None:
         if isinstance(s, LocalDecl):
             if s.shape:
                 local.add(s.name)
@@ -92,7 +136,8 @@ def _array_flow(stmt: Stmt, functions: Optional[Mapping] = None,
                 if s.op is not None and s.target.name not in local:
                     if include_augmented_targets:
                         note_read(s.target.name)
-                elif s.op is None and not guarded:
+                elif (s.op is None and not guarded
+                      and _covers_full_extent(s.target, loops, arrays)):
                     killed.add(s.target.name)
             else:
                 note_reads([s.value])
@@ -105,6 +150,8 @@ def _array_flow(stmt: Stmt, functions: Optional[Mapping] = None,
             param_map = {p.name: a.name
                          for p, a in zip(func.params, s.args)
                          if p.is_array and isinstance(a, Var)}
+            # the callee's stores target its formal parameters, which
+            # have no declarations here — its kills stay name-granular
             sub_exposed, sub_killed = _array_flow(
                 func.body, functions,
                 include_augmented_targets=include_augmented_targets)
@@ -115,16 +162,21 @@ def _array_flow(stmt: Stmt, functions: Optional[Mapping] = None,
             return
         inner_guarded = guarded or isinstance(s, (If, While))
         note_reads(s.exprs())
+        inner_loops = loops
+        if isinstance(s, For) and not guarded:
+            inner_loops = dict(loops)
+            inner_loops[s.var] = s
         for child in s.child_stmts():
-            scan(child, inner_guarded)
+            scan(child, inner_guarded, inner_loops)
 
-    scan(stmt, guarded=False)
+    scan(stmt, guarded=False, loops={})
     return exposed, killed
 
 
 def array_upward_exposed_reads(stmt: Stmt,
                                functions: Optional[Mapping] = None,
                                include_augmented_targets: bool = True,
+                               arrays: Optional[Mapping] = None,
                                ) -> set[str]:
     """Arrays whose incoming contents ``stmt`` may read.
 
@@ -139,6 +191,17 @@ def array_upward_exposed_reads(stmt: Stmt,
     arrays are excluded; calls are followed through ``functions``
     (name → :class:`~repro.ir.program.Function`) when provided.
 
+    Passing ``arrays`` (name → :class:`~repro.ir.program.ArrayDecl`)
+    tightens the kill condition to *full-extent* stores only: a plain
+    store kills the array just when every subscript is the index of a
+    distinct enclosing unguarded loop running ``0 .. dim`` with step 1
+    over the matching declared dimension.  This is the fix the backward
+    live-device-data analysis demanded: JACOBI's copyback writes only
+    the ``1 .. n-1`` interior of ``a``, so boundary elements stay
+    upward-exposed — whereas SPMUL's ``y[i] = 0`` over the full
+    ``0 .. n`` legitimately kills ``y`` and keeps its dead-copyin
+    verdict.
+
     This decides whether a ``copyin`` actually feeds anything: JACOBI's
     stencil reads ``a`` before writing ``b`` (exposed), while an
     initialization like ``y[i] = 0`` kills ``y`` before a later
@@ -150,7 +213,8 @@ def array_upward_exposed_reads(stmt: Stmt,
     """
     exposed, _killed = _array_flow(
         stmt, functions,
-        include_augmented_targets=include_augmented_targets)
+        include_augmented_targets=include_augmented_targets,
+        arrays=arrays)
     return exposed
 
 

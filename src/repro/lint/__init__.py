@@ -9,13 +9,16 @@ Rule families:
   loops (:mod:`repro.lint.bounds`);
 * ``TV``: translation-validation verdicts from :mod:`repro.tv`
   (:mod:`repro.lint.tv`);
+* ``XFER``/``COH``: whole-program transfer verdicts and coherence
+  problems from the :mod:`repro.dataflow` fixpoint analyses
+  (:mod:`repro.lint.xfer`);
 * ``COV-*``: model coverage limitations, folded in from the compilers'
   :class:`~repro.models.base.Diagnostic` records.
 
 See ``docs/lint.md`` for the full rule catalog.
 """
 
-from repro.lint import bounds, data, perf, race, tv  # noqa: F401  (register)
+from repro.lint import bounds, data, perf, race, tv, xfer  # noqa: F401
 from repro.lint.engine import (CHECKERS, RULES, Checker, LintContext, Rule,
                                checker, declare, run_lint)
 from repro.lint.findings import Finding, LintReport, Severity

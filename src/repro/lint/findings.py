@@ -131,3 +131,35 @@ class LintReport:
             "findings": [f.to_dict() for f in self.sorted()],
         }
         return json.dumps(payload, indent=indent)
+
+
+#: GitHub Actions workflow-command names per severity
+_GITHUB_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning",
+                 Severity.INFO: "notice"}
+
+
+def _github_escape(text: str, *, property: bool = False) -> str:
+    """Escape per the workflow-command data encoding rules."""
+    text = text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    if property:
+        text = text.replace(":", "%3A").replace(",", "%2C")
+    return text
+
+
+def github_annotation(finding: Finding) -> str:
+    """One ``::error``/``::warning``/``::notice`` workflow command.
+
+    Findings have no physical file locations (the source is in-memory
+    IR), so the logical location rides in the annotation title.
+    """
+    level = _GITHUB_LEVEL[finding.severity]
+    title = _github_escape(f"{finding.rule} {finding.location()}",
+                           property=True)
+    message = _github_escape(finding.message)
+    return f"::{level} title={title}::{message}"
+
+
+def github_annotations(*reports: "LintReport") -> str:
+    """Annotation lines for one or more reports, most severe first."""
+    return "\n".join(github_annotation(f)
+                     for report in reports for f in report.sorted())

@@ -1,0 +1,83 @@
+"""XFER/COH: whole-program transfer verdicts and coherence problems.
+
+The per-region DATA family sees one data-region scope at a time; this
+family runs the :mod:`repro.dataflow` fixpoint analyses over the whole
+compiled port (program order, host loops peeled) and reports what only
+an inter-region view can prove:
+
+* ``XFER001`` — a per-invocation or scope copyin re-ships an array
+  whose device copy is already valid on **every** incoming path (the
+  witness names the transfer/kernel that established it);
+* ``XFER002`` — a copyout writes host memory no host read, re-shipping
+  copyin, or program output ever consumes;
+* ``XFER003`` — a copyin ships values no kernel read or copyout
+  consumes before a device write overwrites them (the whole-program
+  generalization of DATA003);
+* ``XFER004`` — a per-invocation copyout whose host copy feeds only
+  the program-exit outputs: intermediate trips can be deferred to
+  scope exit (what the ``elide-transfers`` pass does);
+* ``COH001`` / ``COH002`` — a host (resp. device) read or transfer
+  source that is stale on some path: a genuine coherence bug in the
+  port's transfer discipline;
+* ``COH003`` — a host fallback updates data a later kernel consumes;
+  the simulator round-trips implicitly, a real port needs an
+  ``update(to:)`` directive at re-entry.
+
+The verdict layer (:mod:`repro.dataflow.report`) owns the judgement;
+this module only folds its output into the lint stream so the SARIF
+export, the density rollup, and ``--fail-on`` gating see one report.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.lint.engine import LintContext, checker, declare
+from repro.lint.findings import Finding, Severity
+
+declare("XFER001", Severity.WARNING,
+        "redundant copyin: the device copy is already valid on every path")
+declare("XFER002", Severity.WARNING,
+        "dead copyout: no host consumer of the copied-back values")
+declare("XFER003", Severity.WARNING,
+        "dead copyin: shipped values are overwritten before any device "
+        "read")
+declare("XFER004", Severity.INFO,
+        "deferrable copyout: only the program-exit outputs consume it")
+declare("COH001", Severity.ERROR,
+        "host-side read or htod source is stale on some path")
+declare("COH002", Severity.ERROR,
+        "device-side read or dtoh source is stale on some path")
+declare("COH003", Severity.WARNING,
+        "host fallback writes data a later kernel consumes (needs an "
+        "update-to at region re-entry)")
+
+#: (direction, verdict) → rule ID; "required" verdicts emit nothing
+_VERDICT_RULE = {
+    ("htod", "redundant"): "XFER001",
+    ("htod", "dead"): "XFER003",
+    ("dtoh", "dead"): "XFER002",
+    ("dtoh", "deferrable"): "XFER004",
+}
+
+
+@checker("XFER001", "XFER002", "XFER003", "XFER004",
+         "COH001", "COH002", "COH003", scope="compiled")
+def check_transfer_flow(ctx: LintContext) -> Iterator[Finding]:
+    from repro.dataflow.report import analyze_compiled
+
+    assert ctx.compiled is not None
+    analysis = analyze_compiled(ctx.compiled)
+    for v in analysis.verdicts:
+        rule = _VERDICT_RULE.get((v.direction, v.verdict))
+        if rule is None:
+            continue
+        trips = f" x{v.trips}" if v.trips > 1 else ""
+        yield ctx.finding(
+            rule,
+            f"{v.verdict} {v.direction} of {v.array!r} at {v.node}"
+            f"{trips}: {v.witness}",
+            region=v.region, array=v.array)
+    for p in analysis.problems:
+        yield ctx.finding(p.rule, p.message,
+                          region=p.region, array=p.array)

@@ -18,7 +18,7 @@ from repro.lint.findings import Severity
 from repro.lint.suite import SuiteRecord
 
 #: rule-ID prefixes grouped into the table's family columns
-FAMILIES = ("RACE", "DATA", "PERF", "BNDS", "TV", "COV")
+FAMILIES = ("RACE", "DATA", "XFER", "COH", "PERF", "BNDS", "TV", "COV")
 
 
 @dataclass(frozen=True)

@@ -40,7 +40,7 @@ from repro.ir.stmt import Block, For, LocalDecl, Stmt
 from repro.ir.transforms.tiling import TilingDecision
 from repro.obs import tracer as obs
 from repro.pipeline.core import PassManager, PassRecord, ProgramPass, RegionPass
-from repro.pipeline.passes import grid_nest, region_arrays
+from repro.pipeline.passes import TransferElision, grid_nest, region_arrays
 
 Value = Union[int, float]
 
@@ -65,6 +65,42 @@ class DataRegionSpec:
     copyin: tuple[str, ...] = ()
     copyout: tuple[str, ...] = ()
     create: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class TransferElisionPlan:
+    """Arrays the ``elide-transfers`` pass may keep off the PCIe bus.
+
+    Produced by :func:`repro.dataflow.report.plan_elisions` from the
+    whole-program coherence analysis; consumed by
+    :class:`ExecutableProgram` as *dynamic guards*, so the plan is safe
+    even where the static CFG mispredicts the concrete schedule:
+
+    * ``skip_htod`` — a per-invocation host→device copy of these arrays
+      is skipped whenever the device copy is already valid (tracked at
+      runtime; a cold or invalidated copy still ships).
+    * ``defer_dtoh`` — per-invocation device→host copies of these
+      arrays are deferred; the pending copy flushes at data-scope exit
+      and before any host-fallback touch.  Every deferred array must
+      also be in ``skip_htod``, or a later copyin could re-ship the
+      stale host copy over the only valid data.
+    """
+
+    skip_htod: tuple[str, ...] = ()
+    defer_dtoh: tuple[str, ...] = ()
+    notes: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        missing = set(self.defer_dtoh) - set(self.skip_htod)
+        if missing:
+            raise CompileError(
+                "defer_dtoh must be a subset of skip_htod (a deferred "
+                "copyout with a live copyin would ship stale host data): "
+                f"{sorted(missing)}")
+
+    @property
+    def empty(self) -> bool:
+        return not self.skip_htod and not self.defer_dtoh
 
 
 @dataclass(frozen=True)
@@ -114,6 +150,12 @@ class PortSpec:
     data_regions: tuple[DataRegionSpec, ...] = ()
     region_options: Mapping[str, RegionOptions] = field(default_factory=dict)
     notes: tuple[str, ...] = ()
+    #: opt in to the certified transfer-elision pass: the pipeline's
+    #: transfer stage plans skips/deferrals from the whole-program
+    #: coherence analysis and the runtime honors them under dynamic
+    #: validity guards.  Off by default — the shipped Figure-1 baseline
+    #: must stay byte-identical.
+    elide_transfers: bool = False
 
     def options_for(self, region: str) -> RegionOptions:
         return self.region_options.get(region, RegionOptions())
@@ -212,6 +254,9 @@ class CompiledProgram:
     port: PortSpec
     results: dict[str, RegionResult]
     data_regions: tuple[DataRegionSpec, ...] = ()
+    #: the transfer-elision plan (set by the ``elide-transfers`` program
+    #: pass when the port opts in via ``PortSpec.elide_transfers``)
+    elisions: Optional[TransferElisionPlan] = None
 
     @property
     def regions_total(self) -> int:
@@ -263,10 +308,18 @@ class DirectiveCompiler(abc.ABC):
 
     @property
     def pipeline(self) -> PassManager:
-        """The model's pass manager (built once, then cached)."""
+        """The model's pass manager (built once, then cached).
+
+        Every model's pipeline ends with the opt-in
+        :class:`~repro.pipeline.passes.TransferElision` program pass —
+        appended here rather than in each :meth:`build_pipeline` so the
+        certified-elision contract is uniform across models (the pass
+        no-ops unless the port sets ``elide_transfers``).
+        """
         mgr = self.__dict__.get("_pipeline")
         if mgr is None:
-            mgr = PassManager(self.name, self.build_pipeline())
+            mgr = PassManager(self.name, list(self.build_pipeline())
+                              + [TransferElision()])
             self.__dict__["_pipeline"] = mgr
         return mgr
 
@@ -391,6 +444,18 @@ class ExecutableProgram:
         self._entered_dr: set[str] = set()
         self._resident: set[str] = set()
         self._dirty: set[str] = set()
+        # -- transfer elision (opt-in; the default path must stay
+        #    byte-identical to the shipped Figure-1 baseline) ------------
+        plan = compiled.elisions if compiled.port.elide_transfers else None
+        self._elide = plan is not None and not plan.empty
+        self._skip_htod = frozenset(plan.skip_htod) if plan else frozenset()
+        self._defer_dtoh = frozenset(plan.defer_dtoh) if plan else frozenset()
+        #: arrays whose device buffer provably holds the latest values
+        self._dev_valid: set[str] = set()
+        #: arrays with a device→host copy pending (deferred)
+        self._deferred: set[str] = set()
+        self.elided_transfers = 0
+        self.elided_bytes = 0
 
     # -- setup -------------------------------------------------------------
     def bind_arrays(self, arrays: Mapping[str, np.ndarray]) -> None:
@@ -406,6 +471,8 @@ class ExecutableProgram:
         for name in dr.copyin:
             self._ensure_alloc(name)
             self.rt.htod(name)
+            if self._elide:
+                self._dev_valid.add(name)
             self._resident.add(name)
         for name in dr.create + dr.copyout:
             self._ensure_alloc(name)
@@ -415,8 +482,31 @@ class ExecutableProgram:
         if name not in self.rt.buffers:
             self.rt.malloc(name)
 
+    # -- transfer elision --------------------------------------------------
+    def _note_elided(self, name: str, direction: str) -> None:
+        arr = self.rt.host_arrays.get(name)
+        nbytes = int(arr.nbytes) if arr is not None else 0
+        self.elided_transfers += 1
+        self.elided_bytes += nbytes
+        if obs.current_tracer() is not None:
+            with obs.span(f"elide {direction} {name}", "gpu.elide",
+                          array=name, direction=direction,
+                          sim_start_s=self.rt.clock_s):
+                obs.add_counters({"transfers_elided": 1.0,
+                                  "pcie_bytes_saved": float(nbytes)})
+
+    def _flush_deferred(self, names: Optional[set[str]] = None) -> None:
+        """Perform pending deferred copyouts (all, or just ``names``)."""
+        pending = self._deferred if names is None \
+            else self._deferred & names
+        for name in sorted(pending):
+            self.rt.dtoh(name)
+        self._deferred -= set(pending)
+
     def close_data_regions(self) -> None:
         """Exit all data regions: copy out their results."""
+        if self._elide:
+            self._flush_deferred()
         for dr in self.compiled.data_regions:
             if dr.name in self._entered_dr:
                 for name in dr.copyout:
@@ -452,15 +542,35 @@ class ExecutableProgram:
             if name in covered and name in self._resident:
                 continue
             if name in result.reads:
+                if (self._elide and name in self._skip_htod
+                        and name in self._dev_valid):
+                    # the device copy already holds the latest values;
+                    # shipping the host copy would be a no-op (or, with
+                    # a copyout deferred, an outright clobber)
+                    self._note_elided(name, "htod")
+                    continue
                 self.rt.htod(name)
+                if self._elide:
+                    self._dev_valid.add(name)
 
     def _transfers_out(self, result: RegionResult,
                        dr: Optional[DataRegionSpec]) -> None:
         covered = set(dr.copyin) | set(dr.copyout) | set(dr.create) \
             if dr is not None else set()
         for name in sorted(result.writes):
+            if self._elide:
+                # the kernels just produced the latest values on device
+                self._dev_valid.add(name)
             if name in covered:
                 self._dirty.add(name)
+                continue
+            if self._elide and name in self._defer_dtoh:
+                if name in self._deferred:
+                    # a pending copy is superseded before ever flushing:
+                    # that transfer is genuinely saved
+                    self._note_elided(name, "dtoh")
+                else:
+                    self._deferred.add(name)
                 continue
             self.rt.dtoh(name)
 
@@ -475,10 +585,16 @@ class ExecutableProgram:
         # driver controls repetition explicitly.
         t = t / max(1, region.invocations) * times
         self.host_time_s += t
-        if self.rt.execute:
-            # host data must be current: copy back any resident arrays the
-            # region touches, then re-stage them
+        reads: frozenset[str] = frozenset()
+        writes: frozenset[str] = frozenset()
+        if self.rt.execute or self._elide:
             reads, writes = region_arrays(region, self.compiled.program)
+        if self.rt.execute:
+            # host data must be current: flush any deferred copyouts the
+            # region touches, copy back any resident arrays it touches,
+            # then re-stage them
+            if self._elide:
+                self._flush_deferred(set(reads) | set(writes))
             for name in sorted((reads | writes)):
                 if name in self.rt.buffers and name in self._resident:
                     self.rt.dtoh(name)
@@ -488,6 +604,13 @@ class ExecutableProgram:
             for name in sorted(reads | writes):
                 if name in self.rt.buffers and name in self._resident:
                     self.rt.htod(name)
+        if self._elide:
+            # host writes invalidate device copies not staged back above
+            staged = {name for name in writes
+                      if self.rt.execute and name in self.rt.buffers
+                      and name in self._resident}
+            self._dev_valid |= staged
+            self._dev_valid -= set(writes) - staged
 
     # -- results ---------------------------------------------------------
     @property

@@ -26,7 +26,7 @@ from __future__ import annotations
 import hashlib
 import json
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Iterable, Optional
 
 from repro.models import get_compiler, resolve_model
@@ -78,7 +78,7 @@ def _config_hash(model: str, variant: str, port: "PortSpec",
         h.update(f"unserializable:{id(port.program)}".encode())
     h.update(repr((port.directive_lines, port.restructured_lines,
                    port.data_regions, sorted(port.region_options.items()),
-                   port.notes)).encode())
+                   port.notes, port.elide_transfers)).encode())
     h.update(type(compiler).__qualname__.encode())
     h.update(repr(compiler.pipeline.pass_names()).encode())
     return h.hexdigest()
@@ -161,15 +161,22 @@ class ArtifactStore:
         return artifact
 
     def registry_artifact(self, bench: "Benchmark", model: str,
-                          variant: str) -> Artifact:
-        """The fast-key path: hash once, then hit by name triple."""
+                          variant: str, elide: bool = False) -> Artifact:
+        """The fast-key path: hash once, then hit by name triple.
+
+        ``elide`` compiles the elide-transfers flavour of the port; it
+        extends the fast key (and the config hash, via the port flag)
+        so the two flavours never alias one artifact."""
         with self._lock:
-            fast = (bench.name, model, variant)
+            fast = (bench.name, model,
+                    variant + "+elide" if elide else variant)
             key = self._fast.get(fast)
             if key is not None:
                 self.hits += 1
                 return self._artifacts[key]
             port = bench.port(model, variant)
+            if elide:
+                port = replace(port, elide_transfers=True)
             compiler = get_compiler(model)
             key = ArtifactKey(bench.name, model, variant,
                               _config_hash(model, variant, port, compiler))
@@ -178,12 +185,14 @@ class ArtifactStore:
             return artifact
 
     def instance_artifact(self, bench: "Benchmark", model: str,
-                          variant: str) -> Artifact:
+                          variant: str, elide: bool = False) -> Artifact:
         """The content-hash path for non-registry benchmark instances:
         identical content shares the registry's artifact; divergent
         content (an overridden port) gets its own entry."""
         with self._lock:
             port = bench.port(model, variant)
+            if elide:
+                port = replace(port, elide_transfers=True)
             compiler = get_compiler(model)
             key = ArtifactKey(bench.name, model, variant,
                               _config_hash(model, variant, port, compiler))
@@ -253,12 +262,15 @@ class ArtifactStore:
 STORE = ArtifactStore()
 
 
-def compile_port(benchmark: str, model: str, variant: Optional[str] = None):
+def compile_port(benchmark: str, model: str, variant: Optional[str] = None,
+                 elide: bool = False):
     """Resolve, compile, and cache one registry port.
 
     Returns ``(port, compiled, chosen_variant)``.  Raises KeyError for
     unknown benchmarks, models, variants, or missing ports — the CLI
-    maps these to exit code 2.
+    maps these to exit code 2.  ``elide`` selects the elide-transfers
+    flavour (the port recompiles with ``elide_transfers=True``, so the
+    transfer pipeline's elision pass attaches its plan).
     """
     from repro.benchmarks import get_benchmark
 
@@ -269,11 +281,12 @@ def compile_port(benchmark: str, model: str, variant: Optional[str] = None):
         raise KeyError(
             f"unknown variant {chosen!r} for {bench.name}/{model}; "
             f"known: {bench.variants(model)}")
-    artifact = STORE.registry_artifact(bench, model, chosen)
+    artifact = STORE.registry_artifact(bench, model, chosen, elide=elide)
     return artifact.port, artifact.compiled, chosen
 
 
-def compile_bench(bench: "Benchmark", model: str, variant: str):
+def compile_bench(bench: "Benchmark", model: str, variant: str,
+                  elide: bool = False):
     """``(port, compiled)`` for an in-hand benchmark *instance*.
 
     Registry instances route through the fast-key path; anything else
@@ -292,9 +305,11 @@ def compile_bench(bench: "Benchmark", model: str, variant: str):
             raise KeyError(
                 f"unknown variant {variant!r} for {bench.name}/{model}; "
                 f"known: {bench.variants(model)}")
-        artifact = STORE.registry_artifact(bench, model, variant)
+        artifact = STORE.registry_artifact(bench, model, variant,
+                                           elide=elide)
     else:
-        artifact = STORE.instance_artifact(bench, model, variant)
+        artifact = STORE.instance_artifact(bench, model, variant,
+                                           elide=elide)
     return artifact.port, artifact.compiled
 
 

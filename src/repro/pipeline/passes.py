@@ -448,3 +448,34 @@ class AutoDataPlan(ProgramPass):
         auto = auto_data_region(compiled, self.scope_name)
         if auto is not None:
             compiled.data_regions = (auto,)
+
+
+class TransferElision(ProgramPass):
+    """Plan provably redundant transfers away (opt-in, certified).
+
+    Runs last in the transfer stage of every model pipeline — after
+    :class:`AutoDataPlan`, so it sees the *effective* transfer
+    discipline.  A no-op unless the port sets
+    :attr:`~repro.models.base.PortSpec.elide_transfers`; when it does,
+    the whole-program coherence analysis (:mod:`repro.dataflow`) selects
+    the per-invocation copyins that re-ship device-valid data and the
+    copyouts nothing consumes before scope exit, and records them as a
+    :class:`~repro.models.base.TransferElisionPlan` on the compiled
+    program.  The runtime applies the plan under dynamic validity
+    guards, so kernels, region results, and data regions are untouched —
+    which is what lets the tv layer certify the variant (PROVED counts
+    unchanged, 0 REFUTED) and the validation harness check it
+    numerically.
+    """
+
+    name = "elide-transfers"
+    stage = "transfer"
+
+    def run(self, compiled) -> None:
+        if not compiled.port.elide_transfers:
+            return
+        from repro.dataflow.report import plan_elisions
+
+        compiled.elisions = plan_elisions(compiled)
+        if compiled.elisions.empty:
+            compiled.elisions = None

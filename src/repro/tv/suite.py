@@ -34,12 +34,19 @@ class TvRecord:
 
 
 def validate_port(benchmark: str, model: str,
-                  variant: Optional[str] = None) -> TvRecord:
-    """Certify every region of one compiled port."""
+                  variant: Optional[str] = None,
+                  elide: bool = False) -> TvRecord:
+    """Certify every region of one compiled port.
+
+    ``elide`` certifies the elide-transfers flavour — the transfer
+    plan changes but the lowered kernels must not, so the certificate
+    set (and its PROVED count) must match the default compile exactly.
+    """
     from repro.benchmarks import get_benchmark
     from repro.lint.suite import compile_port
 
-    port, compiled, chosen = compile_port(benchmark, model, variant)
+    port, compiled, chosen = compile_port(benchmark, model, variant,
+                                          elide=elide)
     certs = validate_compiled(port.program, compiled)
     return TvRecord(benchmark=get_benchmark(benchmark).name,
                     model=compiled.model, variant=chosen,

@@ -16,100 +16,112 @@ from repro.lint import Severity, lint_suite
 from repro.metrics.lintstats import lint_density, render_lint_density
 
 SNAPSHOT = {
-    ("JACOBI", "PGI Accelerator"): {"PERF005": 1},
-    ("JACOBI", "OpenACC"): {"PERF005": 1},
-    ("JACOBI", "HMPP"): {"PERF005": 1},
-    ("JACOBI", "OpenMPC"): {"PERF005": 1},
-    ("JACOBI", "R-Stream"): {},
+    ("JACOBI", "PGI Accelerator"): {"PERF005": 1, "XFER002": 1},
+    ("JACOBI", "OpenACC"): {"PERF005": 1, "XFER002": 1},
+    ("JACOBI", "HMPP"): {"PERF005": 1, "XFER002": 1},
+    ("JACOBI", "OpenMPC"): {"PERF005": 1, "XFER002": 1},
+    ("JACOBI", "R-Stream"): {"XFER002": 1},
     ("EP", "PGI Accelerator"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
-                                "RACE002": 3},
-    ("EP", "OpenACC"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
-                        "RACE002": 3},
-    ("EP", "HMPP"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
-                     "RACE002": 3},
+                                "RACE002": 3, "XFER004": 3},
+    ("EP", "OpenACC"): {"PERF001": 2, "PERF004": 3, "PERF005": 1, "RACE002": 3,
+                        "XFER004": 3},
+    ("EP", "HMPP"): {"PERF001": 2, "PERF004": 3, "PERF005": 1, "RACE002": 3,
+                     "XFER004": 3},
     ("EP", "OpenMPC"): {"PERF004": 3, "RACE002": 3},
     ("EP", "R-Stream"): {"COV-NON-AFFINE": 1, "RACE002": 3},
-    ("SPMUL", "PGI Accelerator"): {"PERF002": 3, "PERF004": 2,
-                                   "RACE002": 1},
-    ("SPMUL", "OpenACC"): {"PERF002": 3, "PERF004": 2},
-    ("SPMUL", "HMPP"): {"PERF002": 3, "PERF004": 2},
-    ("SPMUL", "OpenMPC"): {"DATA003": 1, "PERF002": 1, "PERF004": 2},
-    ("SPMUL", "R-Stream"): {"COV-NON-AFFINE": 1, "PERF004": 2},
-    ("CG", "PGI Accelerator"): {"PERF002": 6, "PERF004": 9, "RACE002": 5},
-    ("CG", "OpenACC"): {"PERF002": 6, "PERF004": 9},
-    ("CG", "HMPP"): {"PERF002": 6, "PERF004": 9},
-    ("CG", "OpenMPC"): {"DATA003": 1, "PERF002": 2, "PERF004": 9},
-    ("CG", "R-Stream"): {"COV-NON-AFFINE": 2, "PERF004": 9},
-    ("FT", "PGI Accelerator"): {"PERF001": 8, "PERF004": 5, "RACE002": 1},
-    ("FT", "OpenACC"): {"PERF001": 8, "PERF004": 5},
-    ("FT", "HMPP"): {"PERF001": 8, "PERF004": 5},
-    ("FT", "OpenMPC"): {"PERF001": 8, "PERF004": 1},
+    ("SPMUL", "PGI Accelerator"): {"PERF002": 3, "PERF004": 2, "RACE002": 1,
+                                   "XFER002": 1},
+    ("SPMUL", "OpenACC"): {"PERF002": 3, "PERF004": 2, "XFER002": 1},
+    ("SPMUL", "HMPP"): {"PERF002": 3, "PERF004": 2, "XFER002": 1},
+    ("SPMUL", "OpenMPC"): {"DATA003": 1, "PERF002": 1, "PERF004": 2, "XFER002":
+                           1, "XFER003": 1},
+    ("SPMUL", "R-Stream"): {"COV-NON-AFFINE": 1, "PERF004": 2, "XFER001": 5},
+    ("CG", "PGI Accelerator"): {"PERF002": 6, "PERF004": 9, "RACE002": 5,
+                                "XFER002": 1},
+    ("CG", "OpenACC"): {"PERF002": 6, "PERF004": 9, "XFER002": 1},
+    ("CG", "HMPP"): {"PERF002": 6, "PERF004": 9, "XFER002": 1},
+    ("CG", "OpenMPC"): {"DATA003": 1, "PERF002": 2, "PERF004": 9, "XFER002": 1,
+                        "XFER003": 1},
+    ("CG", "R-Stream"): {"COV-NON-AFFINE": 2, "PERF004": 9, "XFER001": 31,
+                         "XFER002": 2, "XFER004": 1},
+    ("FT", "PGI Accelerator"): {"PERF001": 8, "PERF004": 5, "RACE002": 1,
+                                "XFER002": 2},
+    ("FT", "OpenACC"): {"PERF001": 8, "PERF004": 5, "XFER002": 2},
+    ("FT", "HMPP"): {"PERF001": 8, "PERF004": 5, "XFER002": 2},
+    ("FT", "OpenMPC"): {"PERF001": 8, "PERF004": 1, "XFER002": 2},
     ("FT", "R-Stream"): {"COV-NON-AFFINE": 6},
     ("SRAD", "PGI Accelerator"): {"PERF001": 1, "PERF004": 5, "PERF005": 2,
                                   "RACE002": 1},
     ("SRAD", "OpenACC"): {"PERF001": 1, "PERF004": 5, "PERF005": 2},
     ("SRAD", "HMPP"): {"PERF001": 1, "PERF004": 5, "PERF005": 2},
     ("SRAD", "OpenMPC"): {"PERF004": 5, "PERF005": 2},
-    ("SRAD", "R-Stream"): {"COV-NON-AFFINE": 2, "PERF001": 3, "PERF004": 1},
+    ("SRAD", "R-Stream"): {"COV-NON-AFFINE": 2, "PERF001": 3, "PERF004": 1,
+                           "XFER001": 2},
     ("CFD", "PGI Accelerator"): {"PERF001": 2, "PERF002": 2, "PERF004": 3,
-                                 "PERF005": 1, "RACE002": 1, "RACE003": 1},
-    ("CFD", "OpenACC"): {"PERF001": 2, "PERF002": 2, "PERF004": 3,
-                         "PERF005": 1, "RACE003": 1},
-    ("CFD", "HMPP"): {"PERF001": 2, "PERF002": 2, "PERF004": 3,
-                      "PERF005": 1, "RACE003": 1},
-    ("CFD", "OpenMPC"): {"DATA003": 2, "PERF001": 2, "PERF002": 2,
-                         "PERF004": 2, "PERF005": 1, "RACE003": 1},
-    ("CFD", "R-Stream"): {"COV-NON-AFFINE": 4, "PERF004": 1, "RACE003": 1},
-    ("BFS", "PGI Accelerator"): {"COV-CRITICAL-SECTION": 1, "DATA002": 2,
-                                 "DATA005": 1, "PERF002": 4, "RACE002": 1,
-                                 "RACE003": 2},
-    ("BFS", "OpenACC"): {"COV-CRITICAL-SECTION": 1, "DATA002": 2,
-                         "DATA005": 1, "PERF002": 4, "RACE002": 1,
-                         "RACE003": 2},
-    ("BFS", "HMPP"): {"COV-CRITICAL-SECTION": 1, "DATA002": 2,
-                      "DATA005": 1, "PERF002": 4, "RACE002": 1,
-                      "RACE003": 2},
-    ("BFS", "OpenMPC"): {"PERF002": 4, "RACE002": 1, "RACE003": 2},
+                                 "PERF005": 1, "RACE002": 1, "RACE003": 1,
+                                 "XFER002": 1},
+    ("CFD", "OpenACC"): {"PERF001": 2, "PERF002": 2, "PERF004": 3, "PERF005":
+                         1, "RACE003": 1, "XFER002": 1},
+    ("CFD", "HMPP"): {"PERF001": 2, "PERF002": 2, "PERF004": 3, "PERF005": 1,
+                      "RACE003": 1, "XFER002": 1},
+    ("CFD", "OpenMPC"): {"DATA003": 2, "PERF001": 2, "PERF002": 2, "PERF004":
+                         2, "PERF005": 1, "RACE003": 1, "XFER002": 1, "XFER003":
+                         1},
+    ("CFD", "R-Stream"): {"COV-NON-AFFINE": 4, "PERF004": 1, "RACE003": 1,
+                          "XFER001": 5, "XFER002": 1, "XFER004": 1},
+    ("BFS", "PGI Accelerator"): {"COH003": 1, "COV-CRITICAL-SECTION": 1,
+                                 "DATA002": 2, "DATA005": 1, "PERF002": 4,
+                                 "RACE002": 1, "RACE003": 2, "XFER002": 1},
+    ("BFS", "OpenACC"): {"COH003": 1, "COV-CRITICAL-SECTION": 1, "DATA002": 2,
+                         "DATA005": 1, "PERF002": 4, "RACE002": 1, "RACE003": 2,
+                         "XFER002": 1},
+    ("BFS", "HMPP"): {"COH003": 1, "COV-CRITICAL-SECTION": 1, "DATA002": 2,
+                      "DATA005": 1, "PERF002": 4, "RACE002": 1, "RACE003": 2,
+                      "XFER002": 1},
+    ("BFS", "OpenMPC"): {"PERF002": 4, "RACE002": 1, "RACE003": 2, "XFER002":
+                         3},
     ("BFS", "R-Stream"): {"COV-NON-AFFINE": 3, "RACE002": 1, "RACE003": 2},
-    ("HOTSPOT", "PGI Accelerator"): {"PERF005": 2},
-    ("HOTSPOT", "OpenACC"): {"PERF005": 2},
-    ("HOTSPOT", "HMPP"): {"PERF005": 2},
-    ("HOTSPOT", "OpenMPC"): {"PERF005": 2},
+    ("HOTSPOT", "PGI Accelerator"): {"PERF005": 2, "XFER002": 1},
+    ("HOTSPOT", "OpenACC"): {"PERF005": 2, "XFER002": 1},
+    ("HOTSPOT", "HMPP"): {"PERF005": 2, "XFER002": 1},
+    ("HOTSPOT", "OpenMPC"): {"PERF005": 2, "XFER002": 1},
     ("HOTSPOT", "R-Stream"): {"COV-NON-AFFINE": 2},
-    ("BACKPROP", "PGI Accelerator"): {"DATA002": 2, "PERF001": 5,
-                                      "PERF004": 7, "RACE002": 2},
-    ("BACKPROP", "OpenACC"): {"DATA002": 2, "PERF001": 5, "PERF004": 7},
-    ("BACKPROP", "HMPP"): {"DATA002": 2, "PERF001": 5, "PERF004": 7},
-    ("BACKPROP", "OpenMPC"): {"DATA003": 2, "PERF001": 1, "PERF004": 7},
-    ("BACKPROP", "R-Stream"): {"COV-POINTER-BASED-ALLOCATION": 5,
-                               "PERF004": 1},
-    ("KMEANS", "PGI Accelerator"): {"PERF001": 6, "PERF002": 1,
-                                    "PERF004": 5, "RACE002": 2},
+    ("BACKPROP", "PGI Accelerator"): {"DATA002": 2, "PERF001": 5, "PERF004": 7,
+                                      "RACE002": 2, "XFER002": 2},
+    ("BACKPROP", "OpenACC"): {"DATA002": 2, "PERF001": 5, "PERF004": 7,
+                              "XFER002": 2},
+    ("BACKPROP", "HMPP"): {"DATA002": 2, "PERF001": 5, "PERF004": 7, "XFER002":
+                           2},
+    ("BACKPROP", "OpenMPC"): {"DATA003": 2, "PERF001": 1, "PERF004": 7,
+                              "XFER002": 4, "XFER003": 2},
+    ("BACKPROP", "R-Stream"): {"COV-POINTER-BASED-ALLOCATION": 5, "PERF004": 1,
+                               "XFER003": 1},
+    ("KMEANS", "PGI Accelerator"): {"PERF001": 6, "PERF002": 1, "PERF004": 5,
+                                    "RACE002": 2, "XFER002": 2},
     ("KMEANS", "OpenACC"): {"PERF001": 6, "PERF002": 1, "PERF004": 5,
-                            "RACE002": 2},
-    ("KMEANS", "HMPP"): {"PERF001": 6, "PERF002": 1, "PERF004": 5,
-                         "RACE002": 2},
+                            "RACE002": 2, "XFER002": 2},
+    ("KMEANS", "HMPP"): {"PERF001": 6, "PERF002": 1, "PERF004": 5, "RACE002":
+                         2, "XFER002": 2},
     ("KMEANS", "OpenMPC"): {"DATA003": 2, "PERF001": 3, "PERF002": 3,
-                            "PERF004": 4, "RACE002": 4},
+                            "PERF004": 4, "RACE002": 4, "XFER002": 2, "XFER003":
+                            1},
     ("KMEANS", "R-Stream"): {"COV-NON-AFFINE": 3, "RACE002": 2},
     ("NW", "PGI Accelerator"): {"PERF001": 8, "PERF002": 1, "PERF004": 1,
                                 "PERF005": 2},
-    ("NW", "OpenACC"): {"PERF001": 8, "PERF002": 1, "PERF004": 1,
-                        "PERF005": 2},
-    ("NW", "HMPP"): {"PERF001": 8, "PERF002": 1, "PERF004": 1,
-                     "PERF005": 2},
-    ("NW", "OpenMPC"): {"PERF001": 7, "PERF002": 1, "PERF004": 1,
-                        "PERF005": 2},
-    ("NW", "R-Stream"): {"COV-NO-PROVABLE-PARALLELISM": 2,
-                         "COV-NON-AFFINE": 1},
+    ("NW", "OpenACC"): {"PERF001": 8, "PERF002": 1, "PERF004": 1, "PERF005":
+                        2},
+    ("NW", "HMPP"): {"PERF001": 8, "PERF002": 1, "PERF004": 1, "PERF005": 2},
+    ("NW", "OpenMPC"): {"PERF001": 7, "PERF002": 1, "PERF004": 1, "PERF005":
+                        2},
+    ("NW", "R-Stream"): {"COV-NO-PROVABLE-PARALLELISM": 2, "COV-NON-AFFINE":
+                         1},
     ("LUD", "PGI Accelerator"): {"PERF001": 5, "PERF004": 3, "PERF005": 1,
                                  "RACE002": 1, "RACE003": 3},
-    ("LUD", "OpenACC"): {"PERF001": 5, "PERF004": 3, "PERF005": 1,
-                         "RACE003": 3},
-    ("LUD", "HMPP"): {"PERF001": 5, "PERF004": 3, "PERF005": 1,
-                      "RACE003": 3},
-    ("LUD", "OpenMPC"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
-                         "RACE003": 2},
+    ("LUD", "OpenACC"): {"PERF001": 5, "PERF004": 3, "PERF005": 1, "RACE003":
+                         3},
+    ("LUD", "HMPP"): {"PERF001": 5, "PERF004": 3, "PERF005": 1, "RACE003": 3},
+    ("LUD", "OpenMPC"): {"PERF001": 2, "PERF004": 3, "PERF005": 1, "RACE003":
+                         2},
     ("LUD", "R-Stream"): {"COV-NON-AFFINE": 4, "RACE003": 2},
 }
 

@@ -168,6 +168,136 @@ class TestExecutorAlgebra:
                                              abs=1e-9)
 
 
+# -- dataflow solver -------------------------------------------------------
+
+_DF_SYMS = "abcd"
+
+
+@st.composite
+def dataflow_problems(draw):
+    """A random CFG (chain spine + arbitrary extra/back edges, so every
+    node is reachable) with random gen/kill sets per node."""
+    from repro.ir.analysis.dataflow import BACKWARD, FORWARD, Cfg
+
+    n = draw(st.integers(min_value=1, max_value=7))
+    nodes = tuple(range(n))
+    extra = draw(st.lists(
+        st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+        max_size=12))
+    cfg = Cfg(nodes, [(i, i + 1) for i in range(n - 1)] + extra)
+    syms = st.frozensets(st.sampled_from(_DF_SYMS))
+    gen = {i: draw(syms) for i in nodes}
+    kill = {i: draw(syms) for i in nodes}
+    direction = draw(st.sampled_from([FORWARD, BACKWARD]))
+    boundary = draw(syms)
+    return cfg, gen, kill, direction, boundary
+
+
+def _df_analysis(gen, kill, direction, boundary):
+    from repro.ir.analysis.dataflow import may_analysis
+
+    def transfer(node, state):
+        return (state - kill[node]) | gen[node]
+
+    return may_analysis(direction, transfer, boundary=boundary)
+
+
+class TestDataflowSolver:
+    """The fixpoint solver on random CFGs (including cyclic ones):
+    termination, the fixpoint property, visit-order independence, and
+    monotonicity of the concrete transfer steps the analyses use."""
+
+    @given(dataflow_problems())
+    @settings(max_examples=80, deadline=None)
+    def test_terminates_at_a_fixpoint(self, problem):
+        from repro.ir.analysis.dataflow import solve
+
+        cfg, gen, kill, direction, boundary = problem
+        an = _df_analysis(gen, kill, direction, boundary)
+        sol = solve(cfg, an)  # must not raise the step-limit error
+        assert sol.iterations <= 64 * len(cfg.nodes) ** 2 + 64
+        # a genuine fixpoint: every out-state is its in-state transferred
+        for node in cfg.nodes:
+            assert sol.out_states[node] == an.transfer(
+                node, sol.in_states[node])
+
+    @given(dataflow_problems(), st.randoms(use_true_random=False))
+    @settings(max_examples=60, deadline=None)
+    def test_fixpoint_independent_of_visit_order(self, problem, rng):
+        from repro.ir.analysis.dataflow import solve
+
+        cfg, gen, kill, direction, boundary = problem
+        an = _df_analysis(gen, kill, direction, boundary)
+        reference = solve(cfg, an)
+        order = list(cfg.nodes)
+        rng.shuffle(order)
+        shuffled = solve(cfg, an, order=order)
+        assert shuffled.in_states == reference.in_states
+        assert shuffled.out_states == reference.out_states
+
+    @given(dataflow_problems(),
+           st.frozensets(st.sampled_from(_DF_SYMS)),
+           st.frozensets(st.sampled_from(_DF_SYMS)))
+    @settings(max_examples=60, deadline=None)
+    def test_genkill_transfer_is_monotone(self, problem, small, extra):
+        cfg, gen, kill, direction, boundary = problem
+        an = _df_analysis(gen, kill, direction, boundary)
+        large = small | extra
+        for node in cfg.nodes:
+            assert an.transfer(node, small) <= an.transfer(node, large)
+
+    @given(st.lists(st.tuples(
+        st.sampled_from(["htod", "dtoh", "alloc", "dev_read", "dev_write",
+                         "host_read", "host_write"]),
+        st.sampled_from(["x", "y"])), max_size=8),
+        st.dictionaries(st.sampled_from(["x", "y"]),
+                        st.tuples(st.booleans(), st.booleans())),
+        st.dictionaries(st.sampled_from(["x", "y"]),
+                        st.tuples(st.booleans(), st.booleans())))
+    @settings(max_examples=80, deadline=None)
+    def test_coherence_step_is_monotone(self, events, state, lower):
+        """If s1 ≤ s2 in the validity lattice (False ≤ True pointwise,
+        missing = top), applying the same event sequence preserves ≤ —
+        the property that makes the must-analysis fixpoint unique."""
+        from repro.dataflow.cfg import Event
+        from repro.dataflow.coherence import apply_event
+        from repro.ir.analysis.dataflow import pointwise_meet
+
+        def leq(s1, s2):
+            for key in set(s1) | set(s2):
+                f1 = s1.get(key, (True, True))
+                f2 = s2.get(key, (True, True))
+                if any(a and not b for a, b in zip(f1, f2)):
+                    return False
+            return True
+
+        s_high = dict(state)
+        s_low = pointwise_meet(state, lower)  # ≤ state by construction
+        assume(leq(s_low, s_high))
+        for kind, array in events:
+            ev = Event(kind, array, "invocation")
+            apply_event(s_low, ev)
+            apply_event(s_high, ev)
+            assert leq(s_low, s_high)
+
+    @given(st.lists(st.tuples(
+        st.sampled_from(["htod", "dtoh", "alloc", "dev_read", "dev_write"]),
+        st.sampled_from(["x", "y"])), max_size=8),
+        st.frozensets(st.sampled_from(["x", "y"])),
+        st.frozensets(st.sampled_from(["x", "y"])))
+    @settings(max_examples=60, deadline=None)
+    def test_liveness_step_is_monotone(self, events, small, extra):
+        from repro.dataflow.cfg import Event
+        from repro.dataflow.live import step_live_device
+
+        lo, hi = set(small), set(small | extra)
+        for kind, array in events:
+            ev = Event(kind, array, "invocation")
+            step_live_device(lo, ev)
+            step_live_device(hi, ev)
+            assert lo <= hi
+
+
 # -- artifact-store concurrency -------------------------------------------
 
 _STORE_BENCHES = ("jacobi", "ep", "spmul")
