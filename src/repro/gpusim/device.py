@@ -52,6 +52,20 @@ class DeviceSpec:
 
     #: cache behaviour knobs for the analytical model
     l2_bytes: int = 768 * 1024
+    #: cache geometry for the set-associative replay model
+    #: (:mod:`repro.gpusim.cache`).  Fermi: 16 KiB L1 (48 KiB smem
+    #: split), 4-way; 768 KiB unified L2, 16-way; both 128 B lines
+    #: (= ``transaction_bytes``).  These ride outside ``config_hash``
+    #: at their defaults so pre-existing baselines stay valid.
+    l1_bytes: int = field(
+        default=16 * 1024, metadata={"hash_default_exempt": True})
+    l1_assoc: int = field(
+        default=4, metadata={"hash_default_exempt": True})
+    l2_assoc: int = field(
+        default=16, metadata={"hash_default_exempt": True})
+    #: L2-hit bandwidth advantage over DRAM (Fermi L2 is ~3x faster)
+    l2_bandwidth_ratio: float = field(
+        default=3.0, metadata={"hash_default_exempt": True})
     constant_cache_hit_rate: float = 0.98
     texture_cache_hit_rate: float = 0.85
     #: fraction of indirect-access transactions that hit in L2/texture

@@ -76,6 +76,11 @@ class KernelExecutor:
         self.functions = dict(functions or {})
         self.mask_stack: list[Optional[np.ndarray]] = [None]
         self.T = 0
+        #: set once any loop with thread-dependent bounds executes
+        #: (CSR-style masked iteration) — memory traces recorded under
+        #: it undercount real per-warp issue width (see
+        #: :mod:`repro.gpusim.trace`)
+        self.data_dependent = False
 
     # -- mask helpers ---------------------------------------------------
     @property
@@ -476,6 +481,7 @@ class KernelExecutor:
                 self.env[stmt.var] = k
                 self._exec(stmt.body)
             return
+        self.data_dependent = True
         lo_v = np.broadcast_to(np.asarray(lo), (self.T,))
         hi_v = np.broadcast_to(np.asarray(hi), (self.T,))
         start = int(lo_v.min(initial=0))
@@ -507,6 +513,7 @@ class KernelExecutor:
                 alive = cond if base is None else (cond & base)
                 if not alive.any():
                     return
+                self.data_dependent = True
                 self._push_mask(cond.astype(bool))
                 try:
                     self._exec(stmt.body)

@@ -43,6 +43,13 @@ class TimingConfig:
     model_special_memories: bool = True
     model_tiling_reuse: bool = True
     model_divergence: bool = True
+    #: opt-in: derate memory time by the statically predicted L2 hit
+    #: rate (hits stream at ``l2_bandwidth_ratio`` x DRAM bandwidth).
+    #: Off by default — the Figure-1 baseline was recorded without it —
+    #: and exempt from ``config_hash`` at the default so enabling it
+    #: flags a config mismatch while leaving old baselines valid.
+    model_cache_hierarchy: bool = field(
+        default=False, metadata={"hash_default_exempt": True})
 
 
 @dataclass
@@ -58,12 +65,46 @@ class KernelTiming:
     dram_bytes: float
     flops: float
     bound: str  # "memory" | "compute"
+    #: statically predicted L2 hit rate; only non-zero when the
+    #: ``model_cache_hierarchy`` ablation term is enabled
+    l2_hit_rate: float = 0.0
 
     def summary(self) -> str:
         return (f"{self.name}: {self.time_s * 1e3:.3f} ms "
                 f"({self.bound}-bound, occ={self.occupancy:.2f}, "
                 f"{self.dram_bytes / 1e6:.1f} MB DRAM, "
                 f"{self.flops / 1e6:.1f} MFLOP)")
+
+
+def _static_l2_hit_rate(desc: KernelDescriptor, spec: DeviceSpec,
+                        elem: int, warps: int) -> float:
+    """Descriptor-level L2 hit estimate: captured cross-reference reuse.
+
+    Per array, one full traversal's transaction bytes are compulsory
+    (DRAM); bytes beyond that — repeated references, sequential-loop
+    re-reads — hit in L2 *iff* the traversal footprint fits in L2.
+    This is the coarse, descriptor-only twin of the per-reference
+    prediction in :mod:`repro.ir.analysis.reuse` (which needs the
+    kernel body); both use the same fits-in-cache reload rule.
+    """
+    per_array_total: dict[str, float] = {}
+    per_array_once: dict[str, float] = {}
+    for ref, count in desc.access.refs:
+        txns = transactions_per_warp(ref, elem, spec)
+        traversal = txns * spec.transaction_bytes * warps
+        per_array_total[ref.array] = (per_array_total.get(ref.array, 0.0)
+                                      + traversal * count)
+        per_array_once[ref.array] = max(
+            per_array_once.get(ref.array, 0.0), traversal)
+    total = sum(per_array_total.values())
+    if total <= 0:
+        return 0.0
+    hit_bytes = 0.0
+    for array, tot in per_array_total.items():
+        once = min(per_array_once[array], tot)
+        if once <= spec.l2_bytes:
+            hit_bytes += tot - once
+    return min(1.0, max(0.0, hit_bytes / total))
 
 
 def price_kernel(desc: KernelDescriptor, spec: DeviceSpec,
@@ -108,6 +149,12 @@ def price_kernel(desc: KernelDescriptor, spec: DeviceSpec,
     if config.model_divergence:
         # divergent warps issue fewer concurrent memory requests
         bw *= max(0.3, 1.0 - 0.4 * desc.divergence)
+    l2_hit = 0.0
+    if config.model_cache_hierarchy:
+        l2_hit = _static_l2_hit_rate(desc, spec, elem, warps)
+        if l2_hit > 0.0 and spec.l2_bandwidth_ratio > 0:
+            # average cost/byte: misses at DRAM bw, hits at L2 bw
+            bw /= (1.0 - l2_hit) + l2_hit / spec.l2_bandwidth_ratio
     t_memory = dram_bytes / bw if bw > 0 else float("inf")
 
     flops = desc.flops_per_thread * desc.total_threads
@@ -124,7 +171,8 @@ def price_kernel(desc: KernelDescriptor, spec: DeviceSpec,
         name=desc.name, time_s=total, compute_s=t_compute,
         memory_s=t_memory, launch_s=launch, occupancy=occ.occupancy,
         dram_bytes=dram_bytes, flops=flops,
-        bound="memory" if t_memory >= t_compute else "compute")
+        bound="memory" if t_memory >= t_compute else "compute",
+        l2_hit_rate=l2_hit)
 
 
 def price_transfer(nbytes: int, spec: DeviceSpec) -> float:

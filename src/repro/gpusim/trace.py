@@ -17,7 +17,12 @@ union of the lanes' ranges with a validity mask, so any single recorded
 event carries only the lanes whose local iteration happens to coincide
 — far fewer than a real warp issues together.  Dynamic transaction
 counts for such kernels are therefore a *lower bound*; the static model
-intentionally charges the locality-blended expectation instead.
+intentionally charges the locality-blended expectation instead.  Every
+trace/audit result carries that caveat machine-readably as ``exact:
+bool`` — ``False`` as soon as any thread-dependent loop executed — so
+downstream consumers (the cache replay in :mod:`repro.gpusim.cache`,
+the CACHE lint rules) report such kernels as approximate/lower-bound
+instead of silently exact.
 """
 
 from __future__ import annotations
@@ -53,6 +58,10 @@ class MemoryTrace:
 
     def __init__(self) -> None:
         self.events: list[AccessEvent] = []
+        #: ``False`` once any event was recorded by an executor that hit
+        #: a data-dependent (thread-dependent-bounds) loop: per-warp
+        #: groupings in this trace are then lower bounds, not exact
+        self.exact = True
 
     def record(self, array: str, is_store: bool, lanes: np.ndarray,
                lane_ids: np.ndarray) -> None:
@@ -137,6 +146,8 @@ class TracingExecutor(KernelExecutor):
             if self.mask is not None:
                 flat = flat[self.mask]
             self.trace.record(ref.name, False, flat, lane_ids)
+            if self.data_dependent:
+                self.trace.exact = False
         return value
 
     def _store(self, ref: ArrayRef, value, op) -> None:
@@ -148,6 +159,8 @@ class TracingExecutor(KernelExecutor):
             if self.mask is not None:
                 flat = flat[self.mask]
             self.trace.record(ref.name, True, flat, lane_ids)
+            if self.data_dependent:
+                self.trace.exact = False
         super()._store(ref, value, op)
 
 
@@ -158,6 +171,9 @@ class AuditRow:
     array: str
     static_txns: float
     dynamic_txns: float
+    #: ``False`` when the kernel ran data-dependent loops — the dynamic
+    #: count is then a lower bound, not ground truth
+    exact: bool = True
 
     @property
     def ratio(self) -> float:
@@ -203,7 +219,7 @@ def audit_kernel(kernel: Kernel, arrays: Mapping[str, np.ndarray],
         else:
             stat = 0.0
         rows[array] = AuditRow(array=array, static_txns=stat,
-                               dynamic_txns=dyn)
+                               dynamic_txns=dyn, exact=trace.exact)
     return rows
 
 
@@ -214,4 +230,7 @@ def render_audit(rows: Mapping[str, AuditRow]) -> str:
     for row in rows.values():
         lines.append(f"{row.array:<12}{row.static_txns:>16.2f}"
                      f"{row.dynamic_txns:>10.2f}{row.ratio:>15.2f}")
+    if any(not row.exact for row in rows.values()):
+        lines.append("(data-dependent kernel: traced counts are lower "
+                     "bounds, not exact)")
     return "\n".join(lines)

@@ -12,7 +12,12 @@ Subcommands regenerate the paper's evaluation artifacts:
   gate CI);
 * ``xfer [BENCH MODEL]`` — the whole-program transfer coherence
   analysis: a dataflow verdict per transfer (``--all`` for the
-  per-model rollup; exits 2 on any COH stale-read error);
+  per-model rollup; exits 2 on any COH stale-read error, ``--fail-on``
+  gates the remaining findings);
+* ``locality [BENCH MODEL]`` — the cache-locality suite: replayed
+  L1/L2 miss ratios and MAP locality metrics next to the static reuse
+  analyzer's predictions (``--all`` for the per-model rollup,
+  ``--fail-on`` gates on the CACHE lint family);
 * ``tv [BENCH MODEL]`` — the translation validator: equivalence
   certificates per lowered region (``--all`` for the suite matrix;
   exits 1 on any REFUTED certificate);
@@ -72,6 +77,27 @@ def _jobs(args: argparse.Namespace) -> int:
     if jobs < 1:
         raise UsageError(f"--jobs must be >= 1 (got {jobs})")
     return jobs
+
+
+def _fail_on_gate(fail_on: str | None,
+                  items: list[tuple[str, str, str, str]]) -> int:
+    """The shared ``--fail-on`` gate for analysis subcommands.
+
+    ``items`` are ``(where, rule, severity, message)`` rows with
+    severity one of ``info``/``warning``/``error``.  Prints the rows at
+    or above the threshold and returns 1 when any exist, else 0.
+    """
+    if fail_on is None:
+        return 0
+    order = {"info": 0, "warning": 1, "error": 2}
+    threshold = order[fail_on]
+    over = [it for it in items if order.get(it[2], 0) >= threshold]
+    if not over:
+        return 0
+    print(f"\nFindings at or above {fail_on}:")
+    for where, rule, sev, msg in over:
+        print(f"  {where}: {rule} {sev} {msg}")
+    return 1
 
 
 def _require_port_args(cmd: str, args: argparse.Namespace) -> None:
@@ -315,7 +341,64 @@ def _cmd_xfer(args: argparse.Namespace) -> int:
         # a COH error means the port's transfer discipline itself is
         # unsound, not merely a gated finding — exit 2 like a usage error
         return 2
-    return 0
+    return _fail_on_gate(args.fail_on, [
+        (f"{rec.benchmark}/{rec.model}", p.rule, p.severity, p.message)
+        for rec in records for p in rec.analysis.problems])
+
+
+def _cmd_locality(args: argparse.Namespace) -> int:
+    from repro.gpusim.locality import locality_port, locality_suite
+
+    if args.all_ports:
+        records = locality_suite(scale=args.scale, jobs=_jobs(args))
+    else:
+        _require_port_args("locality", args)
+        records = [_resolve_port("locality", locality_port, args.benchmark,
+                                 args.model, variant=args.variant,
+                                 scale=args.scale)]
+    if args.json:
+        print(json.dumps([rec.to_dict() for rec in records], indent=2))
+    elif args.all_ports:
+        from repro.metrics.cachestats import (cache_rollup,
+                                              render_cache_rollup)
+        print(render_cache_rollup(cache_rollup(records)))
+    else:
+        rec = records[0]
+        header = f"{rec.benchmark} / {rec.model} ({rec.variant})"
+        print(header)
+        print("-" * len(header))
+        for kl in rec.kernels:
+            sim, stat = kl.simulated, kl.static
+            approx = "" if sim.exact else "  (approximate: indirect)"
+            print(f"{kl.region}:{kl.kernel}{approx}")
+            print(f"  simulated  L1 {sim.l1.miss_ratio:6.3f}  "
+                  f"L2 {sim.l2.miss_ratio:6.3f}  "
+                  f"spatial {sim.spatial_locality:.3f}  "
+                  f"temporal {sim.temporal_locality:.3f}  "
+                  f"shortMRI {sim.short_mri_fraction:.3f}")
+            print(f"  static     L1 {stat.l1_miss_ratio:6.3f}  "
+                  f"L2 {stat.l2_miss_ratio:6.3f}  "
+                  f"({len(stat.pairs)} reuse pairs, "
+                  f"{len(stat.working_sets)} loop working sets)")
+    if args.fail_on is None:
+        return 0
+    # the gate reruns only the CACHE family of the verifier over the
+    # same (memoized) compilations the locality records came from
+    from repro.lint.engine import run_lint
+    from repro.models.cache import compile_port
+    items: list[tuple[str, str, str, str]] = []
+    if args.all_ports:
+        pairs = [(b, m, None) for b in BENCHMARK_ORDER for m in ALL_MODELS]
+    else:
+        pairs = [(args.benchmark, args.model, args.variant)]
+    for bench_name, model, variant in pairs:
+        port, compiled, _chosen = _resolve_port(
+            "locality", compile_port, bench_name, model, variant)
+        report = run_lint(port.program, compiled, families=("CACHE",))
+        items.extend((f"{bench_name}/{compiled.model}", f.rule,
+                      str(f.severity), f.message)
+                     for f in report.findings)
+    return _fail_on_gate(args.fail_on, items)
 
 
 def _cmd_tv(args: argparse.Namespace) -> int:
@@ -608,8 +691,39 @@ def main(argv: list[str] | None = None) -> int:
     p_x.add_argument("--all", action="store_true", dest="all_ports",
                      help="analyze every benchmark x model pair and print "
                           "the per-model verdict rollup")
+    p_x.add_argument("--fail-on", dest="fail_on", default=None,
+                     choices=("error", "warning"),
+                     help="exit 1 if any XFER/COH finding is at/above "
+                          "this severity (COH errors still exit 2)")
     _add_jobs(p_x)
     p_x.set_defaults(func=_cmd_xfer)
+
+    p_loc = sub.add_parser(
+        "locality", help="cache-locality suite: replayed L1/L2 metrics "
+                         "side by side with the static reuse analyzer's "
+                         "predictions for one port, or the per-model "
+                         "rollup with --all")
+    p_loc.add_argument("benchmark", nargs="?", default=None,
+                       help="benchmark name (e.g. jacobi)")
+    p_loc.add_argument("model", nargs="?", default=None,
+                       help="model name or alias (e.g. openacc)")
+    p_loc.add_argument("--variant", default=None,
+                       help="port variant (default: the model's best)")
+    p_loc.add_argument("--scale", default="test",
+                       choices=("test", "paper"),
+                       help="workload scale used for the trace replay")
+    p_loc.add_argument("--json", action="store_true",
+                       help="machine-readable per-kernel reports")
+    p_loc.add_argument("--all", action="store_true", dest="all_ports",
+                       help="analyze every benchmark x model pair "
+                            "(all six models) and print the per-model "
+                            "cache rollup")
+    p_loc.add_argument("--fail-on", dest="fail_on", default=None,
+                       choices=("error", "warning"),
+                       help="exit 1 if the CACHE lint family reports a "
+                            "finding at/above this severity")
+    _add_jobs(p_loc)
+    p_loc.set_defaults(func=_cmd_locality)
 
     p_tv = sub.add_parser(
         "tv", help="translation validator: equivalence certificates for "

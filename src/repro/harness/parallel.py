@@ -211,6 +211,14 @@ def _run_xfer_unit(unit: WorkUnit, ctx: SweepContext):
                      scale=ctx.scale)
 
 
+@_unit_runner("locality")
+def _run_locality_unit(unit: WorkUnit, ctx: SweepContext):
+    from repro.gpusim.locality import locality_port
+
+    return locality_port(unit.bench, unit.model, unit.variant or None,
+                         scale=ctx.scale)
+
+
 @_unit_runner("tv")
 def _run_tv_unit(unit: WorkUnit, ctx: SweepContext):
     from repro.tv import validate_port

@@ -9,7 +9,7 @@ the substitution for inlinable callees; non-inlinable callees raise.
 
 from __future__ import annotations
 
-from typing import Mapping
+from typing import Mapping, Optional
 
 from repro.errors import TransformError
 from repro.ir.expr import ArrayRef, Expr, Var
@@ -88,15 +88,24 @@ class _Inliner(StmtTransformer):
         return super().generic_visit_stmt(stmt)
 
 
-def inline_calls(body: Stmt, program: Program,
-                 require_inlinable: bool = True) -> tuple[Stmt, list[str]]:
+def inline_calls(body: Stmt, program: Optional[Program] = None,
+                 require_inlinable: bool = True,
+                 functions: Optional[Mapping[str, Function]] = None
+                 ) -> tuple[Stmt, list[str]]:
     """Inline all user calls under ``body``.
 
-    Returns the rewritten body and the list of inlined callee names.
-    Raises :class:`TransformError` when a callee is unknown, returns a
-    value, or (when ``require_inlinable``) is marked non-inlinable.
+    Callees resolve from ``program.functions``, or from a bare
+    ``functions`` mapping when no whole program is at hand (the reuse
+    analyzer sees kernels, not programs).  Returns the rewritten body
+    and the list of inlined callee names.  Raises
+    :class:`TransformError` when a callee is unknown, returns a value,
+    or (when ``require_inlinable``) is marked non-inlinable.
     """
-    inliner = _Inliner(program.functions, require_inlinable)
+    if functions is None:
+        if program is None:
+            raise TransformError("inline_calls needs program or functions")
+        functions = program.functions
+    inliner = _Inliner(functions, require_inlinable)
     root = body if isinstance(body, Block) else Block([body])
     rewritten = inliner.visit_Block(root)
     return rewritten, inliner.inlined

@@ -151,7 +151,8 @@ def run_lint(program: Program, compiled: Optional[CompiledProgram] = None,
     """
     # Importing the rule modules registers them; deferred to avoid
     # import cycles (rules import analysis + models machinery).
-    from repro.lint import bounds, data, perf, race, tv, xfer  # noqa: F401
+    from repro.lint import (bounds, cache, data, perf, race, tv,  # noqa: F401
+                            xfer)
 
     ctx = LintContext(program=program, compiled=compiled, device=device)
     wanted = tuple(families) if families is not None else None

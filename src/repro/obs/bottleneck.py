@@ -14,6 +14,14 @@ mechanically, from the timing components and the simulated counters:
     (latency hiding < 0.5): too few resident warps or too few blocks —
     the HOTSPOT "not enough threads" story.  Dominant counter: achieved
     occupancy plus its limiter.
+``cache``
+    the memory term dominates, latency is hidden, and a locality
+    replay (:func:`repro.obs.counters.with_cache_metrics`) shows the
+    launch *has* reuse (spatial or temporal locality degree >= 0.5)
+    that the L1/L2 hierarchy fails to capture (L1 miss ratio >= 0.5):
+    the working set thrashes the cache rather than missing for volume.
+    Only reachable when cache metrics were attached — untraced
+    profiles classify exactly as before.
 ``compute``
     the compute term dominates.  Dominant counter: branch divergence
     when SIMT serialization is significant, otherwise raw flops.
@@ -43,12 +51,21 @@ DIVERGENCE_THRESHOLD = 0.3
 #: efficiency itself (the access pattern, not the data volume)
 EFFICIENCY_THRESHOLD = 0.5
 
+#: replayed L1 miss ratio at/above which a memory-bound launch with
+#: demonstrated reuse is charged to the cache hierarchy
+CACHE_MISS_THRESHOLD = 0.5
+
+#: locality degree (spatial or temporal) a launch must show before a
+#: high miss ratio counts as *thrashing* — streaming kernels with no
+#: reuse miss by construction and stay memory-bound
+CACHE_LOCALITY_THRESHOLD = 0.5
+
 
 @dataclass(frozen=True)
 class Bottleneck:
     """One kernel's attribution: the bound and the counter that names it."""
 
-    kind: str            # "memory" | "latency" | "compute" | "transfer"
+    kind: str    # "memory" | "latency" | "cache" | "compute" | "transfer"
     dominant_counter: str
     detail: str
 
@@ -67,6 +84,17 @@ def classify_kernel(timing: KernelTiming,
                 detail=(f"{counters.achieved_occupancy:.2f} "
                         f"(limited by {counters.occupancy_limiter}, "
                         f"hiding {counters.latency_hiding:.2f} of latency)"))
+        if counters.l1_miss_ratio is not None:
+            locality = max(counters.spatial_locality or 0.0,
+                           counters.temporal_locality or 0.0)
+            if (counters.l1_miss_ratio >= CACHE_MISS_THRESHOLD
+                    and locality >= CACHE_LOCALITY_THRESHOLD):
+                return Bottleneck(
+                    kind="cache", dominant_counter="l1_miss_ratio",
+                    detail=(f"{counters.l1_miss_ratio:.2f} L1 miss "
+                            f"ratio despite locality degree "
+                            f"{locality:.2f} "
+                            f"(L2 {counters.l2_miss_ratio:.2f})"))
         if counters.gld_transactions >= counters.gst_transactions:
             side, eff = "gld", counters.gld_efficiency
         else:

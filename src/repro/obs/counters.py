@@ -29,13 +29,22 @@ Counter definitions (see ``docs/observability.md`` for the derivations):
 ``achieved_occupancy`` / ``occupancy_limiter``
     resident-warp ratio and the resource that capped it
     ("threads" | "blocks" | "smem" | "regs" | "grid").
+
+The cache-metric fields (``l1_miss_ratio`` .. ``aliasing_density``) are
+``None`` unless a locality replay (:mod:`repro.gpusim.locality`) was
+attached with :func:`with_cache_metrics` — the timing model does not
+trace by default, and ``None`` keeps every downstream consumer (and the
+bottleneck classifier) on its pre-cache behavior.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.gpusim.cache import CacheReport
 
 from repro.gpusim.coalescing import transactions_per_warp
 from repro.gpusim.device import TESLA_M2090, DeviceSpec
@@ -66,8 +75,26 @@ class KernelCounters:
     warps: int
     flops: float
     dram_bytes: float
+    # replayed cache metrics — present only when a locality trace was
+    # attached (with_cache_metrics); None means "not measured"
+    l1_miss_ratio: Optional[float] = None
+    l2_miss_ratio: Optional[float] = None
+    spatial_locality: Optional[float] = None
+    temporal_locality: Optional[float] = None
+    short_mri_fraction: Optional[float] = None
+    cache_utilization: Optional[float] = None
+    aliasing_density: Optional[float] = None
 
     def to_dict(self) -> dict:
+        cache = {name: round(value, 4) for name, value in (
+            ("l1_miss_ratio", self.l1_miss_ratio),
+            ("l2_miss_ratio", self.l2_miss_ratio),
+            ("spatial_locality", self.spatial_locality),
+            ("temporal_locality", self.temporal_locality),
+            ("short_mri_fraction", self.short_mri_fraction),
+            ("cache_utilization", self.cache_utilization),
+            ("aliasing_density", self.aliasing_density),
+        ) if value is not None}
         return {
             "gld_transactions": round(self.gld_transactions, 3),
             "gst_transactions": round(self.gst_transactions, 3),
@@ -83,6 +110,7 @@ class KernelCounters:
             "warps": self.warps,
             "flops": round(self.flops, 1),
             "dram_bytes": round(self.dram_bytes, 1),
+            **cache,
         }
 
 
@@ -149,6 +177,28 @@ def derive_counters(desc: KernelDescriptor,
         warps=warps,
         flops=desc.flops_per_thread * desc.total_threads,
         dram_bytes=dram_bytes,
+    )
+
+
+def with_cache_metrics(counters: KernelCounters,
+                       report: "CacheReport") -> KernelCounters:
+    """Attach replayed L1/L2 metrics from a locality trace.
+
+    ``report`` is the :class:`~repro.gpusim.cache.CacheReport` the
+    vectorized replay produced for the *same launch* ``counters``
+    describes.  Returns a copy with the optional cache fields filled;
+    the originals stay ``None`` so untraced profiles are unchanged.
+    """
+    from dataclasses import replace
+    return replace(
+        counters,
+        l1_miss_ratio=report.l1.miss_ratio,
+        l2_miss_ratio=report.l2.miss_ratio,
+        spatial_locality=report.spatial_locality,
+        temporal_locality=report.temporal_locality,
+        short_mri_fraction=report.short_mri_fraction,
+        cache_utilization=report.l1.cache_utilization,
+        aliasing_density=report.l1.aliasing_density,
     )
 
 

@@ -30,7 +30,8 @@ import contextvars
 import hashlib
 import json
 import time
-from dataclasses import asdict, dataclass, field, is_dataclass
+from dataclasses import (MISSING, asdict, dataclass, field,
+                         fields as dataclass_fields, is_dataclass)
 from typing import Any, Iterator, Mapping, Optional, Sequence
 
 #: the ambient tracer; ``None`` disables all instrumentation
@@ -107,10 +108,30 @@ def config_hash(*objects: Any) -> str:
 
     The baseline gate compares this hash to detect "same numbers but a
     different device/timing configuration" mismatches.
+
+    Fields declared with ``metadata={"hash_default_exempt": True}`` are
+    omitted from the hash *while they hold their declared default*.
+    That lets a config dataclass grow new knobs without invalidating
+    baselines recorded before the knob existed — turning the knob on
+    still changes the hash, exactly as a config mismatch should.
     """
+    def field_default(f) -> Any:
+        if f.default is not MISSING:
+            return f.default
+        if f.default_factory is not MISSING:  # type: ignore[misc]
+            return f.default_factory()  # type: ignore[misc]
+        return MISSING
+
     def plain(obj: Any) -> Any:
         if is_dataclass(obj) and not isinstance(obj, type):
-            return asdict(obj)
+            out: dict[str, Any] = {}
+            for f in dataclass_fields(obj):
+                value = getattr(obj, f.name)
+                if f.metadata.get("hash_default_exempt") \
+                        and value == field_default(f):
+                    continue
+                out[f.name] = plain(value)
+            return out
         if isinstance(obj, Mapping):
             return {str(k): plain(v) for k, v in obj.items()}
         return obj

@@ -16,112 +16,129 @@ from repro.lint import Severity, lint_suite
 from repro.metrics.lintstats import lint_density, render_lint_density
 
 SNAPSHOT = {
-    ("JACOBI", "PGI Accelerator"): {"PERF005": 1, "XFER002": 1},
-    ("JACOBI", "OpenACC"): {"PERF005": 1, "XFER002": 1},
-    ("JACOBI", "HMPP"): {"PERF005": 1, "XFER002": 1},
-    ("JACOBI", "OpenMPC"): {"PERF005": 1, "XFER002": 1},
-    ("JACOBI", "R-Stream"): {"XFER002": 1},
+    ("JACOBI", "PGI Accelerator"): {"CACHE001": 3, "PERF005": 1, "XFER002": 1},
+    ("JACOBI", "OpenACC"): {"CACHE001": 3, "PERF005": 1, "XFER002": 1},
+    ("JACOBI", "HMPP"): {"CACHE001": 3, "PERF005": 1, "XFER002": 1},
+    ("JACOBI", "OpenMPC"): {"CACHE001": 3, "PERF005": 1, "XFER002": 1},
+    ("JACOBI", "R-Stream"): {"CACHE001": 1, "XFER002": 1},
     ("EP", "PGI Accelerator"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
-                                "RACE002": 3, "XFER004": 3},
+     "RACE002": 3, "XFER004": 3},
     ("EP", "OpenACC"): {"PERF001": 2, "PERF004": 3, "PERF005": 1, "RACE002": 3,
-                        "XFER004": 3},
+     "XFER004": 3},
     ("EP", "HMPP"): {"PERF001": 2, "PERF004": 3, "PERF005": 1, "RACE002": 3,
-                     "XFER004": 3},
+     "XFER004": 3},
     ("EP", "OpenMPC"): {"PERF004": 3, "RACE002": 3},
     ("EP", "R-Stream"): {"COV-NON-AFFINE": 1, "RACE002": 3},
-    ("SPMUL", "PGI Accelerator"): {"PERF002": 3, "PERF004": 2, "RACE002": 1,
-                                   "XFER002": 1},
-    ("SPMUL", "OpenACC"): {"PERF002": 3, "PERF004": 2, "XFER002": 1},
-    ("SPMUL", "HMPP"): {"PERF002": 3, "PERF004": 2, "XFER002": 1},
-    ("SPMUL", "OpenMPC"): {"DATA003": 1, "PERF002": 1, "PERF004": 2, "XFER002":
-                           1, "XFER003": 1},
+    ("SPMUL", "PGI Accelerator"): {"CACHE001": 3, "PERF002": 3, "PERF004": 2,
+     "RACE002": 1, "XFER002": 1},
+    ("SPMUL", "OpenACC"): {"CACHE001": 3, "PERF002": 3, "PERF004": 2,
+     "XFER002": 1},
+    ("SPMUL", "HMPP"): {"CACHE001": 3, "PERF002": 3, "PERF004": 2,
+     "XFER002": 1},
+    ("SPMUL", "OpenMPC"): {"CACHE001": 3, "DATA003": 1, "PERF002": 1,
+     "PERF004": 2, "XFER002": 1, "XFER003": 1},
     ("SPMUL", "R-Stream"): {"COV-NON-AFFINE": 1, "PERF004": 2, "XFER001": 5},
-    ("CG", "PGI Accelerator"): {"PERF002": 6, "PERF004": 9, "RACE002": 5,
-                                "XFER002": 1},
-    ("CG", "OpenACC"): {"PERF002": 6, "PERF004": 9, "XFER002": 1},
-    ("CG", "HMPP"): {"PERF002": 6, "PERF004": 9, "XFER002": 1},
-    ("CG", "OpenMPC"): {"DATA003": 1, "PERF002": 2, "PERF004": 9, "XFER002": 1,
-                        "XFER003": 1},
+    ("CG", "PGI Accelerator"): {"CACHE001": 6, "PERF002": 6, "PERF004": 9,
+     "RACE002": 5, "XFER002": 1},
+    ("CG", "OpenACC"): {"CACHE001": 6, "PERF002": 6, "PERF004": 9,
+     "XFER002": 1},
+    ("CG", "HMPP"): {"CACHE001": 6, "PERF002": 6, "PERF004": 9, "XFER002": 1},
+    ("CG", "OpenMPC"): {"CACHE001": 6, "DATA003": 1, "PERF002": 2, "PERF004": 9,
+     "XFER002": 1, "XFER003": 1},
     ("CG", "R-Stream"): {"COV-NON-AFFINE": 2, "PERF004": 9, "XFER001": 31,
-                         "XFER002": 2, "XFER004": 1},
-    ("FT", "PGI Accelerator"): {"PERF001": 8, "PERF004": 5, "RACE002": 1,
-                                "XFER002": 2},
-    ("FT", "OpenACC"): {"PERF001": 8, "PERF004": 5, "XFER002": 2},
-    ("FT", "HMPP"): {"PERF001": 8, "PERF004": 5, "XFER002": 2},
-    ("FT", "OpenMPC"): {"PERF001": 8, "PERF004": 1, "XFER002": 2},
+     "XFER002": 2, "XFER004": 1},
+    ("FT", "PGI Accelerator"): {"CACHE001": 2, "CACHE003": 2, "PERF001": 8,
+     "PERF004": 5, "RACE002": 1, "XFER002": 2},
+    ("FT", "OpenACC"): {"CACHE001": 2, "CACHE003": 2, "PERF001": 8,
+     "PERF004": 5, "XFER002": 2},
+    ("FT", "HMPP"): {"CACHE001": 2, "CACHE003": 2, "PERF001": 8, "PERF004": 5,
+     "XFER002": 2},
+    ("FT", "OpenMPC"): {"CACHE001": 2, "CACHE003": 2, "PERF001": 8,
+     "PERF004": 1, "XFER002": 2},
     ("FT", "R-Stream"): {"COV-NON-AFFINE": 6},
-    ("SRAD", "PGI Accelerator"): {"PERF001": 1, "PERF004": 5, "PERF005": 2,
-                                  "RACE002": 1},
-    ("SRAD", "OpenACC"): {"PERF001": 1, "PERF004": 5, "PERF005": 2},
-    ("SRAD", "HMPP"): {"PERF001": 1, "PERF004": 5, "PERF005": 2},
-    ("SRAD", "OpenMPC"): {"PERF004": 5, "PERF005": 2},
-    ("SRAD", "R-Stream"): {"COV-NON-AFFINE": 2, "PERF001": 3, "PERF004": 1,
-                           "XFER001": 2},
-    ("CFD", "PGI Accelerator"): {"PERF001": 2, "PERF002": 2, "PERF004": 3,
-                                 "PERF005": 1, "RACE002": 1, "RACE003": 1,
-                                 "XFER002": 1},
-    ("CFD", "OpenACC"): {"PERF001": 2, "PERF002": 2, "PERF004": 3, "PERF005":
-                         1, "RACE003": 1, "XFER002": 1},
-    ("CFD", "HMPP"): {"PERF001": 2, "PERF002": 2, "PERF004": 3, "PERF005": 1,
-                      "RACE003": 1, "XFER002": 1},
-    ("CFD", "OpenMPC"): {"DATA003": 2, "PERF001": 2, "PERF002": 2, "PERF004":
-                         2, "PERF005": 1, "RACE003": 1, "XFER002": 1, "XFER003":
-                         1},
+    ("SRAD", "PGI Accelerator"): {"CACHE001": 5, "CACHE002": 1, "CACHE003": 1,
+     "CACHE004": 1, "PERF001": 1, "PERF004": 5, "PERF005": 2, "RACE002": 1},
+    ("SRAD", "OpenACC"): {"CACHE001": 5, "CACHE002": 1, "CACHE003": 1,
+     "CACHE004": 1, "PERF001": 1, "PERF004": 5, "PERF005": 2},
+    ("SRAD", "HMPP"): {"CACHE001": 5, "CACHE002": 1, "CACHE003": 1,
+     "CACHE004": 1, "PERF001": 1, "PERF004": 5, "PERF005": 2},
+    ("SRAD", "OpenMPC"): {"CACHE001": 2, "CACHE002": 1, "PERF004": 5,
+     "PERF005": 2},
+    ("SRAD", "R-Stream"): {"CACHE001": 4, "CACHE002": 2, "CACHE003": 3,
+     "CACHE004": 3, "COV-NON-AFFINE": 2, "PERF001": 3, "PERF004": 1,
+     "XFER001": 2},
+    ("CFD", "PGI Accelerator"): {"CACHE001": 5, "CACHE002": 3, "PERF001": 2,
+     "PERF002": 2, "PERF004": 3, "PERF005": 1, "RACE002": 1, "RACE003": 1,
+     "XFER002": 1},
+    ("CFD", "OpenACC"): {"CACHE001": 5, "CACHE002": 3, "PERF001": 2,
+     "PERF002": 2, "PERF004": 3, "PERF005": 1, "RACE003": 1, "XFER002": 1},
+    ("CFD", "HMPP"): {"CACHE001": 5, "CACHE002": 3, "PERF001": 2, "PERF002": 2,
+     "PERF004": 3, "PERF005": 1, "RACE003": 1, "XFER002": 1},
+    ("CFD", "OpenMPC"): {"CACHE001": 5, "CACHE002": 3, "DATA003": 2,
+     "PERF001": 2, "PERF002": 2, "PERF004": 2, "PERF005": 1, "RACE003": 1,
+     "XFER002": 1, "XFER003": 1},
     ("CFD", "R-Stream"): {"COV-NON-AFFINE": 4, "PERF004": 1, "RACE003": 1,
-                          "XFER001": 5, "XFER002": 1, "XFER004": 1},
-    ("BFS", "PGI Accelerator"): {"COH003": 1, "COV-CRITICAL-SECTION": 1,
-                                 "DATA002": 2, "DATA005": 1, "PERF002": 4,
-                                 "RACE002": 1, "RACE003": 2, "XFER002": 1},
-    ("BFS", "OpenACC"): {"COH003": 1, "COV-CRITICAL-SECTION": 1, "DATA002": 2,
-                         "DATA005": 1, "PERF002": 4, "RACE002": 1, "RACE003": 2,
-                         "XFER002": 1},
-    ("BFS", "HMPP"): {"COH003": 1, "COV-CRITICAL-SECTION": 1, "DATA002": 2,
-                      "DATA005": 1, "PERF002": 4, "RACE002": 1, "RACE003": 2,
-                      "XFER002": 1},
-    ("BFS", "OpenMPC"): {"PERF002": 4, "RACE002": 1, "RACE003": 2, "XFER002":
-                         3},
+     "XFER001": 5, "XFER002": 1, "XFER004": 1},
+    ("BFS", "PGI Accelerator"): {"CACHE001": 4, "COH003": 1,
+     "COV-CRITICAL-SECTION": 1, "DATA002": 2, "DATA005": 1, "PERF002": 4,
+     "RACE002": 1, "RACE003": 2, "XFER002": 1},
+    ("BFS", "OpenACC"): {"CACHE001": 4, "COH003": 1, "COV-CRITICAL-SECTION": 1,
+     "DATA002": 2, "DATA005": 1, "PERF002": 4, "RACE002": 1, "RACE003": 2,
+     "XFER002": 1},
+    ("BFS", "HMPP"): {"CACHE001": 4, "COH003": 1, "COV-CRITICAL-SECTION": 1,
+     "DATA002": 2, "DATA005": 1, "PERF002": 4, "RACE002": 1, "RACE003": 2,
+     "XFER002": 1},
+    ("BFS", "OpenMPC"): {"CACHE001": 5, "PERF002": 4, "RACE002": 1,
+     "RACE003": 2, "XFER002": 3},
     ("BFS", "R-Stream"): {"COV-NON-AFFINE": 3, "RACE002": 1, "RACE003": 2},
-    ("HOTSPOT", "PGI Accelerator"): {"PERF005": 2, "XFER002": 1},
-    ("HOTSPOT", "OpenACC"): {"PERF005": 2, "XFER002": 1},
-    ("HOTSPOT", "HMPP"): {"PERF005": 2, "XFER002": 1},
-    ("HOTSPOT", "OpenMPC"): {"PERF005": 2, "XFER002": 1},
+    ("HOTSPOT", "PGI Accelerator"): {"CACHE001": 6, "PERF005": 2,
+     "XFER002": 1},
+    ("HOTSPOT", "OpenACC"): {"CACHE001": 6, "PERF005": 2, "XFER002": 1},
+    ("HOTSPOT", "HMPP"): {"CACHE001": 6, "PERF005": 2, "XFER002": 1},
+    ("HOTSPOT", "OpenMPC"): {"CACHE001": 2, "PERF005": 2, "XFER002": 1},
     ("HOTSPOT", "R-Stream"): {"COV-NON-AFFINE": 2},
-    ("BACKPROP", "PGI Accelerator"): {"DATA002": 2, "PERF001": 5, "PERF004": 7,
-                                      "RACE002": 2, "XFER002": 2},
-    ("BACKPROP", "OpenACC"): {"DATA002": 2, "PERF001": 5, "PERF004": 7,
-                              "XFER002": 2},
-    ("BACKPROP", "HMPP"): {"DATA002": 2, "PERF001": 5, "PERF004": 7, "XFER002":
-                           2},
-    ("BACKPROP", "OpenMPC"): {"DATA003": 2, "PERF001": 1, "PERF004": 7,
-                              "XFER002": 4, "XFER003": 2},
+    ("BACKPROP", "PGI Accelerator"): {"CACHE001": 6, "CACHE002": 2,
+     "CACHE003": 3, "CACHE004": 3, "DATA002": 2, "PERF001": 5, "PERF004": 7,
+     "RACE002": 2, "XFER002": 2},
+    ("BACKPROP", "OpenACC"): {"CACHE001": 6, "CACHE002": 2, "CACHE003": 3,
+     "CACHE004": 3, "DATA002": 2, "PERF001": 5, "PERF004": 7, "XFER002": 2},
+    ("BACKPROP", "HMPP"): {"CACHE001": 6, "CACHE002": 2, "CACHE003": 3,
+     "CACHE004": 3, "DATA002": 2, "PERF001": 5, "PERF004": 7, "XFER002": 2},
+    ("BACKPROP", "OpenMPC"): {"CACHE001": 3, "CACHE002": 1, "CACHE003": 1,
+     "CACHE004": 1, "DATA003": 2, "PERF001": 1, "PERF004": 7, "XFER002": 4,
+     "XFER003": 2},
     ("BACKPROP", "R-Stream"): {"COV-POINTER-BASED-ALLOCATION": 5, "PERF004": 1,
-                               "XFER003": 1},
-    ("KMEANS", "PGI Accelerator"): {"PERF001": 6, "PERF002": 1, "PERF004": 5,
-                                    "RACE002": 2, "XFER002": 2},
-    ("KMEANS", "OpenACC"): {"PERF001": 6, "PERF002": 1, "PERF004": 5,
-                            "RACE002": 2, "XFER002": 2},
-    ("KMEANS", "HMPP"): {"PERF001": 6, "PERF002": 1, "PERF004": 5, "RACE002":
-                         2, "XFER002": 2},
-    ("KMEANS", "OpenMPC"): {"DATA003": 2, "PERF001": 3, "PERF002": 3,
-                            "PERF004": 4, "RACE002": 4, "XFER002": 2, "XFER003":
-                            1},
+     "XFER003": 1},
+    ("KMEANS", "PGI Accelerator"): {"CACHE001": 10, "CACHE002": 6,
+     "CACHE003": 5, "CACHE004": 5, "PERF001": 6, "PERF002": 1, "PERF004": 5,
+     "RACE002": 2, "XFER002": 2},
+    ("KMEANS", "OpenACC"): {"CACHE001": 10, "CACHE002": 6, "CACHE003": 5,
+     "CACHE004": 5, "PERF001": 6, "PERF002": 1, "PERF004": 5, "RACE002": 2,
+     "XFER002": 2},
+    ("KMEANS", "HMPP"): {"CACHE001": 10, "CACHE002": 6, "CACHE003": 5,
+     "CACHE004": 5, "PERF001": 6, "PERF002": 1, "PERF004": 5, "RACE002": 2,
+     "XFER002": 2},
+    ("KMEANS", "OpenMPC"): {"CACHE001": 10, "CACHE002": 4, "CACHE003": 3,
+     "CACHE004": 3, "DATA003": 2, "PERF001": 3, "PERF002": 3, "PERF004": 4,
+     "RACE002": 4, "XFER002": 2, "XFER003": 1},
     ("KMEANS", "R-Stream"): {"COV-NON-AFFINE": 3, "RACE002": 2},
-    ("NW", "PGI Accelerator"): {"PERF001": 8, "PERF002": 1, "PERF004": 1,
-                                "PERF005": 2},
-    ("NW", "OpenACC"): {"PERF001": 8, "PERF002": 1, "PERF004": 1, "PERF005":
-                        2},
-    ("NW", "HMPP"): {"PERF001": 8, "PERF002": 1, "PERF004": 1, "PERF005": 2},
-    ("NW", "OpenMPC"): {"PERF001": 7, "PERF002": 1, "PERF004": 1, "PERF005":
-                        2},
-    ("NW", "R-Stream"): {"COV-NO-PROVABLE-PARALLELISM": 2, "COV-NON-AFFINE":
-                         1},
+    ("NW", "PGI Accelerator"): {"CACHE001": 3, "CACHE002": 1, "CACHE003": 2,
+     "CACHE004": 2, "PERF001": 8, "PERF002": 1, "PERF004": 1, "PERF005": 2},
+    ("NW", "OpenACC"): {"CACHE001": 3, "CACHE002": 1, "CACHE003": 2,
+     "CACHE004": 2, "PERF001": 8, "PERF002": 1, "PERF004": 1, "PERF005": 2},
+    ("NW", "HMPP"): {"CACHE001": 3, "CACHE002": 1, "CACHE003": 2, "CACHE004": 2,
+     "PERF001": 8, "PERF002": 1, "PERF004": 1, "PERF005": 2},
+    ("NW", "OpenMPC"): {"CACHE001": 1, "CACHE003": 1, "CACHE004": 1,
+     "PERF001": 7, "PERF002": 1, "PERF004": 1, "PERF005": 2},
+    ("NW", "R-Stream"): {"COV-NO-PROVABLE-PARALLELISM": 2,
+     "COV-NON-AFFINE": 1},
     ("LUD", "PGI Accelerator"): {"PERF001": 5, "PERF004": 3, "PERF005": 1,
-                                 "RACE002": 1, "RACE003": 3},
-    ("LUD", "OpenACC"): {"PERF001": 5, "PERF004": 3, "PERF005": 1, "RACE003":
-                         3},
+     "RACE002": 1, "RACE003": 3},
+    ("LUD", "OpenACC"): {"PERF001": 5, "PERF004": 3, "PERF005": 1,
+     "RACE003": 3},
     ("LUD", "HMPP"): {"PERF001": 5, "PERF004": 3, "PERF005": 1, "RACE003": 3},
-    ("LUD", "OpenMPC"): {"PERF001": 2, "PERF004": 3, "PERF005": 1, "RACE003":
-                         2},
+    ("LUD", "OpenMPC"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
+     "RACE003": 2},
     ("LUD", "R-Stream"): {"COV-NON-AFFINE": 4, "RACE003": 2},
 }
 
