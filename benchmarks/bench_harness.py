@@ -1,0 +1,63 @@
+"""Benchmark: the harness observing itself (PR 8).
+
+Records the loadgen service numbers — cold vs warm throughput and
+p50/p99 latency against the ArtifactStore — and the selfprof phase
+attribution of a stratified sweep, so harness-overhead regressions
+show up in the same pytest-benchmark stream as the simulator numbers.
+"""
+
+import pytest
+
+from repro.harness.loadgen import run_loadgen
+from repro.harness.parallel import SweepContext, run_sweep, selfprof_units
+from repro.models.cache import clear_compile_cache
+from repro.obs.merge import merge_span_payloads
+from repro.obs.selfprof import attribute_spans
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+@pytest.mark.parametrize("requests,seed", [(24, 0)])
+def test_loadgen_cold_warm(benchmark, requests, seed):
+    report = benchmark.pedantic(
+        lambda: run_loadgen(requests=requests, seed=seed, scale="test"),
+        rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert report.smoke_failures() == []
+    cold_q = report.cold.overall.quantiles()
+    warm_q = report.warm.overall.quantiles()
+    print(f"\n  cold p50/p99: {cold_q['p50'] * 1e3:.2f}/"
+          f"{cold_q['p99'] * 1e3:.2f} ms "
+          f"at {report.cold.throughput_rps:.1f} rps")
+    print(f"  warm p50/p99: {warm_q['p50'] * 1e3:.2f}/"
+          f"{warm_q['p99'] * 1e3:.2f} ms "
+          f"at {report.warm.throughput_rps:.1f} rps "
+          f"(hit rate {report.warm.hit_rate:.0%})")
+    assert report.warm.hit_rate > 0
+
+
+def test_selfprof_attribution(benchmark):
+    units = selfprof_units(benchmarks=["JACOBI", "EP", "SPMUL"])
+    ctx = SweepContext(scale="test", trace=True)
+
+    def profiled_sweep():
+        clear_compile_cache()
+        return run_sweep(units, jobs=1, context=ctx)
+
+    sweep = benchmark.pedantic(profiled_sweep, rounds=1, iterations=1)
+    tracer = merge_span_payloads(sweep.span_payloads(), root_name="bench",
+                                 wall_s=sweep.stats.elapsed_s)
+    attr = attribute_spans(tracer.spans, wall_s=sweep.stats.elapsed_s)
+    print()
+    print(f"  wall {attr.wall_s * 1e3:.1f} ms, "
+          f"coverage {attr.coverage:.1%}")
+    for phase, secs in sorted(attr.phase_seconds().items(),
+                              key=lambda kv: -kv[1]):
+        print(f"    {phase:<10}{secs * 1e3:>9.2f} ms")
+    assert attr.coverage >= 0.95

@@ -26,6 +26,7 @@ Semantics notes:
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Mapping, MutableMapping, Optional, Sequence, Union
 
 import numpy as np
@@ -594,5 +595,30 @@ class KernelExecutor:
 def execute_kernel(kernel: Kernel, arrays: MutableMapping[str, np.ndarray],
                    scalars: Mapping[str, Value],
                    functions: Optional[Mapping[str, Function]] = None) -> None:
-    """Convenience wrapper: run ``kernel`` in place over ``arrays``."""
-    KernelExecutor(kernel, arrays, scalars, functions).run()
+    """Convenience wrapper: run ``kernel`` in place over ``arrays``.
+
+    When a tracer or metrics registry is ambient, each launch is timed —
+    this is the harness's real hot path (``selfprof`` phase "execute"),
+    the recorded baseline any future JIT backend must beat.  Untraced
+    callers skip the clock entirely.
+    """
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import tracer as obs
+
+    registry = obs_metrics.current_registry()
+    if obs.current_tracer() is None and registry is None:
+        KernelExecutor(kernel, arrays, scalars, functions).run()
+        return
+    with obs.span(f"interpret {kernel.name}", "executor",
+                  kernel=kernel.name):
+        t0 = time.perf_counter()
+        KernelExecutor(kernel, arrays, scalars, functions).run()
+        elapsed = time.perf_counter() - t0
+    if registry is not None:
+        registry.inc("executor_interpret_launches",
+                     labels={"kernel": kernel.name},
+                     help="kernels run through the interpreting executor",
+                     deterministic=True)
+        registry.observe("executor_interpret_seconds", elapsed,
+                         labels={"kernel": kernel.name},
+                         help="interpreter wall-clock per kernel launch")

@@ -20,6 +20,7 @@ artifact store the lint/xfer/tv suites hit.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -29,6 +30,8 @@ from repro.gpusim.trace import TracingExecutor
 from repro.ir.analysis.reuse import KernelReuse, analyze_kernel_reuse
 from repro.models import resolve_model
 from repro.models.cache import compile_port
+from repro.obs import metrics
+from repro.obs import tracer as obs
 
 __all__ = ["KernelLocality", "LocalityRecord", "locality_port",
            "locality_suite"]
@@ -80,28 +83,36 @@ def locality_port(benchmark: str, model: str, variant: Optional[str] = None,
 
     kernels: list[KernelLocality] = []
     seen: set[str] = set()
-    for step in bench.schedule_for(model, chosen, wl):
-        if step.region in seen:
-            continue
-        seen.add(step.region)
-        result = compiled.results.get(step.region)
-        if result is None or not result.translated:
-            continue
-        scalars = dict(wl.scalars)
-        scalars.update(step.scalars)
-        bindings = {k: float(v) for k, v in scalars.items()
-                    if isinstance(v, (int, float))}
-        for kern in result.kernels:
-            executor = TracingExecutor(kern, arrays, scalars, functions)
-            executor.run()
-            simulated = simulate_cache(executor.trace, kern.elem_bytes(),
-                                       spec, kernel=kern.name)
-            static = analyze_kernel_reuse(kern, bindings, extents, spec,
-                                          functions=functions)
-            kernels.append(KernelLocality(region=step.region,
-                                          kernel=kern.name,
-                                          simulated=simulated,
-                                          static=static))
+    t0 = time.perf_counter()
+    with obs.span("analysis.locality", "analysis", kind="locality",
+                  benchmark=benchmark, model=compiled.model):
+        for step in bench.schedule_for(model, chosen, wl):
+            if step.region in seen:
+                continue
+            seen.add(step.region)
+            result = compiled.results.get(step.region)
+            if result is None or not result.translated:
+                continue
+            scalars = dict(wl.scalars)
+            scalars.update(step.scalars)
+            bindings = {k: float(v) for k, v in scalars.items()
+                        if isinstance(v, (int, float))}
+            for kern in result.kernels:
+                executor = TracingExecutor(kern, arrays, scalars, functions)
+                executor.run()
+                simulated = simulate_cache(executor.trace, kern.elem_bytes(),
+                                           spec, kernel=kern.name)
+                static = analyze_kernel_reuse(kern, bindings, extents, spec,
+                                              functions=functions)
+                kernels.append(KernelLocality(region=step.region,
+                                              kernel=kern.name,
+                                              simulated=simulated,
+                                              static=static))
+    metrics.inc("analysis_runs", labels={"kind": "locality"},
+                help="analysis passes executed", deterministic=True)
+    metrics.observe("analysis_seconds", time.perf_counter() - t0,
+                    labels={"kind": "locality"},
+                    help="wall-clock per analysis run")
     return LocalityRecord(benchmark=bench.name, model=compiled.model,
                           variant=chosen, scale=scale,
                           kernels=tuple(kernels))

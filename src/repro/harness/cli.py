@@ -29,6 +29,15 @@ Subcommands regenerate the paper's evaluation artifacts:
   (``--all`` for the one-line-per-region suite smoke);
 * ``baseline record|check`` — the perf-regression gate over the
   committed baseline (``check`` exits 2 on regression/drift);
+* ``selfprof [BENCH MODEL]`` — the harness *self*-profile: wall-clock
+  attribution per phase (compile/analyze/execute/simulate/merge) over
+  the span tree, worker utilization, ``--flamegraph`` collapsed-stack
+  export, ``--metrics``/``--openmetrics`` registry export
+  (``--deterministic`` restricts to the jobs-invariant families);
+* ``loadgen`` — replay a seeded synthetic compile/run/exec request
+  stream against a cold then warm ArtifactStore, reporting throughput,
+  exact p50/p99 latency, and store hit rates (``--smoke`` gates CI on
+  a nonzero warm hit rate);
 * ``all`` — everything (the EXPERIMENTS.md payload); ``--json`` emits
   the machine-readable rollup, ``--journal`` checkpoints the sharded
   sweep for resume.
@@ -545,28 +554,45 @@ def _cmd_all(args: argparse.Namespace) -> int:
 
     from repro.benchmarks.registry import iter_suite
     from repro.harness.report import render_bottleneck_section
-    from repro.harness.rollup import build_rollup, render_rollup
+    from repro.harness.rollup import build_rollup, render_rollup, timing_meta
     from repro.models.cache import cache_stats
+    from repro.obs.merge import absorb_payloads
     from repro.obs.profile import profile_suite
+    from repro.obs.selfprof import attribute_spans
+    from repro.obs.tracer import Tracer, tracing
 
     jobs = _jobs(args)
     sweep = None
+    tracer = Tracer()
+    t_wall = time.perf_counter()
     if jobs > 1:
-        results, profiles, sweep = _parallel_evaluation(
-            jobs, scale=args.scale, coverage=True, speedups=True,
-            profiles=True, journal=args.journal)
+        with tracing(tracer):   # captures the parent-side sweep.merge span
+            results, profiles, sweep = _parallel_evaluation(
+                jobs, scale=args.scale, coverage=True, speedups=True,
+                profiles=True, journal=args.journal)
+            absorb_payloads(tracer, sweep.span_payloads(),
+                            lanes=[o.worker for o in sweep.outcomes])
     else:
         if args.journal:
             raise UsageError("all: --journal requires --jobs > 1 "
                              "(the serial path does not checkpoint)")
         benches = list(iter_suite())
-        results = run_coverage_and_codesize(benches)
-        results.speedups = run_speedups(benches, scale=args.scale)
-        profiles, _ = profile_suite(scale=args.scale)
+        with tracing(tracer):
+            results = run_coverage_and_codesize(benches)
+            results.speedups = run_speedups(benches, scale=args.scale)
+            profiles, prof_tracer = profile_suite(scale=args.scale)
+        # profile_suite traces into its own tracer; pull its spans in so
+        # the attribution covers the profile phase too
+        tracer.absorb_spans([sp.to_dict() for sp in prof_tracer.spans])
+    attribution = attribute_spans(tracer.spans,
+                                  wall_s=time.perf_counter() - t_wall)
 
     if args.json:
         meta = {"jobs": jobs, "scale": args.scale,
-                "generated_unix": time.time()}
+                "generated_unix": time.time(),
+                "timing": timing_meta(
+                    attribution,
+                    sweep.stats if sweep is not None else None)}
         if sweep is not None:
             meta["sweep"] = sweep.stats.to_dict()
         else:
@@ -591,6 +617,143 @@ def _cmd_all(args: argparse.Namespace) -> int:
         print(f"artifact store: {stats['entries']} compilations for "
               f"{stats['hits'] + stats['misses']} requests "
               f"({stats['hits']} hits, {stats['misses']} misses)")
+    phases = attribution.phase_seconds()
+    breakdown = ", ".join(f"{name} {seconds * 1e3:.0f} ms"
+                          for name, seconds in sorted(
+                              phases.items(), key=lambda kv: -kv[1])
+                          if seconds > 0)
+    print(f"self-profile: wall {attribution.wall_s * 1e3:.0f} ms — "
+          f"{breakdown} (details: repro-harness selfprof --all)")
+    return 0
+
+
+def _selfprof_pair_units(benchmark: str, model: str):
+    """The single-pair selfprof workload: every applicable unit kind.
+
+    (This mixes kinds over one pair, so it exercises every phase; the
+    jobs-invariant metrics guarantee applies to ``--all``, whose
+    stratified workload keeps the compile-once partition.)
+    """
+    from repro.harness.parallel import WorkUnit
+    from repro.harness.runner import FIGURE1_MODELS, TABLE2_MODELS
+    from repro.models import resolve_model
+
+    model = _resolve_port("selfprof", resolve_model, model)
+    _resolve_port("selfprof", get_benchmark, benchmark)
+    directive = model in TABLE2_MODELS
+    fig1 = model in FIGURE1_MODELS
+    flags = (("coverage",) if directive else ()) + \
+        (("speedups", "profile") if fig1 else ())
+    units = [WorkUnit(kind="eval", bench=benchmark, model=model,
+                      flags=flags, seq=0)]
+    kinds = ["tv", "locality"] + (["lint", "xfer"] if directive else []) \
+        + (["exec"] if fig1 else [])
+    for kind in kinds:
+        units.append(WorkUnit(kind=kind, bench=benchmark, model=model,
+                              seq=len(units)))
+    return units
+
+
+def _cmd_selfprof(args: argparse.Namespace) -> int:
+    from repro.harness.parallel import (SweepContext, run_sweep,
+                                        selfprof_units)
+    from repro.obs.flamegraph import write_collapsed
+    from repro.obs.merge import absorb_payloads
+    from repro.obs.metrics import (MetricsRegistry, collecting,
+                                   render_metrics_json)
+    from repro.obs.selfprof import attribute_spans, render_attribution
+    from repro.obs.tracer import Tracer, tracing
+
+    jobs = _jobs(args)
+    _require_port_args("selfprof", args)
+    if args.all_ports:
+        units = selfprof_units()
+    else:
+        units = _selfprof_pair_units(args.benchmark, args.model)
+
+    registry = MetricsRegistry()
+    tracer = Tracer()
+    with tracing(tracer), collecting(registry):
+        with tracer.span("selfprof.suite", "harness", scale=args.scale,
+                         jobs=jobs):
+            sweep = run_sweep(units, jobs=jobs,
+                              context=SweepContext(scale=args.scale))
+            absorb_payloads(tracer, sweep.span_payloads(),
+                            parent_id=tracer.spans[0].span_id,
+                            lanes=[o.worker for o in sweep.outcomes])
+
+    attribution = attribute_spans(tracer.spans)
+    stats = sweep.stats
+    if args.flamegraph:
+        rows = write_collapsed(args.flamegraph, tracer.spans)
+        print(f"wrote {rows} collapsed stacks to {args.flamegraph}",
+              file=sys.stderr)
+    if args.metrics:
+        doc = registry.to_dict(deterministic_only=args.deterministic)
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            fh.write(render_metrics_json(doc) + "\n")
+    if args.openmetrics:
+        with open(args.openmetrics, "w", encoding="utf-8") as fh:
+            fh.write(registry.to_openmetrics())
+
+    if args.json:
+        print(json.dumps({"selfprof": attribution.to_dict(),
+                          "sweep": stats.to_dict()},
+                         indent=2, sort_keys=True))
+    else:
+        worker_stats = {
+            "workers": stats.jobs,
+            "units": f"{stats.units_total} "
+                     f"({stats.units_executed} executed)",
+            "utilization": f"{stats.utilization():.1%}",
+            "busy / wait": f"{stats.busy_s * 1e3:.0f} ms / "
+                           f"{stats.wait_s * 1e3:.0f} ms",
+        }
+        print(render_attribution(attribution, top=args.top,
+                                 worker_stats=worker_stats))
+    if args.min_coverage is not None \
+            and attribution.coverage < args.min_coverage:
+        print(f"selfprof: named-phase coverage "
+              f"{attribution.coverage:.1%} is below the required "
+              f"{args.min_coverage:.1%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from repro.harness.loadgen import (DEFAULT_MIX, MixError, parse_mix,
+                                       run_loadgen)
+    from repro.obs.metrics import MetricsRegistry, collecting
+
+    _jobs(args)
+    if args.requests < 1:
+        raise UsageError(f"loadgen: --requests must be >= 1 "
+                         f"(got {args.requests})")
+    mix = args.mix or DEFAULT_MIX
+    try:
+        parse_mix(mix)
+    except MixError as exc:
+        raise UsageError(f"loadgen: {exc}") from exc
+
+    registry = MetricsRegistry()
+    with collecting(registry):
+        report = run_loadgen(requests=args.requests, seed=args.seed,
+                             mix=mix, scale=args.scale)
+    if args.openmetrics:
+        with open(args.openmetrics, "w", encoding="utf-8") as fh:
+            fh.write(registry.to_openmetrics())
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    if args.smoke:
+        problems = report.smoke_failures()
+        if problems:
+            for problem in problems:
+                print(f"loadgen smoke: {problem}", file=sys.stderr)
+            return 1
+        print("loadgen smoke: ok (warm hit rate "
+              f"{report.warm.hit_rate:.1%})", file=sys.stderr)
     return 0
 
 
@@ -763,6 +926,60 @@ def main(argv: list[str] | None = None) -> int:
                         help="write a chrome://tracing document")
     _add_jobs(p_prof)
     p_prof.set_defaults(func=_cmd_profile)
+
+    p_sp = sub.add_parser(
+        "selfprof", help="harness self-profile: wall-clock attribution "
+                         "per phase, flamegraph + metrics export")
+    p_sp.add_argument("benchmark", nargs="?", default=None,
+                      help="benchmark name (e.g. jacobi)")
+    p_sp.add_argument("model", nargs="?", default=None,
+                      help="model name or alias (e.g. openacc)")
+    p_sp.add_argument("--all", action="store_true", dest="all_ports",
+                      help="profile the stratified full-suite workload")
+    p_sp.add_argument("--scale", default="test",
+                      choices=("test", "paper"))
+    p_sp.add_argument("--json", action="store_true",
+                      help="machine-readable attribution + sweep stats")
+    p_sp.add_argument("--top", type=int, default=8, metavar="N",
+                      help="detail rows per phase in the text report")
+    p_sp.add_argument("--flamegraph", default=None, metavar="PATH",
+                      help="write collapsed stacks (flamegraph.pl / "
+                           "speedscope folded format)")
+    p_sp.add_argument("--metrics", default=None, metavar="PATH",
+                      help="write the metrics registry as canonical JSON")
+    p_sp.add_argument("--deterministic", action="store_true",
+                      help="restrict --metrics to deterministic families "
+                           "(byte-identical for any --jobs)")
+    p_sp.add_argument("--openmetrics", default=None, metavar="PATH",
+                      help="write OpenMetrics/Prometheus text exposition")
+    p_sp.add_argument("--min-coverage", type=float, default=None,
+                      metavar="FRAC",
+                      help="exit 1 if named-phase coverage falls below "
+                           "FRAC (e.g. 0.95)")
+    _add_jobs(p_sp)
+    p_sp.set_defaults(func=_cmd_selfprof)
+
+    p_lg = sub.add_parser(
+        "loadgen", help="replay a seeded synthetic request stream cold "
+                        "vs warm; report p50/p99 latency + throughput")
+    p_lg.add_argument("--requests", type=int, default=40, metavar="N",
+                      help="requests per phase (default 40)")
+    p_lg.add_argument("--seed", type=int, default=0,
+                      help="stream seed (the stream is a pure function "
+                           "of it)")
+    p_lg.add_argument("--mix", default=None,
+                      help="request mix, e.g. compile=6,run=3,exec=1")
+    p_lg.add_argument("--scale", default="test",
+                      choices=("test", "paper"))
+    p_lg.add_argument("--json", action="store_true",
+                      help="machine-readable report")
+    p_lg.add_argument("--openmetrics", default=None, metavar="PATH",
+                      help="write OpenMetrics/Prometheus text exposition")
+    p_lg.add_argument("--smoke", action="store_true",
+                      help="CI gate: exit 1 unless the warm phase hit "
+                           "the artifact store")
+    _add_jobs(p_lg)
+    p_lg.set_defaults(func=_cmd_loadgen)
 
     p_pass = sub.add_parser(
         "passes", help="pass-pipeline report: per-pass state diffs and "

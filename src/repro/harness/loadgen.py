@@ -1,0 +1,272 @@
+"""Synthetic request-stream load generator for the harness.
+
+ROADMAP item 1 plans a persistent compile/run service; its scaling
+claims need a measured substrate, not assertions.  This module replays
+a seeded synthetic request mix against the harness front door — the
+same :func:`~repro.models.cache.compile_bench` + ``bench.run`` path a
+service endpoint would call — and reports throughput, exact p50/p99
+latency, and artifact-store hit rates for two phases:
+
+* **cold** — the store is cleared first, so every compile request pays
+  full pipeline cost;
+* **warm** — the *same* stream replays against the store the cold
+  phase populated, so repeat compilations hit.
+
+The cold−warm gap is the measured value of the ArtifactStore, and the
+warm-phase latency distribution is the baseline a service PR must meet.
+The stream is a pure function of ``seed`` (one ``random.Random``, no
+wall-clock input), so runs are comparable across commits.
+
+Request kinds:
+
+* ``compile`` — compile one (bench, model) port through the store;
+* ``run`` — compile + analytically price a run (``execute=False``),
+  the Figure 1 hot path;
+* ``exec`` — compile + functionally execute on the interpreting
+  executor at ``scale`` (the heavy tail of the distribution).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.obs import metrics
+from repro.obs import tracer as obs
+from repro.obs.metrics import Histogram
+
+LOADGEN_SCHEMA = 1
+
+DEFAULT_MIX = "compile=6,run=3,exec=1"
+
+#: request kinds a mix spec may weight
+KINDS = ("compile", "run", "exec")
+
+
+class MixError(ValueError):
+    """A malformed ``kind=weight`` mix specification."""
+
+
+def parse_mix(spec: str) -> dict[str, int]:
+    """``"compile=6,run=3,exec=1"`` → ``{"compile": 6, ...}``."""
+    weights: dict[str, int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" not in part:
+            raise MixError(f"mix entry {part!r} is not kind=weight")
+        kind, _, raw = part.partition("=")
+        kind = kind.strip()
+        if kind not in KINDS:
+            raise MixError(f"unknown request kind {kind!r}; "
+                           f"known: {', '.join(KINDS)}")
+        try:
+            weight = int(raw)
+        except ValueError:
+            raise MixError(f"weight {raw!r} for {kind!r} is not an integer")
+        if weight < 0:
+            raise MixError(f"weight for {kind!r} must be >= 0")
+        weights[kind] = weight
+    if not weights or not any(weights.values()):
+        raise MixError(f"mix {spec!r} selects no requests")
+    return weights
+
+
+@dataclass(frozen=True)
+class Request:
+    """One synthetic request in the stream."""
+
+    kind: str
+    bench: str
+    model: str
+
+
+def build_stream(requests: int, seed: int, mix: str,
+                 benchmarks: Optional[Sequence[str]] = None,
+                 models: Optional[Sequence[str]] = None) -> list[Request]:
+    """The seeded request stream — a pure function of its arguments."""
+    from repro.benchmarks.registry import BENCHMARK_ORDER
+    from repro.harness.runner import FIGURE1_MODELS
+
+    weights = parse_mix(mix)
+    benches = list(benchmarks) if benchmarks is not None \
+        else list(BENCHMARK_ORDER)
+    model_list = list(models) if models is not None \
+        else list(FIGURE1_MODELS)
+    rng = random.Random(seed)
+    kinds = [k for k in KINDS if weights.get(k, 0) > 0]
+    kind_weights = [weights[k] for k in kinds]
+    return [Request(kind=rng.choices(kinds, weights=kind_weights)[0],
+                    bench=rng.choice(benches), model=rng.choice(model_list))
+            for _ in range(requests)]
+
+
+def _serve(req: Request, scale: str) -> None:
+    """Serve one request through the real harness entry points."""
+    from repro.benchmarks.registry import get_benchmark
+    from repro.models.cache import compile_bench
+
+    bench = get_benchmark(req.bench)
+    variant = bench.variants(req.model)[0]
+    _, compiled = compile_bench(bench, req.model, variant)
+    if req.kind == "compile":
+        return
+    bench.run(req.model, variant, scale=scale,
+              execute=(req.kind == "exec"), validate=False,
+              compiled=compiled)
+
+
+@dataclass
+class PhaseStats:
+    """Latency/throughput/store accounting for one replay phase."""
+
+    phase: str
+    n: int = 0
+    elapsed_s: float = 0.0
+    overall: Histogram = field(default_factory=Histogram)
+    per_kind: dict[str, Histogram] = field(default_factory=dict)
+    store_hits: int = 0
+    store_misses: int = 0
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.n / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.store_hits + self.store_misses
+        return self.store_hits / total if total else 0.0
+
+    def record(self, kind: str, latency_s: float) -> None:
+        self.n += 1
+        self.overall.observe(latency_s)
+        self.per_kind.setdefault(kind, Histogram()).observe(latency_s)
+
+    def cold_warm_speedup(self, cold: "PhaseStats") -> Optional[float]:
+        """cold p50 / this phase's p50 (``None`` if either is empty)."""
+        mine = self.overall.quantiles()
+        theirs = cold.overall.quantiles()
+        if not mine or not theirs or mine.get("p50", 0.0) <= 0.0:
+            return None
+        return theirs["p50"] / mine["p50"]
+
+    def to_dict(self) -> dict:
+        def q(h: Histogram) -> dict:
+            out = {"count": h.count, "sum_s": round(h.sum, 6)}
+            out.update({k: round(v, 6) for k, v in h.quantiles().items()})
+            return out
+
+        return {"phase": self.phase, "requests": self.n,
+                "elapsed_s": round(self.elapsed_s, 6),
+                "throughput_rps": round(self.throughput_rps, 3),
+                "latency_s": q(self.overall),
+                "per_kind": {k: q(h)
+                             for k, h in sorted(self.per_kind.items())},
+                "store": {"hits": self.store_hits,
+                          "misses": self.store_misses,
+                          "hit_rate": round(self.hit_rate, 4)}}
+
+
+@dataclass
+class LoadgenReport:
+    """Cold + warm phase results for one seeded stream."""
+
+    requests: int
+    seed: int
+    mix: str
+    scale: str
+    cold: PhaseStats
+    warm: PhaseStats
+
+    def to_dict(self) -> dict:
+        return {"schema": LOADGEN_SCHEMA, "requests": self.requests,
+                "seed": self.seed, "mix": self.mix, "scale": self.scale,
+                "phases": [self.cold.to_dict(), self.warm.to_dict()]}
+
+    def smoke_failures(self) -> list[str]:
+        """What the ``--smoke`` CI gate checks, as human-readable rows."""
+        problems = []
+        if self.warm.store_hits <= 0:
+            problems.append(
+                "warm phase recorded no artifact-store hits — the store "
+                "is not being reused across identical requests")
+        if self.cold.n != self.requests or self.warm.n != self.requests:
+            problems.append("a phase dropped requests")
+        if self.cold.n and not self.cold.overall.values:
+            problems.append("cold phase recorded no latencies")
+        return problems
+
+    def render(self) -> str:
+        lines = [f"loadgen: {self.requests} requests, seed {self.seed}, "
+                 f"mix {self.mix}, scale {self.scale}",
+                 "=" * 64,
+                 f"{'phase':<7}{'reqs':>6}{'rps':>9}{'p50 ms':>10}"
+                 f"{'p90 ms':>10}{'p99 ms':>10}{'max ms':>10}"
+                 f"{'hit rate':>10}"]
+        for ph in (self.cold, self.warm):
+            q = ph.overall.quantiles()
+            lines.append(
+                f"{ph.phase:<7}{ph.n:>6}{ph.throughput_rps:>9.1f}"
+                f"{q.get('p50', 0) * 1e3:>10.2f}"
+                f"{q.get('p90', 0) * 1e3:>10.2f}"
+                f"{q.get('p99', 0) * 1e3:>10.2f}"
+                f"{q.get('max', 0) * 1e3:>10.2f}"
+                f"{ph.hit_rate:>9.1%}")
+        for ph in (self.cold, self.warm):
+            lines.append("")
+            lines.append(f"{ph.phase} per-kind p50/p99 (ms):")
+            for kind, hist in sorted(ph.per_kind.items()):
+                q = hist.quantiles()
+                lines.append(f"  {kind:<9}{hist.count:>5} reqs"
+                             f"{q.get('p50', 0) * 1e3:>10.2f}"
+                             f"{q.get('p99', 0) * 1e3:>10.2f}")
+        if self.warm.cold_warm_speedup(self.cold) is not None:
+            lines.append("")
+            lines.append(f"warm p50 speedup over cold: "
+                         f"{self.warm.cold_warm_speedup(self.cold):.1f}x")
+        return "\n".join(lines)
+
+
+def _replay(phase: str, stream: Sequence[Request], scale: str) -> PhaseStats:
+    from repro.models.cache import cache_stats
+
+    stats = PhaseStats(phase=phase)
+    before = cache_stats()
+    t_phase = time.perf_counter()
+    for req in stream:
+        with obs.span(f"request.{req.kind}", "loadgen", kind=req.kind,
+                      bench=req.bench, model=req.model, phase=phase):
+            t0 = time.perf_counter()
+            _serve(req, scale)
+            latency = time.perf_counter() - t0
+        stats.record(req.kind, latency)
+        metrics.inc("loadgen_requests",
+                    labels={"phase": phase, "kind": req.kind},
+                    help="synthetic requests served", deterministic=True)
+        metrics.observe("loadgen_request_seconds", latency,
+                        labels={"phase": phase, "kind": req.kind},
+                        help="request latency by phase and kind")
+    stats.elapsed_s = time.perf_counter() - t_phase
+    after = cache_stats()
+    stats.store_hits = after.get("hits", 0) - before.get("hits", 0)
+    stats.store_misses = after.get("misses", 0) - before.get("misses", 0)
+    return stats
+
+
+def run_loadgen(requests: int = 40, seed: int = 0,
+                mix: str = DEFAULT_MIX, scale: str = "test",
+                benchmarks: Optional[Sequence[str]] = None,
+                models: Optional[Sequence[str]] = None) -> LoadgenReport:
+    """Replay one seeded stream cold then warm; return both phases."""
+    from repro.models.cache import clear_compile_cache
+
+    stream = build_stream(requests, seed, mix, benchmarks=benchmarks,
+                          models=models)
+    clear_compile_cache()
+    cold = _replay("cold", stream, scale)
+    warm = _replay("warm", stream, scale)
+    return LoadgenReport(requests=requests, seed=seed, mix=mix, scale=scale,
+                         cold=cold, warm=warm)

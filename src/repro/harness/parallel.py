@@ -49,6 +49,9 @@ from typing import Any, Callable, Iterable, Optional, Sequence
 from repro.gpusim.device import TESLA_M2090, DeviceSpec
 from repro.gpusim.timing import TimingConfig
 from repro.models.cache import STORE, StoreView, merge_view_stats
+from repro.obs import tracer as obs
+from repro.obs.metrics import (MetricsRegistry, MetricsSnapshot, collecting,
+                               current_registry)
 from repro.obs.tracer import Tracer, tracing
 
 JOURNAL_SCHEMA = 1
@@ -114,6 +117,9 @@ class UnitEnvelope:
     result: Any
     spans: list[dict] = field(default_factory=list)
     store: StoreView = field(default_factory=StoreView)
+    #: metrics recorded while the unit ran (absorbed in unit order);
+    #: ``None`` for untraced units and pre-metrics journal entries
+    metrics: Optional[MetricsSnapshot] = None
 
 
 @dataclass
@@ -236,6 +242,27 @@ def _run_baseline_unit(unit: WorkUnit, ctx: SweepContext):
         timing=ctx.timing))
 
 
+@_unit_runner("exec")
+def _run_exec_unit(unit: WorkUnit, ctx: SweepContext) -> dict:
+    """Functional execution: drives the interpreting executor end to end.
+
+    The selfprof workload includes these so executor interpretation time
+    is *measured*, not inferred — eval units run ``execute=False``
+    (analytical pricing only) and never touch the interpreter.
+    """
+    from repro.benchmarks.registry import get_benchmark
+
+    bench = get_benchmark(unit.bench)
+    outcome = bench.run(unit.model, unit.variant or "best", scale=ctx.scale,
+                        execute=True, validate=False, device=ctx.device,
+                        timing=ctx.timing)
+    # RunOutcome holds live arrays/programs; ship only a picklable digest
+    return {"bench": unit.bench, "model": unit.model,
+            "variant": outcome.variant,
+            "kernels": outcome.compiled.regions_translated,
+            "speedup": round(outcome.speedup.speedup, 4)}
+
+
 def execute_unit(unit: WorkUnit, ctx: SweepContext) -> UnitEnvelope:
     """Run one unit with store accounting and (optional) span capture."""
     runner = UNIT_RUNNERS.get(unit.kind)
@@ -244,18 +271,30 @@ def execute_unit(unit: WorkUnit, ctx: SweepContext) -> UnitEnvelope:
                          f"known: {sorted(UNIT_RUNNERS)}")
     before = STORE.view()
     spans: list[dict] = []
+    metrics: Optional[MetricsSnapshot] = None
     if ctx.trace:
         tracer = Tracer()
-        with tracing(tracer):
+        registry = MetricsRegistry()
+        with tracing(tracer), collecting(registry):
             with tracer.span(unit.label(), "harness.unit",
                              bench=unit.bench, model=unit.model,
                              kind=unit.kind):
+                t_unit = time.perf_counter()
                 result = runner(unit, ctx)
+                registry.inc("sweep_units", labels={"kind": unit.kind},
+                             help="work units executed by the sweep engine",
+                             deterministic=True)
+                registry.observe("sweep_unit_seconds",
+                                 time.perf_counter() - t_unit,
+                                 labels={"kind": unit.kind},
+                                 help="wall-clock per work unit")
         spans = [sp.to_dict() for sp in tracer.spans]
+        metrics = registry.snapshot()
     else:
         result = runner(unit, ctx)
     delta = STORE.delta_view(before, include_artifacts=ctx.ship_artifacts)
-    return UnitEnvelope(unit=unit, result=result, spans=spans, store=delta)
+    return UnitEnvelope(unit=unit, result=result, spans=spans, store=delta,
+                        metrics=metrics)
 
 
 # ---------------------------------------------------------------------------
@@ -323,8 +362,24 @@ class SweepStats:
     units_from_journal: int = 0
     #: worker id → units completed (the shard balance)
     per_worker: dict[int, int] = field(default_factory=dict)
+    #: worker id → seconds spent executing units / waiting on the queue
+    per_worker_busy: dict[int, float] = field(default_factory=dict)
+    per_worker_wait: dict[int, float] = field(default_factory=dict)
     store: dict = field(default_factory=dict)
     elapsed_s: float = 0.0
+
+    @property
+    def busy_s(self) -> float:
+        return sum(self.per_worker_busy.values())
+
+    @property
+    def wait_s(self) -> float:
+        return sum(self.per_worker_wait.values())
+
+    def utilization(self) -> float:
+        """Busy fraction of the pool's total wall-clock capacity."""
+        capacity = self.jobs * self.elapsed_s
+        return min(1.0, self.busy_s / capacity) if capacity > 0 else 0.0
 
     def shard_summary(self) -> str:
         loads = "/".join(str(self.per_worker[w])
@@ -349,6 +404,13 @@ class SweepStats:
                 "units_from_journal": self.units_from_journal,
                 "per_worker": {str(k): v
                                for k, v in sorted(self.per_worker.items())},
+                "per_worker_busy_s": {
+                    str(k): round(v, 6)
+                    for k, v in sorted(self.per_worker_busy.items())},
+                "per_worker_wait_s": {
+                    str(k): round(v, 6)
+                    for k, v in sorted(self.per_worker_wait.items())},
+                "utilization": round(self.utilization(), 4),
                 "store": {**{k: v for k, v in self.store.items()
                              if k != "duplicates"},
                           "duplicates": len(self.store.get("duplicates",
@@ -372,16 +434,26 @@ class SweepResult:
 
 def _worker_main(worker_id: int, units: Sequence[WorkUnit],
                  ctx: SweepContext, task_q, result_q) -> None:
-    """Worker loop: steal unit indices until the sentinel arrives."""
+    """Worker loop: steal unit indices until the sentinel arrives.
+
+    Every result carries the worker's queue-wait and busy time for that
+    unit, so the parent can report pool utilization (``selfprof``)
+    without clock-synchronizing across processes.
+    """
     while True:
+        t_wait = time.perf_counter()
         idx = task_q.get()
+        wait_s = time.perf_counter() - t_wait
         if idx is None:
             break
         try:
+            t_busy = time.perf_counter()
             envelope = execute_unit(units[idx], ctx)
-            result_q.put((worker_id, idx, "ok", envelope))
+            busy_s = time.perf_counter() - t_busy
+            result_q.put((worker_id, idx, "ok", envelope, busy_s, wait_s))
         except BaseException:
-            result_q.put((worker_id, idx, "error", traceback.format_exc()))
+            result_q.put((worker_id, idx, "error", traceback.format_exc(),
+                          0.0, wait_s))
             break
 
 
@@ -416,7 +488,10 @@ def run_sweep(units: Sequence[WorkUnit], jobs: int = 1,
     if jobs <= 1 or len(pending) <= 1:
         stats.jobs = 1
         for idx in pending:
+            t_busy = time.perf_counter()
             envelope = execute_unit(ordered[idx], ctx)
+            stats.per_worker_busy[0] = stats.per_worker_busy.get(0, 0.0) \
+                + (time.perf_counter() - t_busy)
             append_journal(journal, envelope)
             envelopes[idx] = envelope
             workers_of[idx] = 0
@@ -442,7 +517,8 @@ def run_sweep(units: Sequence[WorkUnit], jobs: int = 1,
             remaining = len(pending)
             while remaining and failure is None:
                 try:
-                    wid, idx, status, payload = result_q.get(timeout=5.0)
+                    wid, idx, status, payload, busy_s, wait_s = \
+                        result_q.get(timeout=5.0)
                 except queue_mod.Empty:
                     if time.monotonic() > deadline:
                         failure = (ordered[pending[0]],
@@ -455,6 +531,10 @@ def run_sweep(units: Sequence[WorkUnit], jobs: int = 1,
                         break
                     continue
                 remaining -= 1
+                stats.per_worker_busy[wid] = \
+                    stats.per_worker_busy.get(wid, 0.0) + busy_s
+                stats.per_worker_wait[wid] = \
+                    stats.per_worker_wait.get(wid, 0.0) + wait_s
                 if status == "ok":
                     append_journal(journal, payload)
                     envelopes[idx] = payload
@@ -472,30 +552,45 @@ def run_sweep(units: Sequence[WorkUnit], jobs: int = 1,
             raise SweepError(
                 f"work unit {unit.label()} failed in a worker:\n{detail}")
 
-    # fold journal entries back in (worker id -1 marks "not run now")
-    outcomes: list[UnitOutcome] = []
-    views: list[StoreView] = []
-    for idx, unit in enumerate(ordered):
-        if idx in envelopes:
-            env = envelopes[idx]
-            outcome = UnitOutcome(unit=unit, result=env.result,
-                                  spans=env.spans, store=env.store,
-                                  worker=workers_of.get(idx, 0))
-        else:
-            env = journaled[unit.key()]
-            outcome = UnitOutcome(unit=unit, result=env.result,
-                                  spans=env.spans, store=env.store,
-                                  worker=-1, from_journal=True)
-        outcomes.append(outcome)
-        views.append(env.store)
-        if ctx.ship_artifacts:
-            STORE.absorb(env.store)
+    # fold journal entries back in (worker id -1 marks "not run now");
+    # metrics snapshots absorb into the ambient registry in unit order,
+    # the same deterministic fold the store and spans get
+    registry = current_registry()
+    with obs.span("sweep.merge", "harness.merge", units=len(ordered)):
+        outcomes: list[UnitOutcome] = []
+        views: list[StoreView] = []
+        for idx, unit in enumerate(ordered):
+            if idx in envelopes:
+                env = envelopes[idx]
+                outcome = UnitOutcome(unit=unit, result=env.result,
+                                      spans=env.spans, store=env.store,
+                                      worker=workers_of.get(idx, 0))
+            else:
+                env = journaled[unit.key()]
+                outcome = UnitOutcome(unit=unit, result=env.result,
+                                      spans=env.spans, store=env.store,
+                                      worker=-1, from_journal=True)
+            outcomes.append(outcome)
+            views.append(env.store)
+            if ctx.ship_artifacts:
+                STORE.absorb(env.store)
+            snap = getattr(env, "metrics", None)  # pre-metrics journals
+            if registry is not None and snap is not None:
+                registry.absorb(snap)
 
-    stats.units_executed = len(envelopes)
-    for idx, wid in workers_of.items():
-        stats.per_worker[wid] = stats.per_worker.get(wid, 0) + 1
-    stats.store = merge_view_stats(views)
+        stats.units_executed = len(envelopes)
+        for idx, wid in workers_of.items():
+            stats.per_worker[wid] = stats.per_worker.get(wid, 0) + 1
+        stats.store = merge_view_stats(views)
     stats.elapsed_s = time.perf_counter() - t0
+    if registry is not None:
+        store = stats.store
+        registry.set_gauge("sweep_workers", stats.jobs,
+                           help="worker processes in the last sweep")
+        registry.inc("store_hits", store.get("hits", 0),
+                     help="artifact-store cache hits", deterministic=True)
+        registry.inc("store_misses", store.get("misses", 0),
+                     help="artifact-store cache misses", deterministic=True)
     return SweepResult(outcomes=outcomes, stats=stats)
 
 
@@ -546,6 +641,57 @@ def evaluation_units(benchmarks: Optional[Sequence[str]] = None,
             if flags:
                 units.append(WorkUnit(kind="eval", bench=bench, model=model,
                                       flags=tuple(flags), seq=len(units)))
+    return units
+
+
+def selfprof_units(benchmarks: Optional[Sequence[str]] = None,
+                   ) -> list[WorkUnit]:
+    """A stratified workload for harness self-profiling.
+
+    Every (bench, model) pair appears in exactly **one** unit — the
+    partition invariant the deterministic metrics export rests on (a
+    pair compiled by two units would hit the artifact cache under
+    ``--jobs 1`` but recompile on a cold worker store under
+    ``--jobs 4``, making pass-run counts scheduling-dependent).  Unit
+    kinds are round-robined across pairs so every harness phase shows
+    up in the trace: compile (all kinds), analyze (lint/tv/xfer/
+    locality), execute (exec units drive the interpreting executor),
+    simulate (eval profiles), merge and harness (the engine itself).
+    """
+    from repro.benchmarks.registry import BENCHMARK_ORDER
+    from repro.harness.runner import FIGURE1_MODELS, TABLE2_MODELS
+
+    benches = list(benchmarks) if benchmarks is not None \
+        else list(BENCHMARK_ORDER)
+    model_order = list(TABLE2_MODELS) + [m for m in FIGURE1_MODELS
+                                         if m not in TABLE2_MODELS]
+    kinds = ("eval", "lint", "tv", "xfer", "locality", "exec")
+    units: list[WorkUnit] = []
+    rr = 0
+    for bench in benches:
+        for model in model_order:
+            directive = model in TABLE2_MODELS
+            fig1 = model in FIGURE1_MODELS
+            kind = "eval"
+            for probe in range(len(kinds)):
+                kind = kinds[(rr + probe) % len(kinds)]
+                if kind in ("lint", "xfer") and not directive:
+                    continue          # those suites only cover directives
+                if kind == "exec" and not fig1:
+                    continue          # exec needs a runnable Figure 1 port
+                break
+            rr += 1
+            if kind == "eval":
+                flags: list[str] = []
+                if directive:
+                    flags.append("coverage")
+                if fig1:
+                    flags.extend(["speedups", "profile"])
+                units.append(WorkUnit(kind="eval", bench=bench, model=model,
+                                      flags=tuple(flags), seq=len(units)))
+            else:
+                units.append(WorkUnit(kind=kind, bench=bench, model=model,
+                                      seq=len(units)))
     return units
 
 

@@ -1,0 +1,65 @@
+"""Collapsed-stack flamegraph export for harness span trees.
+
+Writes the folded format consumed by Brendan Gregg's ``flamegraph.pl``
+and by speedscope's "Brendan Gregg's collapsed stack" importer::
+
+    root;child;grandchild 1234
+
+One line per unique root-to-leaf span path; the count is the path's
+**self time** in integer microseconds, so the rendered flame widths sum
+to total measured work without double-counting parent frames.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.obs.selfprof import self_times
+from repro.obs.tracer import Span
+
+
+def _frame(span: Span) -> str:
+    """One frame label; the folded format reserves ``;`` and space."""
+    name = span.name.replace(";", ",").replace(" ", "_")
+    return name if name else "(anonymous)"
+
+
+def collapsed_stacks(spans: Sequence[Span]) -> dict[str, int]:
+    """Fold a span forest into ``{stack: self_usec}`` rows.
+
+    Zero-weight rows are dropped (a frame with children and no self
+    time still appears as the prefix of its children's stacks).  Rows
+    come back sorted for reproducible files.
+    """
+    by_id = {sp.span_id: sp for sp in spans}
+    selfs = self_times(spans)
+    stacks: dict[str, int] = {}
+    for sp in spans:
+        usec = int(round(selfs[sp.span_id] * 1e6))
+        if usec <= 0:
+            continue
+        frames = [_frame(sp)]
+        cursor = sp
+        while cursor.parent_id is not None:
+            parent = by_id.get(cursor.parent_id)
+            if parent is None:        # orphaned payload span: keep partial
+                break
+            frames.append(_frame(parent))
+            cursor = parent
+        stack = ";".join(reversed(frames))
+        stacks[stack] = stacks.get(stack, 0) + usec
+    return dict(sorted(stacks.items()))
+
+
+def render_collapsed(spans: Sequence[Span]) -> str:
+    """The full folded file as one string (trailing newline included)."""
+    rows = collapsed_stacks(spans)
+    return "".join(f"{stack} {usec}\n" for stack, usec in rows.items())
+
+
+def write_collapsed(path: str, spans: Iterable[Span]) -> int:
+    """Write the folded file; returns the number of stack rows."""
+    text = render_collapsed(list(spans))
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return 0 if not text else text.count("\n")

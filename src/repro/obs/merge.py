@@ -24,6 +24,8 @@ def merge_span_payloads(payloads: Sequence[Sequence[Mapping[str, Any]]],
                         manifest: Optional[RunManifest] = None,
                         root_name: Optional[str] = None,
                         root_category: str = "harness",
+                        lanes: Optional[Sequence[int]] = None,
+                        wall_s: Optional[float] = None,
                         **root_attrs: Any) -> Tracer:
     """Fold ordered per-unit span payloads into one fresh tracer.
 
@@ -32,6 +34,20 @@ def merge_span_payloads(payloads: Sequence[Sequence[Mapping[str, Any]]],
     When ``root_name`` is given, a synthetic root span is opened and all
     payload roots are re-parented under it — mirroring the enclosing
     ``profile.suite`` span the serial sweep produces.
+
+    ``lanes`` (one worker id per payload, ``-1`` for journal-resumed
+    units) assigns each payload a timeline lane: spans get
+    ``tid = worker + 1`` and each unit's worker-local clock is shifted
+    to start where the lane's previous unit ended, so a Chrome export
+    shows per-worker flames laid end to end instead of every unit
+    overlapping at ``t=0`` in one lane.
+
+    The synthetic root records **both** time totals: ``dur_s`` is the
+    true wall-clock of the sweep (``wall_s`` when the caller measured
+    it, else the longest lane), and ``attrs["total_work_s"]`` is the
+    sum of per-unit durations across workers.  The two only coincide
+    for a serial sweep — reporting summed worker time as the root
+    duration overstates elapsed time for any ``--jobs > 1``.
     """
     tracer = Tracer(manifest=manifest)
     parent_id: Optional[int] = None
@@ -43,16 +59,45 @@ def merge_span_payloads(payloads: Sequence[Sequence[Mapping[str, Any]]],
         tracer._next_id += 1
         tracer.spans.append(root)
         parent_id = root.span_id
-    total = 0.0
-    for payload in payloads:
-        for sp in tracer.absorb_spans(list(payload), parent_id=parent_id):
-            if sp.parent_id == parent_id and sp.dur_s is not None:
-                total += sp.dur_s
+    total, longest = absorb_payloads(tracer, payloads, parent_id=parent_id,
+                                     lanes=lanes)
     if root is not None:
-        # the synthetic root's duration is the sum of its children's
-        # worker-local durations (total work, not wall clock)
-        root.dur_s = total
+        elapsed = wall_s if wall_s is not None else longest
+        root.dur_s = elapsed
+        root.attrs["total_work_s"] = round(total, 6)
+        root.attrs["wall_s"] = round(elapsed, 6)
     return tracer
+
+
+def absorb_payloads(tracer: Tracer,
+                    payloads: Sequence[Sequence[Mapping[str, Any]]],
+                    parent_id: Optional[int] = None,
+                    lanes: Optional[Sequence[int]] = None,
+                    ) -> tuple[float, float]:
+    """Absorb ordered payloads into a live tracer, laid out per lane.
+
+    Returns ``(total_work_s, longest_lane_s)`` — the summed duration of
+    absorbed payload roots, and the end time of the busiest lane (a
+    lower bound on elapsed wall clock when the caller didn't measure
+    it).  The CLI uses this to pull sweep payloads into the *ambient*
+    tracer so they land next to parent-side spans (``sweep.merge``).
+    """
+    total = 0.0
+    cursor: dict[int, float] = {}   # lane → end of its last unit
+    for i, payload in enumerate(payloads):
+        lane = lanes[i] if lanes is not None and i < len(lanes) else -1
+        tid = lane + 1 if lane >= 0 else 0
+        shift = cursor.get(tid, 0.0)
+        end = shift
+        for sp in tracer.absorb_spans(list(payload), parent_id=parent_id,
+                                      tid=tid, t_shift_s=shift):
+            if sp.dur_s is None:
+                continue
+            if sp.parent_id == parent_id:
+                total += sp.dur_s
+            end = max(end, sp.t0_s + sp.dur_s)
+        cursor[tid] = end
+    return total, max(cursor.values(), default=0.0)
 
 
 def counter_totals(spans: Iterable[Span]) -> dict[str, float]:

@@ -1,0 +1,418 @@
+"""First-class metrics registry: labeled counters, gauges, histograms.
+
+Where :mod:`repro.obs.tracer` answers "what happened, in what order,
+inside this run", this module answers "how much, how often, how slow —
+across runs and workers".  Instrumented code records into an *ambient*
+registry (a :mod:`contextvars` variable, mirroring the tracer) through
+the module-level :func:`inc` / :func:`observe` / :func:`set_gauge`
+helpers, which are no-ops unless a registry is installed with
+:func:`collecting`.
+
+Three metric kinds:
+
+* **counter** — monotonically increasing total (``inc``); merged by
+  summation;
+* **gauge** — last-known level (``set_gauge``); merged by maximum (the
+  only associative, commutative, order-free choice that still means
+  something for "peak workers busy"-style series);
+* **histogram** — every observation is kept, so ``p50/p90/p99/max``
+  are **exact** (nearest-rank over the sorted sample, no bucket
+  boundary error); merged by concatenation.  The sample sets here are
+  bounded (one entry per pass run / kernel launch / request), so exact
+  beats approximate sketches at no meaningful cost.
+
+Families are declared ``deterministic=True`` when their merged values
+are a pure function of the work graph — counts of pass runs, units,
+interpreted launches — and therefore must be **byte-identical for any
+``--jobs`` value** (the parallel engine partitions the work, and sums
+are permutation-invariant).  Wall-clock families (every ``*_seconds``
+histogram) are declared non-deterministic and excluded from the
+deterministic export that CI diffs across worker counts.
+
+Cross-process merge follows the PR 5 absorb idiom: workers snapshot
+(:meth:`MetricsRegistry.snapshot` → picklable), the parent absorbs in
+unit order (:meth:`MetricsRegistry.absorb`).  Export as canonical JSON
+(:meth:`to_dict` + :func:`render_metrics_json`) or OpenMetrics /
+Prometheus text exposition (:meth:`to_openmetrics`).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Optional, Sequence, Union
+
+_REGISTRY: contextvars.ContextVar[Optional["MetricsRegistry"]] = \
+    contextvars.ContextVar("repro_obs_metrics", default=None)
+
+METRICS_SCHEMA = 1
+
+#: the exact quantiles every histogram reports
+QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50), ("p90", 0.90), ("p99", 0.99),
+)
+
+Number = Union[int, float]
+LabelsTuple = tuple[tuple[str, str], ...]
+
+
+def _labels_key(labels: Optional[Mapping[str, Any]]) -> LabelsTuple:
+    """Canonical, hashable, sorted label set."""
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+def exact_quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Nearest-rank quantile over an already-sorted sample.
+
+    The reference definition the property tests compare against:
+    the smallest value such that at least ``q * n`` observations are
+    less than or equal to it (``q = 0`` gives the minimum).
+    """
+    n = len(sorted_values)
+    if n == 0:
+        raise ValueError("quantile of an empty sample")
+    rank = math.ceil(q * n)
+    return float(sorted_values[max(0, min(n - 1, rank - 1))])
+
+
+# ---------------------------------------------------------------------------
+# Series
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Counter:
+    """A summable total."""
+
+    value: float = 0.0
+
+    def inc(self, amount: Number = 1) -> None:
+        self.value += amount
+
+
+@dataclass
+class Gauge:
+    """A last-known level (merged across workers by max)."""
+
+    value: float = 0.0
+    _set: bool = False
+
+    def set(self, value: Number) -> None:
+        self.value = float(value)
+        self._set = True
+
+    def merge(self, value: Number) -> None:
+        self.value = max(self.value, float(value)) if self._set \
+            else float(value)
+        self._set = True
+
+
+@dataclass
+class Histogram:
+    """Every observation, kept — quantiles are exact, not sketched."""
+
+    values: list[float] = field(default_factory=list)
+
+    def observe(self, value: Number) -> None:
+        self.values.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def sum(self) -> float:
+        return float(sum(self.values))
+
+    def quantiles(self) -> dict[str, float]:
+        """``{"p50": .., "p90": .., "p99": .., "max": ..}`` (exact)."""
+        if not self.values:
+            return {}
+        ordered = sorted(self.values)
+        out = {name: exact_quantile(ordered, q) for name, q in QUANTILES}
+        out["min"] = ordered[0]
+        out["max"] = ordered[-1]
+        return out
+
+
+Series = Union[Counter, Gauge, Histogram]
+
+_KIND_OF = {Counter: "counter", Gauge: "gauge", Histogram: "histogram"}
+_CLASS_OF = {"counter": Counter, "gauge": Gauge, "histogram": Histogram}
+
+
+@dataclass(frozen=True)
+class Family:
+    """Declaration of one metric family (name → kind + metadata)."""
+
+    name: str
+    kind: str
+    help: str = ""
+    #: merged values are a pure function of the work graph — included
+    #: in the byte-identity export CI diffs across ``--jobs`` values
+    deterministic: bool = False
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """A picklable registry snapshot (the cross-process absorb unit)."""
+
+    families: tuple[tuple[str, str, str, bool], ...] = ()
+    #: (name, labels, payload) — payload is a float for counters and
+    #: gauges, a tuple of observations for histograms
+    series: tuple[tuple[str, LabelsTuple, Any], ...] = ()
+
+
+class MetricsRegistry:
+    """Holds every (family, label set) series of one collection scope."""
+
+    def __init__(self) -> None:
+        self._families: dict[str, Family] = {}
+        self._series: dict[tuple[str, LabelsTuple], Series] = {}
+
+    # -- declaration -----------------------------------------------------
+    def declare(self, name: str, kind: str, help: str = "",
+                deterministic: bool = False) -> Family:
+        fam = self._families.get(name)
+        if fam is not None:
+            if fam.kind != kind:
+                raise ValueError(
+                    f"metric {name!r} already declared as {fam.kind}, "
+                    f"not {kind}")
+            return fam
+        if kind not in _CLASS_OF:
+            raise ValueError(f"unknown metric kind {kind!r}")
+        fam = Family(name=name, kind=kind, help=help,
+                     deterministic=deterministic)
+        self._families[name] = fam
+        return fam
+
+    def _series_for(self, name: str, kind: str,
+                    labels: Optional[Mapping[str, Any]],
+                    help: str, deterministic: bool) -> Series:
+        fam = self.declare(name, kind, help=help,
+                           deterministic=deterministic)
+        key = (name, _labels_key(labels))
+        series = self._series.get(key)
+        if series is None:
+            series = _CLASS_OF[fam.kind]()
+            self._series[key] = series
+        return series
+
+    # -- recording -------------------------------------------------------
+    def inc(self, name: str, amount: Number = 1,
+            labels: Optional[Mapping[str, Any]] = None, help: str = "",
+            deterministic: bool = False) -> None:
+        series = self._series_for(name, "counter", labels, help,
+                                  deterministic)
+        assert isinstance(series, Counter)
+        series.inc(amount)
+
+    def observe(self, name: str, value: Number,
+                labels: Optional[Mapping[str, Any]] = None,
+                help: str = "", deterministic: bool = False) -> None:
+        series = self._series_for(name, "histogram", labels, help,
+                                  deterministic)
+        assert isinstance(series, Histogram)
+        series.observe(value)
+
+    def set_gauge(self, name: str, value: Number,
+                  labels: Optional[Mapping[str, Any]] = None,
+                  help: str = "", deterministic: bool = False) -> None:
+        series = self._series_for(name, "gauge", labels, help,
+                                  deterministic)
+        assert isinstance(series, Gauge)
+        series.set(value)
+
+    # -- queries ---------------------------------------------------------
+    def get(self, name: str,
+            labels: Optional[Mapping[str, Any]] = None) -> Optional[Series]:
+        return self._series.get((name, _labels_key(labels)))
+
+    def families(self) -> tuple[Family, ...]:
+        return tuple(self._families[n] for n in sorted(self._families))
+
+    def series_of(self, name: str) -> list[tuple[LabelsTuple, Series]]:
+        return sorted(((labels, s) for (n, labels), s
+                       in self._series.items() if n == name),
+                      key=lambda item: item[0])
+
+    # -- cross-process merge (the absorb idiom) --------------------------
+    def snapshot(self) -> MetricsSnapshot:
+        families = tuple(
+            (f.name, f.kind, f.help, f.deterministic)
+            for f in self.families())
+        series: list[tuple[str, LabelsTuple, Any]] = []
+        for (name, labels) in sorted(self._series):
+            s = self._series[(name, labels)]
+            if isinstance(s, Histogram):
+                payload: Any = tuple(s.values)
+            else:
+                payload = s.value
+            series.append((name, labels, payload))
+        return MetricsSnapshot(families=families, series=tuple(series))
+
+    def absorb(self, snapshot: MetricsSnapshot) -> None:
+        """Merge a worker snapshot: counters sum, gauges max, histogram
+        samples concatenate.  Deterministic families stay jobs-invariant
+        because the work-unit graph partitions the work and these merges
+        are associative and commutative."""
+        for name, kind, help, deterministic in snapshot.families:
+            self.declare(name, kind, help=help, deterministic=deterministic)
+        for name, labels, payload in snapshot.series:
+            fam = self._families[name]
+            key = (name, labels)
+            series = self._series.get(key)
+            if series is None:
+                series = _CLASS_OF[fam.kind]()
+                self._series[key] = series
+            if isinstance(series, Counter):
+                series.inc(payload)
+            elif isinstance(series, Gauge):
+                series.merge(payload)
+            else:
+                series.values.extend(payload)
+
+    # -- exports ---------------------------------------------------------
+    def to_dict(self, deterministic_only: bool = False) -> dict:
+        """Canonical nested export, sorted by family then label set.
+
+        With ``deterministic_only=True`` only families declared
+        deterministic appear — rendered with
+        :func:`render_metrics_json`, the document is byte-identical for
+        any ``--jobs`` value (the CI gate diffs exactly this).
+        """
+        out: dict[str, Any] = {"schema": METRICS_SCHEMA, "metrics": {}}
+        for fam in self.families():
+            if deterministic_only and not fam.deterministic:
+                continue
+            rows = []
+            for labels, series in self.series_of(fam.name):
+                row: dict[str, Any] = {"labels": dict(labels)}
+                if isinstance(series, Histogram):
+                    row["count"] = series.count
+                    row["sum"] = round(series.sum, 9)
+                    row.update({k: round(v, 9)
+                                for k, v in series.quantiles().items()})
+                else:
+                    value = series.value
+                    row["value"] = int(value) if float(value).is_integer() \
+                        else value
+                rows.append(row)
+            out["metrics"][fam.name] = {
+                "type": fam.kind, "help": fam.help,
+                "deterministic": fam.deterministic, "series": rows}
+        return out
+
+    def to_openmetrics(self) -> str:
+        """Prometheus/OpenMetrics text exposition.
+
+        Counters get the ``_total`` suffix, histograms are exposed as
+        summaries with exact ``quantile`` labels plus ``_sum`` and
+        ``_count``, gauges are plain samples.  Ends with ``# EOF`` per
+        the OpenMetrics spec.
+        """
+        def fmt_labels(labels: LabelsTuple,
+                       extra: Optional[tuple[str, str]] = None) -> str:
+            pairs = list(labels) + ([extra] if extra else [])
+            if not pairs:
+                return ""
+            body = ",".join(
+                f'{k}="{_escape_label(v)}"' for k, v in pairs)
+            return "{" + body + "}"
+
+        lines: list[str] = []
+        for fam in self.families():
+            om_type = {"counter": "counter", "gauge": "gauge",
+                       "histogram": "summary"}[fam.kind]
+            if fam.help:
+                lines.append(f"# HELP {fam.name} {fam.help}")
+            lines.append(f"# TYPE {fam.name} {om_type}")
+            for labels, series in self.series_of(fam.name):
+                if isinstance(series, Counter):
+                    lines.append(f"{fam.name}_total{fmt_labels(labels)} "
+                                 f"{_fmt_value(series.value)}")
+                elif isinstance(series, Gauge):
+                    lines.append(f"{fam.name}{fmt_labels(labels)} "
+                                 f"{_fmt_value(series.value)}")
+                else:
+                    quantiles = series.quantiles()
+                    for qname, q in QUANTILES:
+                        if qname in quantiles:
+                            lines.append(
+                                f"{fam.name}{fmt_labels(labels, ('quantile', f'{q:g}'))} "
+                                f"{_fmt_value(quantiles[qname])}")
+                    lines.append(f"{fam.name}_sum{fmt_labels(labels)} "
+                                 f"{_fmt_value(series.sum)}")
+                    lines.append(f"{fam.name}_count{fmt_labels(labels)} "
+                                 f"{series.count}")
+        lines.append("# EOF")
+        return "\n".join(lines) + "\n"
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace(
+        "\n", "\\n")
+
+
+def _fmt_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_metrics_json(doc: Mapping[str, Any]) -> str:
+    """Canonical serialization — equal documents are equal bytes."""
+    return json.dumps(doc, indent=2, sort_keys=True, allow_nan=False)
+
+
+# ---------------------------------------------------------------------------
+# Ambient-registry helpers (the only API instrumented code touches)
+# ---------------------------------------------------------------------------
+
+@contextlib.contextmanager
+def collecting(registry: MetricsRegistry) -> Iterator[MetricsRegistry]:
+    """Install ``registry`` as the ambient registry for the block."""
+    token = _REGISTRY.set(registry)
+    try:
+        yield registry
+    finally:
+        _REGISTRY.reset(token)
+
+
+def current_registry() -> Optional[MetricsRegistry]:
+    return _REGISTRY.get()
+
+
+def inc(name: str, amount: Number = 1,
+        labels: Optional[Mapping[str, Any]] = None, help: str = "",
+        deterministic: bool = False) -> None:
+    """Increment a counter on the ambient registry (no-op untracked)."""
+    registry = _REGISTRY.get()
+    if registry is not None:
+        registry.inc(name, amount, labels=labels, help=help,
+                     deterministic=deterministic)
+
+
+def observe(name: str, value: Number,
+            labels: Optional[Mapping[str, Any]] = None, help: str = "",
+            deterministic: bool = False) -> None:
+    """Record a histogram observation on the ambient registry."""
+    registry = _REGISTRY.get()
+    if registry is not None:
+        registry.observe(name, value, labels=labels, help=help,
+                         deterministic=deterministic)
+
+
+def set_gauge(name: str, value: Number,
+              labels: Optional[Mapping[str, Any]] = None, help: str = "",
+              deterministic: bool = False) -> None:
+    """Set a gauge on the ambient registry."""
+    registry = _REGISTRY.get()
+    if registry is not None:
+        registry.set_gauge(name, value, labels=labels, help=help,
+                          deterministic=deterministic)

@@ -167,6 +167,8 @@ def profile_suite(models: Optional[Sequence[str]] = None,
         tracer = merge_span_payloads(sweep.span_payloads(),
                                      manifest=manifest,
                                      root_name="profile.suite",
+                                     lanes=[o.worker for o in sweep.outcomes],
+                                     wall_s=sweep.stats.elapsed_s,
                                      scale=scale)
         return profiles, tracer
     tracer = Tracer(manifest=manifest)

@@ -56,14 +56,21 @@ class Span:
     dur_s: Optional[float] = None
     attrs: dict[str, Any] = field(default_factory=dict)
     counters: dict[str, Any] = field(default_factory=dict)
+    #: timeline lane for merged documents: 0 = the main process,
+    #: ``worker + 1`` for spans absorbed from sweep worker ``worker``.
+    #: Timing metadata like ``t0_s`` — never part of determinism diffs.
+    tid: int = 0
 
     def to_dict(self) -> dict:
-        return {"type": "span", "id": self.span_id,
-                "parent": self.parent_id, "name": self.name,
-                "cat": self.category, "t0_us": round(self.t0_s * 1e6, 3),
-                "dur_us": (round(self.dur_s * 1e6, 3)
-                           if self.dur_s is not None else None),
-                "attrs": self.attrs, "counters": self.counters}
+        d = {"type": "span", "id": self.span_id,
+             "parent": self.parent_id, "name": self.name,
+             "cat": self.category, "t0_us": round(self.t0_s * 1e6, 3),
+             "dur_us": (round(self.dur_s * 1e6, 3)
+                        if self.dur_s is not None else None),
+             "attrs": self.attrs, "counters": self.counters}
+        if self.tid:
+            d["tid"] = self.tid
+        return d
 
     @classmethod
     def from_dict(cls, d: Mapping[str, Any]) -> "Span":
@@ -73,7 +80,8 @@ class Span:
                    t0_s=d["t0_us"] / 1e6,
                    dur_s=dur / 1e6 if dur is not None else None,
                    attrs=dict(d.get("attrs", {})),
-                   counters=dict(d.get("counters", {})))
+                   counters=dict(d.get("counters", {})),
+                   tid=d.get("tid", 0))
 
 
 @dataclass(frozen=True)
@@ -198,15 +206,19 @@ class Tracer:
             self._stack[-1].counters[key] = value
 
     def absorb_spans(self, records: Sequence[Any],
-                     parent_id: Optional[int] = None) -> list[Span]:
+                     parent_id: Optional[int] = None,
+                     tid: int = 0, t_shift_s: float = 0.0) -> list[Span]:
         """Append foreign spans (dicts or :class:`Span`) under fresh ids.
 
         The parallel sweep engine merges per-worker traces with this:
         worker-local span ids are remapped into this tracer's id space,
         parent links inside the payload are preserved, and payload roots
-        are re-parented under ``parent_id`` (or stay roots).  Spans keep
-        their worker-local clocks — merged documents interleave, they do
-        not pretend one serial timeline.
+        are re-parented under ``parent_id`` (or stay roots).  ``tid``
+        tags the absorbed spans with a timeline lane (one per worker)
+        and ``t_shift_s`` offsets their worker-local clocks, so a merged
+        Chrome trace lays each worker's units end to end in its own lane
+        instead of piling every unit at ``t=0`` of one lane.  Both are
+        timing metadata — names, attrs, and counters are untouched.
         """
         mapping: dict[int, int] = {}
         absorbed: list[Span] = []
@@ -215,8 +227,9 @@ class Tracer:
             sp = Span(span_id=self._next_id,
                       parent_id=mapping.get(src.parent_id, parent_id),
                       name=src.name, category=src.category,
-                      t0_s=src.t0_s, dur_s=src.dur_s,
-                      attrs=dict(src.attrs), counters=dict(src.counters))
+                      t0_s=src.t0_s + t_shift_s, dur_s=src.dur_s,
+                      attrs=dict(src.attrs), counters=dict(src.counters),
+                      tid=tid if tid else src.tid)
             self._next_id += 1
             mapping[src.span_id] = sp.span_id
             self.spans.append(sp)
@@ -246,19 +259,33 @@ class Tracer:
                 handle.write(json.dumps(record) + "\n")
 
     def chrome_events(self, pid: int = 0) -> list[dict]:
-        """Wall-clock spans as Chrome-trace events (one flame per pid)."""
+        """Wall-clock spans as Chrome-trace events.
+
+        Spans absorbed from parallel sweep workers carry a ``tid`` lane
+        (``worker + 1``); each lane renders as its own thread track with
+        a ``worker N`` name, so merged traces show N concurrent worker
+        flames instead of one overlapped pile.
+        """
         events: list[dict] = [
             {"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
              "args": {"name": "host (wall clock)"}},
             {"name": "process_sort_index", "ph": "M", "pid": pid, "tid": 0,
              "args": {"sort_index": -1}},
         ]
+        for tid in sorted({sp.tid for sp in self.spans}):
+            events.append({
+                "name": "thread_name", "ph": "M", "pid": pid, "tid": tid,
+                "args": {"name": "main" if tid == 0
+                         else f"worker {tid - 1}"}})
+            events.append({
+                "name": "thread_sort_index", "ph": "M", "pid": pid,
+                "tid": tid, "args": {"sort_index": tid}})
         for sp in self.spans:
             events.append({
                 "name": sp.name, "ph": "X", "cat": sp.category or "span",
                 "ts": sp.t0_s * 1e6,
                 "dur": (sp.dur_s if sp.dur_s is not None else 0.0) * 1e6,
-                "pid": pid, "tid": 0,
+                "pid": pid, "tid": sp.tid,
                 "args": {**sp.attrs, **sp.counters},
             })
         return events

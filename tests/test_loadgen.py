@@ -1,0 +1,122 @@
+"""Load generator: seeded streams, cold/warm replay, smoke gate.
+
+The PR's acceptance bar: ``loadgen`` must report p50/p99 latency and
+throughput for a cold and a warm ArtifactStore phase, and the warm
+phase must show a non-zero store hit rate (the ``--smoke`` CI gate).
+"""
+
+import json
+
+import pytest
+
+from repro.harness.cli import main as cli_main
+from repro.harness.loadgen import (DEFAULT_MIX, MixError, build_stream,
+                                   parse_mix, run_loadgen)
+from repro.models.cache import clear_compile_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_store():
+    clear_compile_cache()
+    yield
+    clear_compile_cache()
+
+
+class TestParseMix:
+    def test_default_mix_parses(self):
+        assert parse_mix(DEFAULT_MIX) == {"compile": 6, "run": 3, "exec": 1}
+
+    @pytest.mark.parametrize("bad", [
+        "compile",                # no weight
+        "compile=x",              # non-integer
+        "compile=-1",             # negative
+        "teleport=3",             # unknown kind
+        "compile=0,run=0",        # selects nothing
+        "",                       # empty
+    ])
+    def test_bad_specs_raise(self, bad):
+        with pytest.raises(MixError):
+            parse_mix(bad)
+
+    def test_mix_error_is_a_value_error(self):
+        assert issubclass(MixError, ValueError)
+
+
+class TestBuildStream:
+    def test_pure_function_of_seed(self):
+        a = build_stream(30, seed=7, mix=DEFAULT_MIX)
+        b = build_stream(30, seed=7, mix=DEFAULT_MIX)
+        c = build_stream(30, seed=8, mix=DEFAULT_MIX)
+        assert a == b
+        assert a != c
+        assert len(a) == 30
+
+    def test_mix_restricts_kinds(self):
+        stream = build_stream(50, seed=0, mix="compile=1")
+        assert {r.kind for r in stream} == {"compile"}
+
+    def test_bench_and_model_pools_honoured(self):
+        stream = build_stream(20, seed=0, mix=DEFAULT_MIX,
+                              benchmarks=["JACOBI"], models=["OpenACC"])
+        assert all(r.bench == "JACOBI" and r.model == "OpenACC"
+                   for r in stream)
+
+
+class TestRunLoadgen:
+    @pytest.fixture(scope="class")
+    def report(self):
+        clear_compile_cache()
+        return run_loadgen(requests=12, seed=0, scale="test",
+                           benchmarks=["JACOBI", "EP"])
+
+    def test_smoke_clean_and_warm_hits(self, report):
+        assert report.smoke_failures() == []
+        assert report.warm.store_hits > 0
+        assert report.warm.hit_rate > 0
+
+    def test_both_phases_serve_every_request(self, report):
+        assert report.cold.n == report.warm.n == 12
+
+    def test_quantiles_ordered(self, report):
+        for phase in (report.cold, report.warm):
+            q = phase.overall.quantiles()
+            assert q["min"] <= q["p50"] <= q["p90"] <= q["p99"] <= q["max"]
+            assert phase.throughput_rps > 0
+
+    def test_to_dict_shape(self, report):
+        doc = report.to_dict()
+        assert [p["phase"] for p in doc["phases"]] == ["cold", "warm"]
+        cold = doc["phases"][0]
+        assert {"p50", "p90", "p99", "max"} <= set(cold["latency_s"])
+        assert cold["store"]["hit_rate"] <= doc["phases"][1]["store"][
+            "hit_rate"]
+        json.dumps(doc, allow_nan=False)   # JSON-safe
+
+    def test_render_mentions_both_phases(self, report):
+        text = report.render()
+        assert "cold" in text and "warm" in text
+        assert "p50" in text
+
+
+class TestLoadgenCli:
+    def test_smoke_gate_passes(self, capsys):
+        rc = cli_main(["loadgen", "--requests", "8", "--smoke"])
+        assert rc == 0
+        err = capsys.readouterr().err
+        assert "loadgen smoke: ok" in err
+
+    def test_json_document(self, capsys):
+        rc = cli_main(["loadgen", "--requests", "6", "--seed", "3",
+                       "--json"])
+        assert rc == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["seed"] == 3
+        assert len(doc["phases"]) == 2
+
+    def test_bad_mix_is_usage_error(self, capsys):
+        assert cli_main(["loadgen", "--mix", "teleport=3"]) == 2
+        assert "teleport" in capsys.readouterr().err
+
+    def test_zero_requests_is_usage_error(self, capsys):
+        assert cli_main(["loadgen", "--requests", "0"]) == 2
+        capsys.readouterr()

@@ -1,0 +1,247 @@
+"""Metrics registry: exact quantiles, merge laws, exports.
+
+The property section pins the two contracts the deterministic export
+rests on: nearest-rank quantiles match the sorted-list reference
+definition, and snapshot/absorb merging is associative, commutative,
+and partition-invariant — which is exactly why ``--jobs N`` cannot
+change a deterministic family's value.
+"""
+
+import json
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import (Counter, Gauge, Histogram, MetricsRegistry,
+                               collecting, current_registry, exact_quantile,
+                               inc, observe, render_metrics_json, set_gauge)
+
+
+class TestExactQuantile:
+    def test_reference_values(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert exact_quantile(values, 0.50) == 2.0
+        assert exact_quantile(values, 0.90) == 4.0
+        assert exact_quantile(values, 0.99) == 4.0
+        assert exact_quantile([7.0], 0.5) == 7.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            exact_quantile([], 0.5)
+
+    @given(st.lists(st.floats(allow_nan=False, allow_infinity=False,
+                              width=32), min_size=1, max_size=200),
+           st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_sorted_list_reference(self, values, q):
+        """Nearest rank: the smallest element with >= q*n at or below."""
+        ordered = sorted(values)
+        got = exact_quantile(ordered, q)
+        n = len(ordered)
+        rank = max(1, math.ceil(q * n))
+        assert got == ordered[rank - 1]
+        # the result is always an actual observation, never interpolated
+        assert got in ordered
+
+
+class TestSeries:
+    def test_counter_sums(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_gauge_set_then_merge_max(self):
+        g = Gauge()
+        g.set(3)
+        g.merge(1)
+        assert g.value == 3.0
+        g.merge(9)
+        assert g.value == 9.0
+
+    def test_gauge_merge_into_unset_takes_value(self):
+        g = Gauge()
+        g.merge(-5)
+        assert g.value == -5.0   # not max(0.0, -5)
+
+    def test_histogram_quantiles(self):
+        h = Histogram()
+        for v in (5.0, 1.0, 3.0, 2.0, 4.0):
+            h.observe(v)
+        q = h.quantiles()
+        assert q["p50"] == 3.0
+        assert q["min"] == 1.0 and q["max"] == 5.0
+        assert h.count == 5 and h.sum == 15.0
+
+
+class TestRegistry:
+    def test_labels_are_canonicalized(self):
+        reg = MetricsRegistry()
+        reg.inc("runs", labels={"b": "x", "a": "y"})
+        reg.inc("runs", labels={"a": "y", "b": "x"})
+        series = reg.series_of("runs")
+        assert len(series) == 1
+        assert series[0][1].value == 2
+
+    def test_kind_conflict_raises(self):
+        reg = MetricsRegistry()
+        reg.inc("thing")
+        with pytest.raises(ValueError):
+            reg.observe("thing", 1.0)
+
+    def test_deterministic_only_export_filters(self):
+        reg = MetricsRegistry()
+        reg.inc("det", deterministic=True)
+        reg.observe("wall_seconds", 0.5)
+        full = reg.to_dict()
+        det = reg.to_dict(deterministic_only=True)
+        assert set(full["metrics"]) == {"det", "wall_seconds"}
+        assert set(det["metrics"]) == {"det"}
+
+    def test_integral_counters_export_as_int(self):
+        reg = MetricsRegistry()
+        reg.inc("n", 2)
+        row = reg.to_dict()["metrics"]["n"]["series"][0]
+        assert row["value"] == 2 and isinstance(row["value"], int)
+
+    def test_render_is_canonical(self):
+        reg = MetricsRegistry()
+        reg.inc("n", labels={"k": "v"})
+        a = render_metrics_json(reg.to_dict())
+        b = render_metrics_json(json.loads(a))
+        assert a == b
+
+
+class TestAmbientHelpers:
+    def test_noop_without_registry(self):
+        assert current_registry() is None
+        inc("orphan")
+        observe("orphan_seconds", 1.0)
+        set_gauge("orphan_level", 2.0)   # must not raise
+
+    def test_collecting_installs_and_restores(self):
+        reg = MetricsRegistry()
+        with collecting(reg):
+            assert current_registry() is reg
+            inc("runs", labels={"kind": "x"})
+            observe("lat", 0.25)
+            set_gauge("level", 3)
+        assert current_registry() is None
+        assert reg.get("runs", {"kind": "x"}).value == 1
+        assert reg.get("lat").values == [0.25]
+        assert reg.get("level").value == 3.0
+
+
+def _registry_from(events):
+    """Build a registry from (kind, name, value) event tuples.
+
+    Names are namespaced by kind — re-declaring a family under a
+    different kind is a hard error (TestRegistry pins that), not a
+    merge-law concern.
+    """
+    reg = MetricsRegistry()
+    for kind, base, value in events:
+        name = f"{kind}_{base}"
+        if kind == "c":
+            reg.inc(name, value, deterministic=True)
+        elif kind == "g":
+            reg.set_gauge(name, value)
+        else:
+            reg.observe(name, value)
+    return reg
+
+
+_EVENTS = st.lists(
+    st.tuples(st.sampled_from(["c", "g", "h"]),
+              st.sampled_from(["alpha", "beta"]),
+              st.integers(min_value=0, max_value=100).map(float)),
+    max_size=40)
+
+
+def _canonical(reg: MetricsRegistry) -> str:
+    doc = reg.to_dict()
+    # histogram sample *order* differs across merge orders; values are
+    # a multiset, so canonicalize through sorted quantile summaries —
+    # exactly what the JSON export exposes
+    return render_metrics_json(doc)
+
+
+class TestMergeLaws:
+    @given(_EVENTS, _EVENTS)
+    @settings(max_examples=100, deadline=None)
+    def test_absorb_is_commutative_on_exports(self, ev_a, ev_b):
+        ab = MetricsRegistry()
+        ab.absorb(_registry_from(ev_a).snapshot())
+        ab.absorb(_registry_from(ev_b).snapshot())
+        ba = MetricsRegistry()
+        ba.absorb(_registry_from(ev_b).snapshot())
+        ba.absorb(_registry_from(ev_a).snapshot())
+        assert _canonical(ab) == _canonical(ba)
+
+    @given(_EVENTS, _EVENTS, _EVENTS)
+    @settings(max_examples=100, deadline=None)
+    def test_absorb_is_associative(self, ev_a, ev_b, ev_c):
+        left = MetricsRegistry()
+        left.absorb(_registry_from(ev_a).snapshot())
+        left.absorb(_registry_from(ev_b).snapshot())
+        left.absorb(_registry_from(ev_c).snapshot())
+        mid = MetricsRegistry()
+        mid.absorb(_registry_from(ev_a).snapshot())
+        mid.absorb(_registry_from(ev_b).snapshot())
+        right = MetricsRegistry()
+        right.absorb(mid.snapshot())
+        right.absorb(_registry_from(ev_c).snapshot())
+        assert _canonical(left) == _canonical(right)
+
+    @given(st.lists(st.tuples(st.sampled_from(["c", "h"]),
+                              st.sampled_from(["alpha", "beta"]),
+                              st.integers(0, 100).map(float)),
+                    max_size=40),
+           st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100, deadline=None)
+    def test_partition_invariance(self, events, jobs):
+        """Splitting the event stream across N 'workers' and absorbing
+        the shards in order reproduces the serial registry — the
+        jobs-invariance the CI byte-identity gate checks.  Gauges are
+        excluded: last-write (serial) vs max (merge) only agree for
+        monotone series, which is why no gauge family is ever declared
+        deterministic."""
+        serial = _registry_from(events)
+        shards = [events[i::jobs] for i in range(jobs)]
+        merged = MetricsRegistry()
+        for shard in shards:
+            merged.absorb(_registry_from(shard).snapshot())
+        a = serial.to_dict()
+        b = merged.to_dict()
+        # counters + gauges byte-identical; histograms equal as multisets
+        for doc in (a, b):
+            for fam in doc["metrics"].values():
+                for row in fam["series"]:
+                    row.pop("sum", None)   # float addition order differs
+        assert render_metrics_json(a) == render_metrics_json(b)
+
+
+class TestOpenMetrics:
+    def test_exposition_format(self):
+        reg = MetricsRegistry()
+        reg.inc("runs", 3, labels={"kind": "eval"}, help="work units")
+        reg.set_gauge("workers", 4)
+        for v in (0.1, 0.2, 0.3):
+            reg.observe("lat_seconds", v)
+        text = reg.to_openmetrics()
+        assert '# TYPE runs counter' in text
+        assert 'runs_total{kind="eval"} 3' in text
+        assert '# TYPE workers gauge' in text
+        assert "workers 4" in text
+        assert '# TYPE lat_seconds summary' in text
+        assert 'lat_seconds{quantile="0.5"} 0.2' in text
+        assert "lat_seconds_count 3" in text
+        assert text.endswith("# EOF\n")
+
+    def test_label_escaping(self):
+        reg = MetricsRegistry()
+        reg.inc("n", labels={"k": 'a"b\\c'})
+        text = reg.to_openmetrics()
+        assert 'k="a\\"b\\\\c"' in text
