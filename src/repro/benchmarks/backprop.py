@@ -295,4 +295,4 @@ class Backprop(Benchmark):
                 data_regions=data_regions,
                 region_options={r.name: opts for r in prog.regions},
                 notes=("Rodinia CUDA backprop structure",))
-        raise KeyError(f"no BACKPROP port for model {model!r}")
+        return self.derived_port(model, variant)

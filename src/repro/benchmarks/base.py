@@ -109,6 +109,18 @@ class Benchmark(abc.ABC):
         """Tuning variants available for ``model``."""
         return ("best",)
 
+    def derived_port(self, model: str, variant: str = "best") -> PortSpec:
+        """Ports derived through the directive IR, not hand-written.
+
+        ``port`` implementations fall through here for models they have
+        no hand-written annotations for.  Currently the OpenMP-target
+        model is derivable (from the benchmark's OpenMPC annotations via
+        :func:`repro.directives.derive_port`); any other model keeps the
+        historical ``KeyError``.
+        """
+        from repro.directives import derive_port
+        return derive_port(self, model, variant)
+
     # -- execution ---------------------------------------------------------
     def compile(self, model: str, variant: str = "best",
                 elide_transfers: bool = False) -> CompiledProgram:

@@ -199,4 +199,4 @@ class Bfs(Benchmark):
                 notes=("Rodinia-style mask-based CUDA BFS (the faster "
                        "queue-based algorithm is out of scope for all "
                        "models)",))
-        raise KeyError(f"no BFS port for model {model!r}")
+        return self.derived_port(model, variant)

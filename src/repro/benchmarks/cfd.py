@@ -318,4 +318,4 @@ class Cfd(Benchmark):
                 data_regions=(data,),
                 region_options={name: opts for name in regions},
                 notes=("Rodinia euler3d CUDA structure",))
-        raise KeyError(f"no CFD port for model {model!r}")
+        return self.derived_port(model, variant)

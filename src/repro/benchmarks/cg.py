@@ -278,4 +278,4 @@ class Cg(Benchmark):
                 data_regions=(data,),
                 region_options={"spmv_q": spmv_opts, "spmv_r": spmv_opts},
                 notes=("hand CUDA CG with texture-cached gather vectors",))
-        raise KeyError(f"no CG port for model {model!r}")
+        return self.derived_port(model, variant)

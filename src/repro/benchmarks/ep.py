@@ -196,4 +196,4 @@ class Ep(Benchmark):
                 region_options={"ep_main": opts},
                 notes=("two-level tree reduction, no redundant private "
                        "array",))
-        raise KeyError(f"no EP port for model {model!r}")
+        return self.derived_port(model, variant)

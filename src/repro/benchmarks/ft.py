@@ -322,4 +322,4 @@ class Ft(Benchmark):
                 region_options={name: RegionOptions(block_threads=256)
                                 for name in all_regions},
                 notes=("Hpcgpu-project-style FT",))
-        raise KeyError(f"no FT port for model {model!r}")
+        return self.derived_port(model, variant)

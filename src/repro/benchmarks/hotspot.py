@@ -182,4 +182,4 @@ class Hotspot(Benchmark):
                 data_regions=(data,),
                 region_options={"step_ab": opts, "step_ba": opts},
                 notes=("2-D partitioning + shared-memory tiling",))
-        raise KeyError(f"no HOTSPOT port for model {model!r}")
+        return self.derived_port(model, variant)

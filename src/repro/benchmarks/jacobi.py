@@ -217,4 +217,4 @@ class Jacobi(Benchmark):
                 region_options={"stencil": opts,
                                 "copyback": RegionOptions(block_threads=256)},
                 notes=("hand-tuned 2-D tiled kernels",))
-        raise KeyError(f"no JACOBI port for model {model!r}")
+        return self.derived_port(model, variant)

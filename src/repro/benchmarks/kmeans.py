@@ -254,4 +254,4 @@ class Kmeans(Benchmark):
                                 "compute_rmse": assign_opts},
                 notes=("two-level reduction, partials cached in shared "
                        "memory via subscript manipulation",))
-        raise KeyError(f"no KMEANS port for model {model!r}")
+        return self.derived_port(model, variant)

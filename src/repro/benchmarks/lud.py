@@ -175,4 +175,4 @@ class Lud(Benchmark):
                                 "lud_norm": RegionOptions(block_threads=256)},
                 notes=("blocked shared-memory LU (diagonal/perimeter/"
                        "internal kernels)",))
-        raise KeyError(f"no LUD port for model {model!r}")
+        return self.derived_port(model, variant)

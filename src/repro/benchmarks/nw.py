@@ -226,4 +226,4 @@ class Nw(Benchmark):
                 data_regions=(data,),
                 region_options={"block_wave": opts},
                 notes=("16x16 shared-memory tiles along block diagonals",))
-        raise KeyError(f"no NW port for model {model!r}")
+        return self.derived_port(model, variant)

@@ -202,4 +202,4 @@ class Spmul(Benchmark):
                 data_regions=(data,),
                 region_options={"spmv": opts},
                 notes=("CSR-vector style hand kernel, texture-cached x",))
-        raise KeyError(f"no SPMUL port for model {model!r}")
+        return self.derived_port(model, variant)

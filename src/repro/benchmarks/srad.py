@@ -306,4 +306,4 @@ class Srad(Benchmark):
                                 ("extract", "reduce_stats", "diffusion",
                                  "update")},
                 notes=("direct index computation (no subscript arrays)",))
-        raise KeyError(f"no SRAD port for model {model!r}")
+        return self.derived_port(model, variant)

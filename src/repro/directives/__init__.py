@@ -1,0 +1,43 @@
+"""The model-neutral directive IR.
+
+Every directive model in the paper spells the same three ideas
+differently: *parallelism levels* (OpenACC ``gang``/``worker``/``vector``
+versus OpenMP ``teams``/``parallel``/``simd``), *data motion*
+(``copyin``/``copyout``/``create`` versus ``map(to/from/alloc)`` versus
+HMPP ``advancedload``/``delegatedstore``), and *reductions*.  This
+package provides the normalized representation those spellings lower
+to:
+
+* :class:`~repro.directives.ir.RegionDirective` — one region's
+  annotations (offload construct, parallelism, transform requests, and
+  tuning knobs), round-trippable to
+  :class:`~repro.models.base.RegionOptions` without loss;
+* :class:`~repro.directives.ir.DataDirective` — one data-scope
+  annotation, round-trippable to
+  :class:`~repro.models.base.DataRegionSpec`;
+* :class:`~repro.directives.ir.DirectiveBundle` — a whole port's
+  directives, produced by :func:`~repro.directives.ir.normalize_port`.
+
+The shared :class:`~repro.pipeline.passes.Intake` pass lowers every
+compiler's per-region options *through* this IR, so all seven pipelines
+consume one normalized form; :mod:`repro.translate` rewrites bundles
+between models; and :func:`~repro.directives.derive.derive_port`
+mechanically derives the OpenMP-target ports from the OpenMPC
+annotations.
+"""
+
+from repro.directives.ir import (DataDirective, DirectiveBundle,
+                                 ParallelismDirective, RegionDirective,
+                                 TransformDirective, TuningDirective,
+                                 dialect_of, lower_data, lower_options,
+                                 normalize_data, normalize_options,
+                                 normalize_port, spell_levels, spell_motion)
+from repro.directives.derive import derive_port
+
+__all__ = [
+    "ParallelismDirective", "TransformDirective", "TuningDirective",
+    "RegionDirective", "DataDirective", "DirectiveBundle",
+    "normalize_options", "lower_options", "normalize_data", "lower_data",
+    "normalize_port", "dialect_of", "spell_motion", "spell_levels",
+    "derive_port",
+]

@@ -1,0 +1,109 @@
+"""Capability-constrained restriction and mechanical port derivation.
+
+:func:`restrict_region` is the one place a model's
+:class:`~repro.models.features.ModelCapabilities` constrains a region
+directive: clauses the target model cannot express are dropped, each
+drop recorded as a human-readable note (the translator surfaces these
+as gateable warnings).  Restriction never touches *semantic* content —
+data-motion clauses and the offload construct pass through, so semantic
+legality stays with the target compiler's own pipeline passes.
+
+:func:`derive_port` derives the native OpenMP-target port of a
+benchmark from its OpenMPC port: both consume the same OpenMP input
+program, so the port *is* the OpenMPC annotations normalized into the
+directive IR and re-lowered under the OpenMP-target capability set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.directives.ir import (RegionDirective, lower_options,
+                                 normalize_port)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.models.base import PortSpec
+    from repro.models.features import ModelCapabilities
+
+#: the model whose ports are derived rather than hand-written
+OMP_TARGET = "OpenMP-Target"
+
+#: the annotations the derivation starts from (same OpenMP input source)
+_SOURCE_MODEL = "OpenMPC"
+
+
+def restrict_region(directive: RegionDirective,
+                    caps: "ModelCapabilities",
+                    ) -> tuple[RegionDirective, tuple[str, ...]]:
+    """Drop the clauses ``caps`` cannot express; note every drop."""
+    notes: list[str] = []
+    par = directive.parallelism
+    if par.vector_length is not None and not caps.explicit_thread_batching:
+        notes.append(
+            f"{directive.region}: dropped vector_length({par.vector_length})"
+            f" — {caps.name} has no thread-batching directive")
+        par = replace(par, vector_length=None)
+    tr = directive.transforms
+    if (tr.interchange or tr.collapse) and not caps.explicit_loop_transforms:
+        dropped = [label for label, flag
+                   in (("interchange", tr.interchange),
+                       ("collapse", tr.collapse)) if flag]
+        notes.append(
+            f"{directive.region}: dropped {'/'.join(dropped)} request — "
+            f"{caps.name} has no loop-transformation directives")
+        tr = replace(tr, interchange=False, collapse=False)
+    tun = directive.tuning
+    if (tun.placements or tun.tiling) and not caps.explicit_special_memories:
+        notes.append(
+            f"{directive.region}: dropped explicit memory "
+            f"placements/tilings — {caps.name} cannot address special "
+            "memories explicitly")
+        tun = replace(tun, placements=(), tiling=())
+    return (replace(directive, parallelism=par, transforms=tr, tuning=tun),
+            tuple(notes))
+
+
+def derive_port(bench, model: str, variant: str = "best") -> "PortSpec":
+    """Derive a port via the directive IR when no hand-written one exists.
+
+    Currently derives OpenMP-target ports from the OpenMPC annotations;
+    any other model raises the same ``KeyError`` the benchmark's own
+    ``port`` method raises for unknown models.
+    """
+    from repro.models import resolve_model
+
+    try:
+        canonical = resolve_model(model)
+    except KeyError:
+        canonical = ""
+    if canonical != OMP_TARGET:
+        raise KeyError(f"no {bench.name} port for model {model!r}")
+    source_variants = bench.variants(_SOURCE_MODEL)
+    source_variant = variant if variant in source_variants else "best"
+    return omp_target_port(bench.port(_SOURCE_MODEL, source_variant))
+
+
+def omp_target_port(base: "PortSpec") -> "PortSpec":
+    """Re-express an OpenMPC port as an OpenMP 4.5+ target port."""
+    from repro.models.base import PortSpec
+    from repro.models.features import CAPABILITIES
+
+    caps = CAPABILITIES[OMP_TARGET]
+    bundle = normalize_port(base)
+    region_options = {}
+    notes: list[str] = []
+    for name, directive in bundle.regions:
+        restricted, dropped = restrict_region(directive, caps)
+        region_options[name] = lower_options(restricted)
+        notes.extend(dropped)
+    return PortSpec(
+        model=OMP_TARGET, program=base.program,
+        # each OpenMP parallel-for line becomes one target-teams line;
+        # every explicit data scope costs one `target data map(...)` line
+        directive_lines=base.directive_lines + len(base.data_regions),
+        restructured_lines=base.restructured_lines,
+        data_regions=tuple(base.data_regions),
+        region_options=region_options,
+        notes=("derived from the OpenMPC annotations via the directive "
+               "IR",) + tuple(notes))

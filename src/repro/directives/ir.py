@@ -1,0 +1,267 @@
+"""Normalized directive dataclasses and the round-trip converters.
+
+Design constraints:
+
+* **Lossless round trip.**  ``lower_options(normalize_options(o)) == o``
+  for every :class:`~repro.models.base.RegionOptions` a port can carry —
+  including invalid values (an unknown compute construct must survive
+  normalization so the target compiler's own legality pass rejects it
+  with its own wording).  The shared intake pass relies on this: routing
+  all seven pipelines through the IR must be a behavioural no-op.
+* **Neutral vocabulary.**  The IR names concepts, not spellings:
+  ``per-nest``/``fused`` instead of ``kernels``/``parallel`` or
+  ``target teams distribute``; ``to_device``/``to_host``/``device_only``
+  instead of ``copyin``/``map(to:)``/``advancedload``.  The per-dialect
+  spelling tables at the bottom translate back for diagnostics, notes,
+  and the docs' translation matrix.
+* **No heavyweight imports at module scope.**  ``repro.models.base``
+  imports the pass library which imports this module, so the converters
+  import ``RegionOptions``/``DataRegionSpec`` lazily.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.models.base import DataRegionSpec, PortSpec, RegionOptions
+
+
+# ---------------------------------------------------------------------------
+# The IR dataclasses
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class ParallelismDirective:
+    """Normalized parallelism levels for one offloaded region.
+
+    ``levels`` uses the neutral (OpenACC-derived) names; the OpenMP
+    spelling maps gang→teams, worker→parallel, vector→simd (see
+    :data:`LEVEL_SPELLINGS`).  ``vector_length`` is the innermost-level
+    width: OpenACC ``vector_length()``, OpenMP ``thread_limit``, HMPP
+    ``blocksize`` — our :class:`~repro.models.base.RegionOptions`
+    ``block_threads``.
+    """
+
+    levels: tuple[str, ...] = ("gang", "vector")
+    vector_length: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TransformDirective:
+    """Directive-requested loop transformations (HMPP ``permute`` /
+    ``gridify``; only models whose capability set says
+    ``explicit_loop_transforms`` may honor them)."""
+
+    interchange: bool = False
+    collapse: bool = False
+    #: ablation hook: suppress the compiler's automatic transforms
+    suppress_automatic: bool = False
+
+
+@dataclass(frozen=True)
+class TuningDirective:
+    """Model-specific tuning facts a port may attach to a region.
+
+    Mappings are stored as key-sorted tuples so directives hash and
+    compare structurally; :func:`lower_options` rebuilds the dicts.
+    """
+
+    placements: tuple[tuple[str, object], ...] = ()
+    tiling: tuple[object, ...] = ()
+    indirect_carriers: tuple[str, ...] = ()
+    regs_per_thread: int = 24
+    pattern_overrides: tuple[tuple[str, object], ...] = ()
+    private_orientations: tuple[tuple[str, str], ...] = ()
+
+
+@dataclass(frozen=True)
+class RegionDirective:
+    """One region's normalized annotations."""
+
+    region: str
+    #: offload construct: ``per-nest`` (one kernel per loop nest — the
+    #: acc ``kernels`` / PGI compute-region behaviour) or ``fused`` (the
+    #: whole region is a single kernel — acc ``parallel``, OpenMP
+    #: ``target teams``).  Unknown source constructs pass through
+    #: verbatim so the target compiler's legality check still sees them.
+    offload: str = "per-nest"
+    parallelism: ParallelismDirective = field(
+        default_factory=ParallelismDirective)
+    transforms: TransformDirective = field(default_factory=TransformDirective)
+    tuning: TuningDirective = field(default_factory=TuningDirective)
+
+
+@dataclass(frozen=True)
+class DataDirective:
+    """One data-scope annotation in neutral vocabulary.
+
+    ``to_device`` arrays move host→device at scope entry (copyin /
+    ``map(to:)`` / ``advancedload``), ``to_host`` device→host at exit
+    (copyout / ``map(from:)`` / ``delegatedstore``), ``device_only``
+    live on the device (create / ``map(alloc:)`` / resident).
+    """
+
+    scope: str
+    regions: tuple[str, ...]
+    to_device: tuple[str, ...] = ()
+    to_host: tuple[str, ...] = ()
+    device_only: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class DirectiveBundle:
+    """A whole port's directives, detached from any model spelling."""
+
+    model: str
+    regions: tuple[tuple[str, RegionDirective], ...] = ()
+    data: tuple[DataDirective, ...] = ()
+
+    def region(self, name: str) -> Optional[RegionDirective]:
+        for rname, directive in self.regions:
+            if rname == name:
+                return directive
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Round-trip converters
+# ---------------------------------------------------------------------------
+
+#: model construct spelling ↔ neutral offload name (unknowns pass through)
+_CONSTRUCT_TO_NEUTRAL = {"kernels": "per-nest", "parallel": "fused"}
+_NEUTRAL_TO_CONSTRUCT = {v: k for k, v in _CONSTRUCT_TO_NEUTRAL.items()}
+
+
+def _sorted_items(mapping: Mapping) -> tuple:
+    return tuple(sorted(mapping.items(), key=lambda kv: kv[0]))
+
+
+def normalize_options(region: str, opts: "RegionOptions") -> RegionDirective:
+    """Normalize one region's options into the directive IR."""
+    return RegionDirective(
+        region=region,
+        offload=_CONSTRUCT_TO_NEUTRAL.get(opts.construct, opts.construct),
+        parallelism=ParallelismDirective(
+            vector_length=opts.block_threads),
+        transforms=TransformDirective(
+            interchange=opts.request_loop_swap,
+            collapse=opts.request_collapse,
+            suppress_automatic=opts.disable_auto_transforms),
+        tuning=TuningDirective(
+            placements=_sorted_items(opts.placements),
+            tiling=tuple(opts.tiling),
+            indirect_carriers=tuple(opts.indirect_carriers),
+            regs_per_thread=opts.regs_per_thread,
+            pattern_overrides=_sorted_items(opts.pattern_overrides),
+            private_orientations=_sorted_items(opts.private_orientations)))
+
+
+def lower_options(directive: RegionDirective) -> "RegionOptions":
+    """Lower a region directive back to per-model options — the exact
+    inverse of :func:`normalize_options`."""
+    from repro.models.base import RegionOptions
+
+    tuning = directive.tuning
+    return RegionOptions(
+        block_threads=directive.parallelism.vector_length,
+        placements=dict(tuning.placements),
+        tiling=tuple(tuning.tiling),
+        indirect_carriers=tuple(tuning.indirect_carriers),
+        request_loop_swap=directive.transforms.interchange,
+        request_collapse=directive.transforms.collapse,
+        disable_auto_transforms=directive.transforms.suppress_automatic,
+        regs_per_thread=tuning.regs_per_thread,
+        pattern_overrides=dict(tuning.pattern_overrides),
+        private_orientations=dict(tuning.private_orientations),
+        construct=_NEUTRAL_TO_CONSTRUCT.get(directive.offload,
+                                            directive.offload))
+
+
+def normalize_data(spec: "DataRegionSpec") -> DataDirective:
+    """Normalize one data-scope annotation."""
+    return DataDirective(scope=spec.name, regions=tuple(spec.regions),
+                         to_device=tuple(spec.copyin),
+                         to_host=tuple(spec.copyout),
+                         device_only=tuple(spec.create))
+
+
+def lower_data(directive: DataDirective) -> "DataRegionSpec":
+    """Lower a data directive back to a model data region."""
+    from repro.models.base import DataRegionSpec
+
+    return DataRegionSpec(name=directive.scope,
+                          regions=tuple(directive.regions),
+                          copyin=tuple(directive.to_device),
+                          copyout=tuple(directive.to_host),
+                          create=tuple(directive.device_only))
+
+
+def normalize_port(port: "PortSpec") -> DirectiveBundle:
+    """Normalize every directive a port carries.
+
+    Regions without explicit options are omitted — their directive is
+    the default :class:`RegionDirective`, exactly as
+    :meth:`PortSpec.options_for` defaults to ``RegionOptions()``.
+    """
+    return DirectiveBundle(
+        model=port.model,
+        regions=tuple((name, normalize_options(name, opts))
+                      for name, opts in port.region_options.items()),
+        data=tuple(normalize_data(dr) for dr in port.data_regions))
+
+
+# ---------------------------------------------------------------------------
+# Per-dialect spelling (diagnostics, notes, docs)
+# ---------------------------------------------------------------------------
+
+#: data-motion clause spellings per dialect, in (to_device, to_host,
+#: device_only) order
+MOTION_SPELLINGS: Mapping[str, tuple[str, str, str]] = {
+    "acc": ("copyin({})", "copyout({})", "create({})"),
+    "omp": ("map(to: {})", "map(from: {})", "map(alloc: {})"),
+    "hmpp": ("advancedload({})", "delegatedstore({})", "resident({})"),
+}
+
+#: parallelism-level spellings per dialect
+LEVEL_SPELLINGS: Mapping[str, Mapping[str, str]] = {
+    "acc": {"gang": "gang", "worker": "worker", "vector": "vector"},
+    "omp": {"gang": "teams", "worker": "parallel", "vector": "simd"},
+    "hmpp": {"gang": "grid", "worker": "block", "vector": "thread"},
+}
+
+#: which dialect each model spells its directives in
+MODEL_DIALECTS: Mapping[str, str] = {
+    "PGI Accelerator": "acc",
+    "OpenACC": "acc",
+    "HMPP": "hmpp",
+    "OpenMPC": "omp",
+    "OpenMP-Target": "omp",
+    "R-Stream": "acc",
+}
+
+
+def dialect_of(model: str) -> str:
+    """The directive dialect a model spells its annotations in."""
+    return MODEL_DIALECTS.get(model, "acc")
+
+
+def spell_motion(directive: DataDirective, dialect: str) -> tuple[str, ...]:
+    """Render a data directive's clauses in one dialect's spelling."""
+    to_dev, to_host, dev_only = MOTION_SPELLINGS[dialect]
+    clauses = []
+    if directive.to_device:
+        clauses.append(to_dev.format(", ".join(directive.to_device)))
+    if directive.to_host:
+        clauses.append(to_host.format(", ".join(directive.to_host)))
+    if directive.device_only:
+        clauses.append(dev_only.format(", ".join(directive.device_only)))
+    return tuple(clauses)
+
+
+def spell_levels(directive: ParallelismDirective,
+                 dialect: str) -> tuple[str, ...]:
+    """Render parallelism levels in one dialect's spelling."""
+    table = LEVEL_SPELLINGS[dialect]
+    return tuple(table.get(level, level) for level in directive.levels)

@@ -20,7 +20,14 @@ Subcommands regenerate the paper's evaluation artifacts:
   ``--fail-on`` gates on the CACHE lint family);
 * ``tv [BENCH MODEL]`` — the translation validator: equivalence
   certificates per lowered region (``--all`` for the suite matrix;
-  exits 1 on any REFUTED certificate);
+  exits 1 on any REFUTED certificate, ``--fail-on warning`` also
+  gates UNKNOWN);
+* ``translate [BENCH SRC DST]`` — the cross-model directive
+  translator: rewrite one model's port for another through the
+  directive IR, compile it with the target's own pipeline, and certify
+  it against the source program (``--all`` for the shipped pair matrix;
+  exits 1 on any REFUTED certificate, ``--fail-on warning`` also gates
+  dropped clauses and UNKNOWN certificates);
 * ``profile [BENCH MODEL]`` — per-kernel simulated counters with
   bottleneck attribution (``--all`` sweeps the Figure-1 matrix;
   ``--jsonl``/``--chrome`` write the trace artifacts);
@@ -72,6 +79,11 @@ from repro.models.features import render_table1
 
 class UsageError(Exception):
     """A CLI usage error: message goes to stderr, process exits 2."""
+
+
+#: models `run`/`compare` accept: the Figure-1 set plus the post-paper
+#: OpenMP-Target compiler (runnable and validated, outside Figure 1)
+RUNNABLE_MODELS: tuple[str, ...] = ALL_MODELS + ("OpenMP-Target",)
 
 
 def _add_jobs(parser: argparse.ArgumentParser) -> None:
@@ -410,6 +422,17 @@ def _cmd_locality(args: argparse.Namespace) -> int:
     return _fail_on_gate(args.fail_on, items)
 
 
+def _tv_gate_items(records) -> list[tuple[str, str, str, str]]:
+    """``--fail-on`` rows for tv records: UNKNOWN certificates are
+    warnings (REFUTED already exits 1 unconditionally)."""
+    from repro.tv import CertStatus
+
+    return [(f"{rec.benchmark}/{rec.model}:{c.region}", "TV-UNKNOWN",
+             "warning", c.detail)
+            for rec in records for c in rec.certificates
+            if c.status is CertStatus.UNKNOWN]
+
+
 def _cmd_tv(args: argparse.Namespace) -> int:
     from repro.metrics.tvstats import render_tv_matrix, tv_matrix
     from repro.tv import CertStatus, validate_port, validate_suite
@@ -432,7 +455,9 @@ def _cmd_tv(args: argparse.Namespace) -> int:
             for rec, c in refuted:
                 print(f"  {rec.benchmark}/{rec.model}:{c.region}")
                 print(f"    {c.detail}")
-        return 1 if refuted else 0
+        if refuted:
+            return 1
+        return _fail_on_gate(args.fail_on, _tv_gate_items(records))
     _require_port_args("tv", args)
     record = _resolve_port("tv", validate_port, args.benchmark, args.model,
                            variant=args.variant)
@@ -450,7 +475,49 @@ def _cmd_tv(args: argparse.Namespace) -> int:
             print(f"{c.status.value:8s} {c.region}: {c.detail}")
             if c.blocking:
                 print(f"         blocked by: {c.blocking}")
-    return 1 if record.count(CertStatus.REFUTED) else 0
+    if record.count(CertStatus.REFUTED):
+        return 1
+    return _fail_on_gate(args.fail_on, _tv_gate_items([record]))
+
+
+def _cmd_translate(args: argparse.Namespace) -> int:
+    from repro.metrics.translatestats import (render_translate_matrix,
+                                              translate_matrix)
+    from repro.translate import translate_pair, translate_suite
+    from repro.tv import CertStatus
+
+    if args.all_ports:
+        records = translate_suite(jobs=_jobs(args))
+    else:
+        if not args.benchmark or not args.src or not args.dst:
+            raise UsageError("translate: BENCH SRC DST are required "
+                             "unless --all is given")
+        records = [_resolve_port("translate", translate_pair,
+                                 args.benchmark, args.src, args.dst,
+                                 variant=args.variant)]
+    if args.json:
+        print(json.dumps([rec.to_dict() for rec in records], indent=2))
+    else:
+        print(render_translate_matrix(translate_matrix(records)))
+    refuted = [(rec, c) for rec in records for c in rec.certificates
+               if c.status is CertStatus.REFUTED]
+    if refuted and not args.json:
+        print("\nREFUTED certificates:")
+        for rec, c in refuted:
+            print(f"  {rec.benchmark}/{rec.src}->{rec.dst}:{c.region}")
+            print(f"    {c.detail}")
+    if refuted:
+        return 1
+    items: list[tuple[str, str, str, str]] = []
+    for rec in records:
+        where = f"{rec.benchmark}/{rec.src}->{rec.dst}"
+        items.extend((where, "XLAT-DROP", "warning", note)
+                     for note in rec.notes if "dropped" in note)
+        items.extend((f"{where}:{c.region}", "XLAT-UNKNOWN", "warning",
+                      c.detail)
+                     for c in rec.certificates
+                     if c.status is CertStatus.UNKNOWN)
+    return _fail_on_gate(args.fail_on, items)
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
@@ -779,7 +846,7 @@ def main(argv: list[str] | None = None) -> int:
 
     p_run = sub.add_parser("run", help="run one benchmark functionally")
     p_run.add_argument("benchmark", choices=BENCHMARK_ORDER)
-    p_run.add_argument("model", choices=ALL_MODELS)
+    p_run.add_argument("model", choices=RUNNABLE_MODELS)
     p_run.add_argument("--variant", default="best")
     p_run.add_argument("--scale", default="test",
                        choices=("test", "paper"))
@@ -802,8 +869,8 @@ def main(argv: list[str] | None = None) -> int:
     p_cmp = sub.add_parser("compare",
                            help="explain one model-vs-model gap")
     p_cmp.add_argument("benchmark", choices=BENCHMARK_ORDER)
-    p_cmp.add_argument("model_a", choices=ALL_MODELS)
-    p_cmp.add_argument("model_b", choices=ALL_MODELS)
+    p_cmp.add_argument("model_a", choices=RUNNABLE_MODELS)
+    p_cmp.add_argument("model_b", choices=RUNNABLE_MODELS)
     p_cmp.add_argument("--variant", default="best")
     p_cmp.add_argument("--scale", default="paper",
                        choices=("test", "paper"))
@@ -902,8 +969,35 @@ def main(argv: list[str] | None = None) -> int:
     p_tv.add_argument("--all", action="store_true", dest="all_ports",
                       help="certify every benchmark x model pair and print "
                            "the per-model certificate matrix")
+    p_tv.add_argument("--fail-on", dest="fail_on", default=None,
+                      choices=("warning", "error"),
+                      help="also exit 1 on UNKNOWN certificates "
+                           "(REFUTED always exits 1)")
     _add_jobs(p_tv)
     p_tv.set_defaults(func=_cmd_tv)
+
+    p_xl = sub.add_parser(
+        "translate", help="cross-model directive translation through the "
+                          "neutral IR, tv-certified against the source")
+    p_xl.add_argument("benchmark", nargs="?", default=None,
+                      help="benchmark name (e.g. jacobi)")
+    p_xl.add_argument("src", nargs="?", default=None,
+                      help="source model name or alias (e.g. openacc)")
+    p_xl.add_argument("dst", nargs="?", default=None,
+                      help="target model name or alias (e.g. omp-target)")
+    p_xl.add_argument("--variant", default=None,
+                      help="source port variant (default: the model's best)")
+    p_xl.add_argument("--json", action="store_true",
+                      help="machine-readable translation records")
+    p_xl.add_argument("--all", action="store_true", dest="all_ports",
+                      help="translate every benchmark across the shipped "
+                           "pairs and print the per-pair matrix")
+    p_xl.add_argument("--fail-on", dest="fail_on", default=None,
+                      choices=("warning", "error"),
+                      help="also exit 1 on dropped clauses or UNKNOWN "
+                           "certificates (REFUTED always exits 1)")
+    _add_jobs(p_xl)
+    p_xl.set_defaults(func=_cmd_translate)
 
     p_prof = sub.add_parser(
         "profile", help="per-kernel simulated counters and bottleneck "

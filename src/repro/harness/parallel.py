@@ -232,6 +232,15 @@ def _run_tv_unit(unit: WorkUnit, ctx: SweepContext):
     return validate_port(unit.bench, unit.model, unit.variant or None)
 
 
+@_unit_runner("translate")
+def _run_translate_unit(unit: WorkUnit, ctx: SweepContext):
+    # translate units encode the (source, target) pair as (model,
+    # variant) — a unit owns one benchmark × one translation direction
+    from repro.translate import translate_pair
+
+    return translate_pair(unit.bench, unit.model, unit.variant)
+
+
 @_unit_runner("baseline")
 def _run_baseline_unit(unit: WorkUnit, ctx: SweepContext):
     from repro.obs.baseline import _entry_from_profile

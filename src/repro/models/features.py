@@ -31,9 +31,12 @@ FEATURE_ROWS: tuple[str, ...] = (
     "Utilization of special memories",
 )
 
-#: Table I column labels (models), in paper order.
+#: Table I column labels (models), in paper order; the OpenMP 4.5+
+#: target-offload column extends the paper's table (Section VI looks
+#: ahead to exactly this convergence of the directive models).
 MODEL_COLUMNS: tuple[str, ...] = (
     "PGI", "OpenACC", "HMPP", "OpenMPC", "hiCUDA", "R-Stream",
+    "OMP-Target",
 )
 
 #: The matrix itself.  Cells are tuples of support levels (some cells in
@@ -47,6 +50,7 @@ FEATURE_TABLE: Mapping[str, Mapping[str, tuple[str, ...]]] = {
         "OpenMPC": ("structured blocks",),
         "hiCUDA": ("structured blocks",),
         "R-Stream": ("loops",),
+        "OMP-Target": ("structured blocks",),
     },
     "Loop mapping": {
         "PGI": ("parallel", "vector"),
@@ -55,6 +59,7 @@ FEATURE_TABLE: Mapping[str, Mapping[str, tuple[str, ...]]] = {
         "OpenMPC": ("parallel",),
         "hiCUDA": ("parallel",),
         "R-Stream": ("parallel",),
+        "OMP-Target": ("parallel", "vector"),
     },
     "GPU memory allocation and free": {
         "PGI": (EXPLICIT, IMPLICIT),
@@ -63,6 +68,7 @@ FEATURE_TABLE: Mapping[str, Mapping[str, tuple[str, ...]]] = {
         "OpenMPC": (EXPLICIT, IMPLICIT),
         "hiCUDA": (EXPLICIT,),
         "R-Stream": (IMPLICIT,),
+        "OMP-Target": (EXPLICIT, IMPLICIT),
     },
     "Data movement between CPU and GPU": {
         "PGI": (EXPLICIT, IMPLICIT),
@@ -71,6 +77,7 @@ FEATURE_TABLE: Mapping[str, Mapping[str, tuple[str, ...]]] = {
         "OpenMPC": (EXPLICIT, IMPLICIT),
         "hiCUDA": (EXPLICIT,),
         "R-Stream": (IMPLICIT,),
+        "OMP-Target": (EXPLICIT, IMPLICIT),
     },
     "Loop transformations": {
         "PGI": (IMPLICIT,),
@@ -79,6 +86,7 @@ FEATURE_TABLE: Mapping[str, Mapping[str, tuple[str, ...]]] = {
         "OpenMPC": (EXPLICIT,),
         "hiCUDA": (),
         "R-Stream": (IMPLICIT,),
+        "OMP-Target": (),
     },
     "Data management optimizations": {
         "PGI": (EXPLICIT, IMPLICIT),
@@ -87,6 +95,7 @@ FEATURE_TABLE: Mapping[str, Mapping[str, tuple[str, ...]]] = {
         "OpenMPC": (EXPLICIT, IMPLICIT),
         "hiCUDA": (IMPLICIT,),
         "R-Stream": (IMPLICIT,),
+        "OMP-Target": (EXPLICIT,),
     },
     "Thread batching": {
         "PGI": (INDIRECT, IMPLICIT),
@@ -95,6 +104,7 @@ FEATURE_TABLE: Mapping[str, Mapping[str, tuple[str, ...]]] = {
         "OpenMPC": (EXPLICIT, IMPLICIT),
         "hiCUDA": (EXPLICIT,),
         "R-Stream": (EXPLICIT, IMPLICIT),
+        "OMP-Target": (EXPLICIT, IMPLICIT),
     },
     "Utilization of special memories": {
         "PGI": (INDIRECT, IMPLICIT),
@@ -103,6 +113,7 @@ FEATURE_TABLE: Mapping[str, Mapping[str, tuple[str, ...]]] = {
         "OpenMPC": (EXPLICIT, IMPLICIT),
         "hiCUDA": (EXPLICIT,),
         "R-Stream": (IMPLICIT,),
+        "OMP-Target": (IMP_DEP,),
     },
 }
 
@@ -137,6 +148,15 @@ class ModelCapabilities:
     #: data clauses, OpenMPC's single-layout rule, R-Stream's rejection
     #: of pointer-to-pointer rows)
     contiguous_data_required: bool = False
+    #: compute constructs the model's regions may name (the OpenACC
+    #: ``kernels``/``parallel`` pair; spelled ``target teams`` for the
+    #: OpenMP target model).  Empty means the model ignores the construct
+    #: field entirely (PGI's compute regions are always per-nest).
+    constructs: tuple[str, ...] = ()
+    #: implementation limit on offloaded loop-nest depth (None: no
+    #: declared limit) — the one source the nest-depth legality checks
+    #: and the translator read
+    max_nest_depth: "int | None" = None
 
 
 CAPABILITIES: Mapping[str, ModelCapabilities] = {
@@ -146,21 +166,22 @@ CAPABILITIES: Mapping[str, ModelCapabilities] = {
         automatic_data_plan=False, explicit_thread_batching=False,
         scalar_reduction_clause=False, array_reduction_clause=False,
         critical_reductions=False, interprocedural_calls=False,
-        affine_only=False),
+        affine_only=False, max_nest_depth=4),
     "OpenACC": ModelCapabilities(
         name="OpenACC",
         explicit_special_memories=False, explicit_loop_transforms=False,
         automatic_data_plan=False, explicit_thread_batching=True,
         scalar_reduction_clause=True, array_reduction_clause=False,
         critical_reductions=False, interprocedural_calls=False,
-        affine_only=False, contiguous_data_required=True),
+        affine_only=False, contiguous_data_required=True,
+        constructs=("kernels", "parallel"), max_nest_depth=4),
     "HMPP": ModelCapabilities(
         name="HMPP",
         explicit_special_memories=True, explicit_loop_transforms=True,
         automatic_data_plan=False, explicit_thread_batching=True,
         scalar_reduction_clause=True, array_reduction_clause=False,
         critical_reductions=False, interprocedural_calls=False,
-        affine_only=False),
+        affine_only=False, max_nest_depth=4),
     "OpenMPC": ModelCapabilities(
         name="OpenMPC",
         explicit_special_memories=True, explicit_loop_transforms=True,
@@ -182,6 +203,14 @@ CAPABILITIES: Mapping[str, ModelCapabilities] = {
         scalar_reduction_clause=False, array_reduction_clause=False,
         critical_reductions=False, interprocedural_calls=False,
         affine_only=False),
+    "OpenMP-Target": ModelCapabilities(
+        name="OpenMP-Target",
+        explicit_special_memories=False, explicit_loop_transforms=False,
+        automatic_data_plan=False, explicit_thread_batching=True,
+        scalar_reduction_clause=True, array_reduction_clause=True,
+        critical_reductions=True, interprocedural_calls=True,
+        affine_only=False, contiguous_data_required=True,
+        constructs=("kernels", "parallel")),
     "Hand-Written CUDA": ModelCapabilities(
         name="Hand-Written CUDA",
         explicit_special_memories=True, explicit_loop_transforms=True,

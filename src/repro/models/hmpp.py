@@ -27,7 +27,6 @@ from typing import Optional
 
 from repro.models.base import DirectiveCompiler
 from repro.models.features import CAPABILITIES
-from repro.models.pgi import MAX_NEST_DEPTH
 from repro.pipeline.core import PassContext
 from repro.pipeline.passes import (BuildKernels, Check,
                                    DefaultPrivateOrientation,
@@ -78,7 +77,7 @@ class HMPPCompiler(DirectiveCompiler):
                 "codelets may only call functions the generator can "
                 "inline"),
             check_nest_depth(
-                MAX_NEST_DEPTH,
+                caps.max_nest_depth,
                 "loop nest of depth {depth} exceeds the codelet "
                 "generator's limit"),
             Check("check-array-reduction", "array-reduction",

@@ -1,0 +1,116 @@
+"""The OpenMP target-offload compiler (the paper's Section VI outlook).
+
+Section VI anticipates that the directive models evaluated in 2012
+would converge into a standard accelerator directive set; OpenMP 4.0/4.5
+``target`` offload is that convergence.  This module models an OpenMP
+4.5+ compiler lowering ``target teams distribute parallel for`` the way
+the six period compilers lower their own annotations — as a declarative
+pass list over the shared library in :mod:`repro.pipeline.passes`,
+constrained by the ``OpenMP-Target`` row of
+:data:`~repro.models.features.CAPABILITIES`.
+
+Semantics, relative to the period models:
+
+* **regions are structured blocks** (like OpenMPC): statements outside
+  the work-sharing loops run redundantly by the teams, so only regions
+  with at least one work-sharing construct are accepted, and barrier
+  splits obey the same upward-exposure legality as OpenMPC;
+* **reductions** have first-class clauses, scalar and array (OpenMP 4.5
+  array sections), and reduction-encoding critical sections lower to
+  reduction clauses;
+* **calls** are supported through ``declare target`` — no inlining
+  requirement;
+* **data motion** is explicit ``map(to:/from:/alloc:)`` plus the
+  implicit per-invocation ``tofrom`` default.  Port data regions map
+  onto ``target data`` scopes: ``copyin``/``copyout``/``create`` are the
+  directive IR's neutral names for ``map(to:)``/``map(from:)``/
+  ``map(alloc:)`` (see :mod:`repro.directives`).  There is **no**
+  automatic whole-program transfer planning — the port's clauses are
+  the plan;
+* **loop transformations**: the standard (pre-5.1) has no permute
+  directive, so loop-swap requests are rejected; ``collapse`` is a
+  first-class clause and is honored structurally;
+* **map clauses name whole arrays**, so mapped arrays must be
+  contiguous, and pointer-type variables must be converted to arrays
+  first — the same porting chores OpenMPC documents.
+
+The pipeline deliberately shares its legality spine with OpenMPC
+(``intake … check-worksharing … check-barrier-split, collapse-clause``,
+in order): the OpenMP-target model is the standardized subset of what
+OpenMPC prototyped, minus the aggressive automatic optimizations
+(no auto loop-swap, no irregular-loop collapsing, no transposed
+private expansion, no interprocedural transfer planning).  The
+test-suite pins that subsequence relationship.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.models.base import DirectiveCompiler
+from repro.models.features import CAPABILITIES
+from repro.models.openmpc import (BarrierSplitLegality, CollapseClause,
+                                  _non_reduction_critical)
+from repro.pipeline.core import PassContext
+from repro.pipeline.passes import (BuildKernels, Check,
+                                   DefaultPrivateOrientation, FeatureScan,
+                                   Intake, Note, check_construct,
+                                   check_contiguity, check_no_pointer_arith,
+                                   check_worksharing)
+
+
+def _no_permute_directive(ctx: PassContext) -> Optional[str]:
+    if ctx.opts.request_loop_swap:
+        return ("OpenMP has no loop-permutation directive; "
+                "restructure the input code instead")
+    return None
+
+
+class OmpTargetCompiler(DirectiveCompiler):
+    """OpenMP 4.5+ ``target`` offload."""
+
+    name = "OpenMP-Target"
+
+    def build_pipeline(self) -> list:
+        caps = CAPABILITIES[self.name]
+        passes: list = [
+            Intake(),
+            FeatureScan(),
+            check_construct(caps),
+            Check("check-transform-directives",
+                  "no-loop-transformation-directives",
+                  _no_permute_directive),
+            check_worksharing(
+                template="region {name!r} has no work-sharing construct; "
+                         "a bare target teams region executes redundantly "
+                         "on every team"),
+            Check("check-critical-reduction", "non-reduction-critical",
+                  _non_reduction_critical),
+            check_no_pointer_arith(
+                feature="pointer-type",
+                template="pointer-type variables must be converted to "
+                         "arrays before mapping (map clauses name whole "
+                         "arrays)"),
+        ]
+        if caps.contiguous_data_required:
+            passes.append(check_contiguity(
+                "non-contiguous-data",
+                "multi-dimensional array {array!r} must be contiguous "
+                "to be named in a single map clause"))
+        passes += [
+            BarrierSplitLegality(),
+            CollapseClause(),
+            DefaultPrivateOrientation("row"),
+            BuildKernels(),
+            Note("target-teams-note", "codegen",
+                 "lowered as target teams distribute parallel for"),
+            Note("critical-reduction-note", "codegen",
+                 "critical-section reduction lowered as an OpenMP "
+                 "reduction clause",
+                 when=lambda ctx: ctx.feats.has_critical),
+            Note("declare-target-note", "codegen",
+                 "called functions compiled for the device via "
+                 "declare target",
+                 when=lambda ctx: ctx.feats.has_call),
+        ]
+        return passes

@@ -31,15 +31,7 @@ from repro.models.base import DirectiveCompiler
 from repro.models.features import CAPABILITIES
 from repro.models.pgi import pgi_family_passes
 from repro.pipeline.core import PassContext, RegionPass
-
-
-def _check_construct(ctx: PassContext) -> None:
-    construct = ctx.opts.construct
-    if construct not in ("kernels", "parallel"):
-        ctx.reject(
-            "unknown-construct",
-            f"region {ctx.region.name!r}: construct must be 'kernels' or "
-            f"'parallel', got {construct!r}")
+from repro.pipeline.passes import check_construct
 
 
 def _check_parallel_single_kernel(ctx: PassContext) -> None:
@@ -82,9 +74,10 @@ class OpenACCCompiler(DirectiveCompiler):
     name = "OpenACC"
 
     def build_pipeline(self) -> list:
-        base = pgi_family_passes(self.name, CAPABILITIES[self.name])
+        caps = CAPABILITIES[self.name]
+        base = pgi_family_passes(self.name, caps)
         delta = [
-            _ConstructCheck("check-construct", _check_construct),
+            check_construct(caps),
             _ConstructCheck("check-parallel-construct",
                             _check_parallel_single_kernel),
         ]

@@ -44,7 +44,9 @@ from repro.pipeline.passes import (BuildKernels, DefaultPrivateOrientation,
                                    check_no_transform_directives,
                                    check_worksharing, grid_nest)
 
-#: implementation-specific limit on loop-nest depth (III-A2)
+#: implementation-specific limit on loop-nest depth (III-A2) — the
+#: authoritative value lives on each model's :class:`ModelCapabilities`
+#: (``max_nest_depth``); this constant is the PGI-family default.
 MAX_NEST_DEPTH = 4
 
 #: automatic tile edge for 2-D stencil tiling
@@ -113,7 +115,7 @@ def pgi_family_passes(model: str, caps: ModelCapabilities) -> list:
             "region {name!r} calls functions the compiler "
             "cannot inline automatically"),
         check_nest_depth(
-            MAX_NEST_DEPTH,
+            caps.max_nest_depth or MAX_NEST_DEPTH,
             "loop nest of depth {depth} exceeds the "
             "implementation limit of {limit}"),
         ReductionLegality(model, caps.scalar_reduction_clause),

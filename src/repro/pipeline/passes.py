@@ -84,14 +84,25 @@ def region_arrays(region: ParallelRegion,
 
 class Intake(RegionPass):
     """Resolve the port's options, the work-sharing loops, and the
-    read/write summary; seed the decision state from the port."""
+    read/write summary; seed the decision state from the port.
+
+    The port's per-region options are normalized into the model-neutral
+    directive IR (:mod:`repro.directives`) and lowered back — every
+    pipeline consumes the one normalized form, and the round trip is
+    exact, so the seven compilers behave byte-identically to consuming
+    the raw options (the committed Figure-1 baseline pins this).
+    """
 
     name = "intake"
     stage = "intake"
     snapshot_always = True  # the pipeline's input IR
 
     def run(self, ctx: PassContext) -> None:
-        ctx.opts = ctx.port.options_for(ctx.region.name)
+        from repro.directives import lower_options, normalize_options
+
+        directive = normalize_options(ctx.region.name,
+                                      ctx.port.options_for(ctx.region.name))
+        ctx.opts = lower_options(directive)
         ctx.loops = ctx.region.worksharing_loops()
         ctx.reads, ctx.writes = region_arrays(ctx.region, ctx.program)
         ctx.pattern_overrides = dict(ctx.opts.pattern_overrides)
@@ -129,6 +140,22 @@ class Check(RegionPass):
         detail = self._fn(ctx)
         if detail is not None:
             ctx.reject(self.feature, detail)
+
+
+def check_construct(caps) -> Check:
+    """Validate the region's compute construct against the model's
+    declared construct list (:class:`ModelCapabilities.constructs`) —
+    the one source of truth the compilers, the translator, and lint
+    read.  Models with an empty list ignore the construct field."""
+    allowed = tuple(caps.constructs)
+
+    def fn(ctx: PassContext) -> Optional[str]:
+        if allowed and ctx.opts.construct not in allowed:
+            spelled = " or ".join(repr(c) for c in allowed)
+            return (f"region {ctx.region.name!r}: construct must be "
+                    f"{spelled}, got {ctx.opts.construct!r}")
+        return None
+    return Check("check-construct", "unknown-construct", fn)
 
 
 def check_no_transform_directives(model: str) -> Check:

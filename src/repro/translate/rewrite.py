@@ -1,0 +1,181 @@
+"""Rewriting one model's directives into another's through the IR.
+
+:func:`translate_port` is the source-to-source translator's core: it
+normalizes a source port into the model-neutral directive IR
+(:mod:`repro.directives`), restricts each region directive to the
+target model's capability set (dropping inexpressible clauses with
+notes), and lowers the result as a target-model
+:class:`~repro.models.base.PortSpec` over the *same* program.  Semantic
+legality is deliberately left to the target compiler's own pipeline —
+a region the target model cannot accept is rejected with the target's
+own diagnostic, exactly as a hand port would be.
+
+Data-motion clauses translate one-to-one (``copyin``/``copyout``/
+``create`` ↔ ``map(to:)``/``map(from:)``/``map(alloc:)`` ↔
+``advancedload``/``delegatedstore``/``resident``) because the IR stores
+them in neutral vocabulary.  For source models that synthesize their
+transfer plan instead of annotating one (OpenMPC's interprocedural
+analysis), the translator re-expresses the *effective* plan — the
+compiled program's data regions — as explicit clauses on the target
+port, the OMP2HMPP-style group synthesis.
+
+:func:`motion_certificates` closes the soundness gap the compute-level
+translation validator cannot see: a translation that preserves every
+kernel but drops a ``map(from:)`` clause produces byte-identical device
+results and a stale final *host* value.  The check walks the translated
+program's effective transfer discipline and refutes any data scope
+whose device-written output array never crosses back, with a concrete
+:class:`MotionWitness` naming the missing clause in the target model's
+spelling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Sequence
+
+from repro.directives import (dialect_of, lower_options, normalize_data,
+                              normalize_port, spell_motion)
+from repro.directives.derive import restrict_region
+from repro.directives.ir import MOTION_SPELLINGS
+from repro.tv.certify import Certificate, CertStatus
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ir.program import Program
+    from repro.models.base import CompiledProgram, DataRegionSpec, PortSpec
+
+
+def translate_port(src_port: "PortSpec", dst: str,
+                   synthesized_data: Sequence["DataRegionSpec"] = (),
+                   ) -> "PortSpec":
+    """Rewrite ``src_port``'s directives as a ``dst``-model port.
+
+    ``synthesized_data`` supplies the effective data regions of the
+    *compiled* source when the source port carries no explicit ones
+    (the OpenMPC interprocedural plan); they become explicit clauses on
+    the translated port, with a note spelling them in the target
+    dialect.
+    """
+    from repro.models.base import PortSpec
+    from repro.models.features import CAPABILITIES
+
+    caps = CAPABILITIES[dst]
+    bundle = normalize_port(src_port)
+    region_options = {}
+    notes: list[str] = [f"translated from the {src_port.model} annotations "
+                        "via the directive IR"]
+    for name, directive in bundle.regions:
+        restricted, dropped = restrict_region(directive, caps)
+        region_options[name] = lower_options(restricted)
+        notes.extend(dropped)
+    data = tuple(src_port.data_regions)
+    synthesized = 0
+    if not data and synthesized_data:
+        data = tuple(synthesized_data)
+        synthesized = len(data)
+        dialect = dialect_of(dst)
+        for dr in data:
+            clauses = spell_motion(normalize_data(dr), dialect)
+            notes.append(
+                f"synthesized data scope {dr.name!r} from the "
+                f"{src_port.model} transfer plan: "
+                f"{', '.join(clauses) or 'no clauses'}")
+    return PortSpec(
+        model=dst, program=src_port.program,
+        # every synthesized scope costs one explicit data directive the
+        # source never wrote; translated directives are otherwise 1:1
+        directive_lines=src_port.directive_lines + synthesized,
+        restructured_lines=src_port.restructured_lines,
+        data_regions=data,
+        region_options=region_options,
+        notes=tuple(notes))
+
+
+@dataclass(frozen=True)
+class MotionWitness:
+    """Concrete evidence of a data-motion soundness violation."""
+
+    array: str
+    region: str
+    scope: str
+    missing_clause: str
+
+    def to_dict(self) -> dict:
+        return {"kind": "data-motion", "array": self.array,
+                "region": self.region, "scope": self.scope,
+                "missing_clause": self.missing_clause}
+
+    def describe(self) -> str:
+        return (f"array {self.array!r} is written on the device in region "
+                f"{self.region!r} but data scope {self.scope!r} never "
+                f"copies it back to the host; the translation must add "
+                f"{self.missing_clause}")
+
+
+def _stale_host_arrays(program: "Program",
+                       compiled: "CompiledProgram",
+                       ) -> dict[str, list[tuple[str, str]]]:
+    """Per data scope: (region, array) pairs whose final host value is
+    stale — device-written output arrays (``intent`` out/inout) the
+    scope covers that no scope ever copies back.  Arrays outside every
+    scope move per invocation and cannot go stale."""
+    copyout_all: set[str] = set()
+    for dr in compiled.data_regions:
+        copyout_all.update(dr.copyout)
+    stale: dict[str, list[tuple[str, str]]] = {}
+    for dr in compiled.data_regions:
+        covered = set(dr.copyin) | set(dr.copyout) | set(dr.create)
+        stale[dr.name] = []
+        for rname in dr.regions:
+            result = compiled.results.get(rname)
+            if result is None or not result.translated:
+                continue
+            for arr in sorted(result.writes):
+                decl = program.arrays.get(arr)
+                if decl is None or decl.intent not in ("out", "inout"):
+                    continue
+                if arr in covered and arr not in copyout_all:
+                    stale[dr.name].append((rname, arr))
+    return stale
+
+
+def motion_certificates(program: "Program",
+                        compiled: "CompiledProgram",
+                        source: "CompiledProgram") -> list[Certificate]:
+    """Certify the translated program's data-motion discipline against
+    the source's.
+
+    The criterion is equivalence, not absolute freshness: some hand
+    ports deliberately leave unobserved scratch state (BFS's frontier
+    masks) on the device, and a faithful translation must reproduce
+    exactly that.  One certificate per data scope: PROVED when every
+    host value stale under the translation was equally stale under the
+    source compilation, REFUTED — one certificate per regressed array,
+    witness attached — when the translation *introduced* the staleness
+    (the dropped-``map(from:)`` class of bug, invisible to the
+    compute-level validator because every kernel still matches).
+    """
+    certs: list[Certificate] = []
+    to_host_spelling = MOTION_SPELLINGS[dialect_of(compiled.model)][1]
+    baseline: set[str] = set()
+    for pairs in _stale_host_arrays(program, source).values():
+        baseline.update(arr for _rname, arr in pairs)
+    for scope, pairs in _stale_host_arrays(program, compiled).items():
+        regressed = [(rname, arr) for rname, arr in pairs
+                     if arr not in baseline]
+        if regressed:
+            for rname, arr in regressed:
+                witness = MotionWitness(
+                    array=arr, region=rname, scope=scope,
+                    missing_clause=to_host_spelling.format(arr))
+                certs.append(Certificate(
+                    program=program.name, model=compiled.model,
+                    region=f"data:{scope}", status=CertStatus.REFUTED,
+                    detail=witness.describe(), witness=witness))
+        else:
+            certs.append(Certificate(
+                program=program.name, model=compiled.model,
+                region=f"data:{scope}", status=CertStatus.PROVED,
+                detail="final host values match the source port's "
+                       "transfer discipline"))
+    return certs

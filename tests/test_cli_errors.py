@@ -119,8 +119,8 @@ class TestSarifOutput:
         assert cli_main(["lint", "--all", "--sarif"]) == 0
         log = json.loads(capsys.readouterr().out)
         assert log["version"] == SARIF_VERSION
-        # 13 benchmarks x 5 directive models
-        assert len(log["runs"]) == 65
+        # 13 benchmarks x 6 lintable models (5 directive + OpenMP-Target)
+        assert len(log["runs"]) == 78
 
 
 class TestCompileMemoization:

@@ -1,4 +1,5 @@
-"""Suite-level snapshot of verifier findings over 13 benchmarks x 5 models.
+"""Suite-level snapshot of verifier findings: 13 benchmarks x LINT_MODELS
+(the 5 directive models plus the OpenMP-Target compiler).
 
 The snapshot pins the per-(benchmark, model) rule counts so any change
 to the dependence tester, the transfer-plan analysis, or a compiler's
@@ -21,6 +22,8 @@ SNAPSHOT = {
     ("JACOBI", "HMPP"): {"CACHE001": 3, "PERF005": 1, "XFER002": 1},
     ("JACOBI", "OpenMPC"): {"CACHE001": 3, "PERF005": 1, "XFER002": 1},
     ("JACOBI", "R-Stream"): {"CACHE001": 1, "XFER002": 1},
+    ("JACOBI", "OpenMP-Target"): {"CACHE001": 4, "CACHE002": 2, "CACHE003": 4,
+     "CACHE004": 4, "PERF001": 4, "PERF005": 1, "XFER001": 3},
     ("EP", "PGI Accelerator"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
      "RACE002": 3, "XFER004": 3},
     ("EP", "OpenACC"): {"PERF001": 2, "PERF004": 3, "PERF005": 1, "RACE002": 3,
@@ -29,6 +32,8 @@ SNAPSHOT = {
      "XFER004": 3},
     ("EP", "OpenMPC"): {"PERF004": 3, "RACE002": 3},
     ("EP", "R-Stream"): {"COV-NON-AFFINE": 1, "RACE002": 3},
+    ("EP", "OpenMP-Target"): {"PERF001": 2, "PERF004": 3, "RACE002": 3,
+     "XFER004": 3},
     ("SPMUL", "PGI Accelerator"): {"CACHE001": 3, "PERF002": 3, "PERF004": 2,
      "RACE002": 1, "XFER002": 1},
     ("SPMUL", "OpenACC"): {"CACHE001": 3, "PERF002": 3, "PERF004": 2,
@@ -38,6 +43,8 @@ SNAPSHOT = {
     ("SPMUL", "OpenMPC"): {"CACHE001": 3, "DATA003": 1, "PERF002": 1,
      "PERF004": 2, "XFER002": 1, "XFER003": 1},
     ("SPMUL", "R-Stream"): {"COV-NON-AFFINE": 1, "PERF004": 2, "XFER001": 5},
+    ("SPMUL", "OpenMP-Target"): {"CACHE001": 3, "PERF002": 3, "PERF004": 2,
+     "XFER001": 12, "XFER003": 1},
     ("CG", "PGI Accelerator"): {"CACHE001": 6, "PERF002": 6, "PERF004": 9,
      "RACE002": 5, "XFER002": 1},
     ("CG", "OpenACC"): {"CACHE001": 6, "PERF002": 6, "PERF004": 9,
@@ -47,6 +54,8 @@ SNAPSHOT = {
      "XFER002": 1, "XFER003": 1},
     ("CG", "R-Stream"): {"COV-NON-AFFINE": 2, "PERF004": 9, "XFER001": 31,
      "XFER002": 2, "XFER004": 1},
+    ("CG", "OpenMP-Target"): {"CACHE001": 6, "PERF002": 6, "PERF004": 9,
+     "XFER001": 45, "XFER002": 1, "XFER003": 1, "XFER004": 1},
     ("FT", "PGI Accelerator"): {"CACHE001": 2, "CACHE003": 2, "PERF001": 8,
      "PERF004": 5, "RACE002": 1, "XFER002": 2},
     ("FT", "OpenACC"): {"CACHE001": 2, "CACHE003": 2, "PERF001": 8,
@@ -56,6 +65,8 @@ SNAPSHOT = {
     ("FT", "OpenMPC"): {"CACHE001": 2, "CACHE003": 2, "PERF001": 8,
      "PERF004": 1, "XFER002": 2},
     ("FT", "R-Stream"): {"COV-NON-AFFINE": 6},
+    ("FT", "OpenMP-Target"): {"CACHE001": 2, "CACHE003": 2, "PERF001": 8,
+     "PERF004": 1, "XFER001": 27, "XFER004": 1},
     ("SRAD", "PGI Accelerator"): {"CACHE001": 5, "CACHE002": 1, "CACHE003": 1,
      "CACHE004": 1, "PERF001": 1, "PERF004": 5, "PERF005": 2, "RACE002": 1},
     ("SRAD", "OpenACC"): {"CACHE001": 5, "CACHE002": 1, "CACHE003": 1,
@@ -67,6 +78,8 @@ SNAPSHOT = {
     ("SRAD", "R-Stream"): {"CACHE001": 4, "CACHE002": 2, "CACHE003": 3,
      "CACHE004": 3, "COV-NON-AFFINE": 2, "PERF001": 3, "PERF004": 1,
      "XFER001": 2},
+    ("SRAD", "OpenMP-Target"): {"CACHE001": 20, "CACHE002": 4, "CACHE003": 15,
+     "CACHE004": 15, "PERF001": 16, "PERF004": 5, "PERF005": 2, "XFER001": 27},
     ("CFD", "PGI Accelerator"): {"CACHE001": 5, "CACHE002": 3, "PERF001": 2,
      "PERF002": 2, "PERF004": 3, "PERF005": 1, "RACE002": 1, "RACE003": 1,
      "XFER002": 1},
@@ -79,6 +92,9 @@ SNAPSHOT = {
      "XFER002": 1, "XFER003": 1},
     ("CFD", "R-Stream"): {"COV-NON-AFFINE": 4, "PERF004": 1, "RACE003": 1,
      "XFER001": 5, "XFER002": 1, "XFER004": 1},
+    ("CFD", "OpenMP-Target"): {"CACHE001": 5, "CACHE002": 3, "PERF001": 2,
+     "PERF002": 2, "PERF004": 3, "PERF005": 1, "RACE003": 1, "XFER001": 18,
+     "XFER002": 4, "XFER003": 1, "XFER004": 1},
     ("BFS", "PGI Accelerator"): {"CACHE001": 4, "COH003": 1,
      "COV-CRITICAL-SECTION": 1, "DATA002": 2, "DATA005": 1, "PERF002": 4,
      "RACE002": 1, "RACE003": 2, "XFER002": 1},
@@ -91,12 +107,15 @@ SNAPSHOT = {
     ("BFS", "OpenMPC"): {"CACHE001": 5, "PERF002": 4, "RACE002": 1,
      "RACE003": 2, "XFER002": 3},
     ("BFS", "R-Stream"): {"COV-NON-AFFINE": 3, "RACE002": 1, "RACE003": 2},
+    ("BFS", "OpenMP-Target"): {"CACHE001": 5, "PERF002": 5, "RACE002": 1,
+     "RACE003": 2, "XFER001": 2, "XFER002": 4, "XFER004": 1},
     ("HOTSPOT", "PGI Accelerator"): {"CACHE001": 6, "PERF005": 2,
      "XFER002": 1},
     ("HOTSPOT", "OpenACC"): {"CACHE001": 6, "PERF005": 2, "XFER002": 1},
     ("HOTSPOT", "HMPP"): {"CACHE001": 6, "PERF005": 2, "XFER002": 1},
     ("HOTSPOT", "OpenMPC"): {"CACHE001": 2, "PERF005": 2, "XFER002": 1},
     ("HOTSPOT", "R-Stream"): {"COV-NON-AFFINE": 2},
+    ("HOTSPOT", "OpenMP-Target"): {"CACHE001": 2, "PERF005": 2, "XFER001": 6},
     ("BACKPROP", "PGI Accelerator"): {"CACHE001": 6, "CACHE002": 2,
      "CACHE003": 3, "CACHE004": 3, "DATA002": 2, "PERF001": 5, "PERF004": 7,
      "RACE002": 2, "XFER002": 2},
@@ -109,6 +128,9 @@ SNAPSHOT = {
      "XFER003": 2},
     ("BACKPROP", "R-Stream"): {"COV-POINTER-BASED-ALLOCATION": 5, "PERF004": 1,
      "XFER003": 1},
+    ("BACKPROP", "OpenMP-Target"): {"CACHE001": 6, "CACHE002": 2, "CACHE003":
+     3, "CACHE004": 3, "PERF001": 5, "PERF004": 7, "XFER001": 12, "XFER002": 4,
+     "XFER003": 2, "XFER004": 1},
     ("KMEANS", "PGI Accelerator"): {"CACHE001": 10, "CACHE002": 6,
      "CACHE003": 5, "CACHE004": 5, "PERF001": 6, "PERF002": 1, "PERF004": 5,
      "RACE002": 2, "XFER002": 2},
@@ -122,6 +144,9 @@ SNAPSHOT = {
      "CACHE004": 3, "DATA003": 2, "PERF001": 3, "PERF002": 3, "PERF004": 4,
      "RACE002": 4, "XFER002": 2, "XFER003": 1},
     ("KMEANS", "R-Stream"): {"COV-NON-AFFINE": 3, "RACE002": 2},
+    ("KMEANS", "OpenMP-Target"): {"CACHE001": 11, "CACHE002": 5, "CACHE003": 5,
+     "CACHE004": 5, "PERF001": 5, "PERF002": 3, "PERF004": 3, "RACE002": 4,
+     "XFER001": 13, "XFER003": 1, "XFER004": 1},
     ("NW", "PGI Accelerator"): {"CACHE001": 3, "CACHE002": 1, "CACHE003": 2,
      "CACHE004": 2, "PERF001": 8, "PERF002": 1, "PERF004": 1, "PERF005": 2},
     ("NW", "OpenACC"): {"CACHE001": 3, "CACHE002": 1, "CACHE003": 2,
@@ -132,6 +157,9 @@ SNAPSHOT = {
      "PERF001": 7, "PERF002": 1, "PERF004": 1, "PERF005": 2},
     ("NW", "R-Stream"): {"COV-NO-PROVABLE-PARALLELISM": 2,
      "COV-NON-AFFINE": 1},
+    ("NW", "OpenMP-Target"): {"CACHE001": 3, "CACHE002": 1, "CACHE003": 2,
+     "CACHE004": 2, "PERF001": 8, "PERF002": 1, "PERF004": 1, "PERF005": 2,
+     "XFER001": 4, "XFER004": 1},
     ("LUD", "PGI Accelerator"): {"PERF001": 5, "PERF004": 3, "PERF005": 1,
      "RACE002": 1, "RACE003": 3},
     ("LUD", "OpenACC"): {"PERF001": 5, "PERF004": 3, "PERF005": 1,
@@ -140,6 +168,8 @@ SNAPSHOT = {
     ("LUD", "OpenMPC"): {"PERF001": 2, "PERF004": 3, "PERF005": 1,
      "RACE003": 2},
     ("LUD", "R-Stream"): {"COV-NON-AFFINE": 4, "RACE003": 2},
+    ("LUD", "OpenMP-Target"): {"PERF001": 7, "PERF004": 3, "PERF005": 1,
+     "RACE003": 2, "XFER001": 3, "XFER004": 1},
 }
 
 
@@ -175,7 +205,8 @@ class TestSuiteSnapshot:
     def test_density_rows_cover_all_models(self, suite_records):
         rows = lint_density(suite_records)
         assert [row.model for row in rows] == [
-            "PGI Accelerator", "OpenACC", "HMPP", "OpenMPC", "R-Stream"]
+            "PGI Accelerator", "OpenACC", "HMPP", "OpenMPC", "R-Stream",
+            "OpenMP-Target"]
         assert all(row.ports == 13 and row.errors == 0 for row in rows)
         table = render_lint_density(rows)
         assert "Per-region" in table and "OpenMPC" in table

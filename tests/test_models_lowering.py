@@ -186,7 +186,8 @@ class TestFeatureTableConsistency:
         # models whose 'special memories' row says explicit must expose it
         specials = FEATURE_TABLE["Utilization of special memories"]
         for model, caps in CAPABILITIES.items():
-            key = {"PGI Accelerator": "PGI"}.get(model, model)
+            key = {"PGI Accelerator": "PGI",
+                   "OpenMP-Target": "OMP-Target"}.get(model, model)
             if key in specials:
                 says_explicit = "explicit" in specials[key]
                 assert caps.explicit_special_memories == says_explicit

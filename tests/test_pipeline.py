@@ -125,6 +125,42 @@ class TestDeclarativePipelines:
             names = cls().pipeline.pass_names()
             assert len(names) == len(set(names)), name
 
+    def test_omp_target_shares_the_openmpc_legality_spine(self):
+        """OpenMP target offload reuses OpenMPC's OpenMP-semantics
+        checks (worksharing, critical-reduction, barrier-split,
+        collapse) as an in-order subsequence — it is the same base
+        language, minus OpenMPC's auto-transformation passes."""
+        spine = ("intake", "feature-scan", "check-worksharing",
+                 "check-critical-reduction", "check-pointer-arith",
+                 "check-contiguity", "check-barrier-split",
+                 "collapse-clause", "private-orientation", "codegen",
+                 "elide-transfers")
+        for model in ("omp-target", "openmpc"):
+            names = list(get_compiler(model).pipeline.pass_names())
+            it = iter(names)
+            assert all(name in it for name in spine), (model, names)
+
+    def test_omp_target_has_no_auto_transformation_passes(self):
+        # the 4.5 target model is explicit: no loop-swap or irregular
+        # collapse synthesis, and directive-requested permutation is a
+        # legality rejection instead
+        names = get_compiler("omp-target").pipeline.pass_names()
+        assert "auto-loop-swap" not in names
+        assert "irregular-loop-collapse" not in names
+        assert "check-transform-directives" in names
+
+    def test_omp_target_native_coverage(self):
+        """The seventh compiler must accept at least 10 of the 13
+        benchmarks outright (every region translated)."""
+        from repro.benchmarks import BENCHMARK_ORDER
+        from repro.models.cache import compile_port
+        full = 0
+        for bench in BENCHMARK_ORDER:
+            _, compiled, _ = compile_port(bench, "OpenMP-Target")
+            if compiled.regions_translated == compiled.regions_total:
+                full += 1
+        assert full >= 10, full
+
 
 class TestSnapshotsAndAttribution:
     @pytest.fixture(autouse=True)
