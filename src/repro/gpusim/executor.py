@@ -592,16 +592,11 @@ class KernelExecutor:
                     self.arrays.pop(name, None)
 
 
-def execute_kernel(kernel: Kernel, arrays: MutableMapping[str, np.ndarray],
-                   scalars: Mapping[str, Value],
-                   functions: Optional[Mapping[str, Function]] = None) -> None:
-    """Convenience wrapper: run ``kernel`` in place over ``arrays``.
-
-    When a tracer or metrics registry is ambient, each launch is timed —
-    this is the harness's real hot path (``selfprof`` phase "execute"),
-    the recorded baseline any future JIT backend must beat.  Untraced
-    callers skip the clock entirely.
-    """
+def _interpreted_launch(kernel: Kernel,
+                        arrays: MutableMapping[str, np.ndarray],
+                        scalars: Mapping[str, Value],
+                        functions: Optional[Mapping[str, Function]]) -> None:
+    """One launch through the interpreter, timed when observed."""
     from repro.obs import metrics as obs_metrics
     from repro.obs import tracer as obs
 
@@ -622,3 +617,64 @@ def execute_kernel(kernel: Kernel, arrays: MutableMapping[str, np.ndarray],
         registry.observe("executor_interpret_seconds", elapsed,
                          labels={"kernel": kernel.name},
                          help="interpreter wall-clock per kernel launch")
+
+
+def _jit_launch(program, kernel: Kernel,
+                arrays: MutableMapping[str, np.ndarray],
+                scalars: Mapping[str, Value]) -> None:
+    """One launch through a compiled JIT program, timed when observed."""
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import tracer as obs
+
+    registry = obs_metrics.current_registry()
+    if obs.current_tracer() is None and registry is None:
+        program.launch(kernel.name, arrays, scalars)
+        return
+    with obs.span(f"jit {kernel.name}", "jit", kernel=kernel.name):
+        t0 = time.perf_counter()
+        program.launch(kernel.name, arrays, scalars)
+        elapsed = time.perf_counter() - t0
+    if registry is not None:
+        registry.inc("jit_launch_hits",
+                     labels={"kernel": kernel.name},
+                     help="kernels run through the JIT tier",
+                     deterministic=True)
+        registry.observe("jit_launch_seconds", elapsed,
+                         labels={"kernel": kernel.name},
+                         help="JIT wall-clock per kernel launch")
+
+
+def execute_kernel(kernel: Kernel, arrays: MutableMapping[str, np.ndarray],
+                   scalars: Mapping[str, Value],
+                   functions: Optional[Mapping[str, Function]] = None) -> None:
+    """Run ``kernel`` in place over ``arrays`` — the engine dispatch point.
+
+    Three-way dispatch controlled by :func:`repro.gpusim.jit.current_mode`
+    (the ``REPRO_JIT`` / ``--jit`` knob):
+
+    * ``on``     — the JIT tier when the body is lowerable, the
+      interpreter otherwise (fallbacks are counted, never silent);
+    * ``off``    — always the interpreting executor;
+    * ``verify`` — run *both* engines on every launch and raise
+      :class:`repro.gpusim.jit.JitVerifyError` unless every output array
+      is byte-identical.  The interpreter's result is canonical.
+
+    The scalar reference implementations (``benchmarks/reference.py``)
+    sit below both engines as the always-available oracle — see
+    ``docs/architecture.md`` for the full hierarchy.
+    """
+    from repro.gpusim import jit as _jit
+
+    mode = _jit.current_mode()
+    if mode != "off":
+        program = _jit.program_for(kernel, scalars, functions)
+        if program is not None:
+            if mode == "verify":
+                _jit.run_verify(
+                    program, kernel, arrays, scalars,
+                    lambda: _interpreted_launch(kernel, arrays, scalars,
+                                                functions))
+                return
+            _jit_launch(program, kernel, arrays, scalars)
+            return
+    _interpreted_launch(kernel, arrays, scalars, functions)

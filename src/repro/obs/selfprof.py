@@ -58,6 +58,10 @@ def classify_span(span: Span) -> tuple[str, str]:
         return "analyze", str(span.attrs.get("kind", name))
     if cat == "executor":
         return "execute", str(span.attrs.get("kernel", name))
+    if cat == "jit":
+        return "execute", "jit:" + str(span.attrs.get("kernel", name))
+    if cat == "jit.compile":
+        return "compile", "jit:" + str(span.attrs.get("kernel", name))
     if cat in ("gpu.launch", "gpu.transfer", "gpu.elide"):
         return "simulate", cat
     if cat == "harness.merge":

@@ -1,0 +1,20 @@
+"""Shared test configuration: hypothesis profiles for the two tiers.
+
+* ``default`` — interactive / tier-1 runs: random seeding, no deadline
+  (the executor's first launch pays numpy warm-up that trips per-example
+  deadlines on slow CI hosts).
+* ``ci`` — the slow-tier CI job: derandomized (fixed seed, so a red run
+  reproduces locally with no shrink-chasing), ``deadline=None``, and
+  ``print_blob`` so failures paste straight into ``@reproduce_failure``.
+
+Select with ``HYPOTHESIS_PROFILE=ci pytest -m slow``.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", deadline=None)
+settings.register_profile("ci", deadline=None, derandomize=True,
+                          print_blob=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

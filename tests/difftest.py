@@ -1,0 +1,242 @@
+"""The shared differential-testing harness for kernel execution engines.
+
+Three engines can run a kernel:
+
+* ``reference``   — the scalar statement-at-a-time interpreter
+  (:mod:`repro.gpusim.reference`), the always-available oracle;
+* ``interpreter`` — the vectorizing executor
+  (:mod:`repro.gpusim.executor` with the JIT forced off);
+* ``jit``         — the numpy codegen tier (:mod:`repro.gpusim.jit`).
+
+:func:`assert_same_result` runs one kernel through each requested
+engine on private copies of the input arrays and asserts the outputs
+agree — **byte-for-byte** between ``interpreter`` and ``jit`` (the JIT
+correctness contract), within tolerance against ``reference`` (whose
+scalar reduction order may legally differ in the last ulp).
+
+The module also exports the hypothesis strategy
+:func:`affine_programs`, which draws random affine loop nests (grid
+loops over padded arrays, gathers, scatters with collisions, guarded
+branches, sequential inner reductions) so the JIT, executor, and
+reference tests share one program generator instead of growing three.
+"""
+
+import numpy as np
+from hypothesis import strategies as st
+
+from repro.gpusim import jit
+from repro.gpusim.executor import execute_kernel
+from repro.gpusim.kernel import Kernel
+from repro.gpusim.reference import execute_kernel_scalar
+from repro.ir.builder import (accum, aref, assign, block, iff, local, pfor,
+                              sfor, ternary, v)
+from repro.ir.expr import BinOp, Const
+
+#: engines whose outputs must agree bitwise with each other
+BITWISE_ENGINES = frozenset({"interpreter", "jit"})
+
+
+def make_kernel(body, tvars, arrays, scalars=None, name="k"):
+    return Kernel(name, body, tvars, arrays=sorted(arrays),
+                  scalars=sorted(scalars or {}))
+
+
+def _run_reference(kernel, arrays, scalars, functions):
+    execute_kernel_scalar(kernel, arrays, scalars, functions)
+
+
+def _run_interpreter(kernel, arrays, scalars, functions):
+    with jit.jit_mode("off"):
+        execute_kernel(kernel, arrays, scalars, functions)
+
+
+def _run_jit(kernel, arrays, scalars, functions):
+    # compile directly (not via program_for) so an unsupported body is
+    # a hard JitUnsupported here, never a silent interpreter fallback
+    program = jit.compile_kernel(kernel, functions)
+    program.launch(kernel.name, arrays, scalars)
+
+
+ENGINES = {
+    "reference": _run_reference,
+    "interpreter": _run_interpreter,
+    "jit": _run_jit,
+}
+
+
+def assert_same_result(kernel, arrays, scalars=None, functions=None,
+                       engines=("interpreter", "jit", "reference"),
+                       rtol=1e-12, atol=1e-12):
+    """Run ``kernel`` through each engine; assert the outputs agree.
+
+    ``kernel`` is a :class:`~repro.gpusim.kernel.Kernel` or a
+    ``(body, thread_vars)`` pair.  The first engine's output is the
+    baseline.  Engines in :data:`BITWISE_ENGINES` must match the
+    baseline byte-for-byte when the baseline is also bitwise-class;
+    every other comparison uses ``rtol``/``atol``.  Returns the
+    baseline arrays (for extra assertions on the result values).
+    """
+    if not isinstance(kernel, Kernel):
+        body, tvars = kernel
+        kernel = make_kernel(body, tvars, arrays, scalars)
+    scalars = scalars or {}
+    outputs = {}
+    for engine in engines:
+        run = ENGINES[engine]
+        copies = {name: np.array(arr, copy=True)
+                  for name, arr in arrays.items()}
+        run(kernel, copies, scalars, functions)
+        outputs[engine] = copies
+    baseline_engine = engines[0]
+    baseline = outputs[baseline_engine]
+    for engine in engines[1:]:
+        got = outputs[engine]
+        bitwise = {baseline_engine, engine} <= BITWISE_ENGINES
+        for name in arrays:
+            want, have = baseline[name], got[name]
+            assert want.shape == have.shape, \
+                f"{engine} vs {baseline_engine}: array {name!r} shape"
+            if bitwise:
+                assert want.dtype == have.dtype \
+                    and want.tobytes() == have.tobytes(), \
+                    f"{engine} diverged bitwise from {baseline_engine} " \
+                    f"on array {name!r} (max |delta| = " \
+                    f"{np.max(np.abs(have - want)):.3e})"
+            else:
+                np.testing.assert_allclose(
+                    have, want, rtol=rtol, atol=atol,
+                    err_msg=f"{engine} vs {baseline_engine}: {name}")
+    return baseline
+
+
+# ---------------------------------------------------------------------------
+# Hypothesis strategies for affine loop nests
+# ---------------------------------------------------------------------------
+#
+# Generated programs iterate i in [1, n+1) (x j in [1, m+1) when 2-D)
+# over arrays padded by one cell on each side, so every affine index
+# ``loop_var + offset`` with offset in {-1, 0, 1} stays in bounds.
+
+_FINITE = st.floats(min_value=-4.0, max_value=4.0,
+                    allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def _value_expr(draw, axes, depth):
+    """An affine-indexed value expression over arrays a (grid-shaped),
+    w (1-D), and the loop variables themselves."""
+    leaf = draw(st.integers(0, 3)) if depth <= 0 else draw(st.integers(0, 6))
+    if leaf == 0:
+        return Const(draw(_FINITE))
+    if leaf == 1:
+        return v(draw(st.sampled_from(axes))) * 0.25
+    if leaf in (2, 3):
+        idxs = [v(ax) + draw(st.integers(-1, 1)) for ax in axes]
+        if leaf == 3:
+            return aref("w", idxs[0])
+        return aref("a", *idxs)
+    if leaf == 4:
+        op = draw(st.sampled_from(["+", "-", "*", "min", "max"]))
+        return BinOp(op, draw(_value_expr(axes, depth - 1)),
+                     draw(_value_expr(axes, depth - 1)))
+    if leaf == 5:
+        return -draw(_value_expr(axes, depth - 1))
+    cond = draw(_cond_expr(axes, depth - 1))
+    return ternary(cond, draw(_value_expr(axes, depth - 1)),
+                   draw(_value_expr(axes, depth - 1)))
+
+
+@st.composite
+def _cond_expr(draw, axes, depth):
+    kind = draw(st.integers(0, 1))
+    if kind == 0:
+        k = draw(st.integers(2, 4))
+        return (v(draw(st.sampled_from(axes))) % k).eq(
+            draw(st.integers(0, k - 1)))
+    op = draw(st.sampled_from(["<", "<=", ">", ">=", "!="]))
+    return BinOp(op, draw(_value_expr(axes, depth)),
+                 draw(_value_expr(axes, depth)))
+
+
+@st.composite
+def _thread_stmt(draw, axes, depth):
+    """One race-free statement of the thread body (writes only the
+    thread's own ``b`` cell or a local)."""
+    target = [v(ax) for ax in axes]
+    kind = draw(st.integers(0, 3))
+    if kind == 0:
+        return assign(aref("b", *target), draw(_value_expr(axes, 2)))
+    if kind == 1:
+        op = draw(st.sampled_from(["+", "min", "max"]))
+        return accum(aref("b", *target), draw(_value_expr(axes, 1)), op=op)
+    if kind == 2 and depth > 0:
+        then = draw(_thread_stmt(axes, depth - 1))
+        orelse = draw(st.none() | _thread_stmt(axes, depth - 1))
+        return iff(draw(_cond_expr(axes, 1)), then, orelse)
+    # sequential inner reduction into a local scalar, then a store
+    trips = draw(st.integers(0, 3))
+    op = draw(st.sampled_from(["+", "max"]))
+    return block(
+        local("t", dtype="double", init=Const(0.0)),
+        sfor("q", 0, trips,
+             accum(v("t"), draw(_value_expr(axes, 1)) + v("q"), op=op)),
+        assign(aref("b", *[v(ax) for ax in axes]), v("t")),
+    )
+
+
+@st.composite
+def _scatter_stmt(draw, axes):
+    """A single (optionally guarded) scatter-reduction into ``h`` with
+    collisions.
+
+    A program gets at most one of these: cross-thread read-modify-write
+    through *several* statements is a data race — the vectorized
+    engines interleave by statement, the scalar reference by thread,
+    and both schedules are legal — so only the single-reduction form
+    (whose outcome is schedule-independent) is generated.
+    """
+    op = draw(st.sampled_from(["+", "min", "max"]))
+    stmt = accum(aref("h", aref("idx", v(axes[0]))),
+                 draw(_value_expr(axes, 1)), op=op)
+    if draw(st.booleans()):
+        stmt = iff(draw(_cond_expr(axes, 1)), stmt)
+    return stmt
+
+
+@st.composite
+def affine_programs(draw):
+    """A random affine loop nest plus matching input arrays.
+
+    Returns ``(body, thread_vars, arrays)`` ready for
+    :func:`assert_same_result`.
+    """
+    n = draw(st.integers(2, 6))
+    two_d = draw(st.booleans())
+    m = draw(st.integers(2, 5)) if two_d else 1
+    axes = ["i", "j"] if two_d else ["i"]
+    seed = draw(st.integers(0, 2 ** 16))
+
+    stmts = draw(st.lists(_thread_stmt(axes, 1), min_size=1, max_size=3))
+    if draw(st.booleans()):
+        stmts.insert(draw(st.integers(0, len(stmts))),
+                     draw(_scatter_stmt(axes)))
+    body = block(*stmts)
+    if two_d:
+        body = sfor("j", 1, m + 1, body) if draw(st.booleans()) \
+            else pfor("j", 1, m + 1, body)
+        tvars = ["i", "j"] if body.parallel else ["i"]
+        body = pfor("i", 1, n + 1, body)
+    else:
+        tvars = ["i"]
+        body = pfor("i", 1, n + 1, body)
+
+    rng = np.random.default_rng(seed)
+    grid_shape = (n + 2, m + 2) if two_d else (n + 2,)
+    arrays = {
+        "a": rng.random(grid_shape),
+        "b": np.zeros(grid_shape),
+        "w": rng.random(n + 2),
+        "idx": rng.integers(0, 8, size=n + 2).astype(np.int64),
+        "h": np.zeros(8),
+    }
+    return body, tvars, arrays

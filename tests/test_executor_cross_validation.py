@@ -1,30 +1,22 @@
 """Cross-validation: vectorizing executor vs the scalar reference
-interpreter, including property-based tests over random programs."""
+interpreter vs the JIT tier, through the shared differential harness
+(:mod:`tests.difftest`) — one helper for all three engines instead of a
+per-file ``both()`` clone."""
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.gpusim.executor import execute_kernel
-from repro.gpusim.kernel import Kernel
-from repro.gpusim.reference import execute_kernel_scalar
+from tests.difftest import assert_same_result
 from repro.ir.builder import (accum, aref, assign, block, iff, intrinsic,
-                              local, pfor, sfor, v)
+                              pfor, sfor, v)
 
 
 def both(body, tvars, arrays, scalars=None, rtol=1e-12):
-    """Run vectorized and scalar; assert all arrays agree."""
-    kern = Kernel("k", body, tvars, arrays=sorted(arrays),
-                  scalars=sorted(scalars or {}))
-    vec = {k: a.copy() for k, a in arrays.items()}
-    ref = {k: a.copy() for k, a in arrays.items()}
-    execute_kernel(kern, vec, scalars or {})
-    execute_kernel_scalar(kern, ref, scalars or {})
-    for name in arrays:
-        np.testing.assert_allclose(vec[name], ref[name], rtol=rtol,
-                                   atol=1e-12, err_msg=name)
-    return vec
+    """Run all three engines; assert all arrays agree (bitwise between
+    the vectorized engines, within tolerance against the reference)."""
+    return assert_same_result((body, tvars), arrays, scalars=scalars,
+                              rtol=rtol, atol=1e-12)
 
 
 class TestDirected:

@@ -1,0 +1,108 @@
+"""The JIT correctness contract, differentially tested.
+
+Two layers:
+
+* **tier-1** — a bounded hypothesis sweep of random affine loop nests
+  through all three engines, plus a two-benchmark slice of the suite
+  under ``verify`` mode (every launch compared byte-for-byte against
+  the interpreter in-line).
+* **slow tier** (``-m slow``, run by CI with ``HYPOTHESIS_PROFILE=ci``)
+  — ≥200 hypothesis programs, the full 13-benchmark × Figure-1-model
+  validation matrix under ``verify`` (the zero-tolerance gate over
+  every suite kernel launch), and a sweep proving every suite kernel
+  body lowers with no fallback.
+"""
+
+import pytest
+from hypothesis import given, settings
+
+from tests.difftest import affine_programs, assert_same_result
+from repro.gpusim import jit
+from repro.models.cache import clear_compile_cache
+
+
+@pytest.fixture(autouse=True)
+def _fresh_jit_state():
+    clear_compile_cache()
+    jit.clear_fallback_log()
+    yield
+    clear_compile_cache()
+    jit.clear_fallback_log()
+
+
+class TestHypothesisPrograms:
+    @given(affine_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_three_engines_agree(self, case):
+        body, tvars, arrays = case
+        assert_same_result((body, tvars), arrays)
+
+    @given(affine_programs())
+    @settings(max_examples=25, deadline=None)
+    def test_jit_is_bitwise_vs_interpreter(self, case):
+        body, tvars, arrays = case
+        assert_same_result((body, tvars), arrays,
+                           engines=("interpreter", "jit"))
+
+
+class TestSuiteSliceVerify:
+    def test_two_benchmarks_validate_under_verify(self):
+        from repro.harness.validate import validate_suite
+
+        with jit.jit_mode("verify"):
+            matrix = validate_suite(benchmarks=["JACOBI", "SPMUL"])
+        assert matrix.passed, matrix.failures()
+        assert not jit.fallback_log()
+
+
+@pytest.mark.slow
+class TestHypothesisProgramsSlow:
+    @given(affine_programs())
+    @settings(max_examples=200, deadline=None)
+    def test_many_random_programs_agree(self, case):
+        body, tvars, arrays = case
+        assert_same_result((body, tvars), arrays)
+
+
+@pytest.mark.slow
+class TestFullSuiteVerify:
+    def test_whole_suite_validates_under_verify(self):
+        """The headline zero-tolerance gate: every launch of every
+        (benchmark, model, variant) configuration runs both engines and
+        must agree byte-for-byte — a single diverging array raises
+        JitVerifyError and fails the cell."""
+        from repro.harness.validate import validate_suite
+
+        with jit.jit_mode("verify"):
+            matrix = validate_suite()
+        assert matrix.passed, matrix.failures()
+        assert not jit.fallback_log(), jit.fallback_log()
+
+    def test_every_suite_kernel_body_lowers(self):
+        """No suite kernel is silently interpreted: each unique body
+        across every Figure-1 port compiles to a JitProgram."""
+        from repro.benchmarks import ALL_MODELS, iter_suite
+        from repro.models.cache import compile_bench
+
+        bodies = 0
+        seen = set()
+        for bench in iter_suite():
+            for model in ALL_MODELS:
+                try:
+                    variants = bench.variants(model)
+                except KeyError:
+                    continue
+                for variant in variants:
+                    _, compiled = compile_bench(bench, model, variant)
+                    for region in compiled.results.values():
+                        for kernel in region.kernels:
+                            functions = compiled.program.functions
+                            ir_hash = jit.kernel_ir_hash(kernel, functions)
+                            if ir_hash in seen:
+                                continue
+                            seen.add(ir_hash)
+                            bodies += 1
+                            program = jit.compile_kernel(kernel, functions)
+                            assert program.fn is not None
+        assert bodies >= 100   # 121 unique bodies at time of writing
+        assert not jit.fallback_log()
